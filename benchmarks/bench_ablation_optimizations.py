@@ -1,0 +1,76 @@
+"""Ablation of the Sec. 5.1 optimizations (design-choice study from DESIGN.md).
+
+Measures, for a structured model (the hierarchical HMM) and a flat model
+(the clinical trial), how the expression-graph size and end-to-end query
+time change when the two construction-time optimizations are toggled:
+
+* factorization of shared product components out of mixtures (Fig. 6a),
+* structural deduplication of identical subtrees (Fig. 6b).
+
+The paper's claim is that the optimizations are what make translation and
+inference scale on models with conditional independence and repeated
+structure; the ablation quantifies each contribution separately.
+"""
+
+import time
+
+import pytest
+
+from repro.compiler import TranslationOptions
+from repro.compiler import compile_command
+from repro.transforms import Id
+from repro.workloads import hmm
+from repro.workloads import table1_models
+
+from .conftest import write_results
+
+_CONFIGURATIONS = [
+    ("factorize+dedup", TranslationOptions(factorize=True, dedup=True)),
+    ("factorize only", TranslationOptions(factorize=True, dedup=False)),
+    ("dedup only", TranslationOptions(factorize=False, dedup=True)),
+    ("no optimizations", TranslationOptions(factorize=False, dedup=False)),
+]
+
+_MODELS = [
+    ("Hierarchical HMM (15 steps)", lambda: hmm.program(15), Id("Z[14]") == 1),
+    (
+        "Clinical Trial",
+        table1_models.clinical_trial_table1,
+        Id("is_effective") == 1,
+    ),
+    ("Heart Disease", table1_models.heart_disease, Id("heart_disease") == 1),
+]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("model_name,builder,query", _MODELS, ids=[m[0] for m in _MODELS])
+def test_ablation_of_optimizations(benchmark, model_name, builder, query):
+    program = builder()
+
+    def translate_optimized():
+        return compile_command(program, _CONFIGURATIONS[0][1])
+
+    benchmark(translate_optimized)
+
+    reference_probability = None
+    for configuration_name, options in _CONFIGURATIONS:
+        start = time.perf_counter()
+        spe = compile_command(program, options)
+        translate_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        probability = spe.prob(query)
+        query_seconds = time.perf_counter() - start
+        if reference_probability is None:
+            reference_probability = probability
+        else:
+            assert probability == pytest.approx(reference_probability, abs=1e-9)
+        _ROWS.append(
+            (model_name, configuration_name, spe.size(), translate_seconds, query_seconds)
+        )
+
+    if len(_ROWS) == len(_MODELS) * len(_CONFIGURATIONS):
+        lines = ["model | configuration | graph nodes | translate s | query s"]
+        for row in _ROWS:
+            lines.append("%s | %s | %d | %.3f | %.4f" % row)
+        write_results("ablation_optimizations", lines)

@@ -1,0 +1,59 @@
+"""Figure 2: the Indian GPA problem — prior and posterior marginals.
+
+Regenerates the marginal-distribution series plotted in Fig. 2e and Fig. 2h
+(Nationality and Perfect probabilities plus the GPA CDF on a grid) and times
+the three stages of the workflow: translation, conditioning on the Fig. 2f
+event, and the batch of marginal queries.
+"""
+
+import pytest
+
+from repro.workloads import indian_gpa
+
+from .conftest import write_results
+
+
+def test_fig2_translation(benchmark):
+    model = benchmark(indian_gpa.model)
+    assert set(model.variables) == {"GPA", "Nationality", "Perfect"}
+
+
+def test_fig2_prior_marginals(benchmark):
+    model = indian_gpa.model()
+    marginals = benchmark(lambda: indian_gpa.marginals(model))
+    assert marginals["Nationality"]["USA"] == pytest.approx(0.5)
+    assert marginals["Perfect"][1] == pytest.approx(0.125)
+
+
+def test_fig2_conditioning(benchmark):
+    model = indian_gpa.model()
+    event = indian_gpa.conditioning_event()
+    posterior = benchmark(lambda: model.condition(event))
+    assert posterior.prob(event) == pytest.approx(1.0)
+
+
+def test_fig2_posterior_marginals(benchmark):
+    model = indian_gpa.model()
+    posterior = model.condition(indian_gpa.conditioning_event())
+    marginals = benchmark(lambda: indian_gpa.marginals(posterior))
+
+    assert marginals["Nationality"]["India"] == pytest.approx(0.33, abs=0.01)
+    assert marginals["Perfect"][1] == pytest.approx(0.28, abs=0.01)
+
+    grid = sorted(marginals["GPA"])
+    lines = ["quantity | prior | posterior"]
+    prior_marginals = indian_gpa.marginals(model)
+    lines.append(
+        "P(Nationality=India) | %.4f | %.4f"
+        % (prior_marginals["Nationality"]["India"], marginals["Nationality"]["India"])
+    )
+    lines.append(
+        "P(Perfect=1) | %.4f | %.4f"
+        % (prior_marginals["Perfect"][1], marginals["Perfect"][1])
+    )
+    for g in grid[:: max(1, len(grid) // 12)]:
+        lines.append(
+            "P(GPA <= %.1f) | %.4f | %.4f"
+            % (g, prior_marginals["GPA"][g], marginals["GPA"][g])
+        )
+    write_results("fig2_indian_gpa", lines)

@@ -1,0 +1,66 @@
+"""Figure 3 / Sec. 2.2: exact smoothing in the hierarchical HMM.
+
+Regenerates the smoothing series of Fig. 3b (the posterior marginals
+P(Z_t = 1 | x, y)) for a simulated dataset, validates them against the
+forward-backward oracle, and measures (i) the linear growth of the
+expression size with the number of time steps (the point of Fig. 3d) and
+(ii) the cost of translation, conditioning and querying.
+"""
+
+import pytest
+
+from repro.baselines import hmm_smoothing_forward_backward
+from repro.transforms import Id
+from repro.workloads import hmm
+
+from .conftest import bench_scale
+from .conftest import write_results
+
+
+def _n_step() -> int:
+    return max(10, int(round(100 * bench_scale())))
+
+
+def test_fig3_translation_scaling(benchmark):
+    n_step = _n_step()
+    model = benchmark.pedantic(lambda: hmm.model(n_step), iterations=1, rounds=1)
+    sizes = {n: hmm.model(n).size() for n in (5, 10, 20)}
+    # Linear growth: the increment from 10->20 steps is at most ~2x the
+    # increment from 5->10 steps (it would square for an exponential build).
+    assert (sizes[20] - sizes[10]) <= 3 * (sizes[10] - sizes[5])
+    assert model.size() > sizes[20] or n_step <= 20
+
+
+def test_fig3_smoothing(benchmark):
+    n_step = _n_step()
+    data = hmm.simulate_data(n_step, seed=0)
+    model = hmm.model(n_step)
+
+    posteriors = benchmark.pedantic(
+        lambda: hmm.smooth(model, data["x"], data["y"]), iterations=1, rounds=1
+    )
+
+    oracle = hmm_smoothing_forward_backward(data["x"], data["y"])["smoothed"]
+    for sppl_value, oracle_value in zip(posteriors, oracle):
+        assert sppl_value == pytest.approx(oracle_value, abs=1e-6)
+
+    lines = ["t | true Z | observed X | observed Y | P(Z=1 | data)"]
+    for t, (z, x, y, p) in enumerate(
+        zip(data["z"], data["x"], data["y"], posteriors)
+    ):
+        lines.append("%d | %d | %.2f | %d | %.4f" % (t, z, x, y, p))
+    write_results("fig3_hmm_smoothing", lines)
+
+
+def test_fig3_posterior_reuse(benchmark):
+    """Conditioning once and issuing many queries (the multi-stage payoff)."""
+    n_step = max(10, _n_step() // 2)
+    data = hmm.simulate_data(n_step, seed=1)
+    model = hmm.model(n_step)
+    posterior = model.constrain(hmm.observation_assignment(data["x"], data["y"]))
+
+    def query_all():
+        return [posterior.prob(Id(hmm.z(t)) == 1) for t in range(n_step)]
+
+    posteriors = benchmark(query_all)
+    assert all(0.0 <= p <= 1.0 for p in posteriors)

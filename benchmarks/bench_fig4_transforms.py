@@ -1,0 +1,56 @@
+"""Figure 4: conditioning a many-to-one transformed random variable.
+
+Times translation, conditioning on the event ``Z**2 <= 4 and Z >= 0`` and
+posterior querying for the piecewise cubic / square-root transform model,
+and records the posterior component weights of the three X-regions, which
+the paper reports as approximately 0.16 / 0.49 / 0.35.
+"""
+
+import pytest
+
+from repro.workloads import transforms_demo
+
+from .conftest import write_results
+
+
+def test_fig4_translation(benchmark):
+    model = benchmark(transforms_demo.model)
+    assert set(model.variables) == {"X", "Z"}
+
+
+def test_fig4_conditioning(benchmark):
+    model = transforms_demo.model()
+    event = transforms_demo.conditioning_event()
+    posterior = benchmark(lambda: model.condition(event))
+    assert posterior.prob(event) == pytest.approx(1.0)
+
+
+def test_fig4_posterior_weights(benchmark):
+    model = transforms_demo.model()
+    posterior = model.condition(transforms_demo.conditioning_event())
+    weights = benchmark(lambda: transforms_demo.posterior_component_weights(posterior))
+
+    assert weights[0] == pytest.approx(0.16, abs=0.01)
+    assert weights[1] == pytest.approx(0.49, abs=0.01)
+    assert weights[2] == pytest.approx(0.35, abs=0.01)
+
+    lines = [
+        "region | posterior weight (paper: .16/.49/.35)",
+        "X in [-2.17, -2.00] | %.4f" % (weights[0],),
+        "X in [ 0.00,  0.32] | %.4f" % (weights[1],),
+        "X in [ 3.24,  4.84] | %.4f" % (weights[2],),
+    ]
+    write_results("fig4_transforms", lines)
+
+
+def test_fig4_prior_cdf_of_z(benchmark):
+    model = transforms_demo.model()
+    Z = transforms_demo.Z
+    grid = [-5 + 0.5 * i for i in range(41)]
+
+    def cdf():
+        return [model.prob(Z <= g) for g in grid]
+
+    values = benchmark(cdf)
+    assert values == sorted(values)
+    assert values[-1] <= 1.0 + 1e-9

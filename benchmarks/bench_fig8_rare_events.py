@@ -1,0 +1,62 @@
+"""Figure 8: rare-event probabilities — exact SPPL vs rejection sampling.
+
+For each of the four rare events, measures the time SPPL needs to compute
+the exact probability and records the convergence trajectory of the
+rejection-sampling estimator (the BLOG substitute).  The expected shape is
+that SPPL returns the exact value in milliseconds while the sampler's
+estimate is still far from converged after many orders of magnitude more
+work (most trajectories for the rarest events remain at zero).
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import RejectionSampler
+from repro.workloads import rare_events
+
+from .conftest import bench_scale
+from .conftest import write_results
+
+_EVENTS = rare_events.rare_events()
+_ROWS = {}
+
+
+def _sampler_budget() -> int:
+    return max(4000, int(40000 * bench_scale()))
+
+
+@pytest.mark.parametrize("label,event", _EVENTS, ids=[label for label, _ in _EVENTS])
+def test_fig8_rare_event(benchmark, label, event):
+    model = rare_events.model()
+
+    log_probability = benchmark(lambda: model.logprob(event))
+    assert log_probability < -5
+
+    sampler = RejectionSampler(rare_events.program(), seed=0)
+    budget = _sampler_budget()
+    trajectory = sampler.estimate_trajectory(
+        event, batch_size=budget // 4, n_batches=4
+    )
+    final = trajectory[-1]
+
+    _ROWS[label] = (log_probability, final["estimate"], final["samples"], final["elapsed"])
+
+    if len(_ROWS) == len(_EVENTS):
+        lines = [
+            "event | exact log prob | sampler estimate | sampler samples | sampler sec"
+        ]
+        for event_label, _ in _EVENTS:
+            lp, estimate, samples, elapsed = _ROWS[event_label]
+            estimate_log = math.log(estimate) if estimate > 0 else float("-inf")
+            lines.append(
+                "%s | %.2f | %s | %d | %.2f"
+                % (
+                    event_label,
+                    lp,
+                    "log %.2f" % (estimate_log,) if estimate > 0 else "0 (no hits)",
+                    int(samples),
+                    elapsed,
+                )
+            )
+        write_results("fig8_rare_events", lines)

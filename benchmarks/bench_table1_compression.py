@@ -1,0 +1,58 @@
+"""Table 1: sum-product expression size with and without optimizations.
+
+For each of the seven benchmark programs, measures the number of nodes of
+the translated expression with the factorization/deduplication optimizations
+enabled (optimized) and the node count of the fully-expanded expression tree
+with the optimizations disabled (unoptimized), and reports the compression
+ratio.  The timed quantity is the optimized translation itself.
+"""
+
+import pytest
+
+from repro.compiler import TranslationOptions
+from repro.compiler import compile_command
+from repro.workloads import hmm
+from repro.workloads import table1_models
+
+from .conftest import write_results
+
+#: (benchmark name, builder) in the order of Table 1.  The hierarchical HMM
+#: is measured at 20 steps so the unoptimized tree size stays a (very large)
+#: exact integer that is cheap to compute.
+_BENCHMARKS = [
+    ("Hiring", table1_models.hiring),
+    ("Alarm", table1_models.alarm),
+    ("Grass", table1_models.grass),
+    ("Noisy OR", table1_models.noisy_or),
+    ("Clinical Trial", table1_models.clinical_trial_table1),
+    ("Heart Disease", table1_models.heart_disease),
+    ("Hierarchical HMM", lambda: hmm.program(20)),
+]
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name,builder", _BENCHMARKS, ids=[n for n, _ in _BENCHMARKS])
+def test_table1_compression(benchmark, name, builder):
+    program = builder()
+
+    optimized = benchmark(lambda: compile_command(program))
+    unoptimized = compile_command(
+        program, TranslationOptions(factorize=False, dedup=False)
+    )
+
+    optimized_nodes = optimized.size()
+    unoptimized_nodes = unoptimized.tree_size()
+    ratio = unoptimized_nodes / optimized_nodes
+    _ROWS[name] = (optimized_nodes, unoptimized_nodes, ratio)
+
+    assert optimized_nodes <= unoptimized_nodes
+
+    if len(_ROWS) == len(_BENCHMARKS):
+        lines = ["benchmark | optimized nodes | unoptimized nodes | compression"]
+        for bench_name, _ in _BENCHMARKS:
+            opt, unopt, r = _ROWS[bench_name]
+            lines.append(
+                "%s | %d | %s | %.1fx" % (bench_name, opt, format(unopt, ".3e"), r)
+            )
+        write_results("table1_compression", lines)

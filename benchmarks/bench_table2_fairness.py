@@ -1,0 +1,68 @@
+"""Table 2: fairness verification runtime, SPPL vs a sampling verifier.
+
+Reproduces the 15 verification tasks (5 decision trees x 3 population
+models).  SPPL's exact verification is the timed quantity; the
+adaptive-concentration sampling verifier (the VeriFair substitute) is run
+once per task to obtain the baseline runtime and judgment.  The expected
+shape is that SPPL answers in milliseconds while the sampling verifier
+needs orders of magnitude longer, with both agreeing on the judgment.
+"""
+
+import pytest
+
+from repro.baselines import SamplingFairnessVerifier
+from repro.workloads.fairness import FAIRNESS_BENCHMARKS
+from repro.workloads.fairness import sppl_fairness_judgment
+from repro.workloads.fairness.decision_trees import HIRE_EVENT
+from repro.workloads.fairness.population import MINORITY_EVENT
+from repro.workloads.fairness.population import QUALIFIED_EVENT
+
+from .conftest import bench_scale
+from .conftest import write_results
+
+_ROWS = {}
+
+
+def _baseline_samples() -> int:
+    return max(10000, int(80000 * bench_scale()))
+
+
+@pytest.mark.parametrize("task", FAIRNESS_BENCHMARKS, ids=[t.name for t in FAIRNESS_BENCHMARKS])
+def test_table2_fairness(benchmark, task):
+    exact = benchmark(lambda: sppl_fairness_judgment(task))
+
+    verifier = SamplingFairnessVerifier(
+        command=task.program(),
+        decision=HIRE_EVENT,
+        minority=MINORITY_EVENT,
+        qualified=QUALIFIED_EVENT,
+        seed=0,
+    )
+    sampled = verifier.verify(
+        epsilon=0.15, batch_size=5000, max_samples=_baseline_samples()
+    )
+
+    assert 0.0 <= exact.p_minority <= 1.0
+    assert 0.0 <= exact.p_majority <= 1.0
+    speedup = sampled.elapsed / max(exact.total_seconds, 1e-9)
+
+    _ROWS[task.name] = (
+        task.lines_of_code(),
+        exact.judgment,
+        sampled.judgment,
+        exact.total_seconds,
+        sampled.elapsed,
+        speedup,
+    )
+
+    if len(_ROWS) == len(FAIRNESS_BENCHMARKS):
+        lines = [
+            "task | LoC | SPPL judgment | sampler judgment | SPPL sec | sampler sec | speedup"
+        ]
+        for t in FAIRNESS_BENCHMARKS:
+            loc, judgment, sampled_judgment, sppl_s, sampler_s, ratio = _ROWS[t.name]
+            lines.append(
+                "%s | %d | %s | %s | %.4f | %.2f | %.0fx"
+                % (t.name, loc, judgment, sampled_judgment, sppl_s, sampler_s, ratio)
+            )
+        write_results("table2_fairness", lines)

@@ -1,0 +1,85 @@
+"""Table 3: distribution of end-to-end inference runtime across datasets.
+
+For the four benchmarks of Table 3, runs the full end-to-end inference once
+per dataset with both engines and reports the mean and standard deviation of
+the per-dataset runtime.  The expected shape is that SPPL's runtime is small
+and nearly constant across datasets (it depends only on the query pattern),
+while the single-stage baseline is slower and/or more variable.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.baselines import PathExplosionError
+from repro.baselines import PathEnumerationSolver
+from repro.engine import SpplModel
+from repro.workloads import psi_benchmarks
+
+from .conftest import bench_scale
+from .conftest import write_results
+
+_BENCHMARKS = psi_benchmarks.table3_benchmarks(scale=bench_scale())
+_ROWS = {}
+
+
+def _sppl_per_dataset_times(bench):
+    model = SpplModel.from_command(bench.build())
+    times = []
+    for dataset in bench.datasets:
+        start = time.perf_counter()
+        posterior = psi_benchmarks.apply_dataset(model, dataset)
+        posterior.prob(bench.query)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _baseline_per_dataset_times(bench, max_paths=20000):
+    times = []
+    for dataset in bench.datasets:
+        solver = PathEnumerationSolver(bench.build(), max_paths=max_paths)
+        observations = dataset if isinstance(dataset, dict) else None
+        condition = None if isinstance(dataset, dict) else dataset
+        start = time.perf_counter()
+        try:
+            solver.query_probability(
+                bench.query, observations=observations, condition=condition
+            )
+        except PathExplosionError:
+            return None
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _mean_std(times):
+    if times is None or not times:
+        return float("nan"), float("nan")
+    if len(times) == 1:
+        return times[0], 0.0
+    return statistics.mean(times), statistics.stdev(times)
+
+
+@pytest.mark.parametrize("bench", _BENCHMARKS, ids=[b.name for b in _BENCHMARKS])
+def test_table3_runtime_variance(benchmark, bench):
+    sppl_times = benchmark.pedantic(
+        lambda: _sppl_per_dataset_times(bench), iterations=1, rounds=1
+    )
+    baseline_times = _baseline_per_dataset_times(bench)
+
+    sppl_mean, sppl_std = _mean_std(sppl_times)
+    base_mean, base_std = _mean_std(baseline_times)
+    assert sppl_mean >= 0
+
+    _ROWS[bench.name] = (sppl_mean, sppl_std, base_mean, base_std)
+
+    if len(_ROWS) == len(_BENCHMARKS):
+        lines = [
+            "benchmark | SPPL mean s | SPPL std s | baseline mean s | baseline std s"
+        ]
+        for b in _BENCHMARKS:
+            row = _ROWS[b.name]
+            lines.append(
+                "%s | %.3f | %.3f | %.3f | %.3f" % ((b.name,) + row)
+            )
+        write_results("table3_variance", lines)

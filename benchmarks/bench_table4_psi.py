@@ -1,0 +1,60 @@
+"""Table 4: per-stage runtime of SPPL vs the single-stage exact baseline.
+
+For each of the eight PSI-comparison benchmarks the harness measures the
+three SPPL stages (translation, per-dataset conditioning, per-dataset
+querying) and the total per-dataset runtime of the single-stage
+path-enumeration solver, which re-solves the whole program for every
+dataset.  Benchmarks on which the baseline exceeds its path budget are
+reported as failures ("o/m"), which is the behaviour Table 4 records for
+PSI on the large Markov switching and Student Interviews instances.
+"""
+
+import pytest
+
+from repro.workloads import psi_benchmarks
+
+from .conftest import bench_scale
+from .conftest import write_results
+
+_BENCHMARKS = psi_benchmarks.table4_benchmarks(scale=bench_scale())
+_ROWS = {}
+
+
+@pytest.mark.parametrize(
+    "bench", _BENCHMARKS, ids=[b.name for b in _BENCHMARKS]
+)
+def test_table4_psi_comparison(benchmark, bench):
+    timings = benchmark.pedantic(
+        lambda: psi_benchmarks.run_sppl(bench), iterations=1, rounds=1
+    )
+    outcome = psi_benchmarks.run_baseline(bench, max_paths=20000)
+
+    if not outcome.failed:
+        for sppl_answer, baseline_answer in zip(timings.answers, outcome.answers):
+            assert sppl_answer == pytest.approx(baseline_answer, abs=1e-6)
+
+    mean_condition = sum(timings.condition) / len(timings.condition)
+    mean_query = sum(timings.query) / len(timings.query)
+    baseline_total = "o/m" if outcome.failed else "%.2f" % (outcome.total,)
+    _ROWS[bench.name] = (
+        bench.signature,
+        bench.n_datasets,
+        timings.translate,
+        mean_condition,
+        mean_query,
+        timings.total,
+        baseline_total,
+    )
+
+    if len(_ROWS) == len(_BENCHMARKS):
+        lines = [
+            "benchmark | signature | datasets | translate s | condition s/dataset | "
+            "query s/dataset | SPPL total s | baseline total s"
+        ]
+        for b in _BENCHMARKS:
+            sig, n, tr, co, qu, total, base = _ROWS[b.name]
+            lines.append(
+                "%s | %s | %d | %.3f | %.3f | %.3f | %.2f | %s"
+                % (b.name, sig, n, tr, co, qu, total, base)
+            )
+        write_results("table4_psi", lines)

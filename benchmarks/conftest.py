@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+raw rows are written to ``benchmarks/results/<name>.txt`` so that the
+numbers can be inspected (and copied into EXPERIMENTS.md) independently of
+the pytest-benchmark timing output.
+
+The environment variable ``REPRO_BENCH_SCALE`` (default ``0.25``) scales the
+dataset counts and model sizes of the heavier benchmarks; set it to ``1.0``
+to reproduce the paper's full configuration.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Scale factor for dataset counts / model sizes (1.0 = paper scale)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def write_results(name: str, lines) -> Path:
+    """Write a list of text rows to the shared results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.txt" % (name,))
+    content = "\n".join(str(line) for line in lines) + "\n"
+    path.write_text(content)
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_writer():
+    """Fixture exposing :func:`write_results` to benchmark modules."""
+    return write_results

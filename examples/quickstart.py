@@ -1,0 +1,74 @@
+"""Quickstart: the Indian GPA problem, end to end.
+
+Demonstrates the full SPPL workflow of Fig. 1 of the paper:
+
+1. write a generative probabilistic program (mixed discrete/continuous),
+2. translate it into a sum-product expression (``SpplModel.from_source``),
+3. query exact prior probabilities,
+4. condition on an event to obtain a posterior *model*,
+5. reuse that posterior for further exact queries and for sampling.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Id
+from repro import SpplModel
+
+PROGRAM = """
+Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+if (Nationality == 'India'):
+    Perfect ~ bernoulli(p=0.10)
+    if Perfect:
+        GPA ~ atomic(10)
+    else:
+        GPA ~ uniform(0, 10)
+else:
+    Perfect ~ bernoulli(p=0.15)
+    if Perfect:
+        GPA ~ atomic(4)
+    else:
+        GPA ~ uniform(0, 4)
+"""
+
+
+def main() -> None:
+    nationality, perfect, gpa = Id("Nationality"), Id("Perfect"), Id("GPA")
+
+    # Stage 1: translate the program into a sum-product expression.
+    model = SpplModel.from_source(PROGRAM)
+    print("variables:", model.variables)
+    print("expression size (nodes):", model.size())
+
+    # Stage 2: exact prior queries.
+    print("\n-- prior --")
+    print("P(Nationality = USA)   =", model.prob(nationality == "USA"))
+    print("P(Perfect = 1)         =", model.prob(perfect == 1))
+    print("P(GPA <= 4)            =", model.prob(gpa <= 4))
+    print("P(GPA = 4) (atom!)     =", model.prob(gpa == 4))
+
+    # Stage 3: condition on an event mixing nominal and continuous constraints.
+    event = ((nationality == "USA") & (gpa > 3)) | ((gpa > 8) & (gpa < 10))
+    print("\nconditioning on:", event)
+    print("P(event) =", model.prob(event))
+    posterior = model.condition(event)
+
+    # Stage 4: reuse the posterior for as many queries as needed.
+    print("\n-- posterior --")
+    print("P(Nationality = India | event) =", posterior.prob(nationality == "India"))
+    print("P(Perfect = 1 | event)         =", posterior.prob(perfect == 1))
+    print("P(GPA > 3.9 | event)           =", posterior.prob(gpa > 3.9))
+
+    # Stage 5: sampling (simulate) from prior and posterior.
+    print("\n-- samples --")
+    print("prior samples:    ", model.sample(3, seed=0))
+    print("posterior samples:", posterior.sample(3, seed=0))
+
+    # Events can also be given as strings using the program syntax.
+    print("\nstring query P(GPA > 3 and Nationality == 'USA') =",
+          model.prob("GPA > 3 and Nationality == 'USA'"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Rare-event probabilities: exact inference vs rejection sampling (Sec. 6.3).
+
+Computes the exact probability of events whose log-probability ranges from
+about -10 to -17 in a chain-structured Bayesian network, and contrasts the
+milliseconds-scale exact computation with the convergence behaviour of a
+rejection-sampling estimator (the BLOG-style baseline of Fig. 8), which
+rarely even observes a satisfying execution within its budget.
+
+Run with::
+
+    python examples/rare_event_analysis.py
+"""
+
+import math
+import time
+
+from repro.baselines import RejectionSampler
+from repro.workloads import rare_events
+
+
+def main() -> None:
+    model = rare_events.model()
+    program = rare_events.program()
+
+    print("%-8s %-16s %-12s %-28s" % ("event", "exact log prob", "exact time", "sampler estimate (20k samples)"))
+    for label, event in rare_events.rare_events():
+        start = time.perf_counter()
+        log_probability = model.logprob(event)
+        exact_time = time.perf_counter() - start
+
+        sampler = RejectionSampler(program, seed=0)
+        start = time.perf_counter()
+        estimate = sampler.estimate_probability(event, 20000)
+        sampler_time = time.perf_counter() - start
+
+        if estimate > 0:
+            sampled = "log %.2f (%.1fs)" % (math.log(estimate), sampler_time)
+        else:
+            sampled = "no satisfying samples (%.1fs)" % (sampler_time,)
+        print("%-8s %-16.2f %-12s %-28s" % (label, log_probability, "%.4fs" % exact_time, sampled))
+
+    print(
+        "\nThe exact probabilities are available immediately and do not "
+        "degrade as the event becomes rarer; the sampling estimate needs on "
+        "the order of 1/p samples before it is even non-zero."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that the package can be installed in editable mode on machines
+without the ``wheel`` package (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import find_packages
+from setuptools import setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of SPPL: Probabilistic Programming with Fast Exact "
+        "Symbolic Inference (PLDI 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

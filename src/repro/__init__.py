@@ -1,0 +1,120 @@
+"""repro: a reproduction of SPPL (Sum-Product Probabilistic Language).
+
+SPPL (Saad, Rinard & Mansinghka, PLDI 2021) is a probabilistic programming
+language that translates generative programs into *sum-product expressions*
+— symbolic representations supporting fast exact inference: probabilities of
+events (including predicates on transformed variables and set-valued
+constraints), conditioning, and sampling, over mixed continuous/discrete/
+nominal distributions.
+
+Quickstart::
+
+    from repro import SpplModel, Id
+
+    model = SpplModel.from_source('''
+    Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+    if (Nationality == 'India'):
+        Perfect ~ bernoulli(p=0.10)
+        if Perfect:
+            GPA ~ atomic(10)
+        else:
+            GPA ~ uniform(0, 10)
+    else:
+        Perfect ~ bernoulli(p=0.15)
+        if Perfect:
+            GPA ~ atomic(4)
+        else:
+            GPA ~ uniform(0, 4)
+    ''')
+
+    GPA, Nationality = Id('GPA'), Id('Nationality')
+    model.prob(GPA > 3)                          # exact probability
+    posterior = model.condition((Nationality == 'USA') & (GPA > 3))
+    posterior.prob(GPA > 3.9)                    # reuse the posterior freely
+
+Package layout:
+
+* :mod:`repro.sets`          -- outcome sets (intervals, finite sets, strings)
+* :mod:`repro.transforms`    -- univariate transforms and preimage solving
+* :mod:`repro.events`        -- predicates and clause solving
+* :mod:`repro.distributions` -- primitive distributions
+* :mod:`repro.spe`           -- sum-product expressions and exact inference
+* :mod:`repro.compiler`      -- the SPPL language front-ends and translator
+* :mod:`repro.engine`        -- the high-level multi-stage workflow
+* :mod:`repro.baselines`     -- rejection sampling, sampling-based fairness
+  verification, path-integration (PSI substitute), forward-backward
+* :mod:`repro.workloads`     -- every benchmark model from the paper
+"""
+
+from .compiler import Assign
+from .compiler import Condition
+from .compiler import For
+from .compiler import IfElse
+from .compiler import Sample
+from .compiler import Sequence
+from .compiler import Skip
+from .compiler import Switch
+from .compiler import compile_command
+from .compiler import compile_sppl
+from .compiler import parse_sppl
+from .compiler import render_spe
+from .distributions import atomic
+from .distributions import bernoulli
+from .distributions import beta
+from .distributions import binomial
+from .distributions import choice
+from .distributions import discrete
+from .distributions import gamma
+from .distributions import normal
+from .distributions import poisson
+from .distributions import uniform
+from .engine import SpplModel
+from .engine import parse_event
+from .spe import Leaf
+from .spe import ProductSPE
+from .spe import SPE
+from .spe import SumSPE
+from .transforms import Id
+from .transforms import Identity
+from .transforms import exp
+from .transforms import log
+from .transforms import sqrt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assign",
+    "Condition",
+    "For",
+    "Id",
+    "Identity",
+    "IfElse",
+    "Leaf",
+    "ProductSPE",
+    "SPE",
+    "Sample",
+    "Sequence",
+    "Skip",
+    "SpplModel",
+    "SumSPE",
+    "Switch",
+    "atomic",
+    "bernoulli",
+    "beta",
+    "binomial",
+    "choice",
+    "compile_command",
+    "compile_sppl",
+    "discrete",
+    "exp",
+    "gamma",
+    "log",
+    "normal",
+    "parse_event",
+    "parse_sppl",
+    "poisson",
+    "render_spe",
+    "sqrt",
+    "uniform",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline inference engines used by the paper's evaluation.
+
+These are from-scratch substitutes for the external systems SPPL is compared
+against (see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.baselines.rejection` -- forward rejection sampling (BLOG's
+  rejection engine, Sec. 6.3),
+* :mod:`repro.baselines.fairness_sampling` -- adaptive-concentration sampling
+  fairness verifier (VeriFair, Sec. 6.1),
+* :mod:`repro.baselines.path_integration` -- single-stage exact solver by
+  program-path enumeration (PSI, Sec. 6.2),
+* :mod:`repro.baselines.forward_backward` -- classical forward-backward HMM
+  smoother used as ground truth for Sec. 2.2.
+"""
+
+from .fairness_sampling import SamplingFairnessVerifier
+from .forward_backward import hmm_smoothing_forward_backward
+from .path_integration import PathEnumerationSolver
+from .path_integration import PathExplosionError
+from .rejection import RejectionSampler
+
+__all__ = [
+    "PathEnumerationSolver",
+    "PathExplosionError",
+    "RejectionSampler",
+    "SamplingFairnessVerifier",
+    "hmm_smoothing_forward_backward",
+]

@@ -1,0 +1,140 @@
+"""Sampling-based fairness verification with an adaptive stopping rule.
+
+This is the reproduction's stand-in for VeriFair (Bastani et al., OOPSLA
+2019): the fairness ratio of Eq. 7 is estimated by rejection sampling from
+the population + decision program, and sampling continues until a
+concentration bound (Hoeffding) certifies the judgment with the requested
+confidence, or a sample budget is exhausted.  As in the paper, the runtime
+of this style of verifier is large and highly variable compared with SPPL's
+exact computation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict
+from typing import Optional
+
+import numpy as np
+
+from ..compiler import Command
+from ..events import Event
+
+
+@dataclass
+class FairnessJudgment:
+    """Result of a fairness verification run."""
+
+    fair: bool
+    ratio: float
+    p_minority: float
+    p_majority: float
+    samples: int
+    elapsed: float
+    converged: bool
+
+    @property
+    def judgment(self) -> str:
+        return "Fair" if self.fair else "Unfair"
+
+
+class SamplingFairnessVerifier:
+    """Estimate the fairness ratio of Eq. 7 by adaptive rejection sampling."""
+
+    def __init__(
+        self,
+        command: Command,
+        decision: Event,
+        minority: Event,
+        qualified: Event,
+        seed: Optional[int] = None,
+    ):
+        self.command = command
+        self.decision = decision
+        self.minority = minority
+        self.qualified = qualified
+        self.rng = np.random.default_rng(seed)
+
+    def _sample_groups(self, n: int) -> Dict[str, int]:
+        counts = {"minority": 0, "minority_hired": 0, "majority": 0, "majority_hired": 0}
+        drawn = 0
+        while drawn < n:
+            assignment: Dict[str, object] = {}
+            if not self.command.execute(assignment, self.rng):
+                continue
+            drawn += 1
+            if not self.qualified.evaluate(assignment):
+                continue
+            hired = self.decision.evaluate(assignment)
+            if self.minority.evaluate(assignment):
+                counts["minority"] += 1
+                counts["minority_hired"] += int(hired)
+            else:
+                counts["majority"] += 1
+                counts["majority_hired"] += int(hired)
+        return counts
+
+    def verify(
+        self,
+        epsilon: float = 0.15,
+        confidence: float = 0.95,
+        batch_size: int = 2000,
+        max_samples: int = 200000,
+    ) -> FairnessJudgment:
+        """Run the adaptive sampling loop and return a fairness judgment.
+
+        The loop stops once the Hoeffding interval around the estimated
+        ratio lies entirely above or below ``1 - epsilon``, or when
+        ``max_samples`` program executions have been drawn.
+        """
+        start = time.perf_counter()
+        totals = {"minority": 0, "minority_hired": 0, "majority": 0, "majority_hired": 0}
+        samples = 0
+        delta = 1.0 - confidence
+        converged = False
+        ratio = float("nan")
+        p_minority = p_majority = float("nan")
+        while samples < max_samples:
+            counts = self._sample_groups(batch_size)
+            samples += batch_size
+            for key in totals:
+                totals[key] += counts[key]
+            if totals["minority"] == 0 or totals["majority"] == 0:
+                continue
+            p_minority = totals["minority_hired"] / totals["minority"]
+            p_majority = totals["majority_hired"] / totals["majority"]
+            if p_majority == 0.0:
+                continue
+            ratio = p_minority / p_majority
+            half_width_minority = _hoeffding_half_width(totals["minority"], delta / 2)
+            half_width_majority = _hoeffding_half_width(totals["majority"], delta / 2)
+            ratio_low = max(p_minority - half_width_minority, 0.0) / (
+                p_majority + half_width_majority
+            )
+            ratio_high = (p_minority + half_width_minority) / max(
+                p_majority - half_width_majority, 1e-12
+            )
+            threshold = 1.0 - epsilon
+            if ratio_low > threshold or ratio_high < threshold:
+                converged = True
+                break
+        elapsed = time.perf_counter() - start
+        fair = bool(ratio > 1.0 - epsilon) if not math.isnan(ratio) else False
+        return FairnessJudgment(
+            fair=fair,
+            ratio=ratio,
+            p_minority=p_minority,
+            p_majority=p_majority,
+            samples=samples,
+            elapsed=elapsed,
+            converged=converged,
+        )
+
+
+def _hoeffding_half_width(n: int, delta: float) -> float:
+    """Half-width of a (1 - delta) Hoeffding confidence interval."""
+    if n <= 0:
+        return 1.0
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n))

@@ -1,0 +1,251 @@
+"""Single-stage exact inference by exhaustive program-path enumeration.
+
+This is the reproduction's stand-in for PSI (Gehr et al., CAV 2016).  Like
+PSI, it is an *exact* solver with a single-stage workflow (Fig. 7b): every
+query re-analyzes the whole program together with its observations, and the
+analysis enumerates the program's discrete branch structure explicitly
+instead of exploiting conditional independence.  Consequently it exhibits
+the behaviour the paper reports for PSI: exact answers on small problems,
+rapidly growing runtime in the number of discrete branches, and failure
+(path explosion) on benchmarks such as the 100-step Markov switching model.
+
+Probabilities of the per-variable constraint regions are computed in closed
+form from the primitive distributions' CDFs, which plays the role of PSI's
+symbolic integration for the (univariate-constraint) programs SPPL targets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Dict
+from typing import List
+from typing import Optional
+
+from ..compiler.commands import Assign
+from ..compiler.commands import Command
+from ..compiler.commands import Condition
+from ..compiler.commands import For
+from ..compiler.commands import IfElse
+from ..compiler.commands import Sample
+from ..compiler.commands import Sequence
+from ..compiler.commands import Skip
+from ..compiler.commands import Switch
+from ..distributions import Distribution
+from ..distributions import NEG_INF
+from ..distributions import log_add
+from ..events import Event
+from ..events import event_to_disjoint_clauses
+from ..sets import OutcomeSet
+from ..sets import intersection
+from ..transforms import Identity
+from ..transforms import Transform
+
+
+class PathExplosionError(RuntimeError):
+    """Raised when the number of enumerated program paths exceeds the budget."""
+
+
+@dataclass
+class _Path:
+    """One fully-resolved branch of the program."""
+
+    log_weight: float = 0.0
+    dists: Dict[str, Distribution] = field(default_factory=dict)
+    constraints: Dict[str, OutcomeSet] = field(default_factory=dict)
+    derived: Dict[str, Transform] = field(default_factory=dict)
+    observed: Dict[str, object] = field(default_factory=dict)
+
+    def clone(self) -> "_Path":
+        return _Path(
+            log_weight=self.log_weight,
+            dists=dict(self.dists),
+            constraints=dict(self.constraints),
+            derived=dict(self.derived),
+            observed=dict(self.observed),
+        )
+
+
+class PathEnumerationSolver:
+    """Exact single-stage solver over the SPPL command IR."""
+
+    def __init__(self, command: Command, max_paths: int = 100000):
+        self.command = command
+        self.max_paths = max_paths
+
+    # -- Public API -----------------------------------------------------------
+
+    def query_probability(
+        self,
+        query: Event,
+        observations: Dict[str, object] = None,
+        condition: Optional[Event] = None,
+    ) -> float:
+        """Posterior probability of ``query`` given observations and conditions.
+
+        The entire program is re-analyzed on every call (single-stage
+        workflow), mirroring how PSI recomputes its symbolic solution per
+        dataset and query.
+        """
+        observations = dict(observations or {})
+        paths = self._enumerate(observations, condition)
+        log_numerator: List[float] = []
+        log_denominator: List[float] = []
+        for path in paths:
+            log_path = self._path_log_weight(path)
+            if log_path == NEG_INF:
+                continue
+            log_denominator.append(log_path)
+            log_numerator.append(self._path_query_log_weight(path, query))
+        denominator = log_add(log_denominator)
+        if denominator == NEG_INF:
+            raise ValueError("The observations/conditions have probability zero.")
+        numerator = log_add(log_numerator)
+        return math.exp(numerator - denominator)
+
+    def count_paths(
+        self,
+        observations: Dict[str, object] = None,
+        condition: Optional[Event] = None,
+    ) -> int:
+        """Number of program paths the solver enumerates (diagnostics)."""
+        return len(self._enumerate(dict(observations or {}), condition))
+
+    # -- Path enumeration -----------------------------------------------------
+
+    def _enumerate(
+        self, observations: Dict[str, object], condition: Optional[Event]
+    ) -> List[_Path]:
+        paths = [_Path()]
+        paths = self._process(self.command, paths, observations)
+        if condition is not None:
+            paths = self._apply_event(paths, condition)
+        return paths
+
+    def _check_budget(self, paths: List[_Path]) -> None:
+        if len(paths) > self.max_paths:
+            raise PathExplosionError(
+                "Path enumeration exceeded the budget of %d paths; the program "
+                "has too many dependent discrete branches for a single-stage "
+                "solver." % (self.max_paths,)
+            )
+
+    def _process(
+        self, command: Command, paths: List[_Path], observations: Dict[str, object]
+    ) -> List[_Path]:
+        if isinstance(command, Sequence):
+            for child in command.commands:
+                paths = self._process(child, paths, observations)
+            return paths
+        if isinstance(command, Skip):
+            return paths
+        if isinstance(command, Sample):
+            return self._process_sample(command, paths, observations)
+        if isinstance(command, Assign):
+            for path in paths:
+                path.derived[command.symbol] = command.expression
+            return paths
+        if isinstance(command, Condition):
+            return self._apply_event(paths, command.event)
+        if isinstance(command, IfElse):
+            return self._process_ifelse(command, paths, observations)
+        if isinstance(command, Switch):
+            return self._process(command._desugared(), paths, observations)
+        if isinstance(command, For):
+            return self._process(command._unrolled(), paths, observations)
+        raise TypeError("PathEnumerationSolver cannot handle command %r." % (command,))
+
+    def _process_sample(
+        self, command: Sample, paths: List[_Path], observations: Dict[str, object]
+    ) -> List[_Path]:
+        symbol, dist = command.symbol, command.dist
+        for path in paths:
+            path.dists[symbol] = dist
+            if symbol in observations:
+                value = observations[symbol]
+                path.observed[symbol] = value
+                path.log_weight += dist.logpdf(value)
+        return paths
+
+    def _process_ifelse(
+        self, command: IfElse, paths: List[_Path], observations: Dict[str, object]
+    ) -> List[_Path]:
+        guards = command._branch_events()
+        result: List[_Path] = []
+        for guard, (_, body) in zip(guards, command.branches):
+            branch_paths = self._apply_event([p.clone() for p in paths], guard)
+            branch_paths = self._process(body, branch_paths, observations)
+            result.extend(branch_paths)
+            self._check_budget(result)
+        return result
+
+    # -- Constraint handling --------------------------------------------------
+
+    def _apply_event(self, paths: List[_Path], event: Event) -> List[_Path]:
+        clauses = event_to_disjoint_clauses(event)
+        result: List[_Path] = []
+        for path in paths:
+            for clause in clauses:
+                restricted = self._restrict_path(path, clause)
+                if restricted is not None:
+                    result.append(restricted)
+        self._check_budget(result)
+        return result
+
+    def _resolve_base(self, path: _Path, symbol: str) -> Transform:
+        """Express a (possibly derived) variable as a transform of a sampled one."""
+        transform: Transform = Identity(symbol)
+        for _ in range(len(path.derived) + 1):
+            free = transform.get_symbols()
+            pending = [s for s in free if s in path.derived]
+            if not pending:
+                return transform
+            for s in pending:
+                transform = transform.substitute(s, path.derived[s])
+        raise ValueError("Could not resolve derived variable %r." % (symbol,))
+
+    def _restrict_path(self, path: _Path, clause: Dict[str, OutcomeSet]) -> Optional[_Path]:
+        new_path = path.clone()
+        for symbol, values in clause.items():
+            resolved = self._resolve_base(path, symbol)
+            base_symbols = resolved.get_symbols()
+            if len(base_symbols) != 1:
+                raise ValueError("Constraint %r is not univariate." % (symbol,))
+            base = next(iter(base_symbols))
+            base_values = resolved.invert(values)
+            if base in new_path.observed:
+                if not base_values.contains(new_path.observed[base]):
+                    return None
+                continue
+            if base not in new_path.dists:
+                raise ValueError("Constraint on undefined variable %r." % (base,))
+            existing = new_path.constraints.get(base)
+            merged = (
+                base_values if existing is None else intersection(existing, base_values)
+            )
+            if merged.is_empty:
+                return None
+            new_path.constraints[base] = merged
+        return new_path
+
+    # -- Scoring --------------------------------------------------------------
+
+    def _path_log_weight(self, path: _Path) -> float:
+        total = path.log_weight
+        for symbol, values in path.constraints.items():
+            total += path.dists[symbol].logprob(values)
+            if total == NEG_INF:
+                return NEG_INF
+        return total
+
+    def _path_query_log_weight(self, path: _Path, query: Event) -> float:
+        clauses = event_to_disjoint_clauses(query)
+        terms: List[float] = []
+        for clause in clauses:
+            restricted = self._restrict_path(path, clause)
+            if restricted is None:
+                continue
+            terms.append(self._path_log_weight(restricted))
+        return log_add(terms)

@@ -1,0 +1,45 @@
+"""SPPL source language: command IR, translator, textual parser, renderer."""
+
+from .commands import Assign
+from .commands import Command
+from .commands import Condition
+from .commands import For
+from .commands import IfElse
+from .commands import Sample
+from .commands import Sequence
+from .commands import Skip
+from .commands import Switch
+from .commands import TranslationOptions
+from .commands import compile_command
+from .commands import rejection_sample
+from .parser import SpplParseError
+from .parser import SpplParser
+from .parser import binspace
+from .parser import compile_sppl
+from .parser import parse_sppl
+from .render import render_distribution
+from .render import render_spe
+from .render import render_transform
+
+__all__ = [
+    "Assign",
+    "Command",
+    "Condition",
+    "For",
+    "IfElse",
+    "Sample",
+    "Sequence",
+    "Skip",
+    "SpplParseError",
+    "SpplParser",
+    "Switch",
+    "TranslationOptions",
+    "binspace",
+    "compile_command",
+    "compile_sppl",
+    "parse_sppl",
+    "rejection_sample",
+    "render_distribution",
+    "render_spe",
+    "render_transform",
+]

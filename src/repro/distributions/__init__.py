@@ -1,0 +1,69 @@
+"""Primitive distributions for sum-product expression leaves."""
+
+from .base import Distribution
+from .base import NEG_INF
+from .base import log_add
+from .base import log_subtract
+from .base import safe_log
+from .discrete import DiscreteDistribution
+from .discrete import DiscreteFinite
+from .factories import DISTRIBUTION_CONSTRUCTORS
+from .factories import atom
+from .factories import atomic
+from .factories import bernoulli
+from .factories import beta
+from .factories import binomial
+from .factories import cauchy
+from .factories import choice
+from .factories import discrete
+from .factories import exponential
+from .factories import gamma
+from .factories import geometric
+from .factories import laplace
+from .factories import lognormal
+from .factories import negative_binomial
+from .factories import normal
+from .factories import poisson
+from .factories import randint
+from .factories import student_t
+from .factories import truncated_normal
+from .factories import uniform
+from .factories import uniformd
+from .nominal import NominalDistribution
+from .real import AtomicDistribution
+from .real import RealDistribution
+
+__all__ = [
+    "DISTRIBUTION_CONSTRUCTORS",
+    "AtomicDistribution",
+    "DiscreteDistribution",
+    "DiscreteFinite",
+    "Distribution",
+    "NEG_INF",
+    "NominalDistribution",
+    "RealDistribution",
+    "atom",
+    "atomic",
+    "bernoulli",
+    "beta",
+    "binomial",
+    "cauchy",
+    "choice",
+    "discrete",
+    "exponential",
+    "gamma",
+    "geometric",
+    "laplace",
+    "lognormal",
+    "log_add",
+    "log_subtract",
+    "negative_binomial",
+    "normal",
+    "poisson",
+    "randint",
+    "safe_log",
+    "student_t",
+    "truncated_normal",
+    "uniform",
+    "uniformd",
+]

@@ -1,0 +1,106 @@
+"""Primitive distribution interface used by sum-product expression leaves.
+
+A :class:`Distribution` is a fully-specified univariate probability measure
+over the Outcomes domain (Lst. 1e of the paper): a continuous real
+distribution restricted to an interval, an integer-valued distribution
+restricted to a range, an explicit finite distribution on reals, a point
+mass (atom), or a nominal (string-valued) distribution.
+
+All probability accounting is performed in log space so that conditioning on
+many observations (e.g. a 100-step HMM) does not underflow.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC
+from abc import abstractmethod
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+from ..sets import OutcomeSet
+
+#: Log of zero probability.
+NEG_INF = -math.inf
+
+
+def log_add(log_values) -> float:
+    """Numerically-stable log-sum-exp of an iterable of log values."""
+    values = [v for v in log_values]
+    if not values:
+        return NEG_INF
+    peak = max(values)
+    if peak == NEG_INF:
+        return NEG_INF
+    if peak == math.inf:
+        return math.inf
+    total = sum(math.exp(v - peak) for v in values)
+    return peak + math.log(total)
+
+
+def log_subtract(log_a: float, log_b: float) -> float:
+    """Return ``log(exp(log_a) - exp(log_b))``; requires ``log_a >= log_b``."""
+    if log_b == NEG_INF:
+        return log_a
+    if log_a < log_b:
+        raise ValueError("log_subtract requires log_a >= log_b.")
+    if log_a == log_b:
+        return NEG_INF
+    return log_a + math.log1p(-math.exp(log_b - log_a))
+
+
+def safe_log(x: float) -> float:
+    """Logarithm that maps non-positive numbers to -inf instead of raising."""
+    if x <= 0.0:
+        return NEG_INF
+    return math.log(x)
+
+
+class Distribution(ABC):
+    """A univariate primitive distribution over the Outcomes domain."""
+
+    #: True when the distribution admits a density w.r.t. Lebesgue measure.
+    is_continuous: bool = False
+
+    @abstractmethod
+    def support(self) -> OutcomeSet:
+        """Return the support as an outcome set."""
+
+    @abstractmethod
+    def sample(self, rng) -> object:
+        """Draw a single value using the numpy random generator ``rng``."""
+
+    @abstractmethod
+    def logprob(self, values: OutcomeSet) -> float:
+        """Return the log probability that the variable lies in ``values``."""
+
+    @abstractmethod
+    def logpdf(self, value) -> float:
+        """Return the log density (or log pmf) at a single value."""
+
+    @abstractmethod
+    def condition(self, values: OutcomeSet) -> List[Tuple["Distribution", float]]:
+        """Condition on ``{X in values}``.
+
+        Returns a list of ``(distribution, log_weight)`` pairs, one per
+        disjoint component of ``values`` with positive probability.  The
+        weights are the (unnormalized) log probabilities of the components;
+        an empty list indicates the conditioning event has probability zero.
+        """
+
+    @abstractmethod
+    def constrain(self, value) -> Optional[Tuple["Distribution", float]]:
+        """Condition on the (possibly measure-zero) equality ``{X == value}``.
+
+        Returns ``(point_mass_distribution, log_density)`` when the density
+        or mass at ``value`` is positive, and ``None`` otherwise.
+        """
+
+    def prob(self, values: OutcomeSet) -> float:
+        """Probability that the variable lies in ``values``."""
+        return math.exp(self.logprob(values))
+
+    def sample_many(self, rng, n: int) -> list:
+        """Draw ``n`` independent values."""
+        return [self.sample(rng) for _ in range(n)]

@@ -1,0 +1,76 @@
+"""Nominal (string-valued) distributions (``DistS``)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+from ..sets import FiniteNominal
+from ..sets import OutcomeSet
+from .base import Distribution
+from .base import log_add
+from .base import safe_log
+
+
+class NominalDistribution(Distribution):
+    """A finite distribution over strings, e.g. ``choice({'a': .3, 'b': .7})``."""
+
+    is_continuous = False
+
+    def __init__(self, weights: Dict[str, float]):
+        if not weights:
+            raise ValueError("NominalDistribution requires at least one outcome.")
+        for key in weights:
+            if not isinstance(key, str):
+                raise ValueError("Nominal outcomes must be strings (got %r)." % (key,))
+        total = float(sum(weights.values()))
+        if total <= 0.0:
+            raise ValueError("NominalDistribution weights must have positive total mass.")
+        self.probabilities = {k: w / total for k, w in weights.items() if w > 0.0}
+        if not self.probabilities:
+            raise ValueError("NominalDistribution requires a positive-probability outcome.")
+
+    def support(self) -> OutcomeSet:
+        return FiniteNominal(self.probabilities.keys())
+
+    def sample(self, rng) -> str:
+        values = sorted(self.probabilities)
+        probs = [self.probabilities[v] for v in values]
+        index = rng.choice(len(values), p=probs)
+        return values[int(index)]
+
+    def logprob(self, values: OutcomeSet) -> float:
+        log_terms = [
+            safe_log(p) for v, p in self.probabilities.items() if values.contains(v)
+        ]
+        return log_add(log_terms)
+
+    def logpdf(self, value) -> float:
+        if not isinstance(value, str):
+            return safe_log(0.0)
+        return safe_log(self.probabilities.get(value, 0.0))
+
+    def condition(self, values: OutcomeSet) -> List[Tuple[Distribution, float]]:
+        survivors = {
+            v: p for v, p in self.probabilities.items() if values.contains(v)
+        }
+        if not survivors:
+            return []
+        log_w = safe_log(sum(survivors.values()))
+        return [(NominalDistribution(survivors), log_w)]
+
+    def constrain(self, value) -> Optional[Tuple[Distribution, float]]:
+        if not isinstance(value, str):
+            return None
+        p = self.probabilities.get(value, 0.0)
+        if p <= 0.0:
+            return None
+        return (NominalDistribution({value: 1.0}), math.log(p))
+
+    def __repr__(self) -> str:
+        return "NominalDistribution(%s)" % (
+            {v: round(p, 6) for v, p in sorted(self.probabilities.items())},
+        )

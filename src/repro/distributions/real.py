@@ -1,0 +1,164 @@
+"""Continuous real distributions (``DistR``) and real point masses (atoms)."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+from ..sets import EMPTY_SET
+from ..sets import FiniteNominal
+from ..sets import FiniteReal
+from ..sets import Interval
+from ..sets import OutcomeSet
+from ..sets import components
+from ..sets import intersection
+from ..sets import interval
+from .base import Distribution
+from .base import NEG_INF
+from .base import log_add
+from .base import safe_log
+
+
+def _interval_probability(dist, left: float, right: float) -> float:
+    """Probability that a scipy continuous variable lies in ``(left, right)``.
+
+    Uses the survival function in the upper tail to retain precision for
+    rare events.
+    """
+    if right <= left:
+        return 0.0
+    try:
+        median = float(dist.median())
+    except Exception:  # pragma: no cover - defensive for exotic dists
+        median = 0.0
+    if left >= median:
+        p = float(dist.sf(left)) - float(dist.sf(right))
+    else:
+        p = float(dist.cdf(right)) - float(dist.cdf(left))
+    return max(p, 0.0)
+
+
+class RealDistribution(Distribution):
+    """A scipy continuous distribution restricted to an interval.
+
+    ``dist`` is a frozen ``scipy.stats`` continuous distribution; ``lo`` and
+    ``hi`` give the (possibly infinite) truncation interval, which must have
+    positive probability under ``dist``.
+    """
+
+    is_continuous = True
+
+    def __init__(self, dist, lo: float = -math.inf, hi: float = math.inf, name: str = None):
+        self.dist = dist
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.name = name or getattr(getattr(dist, "dist", None), "name", "real")
+        if not self.lo < self.hi:
+            raise ValueError("RealDistribution requires lo < hi.")
+        self._mass = _interval_probability(dist, self.lo, self.hi)
+        if self._mass <= 0.0:
+            raise ValueError(
+                "Truncation interval [%r, %r] has zero probability." % (lo, hi)
+            )
+        self._log_mass = math.log(self._mass)
+
+    # -- Core interface ------------------------------------------------------
+
+    def support(self) -> OutcomeSet:
+        return interval(self.lo, self.hi)
+
+    def sample(self, rng) -> float:
+        u_lo = float(self.dist.cdf(self.lo))
+        u_hi = float(self.dist.cdf(self.hi))
+        u = rng.uniform(u_lo, u_hi)
+        return float(self.dist.ppf(u))
+
+    def logprob(self, values: OutcomeSet) -> float:
+        log_terms: List[float] = []
+        for piece in components(values):
+            if isinstance(piece, Interval):
+                clipped = intersection(piece, self.support())
+                for part in components(clipped):
+                    if isinstance(part, Interval):
+                        p = _interval_probability(self.dist, part.left, part.right)
+                        log_terms.append(safe_log(p))
+            # Finite real sets and nominal sets have probability zero.
+        return log_add(log_terms) - self._log_mass if log_terms else NEG_INF
+
+    def logpdf(self, value) -> float:
+        if isinstance(value, str):
+            return NEG_INF
+        x = float(value)
+        if not self.support().contains(x):
+            return NEG_INF
+        return float(self.dist.logpdf(x)) - self._log_mass
+
+    def condition(self, values: OutcomeSet) -> List[Tuple[Distribution, float]]:
+        results: List[Tuple[Distribution, float]] = []
+        for piece in components(values):
+            if not isinstance(piece, Interval):
+                continue
+            clipped = intersection(piece, self.support())
+            for part in components(clipped):
+                if not isinstance(part, Interval):
+                    continue
+                log_w = safe_log(
+                    _interval_probability(self.dist, part.left, part.right)
+                ) - self._log_mass
+                if log_w == NEG_INF:
+                    continue
+                restricted = RealDistribution(
+                    self.dist, part.left, part.right, name=self.name
+                )
+                results.append((restricted, log_w))
+        return results
+
+    def constrain(self, value) -> Optional[Tuple[Distribution, float]]:
+        if isinstance(value, str):
+            return None
+        x = float(value)
+        log_density = self.logpdf(x)
+        if log_density == NEG_INF:
+            return None
+        return (AtomicDistribution(x), log_density)
+
+    def __repr__(self) -> str:
+        return "RealDistribution(%s, lo=%g, hi=%g)" % (self.name, self.lo, self.hi)
+
+
+class AtomicDistribution(Distribution):
+    """A point mass at a single real value (``atomic(v)``)."""
+
+    is_continuous = False
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def support(self) -> OutcomeSet:
+        return FiniteReal([self.value])
+
+    def sample(self, rng) -> float:
+        return self.value
+
+    def logprob(self, values: OutcomeSet) -> float:
+        return 0.0 if values.contains(self.value) else NEG_INF
+
+    def logpdf(self, value) -> float:
+        if isinstance(value, str):
+            return NEG_INF
+        return 0.0 if float(value) == self.value else NEG_INF
+
+    def condition(self, values: OutcomeSet) -> List[Tuple[Distribution, float]]:
+        if values.contains(self.value):
+            return [(self, 0.0)]
+        return []
+
+    def constrain(self, value) -> Optional[Tuple[Distribution, float]]:
+        if not isinstance(value, str) and float(value) == self.value:
+            return (self, 0.0)
+        return None
+
+    def __repr__(self) -> str:
+        return "AtomicDistribution(%g)" % (self.value,)

@@ -1,0 +1,6 @@
+"""High-level modelling and inference API (the workflow of Fig. 1)."""
+
+from .model import SpplModel
+from .model import parse_event
+
+__all__ = ["SpplModel", "parse_event"]

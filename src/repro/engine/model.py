@@ -1,0 +1,223 @@
+"""The multi-stage SPPL inference workflow: model, condition, query.
+
+:class:`SpplModel` packages a translated sum-product expression together
+with the three queries of Fig. 1:
+
+* ``simulate`` / ``sample``  -- draw program variables from the joint,
+* ``prob`` / ``logprob``     -- exact probability of an event,
+* ``condition`` / ``observe`` -- a *new model* for the posterior.
+
+Because conditioning returns another :class:`SpplModel`, expensive stages
+(translation, conditioning on a dataset) are computed once and reused across
+any number of downstream queries — the multi-stage workflow the paper
+contrasts with single-stage solvers such as PSI (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+from typing import Iterable
+from typing import List
+from typing import Optional
+from typing import Union
+
+import numpy as np
+
+from ..compiler import Command
+from ..compiler import SpplParser
+from ..compiler import compile_command
+from ..compiler import compile_sppl
+from ..compiler import render_spe
+from ..events import Event
+from ..spe import Memo
+from ..spe import SPE
+
+EventLike = Union[Event, str]
+
+
+def parse_event(text: str, scope: Iterable[str]) -> Event:
+    """Parse a textual event (e.g. ``"X > 1 and Y == 'a'"``) against a scope."""
+    parser = SpplParser()
+    parser.randoms = set(scope)
+    try:
+        expression = ast.parse(text, mode="eval").body
+    except SyntaxError as error:
+        raise ValueError("Invalid event syntax %r: %s" % (text, error)) from error
+    value = parser._eval(expression)
+    return parser._to_event(value)
+
+
+class SpplModel:
+    """A probabilistic model backed by a sum-product expression."""
+
+    def __init__(self, spe: SPE):
+        if not isinstance(spe, SPE):
+            raise TypeError("SpplModel requires a sum-product expression.")
+        self.spe = spe
+
+    # -- Construction ---------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, constants: Dict[str, object] = None) -> "SpplModel":
+        """Translate an SPPL source program into a model."""
+        return cls(compile_sppl(source, constants=constants))
+
+    @classmethod
+    def from_command(cls, command: Command) -> "SpplModel":
+        """Translate a command-IR program into a model."""
+        return cls(compile_command(command))
+
+    # -- Introspection --------------------------------------------------------
+
+    @property
+    def variables(self) -> List[str]:
+        """Names of the program variables defined by the model."""
+        return sorted(self.spe.scope)
+
+    def size(self) -> int:
+        """Number of unique nodes in the underlying expression graph."""
+        return self.spe.size()
+
+    def tree_size(self) -> int:
+        """Size of the fully-unrolled (unoptimized) expression tree."""
+        return self.spe.tree_size()
+
+    def to_source(self) -> str:
+        """Render the model back into SPPL source code (Appendix E)."""
+        return render_spe(self.spe)
+
+    def __repr__(self) -> str:
+        return "SpplModel(variables=%s, size=%d)" % (self.variables, self.size())
+
+    # -- Queries --------------------------------------------------------------
+
+    def _resolve_event(self, event: EventLike) -> Event:
+        if isinstance(event, Event):
+            return event
+        if isinstance(event, str):
+            return parse_event(event, self.spe.scope)
+        raise TypeError("Expected an Event or event string, got %r." % (event,))
+
+    def logprob(self, event: EventLike, memo: Memo = None) -> float:
+        """Exact log probability of an event."""
+        return self.spe.logprob(self._resolve_event(event), memo=memo)
+
+    def prob(self, event: EventLike, memo: Memo = None) -> float:
+        """Exact probability of an event."""
+        return self.spe.prob(self._resolve_event(event), memo=memo)
+
+    def logpdf(self, assignment: Dict[str, object]) -> float:
+        """Log density of a point assignment to non-transformed variables."""
+        return self.spe.logpdf(assignment)
+
+    def condition(self, event: EventLike) -> "SpplModel":
+        """Return a new model for the posterior given a positive-probability event."""
+        return SpplModel(self.spe.condition(self._resolve_event(event)))
+
+    def constrain(self, assignment: Dict[str, object]) -> "SpplModel":
+        """Return a new model given equality observations (may be measure zero)."""
+        return SpplModel(self.spe.constrain(assignment))
+
+    #: ``observe`` is an alias for :meth:`constrain`, matching common PPL APIs.
+    observe = constrain
+
+    def sample(self, n: int = None, rng=None, seed: int = None):
+        """Draw samples of all program variables.
+
+        Returns a single assignment dict when ``n`` is None, otherwise a list.
+        """
+        rng = self._rng(rng, seed)
+        return self.spe.sample(rng, n)
+
+    #: ``simulate`` is the paper's name for forward sampling.
+    simulate = sample
+
+    def sample_subset(self, symbols: Iterable[str], n: int = None, rng=None, seed: int = None):
+        """Draw samples of a subset of the program variables."""
+        rng = self._rng(rng, seed)
+        return self.spe.sample_subset(symbols, rng, n)
+
+    @staticmethod
+    def _rng(rng, seed: Optional[int]):
+        if rng is not None:
+            return rng
+        return np.random.default_rng(seed)
+
+    # -- Derived exact queries -------------------------------------------------
+
+    def expectation(self, symbol: str) -> float:
+        """Exact expectation of a numeric, non-transformed variable."""
+        from ..spe import expectation
+
+        return expectation(self.spe, symbol)
+
+    def variance(self, symbol: str) -> float:
+        """Exact variance of a numeric, non-transformed variable."""
+        from ..spe import variance
+
+        return variance(self.spe, symbol)
+
+    def mutual_information(self, event_a: EventLike, event_b: EventLike) -> float:
+        """Exact mutual information (nats) between the indicators of two events."""
+        from ..spe import mutual_information
+
+        return mutual_information(
+            self.spe, self._resolve_event(event_a), self._resolve_event(event_b)
+        )
+
+    def probability_table(self, symbol: str, values: Iterable) -> Dict[object, float]:
+        """Exact marginal probabilities of each value of a variable."""
+        from ..spe import probability_table
+
+        return probability_table(self.spe, symbol, values)
+
+    def cdf_table(self, symbol: str, grid: Iterable[float]) -> Dict[float, float]:
+        """Exact marginal CDF of a numeric variable on a grid of points."""
+        from ..spe import cdf_table
+
+        return cdf_table(self.spe, symbol, list(grid))
+
+    def entropy(self, symbol: str, values: Iterable) -> float:
+        """Exact entropy (nats) of a finite-valued variable."""
+        from ..spe import entropy
+
+        return entropy(self.spe, symbol, values)
+
+    def support(self, symbol: str):
+        """The values a finite-valued variable can take."""
+        from ..spe import marginal_support
+
+        return marginal_support(self.spe, symbol)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT source for the underlying expression graph."""
+        from ..spe import to_dot
+
+        return to_dot(self.spe)
+
+    # -- Persistence -------------------------------------------------------------
+
+    def to_json(self, indent: int = None) -> str:
+        """Serialize the model (including conditioned posteriors) to JSON."""
+        from ..spe import spe_to_json
+
+        return spe_to_json(self.spe, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpplModel":
+        """Reconstruct a model from :meth:`to_json` output."""
+        from ..spe import spe_from_json
+
+        return cls(spe_from_json(text))
+
+    def save(self, path) -> None:
+        """Write the serialized model to a file path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "SpplModel":
+        """Load a model previously written with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

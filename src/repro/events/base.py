@@ -1,0 +1,259 @@
+"""The Event domain: predicates over (transformed) program variables.
+
+An event is a logical formula whose literals are *containment* constraints
+``(t in v)`` stating that a transform ``t`` of a single program variable
+takes a value in the outcome set ``v``.  Events are closed under conjunction
+(``&``), disjunction (``|``) and negation (``~``), and can be solved exactly
+into per-variable outcome sets by the preimage machinery of
+:mod:`repro.transforms`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC
+from abc import abstractmethod
+from typing import Dict
+from typing import FrozenSet
+from typing import List
+
+from ..sets import EMPTY_SET
+from ..sets import OutcomeSet
+from ..sets import complement
+from ..sets import intersection
+from ..sets import union
+from ..transforms import Identity
+from ..transforms import Transform
+
+
+class Event(ABC):
+    """Abstract base class for events (Lst. 1c)."""
+
+    @abstractmethod
+    def get_symbols(self) -> FrozenSet[str]:
+        """Return the set of program variables mentioned by the event."""
+
+    @abstractmethod
+    def solve(self) -> OutcomeSet:
+        """Solve a single-variable event into the satisfying outcome set."""
+
+    @abstractmethod
+    def negate(self) -> "Event":
+        """Return the logical negation of the event."""
+
+    @abstractmethod
+    def evaluate(self, assignment: Dict[str, object]) -> bool:
+        """Return True if the concrete ``assignment`` satisfies the event."""
+
+    @abstractmethod
+    def substitute_env(self, env: Dict[str, Transform]) -> "Event":
+        """Rewrite derived variables using an environment of transforms."""
+
+    @abstractmethod
+    def rename(self, mapping: Dict[str, str]) -> "Event":
+        """Rename program variables according to ``mapping``."""
+
+    @abstractmethod
+    def dnf_clauses(self) -> List[List["Containment"]]:
+        """Return the event in DNF as a list of clauses of literals."""
+
+    def to_dnf(self) -> "Event":
+        """Return an equivalent event in disjunctive normal form."""
+        clauses = self.dnf_clauses()
+        conjunctions: List[Event] = []
+        for clause in clauses:
+            conjunctions.append(clause[0] if len(clause) == 1 else Conjunction(clause))
+        if len(conjunctions) == 1:
+            return conjunctions[0]
+        return Disjunction(conjunctions)
+
+    # -- Operators -----------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Event":
+        if not isinstance(other, Event):
+            raise TypeError("Expected an Event, got %r." % (other,))
+        return Conjunction([self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        if not isinstance(other, Event):
+            raise TypeError("Expected an Event, got %r." % (other,))
+        return Disjunction([self, other])
+
+    def __invert__(self) -> "Event":
+        return self.negate()
+
+    def __bool__(self):
+        raise TypeError(
+            "Events have no truth value; use prob()/condition() to query them."
+        )
+
+
+class Containment(Event):
+    """The literal event ``transform in values``."""
+
+    def __init__(self, transform: Transform, values: OutcomeSet):
+        if not isinstance(transform, Transform):
+            raise TypeError("Containment requires a Transform, got %r." % (transform,))
+        if not isinstance(values, OutcomeSet):
+            raise TypeError("Containment requires an OutcomeSet, got %r." % (values,))
+        self.transform = transform
+        self.values = values
+
+    def get_symbols(self) -> FrozenSet[str]:
+        return self.transform.get_symbols()
+
+    def solve(self) -> OutcomeSet:
+        return self.transform.invert(self.values)
+
+    def negate(self) -> Event:
+        # The complement is taken within the full Real + String outcome
+        # space so that an event and its negation always partition the
+        # sample space, regardless of the type of the variable being
+        # constrained (e.g. negating a real constraint on a nominal
+        # variable must still have probability one).
+        return Containment(self.transform, complement(self.values, universe="both"))
+
+    def evaluate(self, assignment: Dict[str, object]) -> bool:
+        symbol = self.transform.symbol
+        if symbol not in assignment:
+            raise KeyError("Assignment is missing variable %r." % (symbol,))
+        value = assignment[symbol]
+        if isinstance(self.transform, Identity):
+            return self.values.contains(value)
+        if isinstance(value, str):
+            return False
+        result = self.transform.evaluate(float(value))
+        if math.isnan(result):
+            return False
+        return self.values.contains(result)
+
+    def substitute_env(self, env: Dict[str, Transform]) -> Event:
+        transform = self.transform
+        for _ in range(len(env) + 1):
+            symbols = transform.get_symbols()
+            pending = [
+                s for s in symbols
+                if s in env and not _is_identity_of(env[s], s)
+            ]
+            if not pending:
+                break
+            for s in pending:
+                transform = transform.substitute(s, env[s])
+        return Containment(transform, self.values)
+
+    def rename(self, mapping: Dict[str, str]) -> Event:
+        return Containment(self.transform.rename(mapping), self.values)
+
+    def dnf_clauses(self) -> List[List["Containment"]]:
+        return [[self]]
+
+    def __repr__(self) -> str:
+        return "Containment(%r, %r)" % (self.transform, self.values)
+
+
+def _is_identity_of(transform: Transform, symbol: str) -> bool:
+    return isinstance(transform, Identity) and transform.token == symbol
+
+
+class _Compound(Event):
+    """Shared implementation for conjunctions and disjunctions."""
+
+    def __init__(self, events):
+        flattened: List[Event] = []
+        for event in events:
+            if not isinstance(event, Event):
+                raise TypeError("Expected an Event, got %r." % (event,))
+            if isinstance(event, type(self)):
+                flattened.extend(event.events)
+            else:
+                flattened.append(event)
+        if len(flattened) < 1:
+            raise ValueError("Compound events require at least one child.")
+        self.events = tuple(flattened)
+
+    def get_symbols(self) -> FrozenSet[str]:
+        symbols: FrozenSet[str] = frozenset()
+        for event in self.events:
+            symbols |= event.get_symbols()
+        return symbols
+
+    def rename(self, mapping: Dict[str, str]) -> Event:
+        return type(self)([event.rename(mapping) for event in self.events])
+
+    def substitute_env(self, env: Dict[str, Transform]) -> Event:
+        return type(self)([event.substitute_env(env) for event in self.events])
+
+
+class Conjunction(_Compound):
+    """Logical conjunction of events."""
+
+    def solve(self) -> OutcomeSet:
+        return intersection(*[event.solve() for event in self.events])
+
+    def negate(self) -> Event:
+        return Disjunction([event.negate() for event in self.events])
+
+    def evaluate(self, assignment: Dict[str, object]) -> bool:
+        return all(event.evaluate(assignment) for event in self.events)
+
+    def dnf_clauses(self) -> List[List[Containment]]:
+        result: List[List[Containment]] = [[]]
+        for event in self.events:
+            child_clauses = event.dnf_clauses()
+            result = [
+                existing + clause for existing in result for clause in child_clauses
+            ]
+        return result
+
+    def __repr__(self) -> str:
+        return "(%s)" % (" & ".join(repr(event) for event in self.events),)
+
+
+class Disjunction(_Compound):
+    """Logical disjunction of events."""
+
+    def solve(self) -> OutcomeSet:
+        return union(*[event.solve() for event in self.events])
+
+    def negate(self) -> Event:
+        return Conjunction([event.negate() for event in self.events])
+
+    def evaluate(self, assignment: Dict[str, object]) -> bool:
+        return any(event.evaluate(assignment) for event in self.events)
+
+    def dnf_clauses(self) -> List[List[Containment]]:
+        result: List[List[Containment]] = []
+        for event in self.events:
+            result.extend(event.dnf_clauses())
+        return result
+
+    def __repr__(self) -> str:
+        return "(%s)" % (" | ".join(repr(event) for event in self.events),)
+
+
+class EventNever(Event):
+    """The unsatisfiable event (empty set of outcomes)."""
+
+    def get_symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def solve(self) -> OutcomeSet:
+        return EMPTY_SET
+
+    def negate(self) -> Event:
+        raise ValueError("The negation of the impossible event is not expressible.")
+
+    def evaluate(self, assignment: Dict[str, object]) -> bool:
+        return False
+
+    def substitute_env(self, env: Dict[str, Transform]) -> Event:
+        return self
+
+    def rename(self, mapping: Dict[str, str]) -> Event:
+        return self
+
+    def dnf_clauses(self) -> List[List[Containment]]:
+        return []
+
+    def __repr__(self) -> str:
+        return "EventNever()"

@@ -1,0 +1,49 @@
+"""Outcomes domain: subsets of ``Real + String`` and their set algebra.
+
+This package implements the ``Outcomes`` semantic domain of the SPPL core
+calculus (Lst. 1a of the paper).  An outcome set is one of:
+
+* :data:`EMPTY_SET` -- the empty set,
+* :class:`Interval` -- a real interval with open/closed endpoints,
+* :class:`FiniteReal` -- a finite set of real numbers,
+* :class:`FiniteNominal` -- a finite set of strings or its complement,
+* :class:`Union` -- a disjoint union of the above.
+
+The module-level functions :func:`union`, :func:`intersection` and
+:func:`complement` implement the operations of Appendix B, preserving the
+invariant that the components of any :class:`Union` are pairwise disjoint.
+"""
+
+from .base import EMPTY_SET
+from .base import EmptySet
+from .base import OutcomeSet
+from .finite import FiniteNominal
+from .finite import FiniteReal
+from .interval import Interval
+from .interval import Reals
+from .interval import RealsNeg
+from .interval import RealsPos
+from .interval import interval
+from .operations import complement
+from .operations import components
+from .operations import intersection
+from .operations import union
+from .union import Union
+
+__all__ = [
+    "EMPTY_SET",
+    "EmptySet",
+    "FiniteNominal",
+    "FiniteReal",
+    "Interval",
+    "OutcomeSet",
+    "Reals",
+    "RealsNeg",
+    "RealsPos",
+    "Union",
+    "complement",
+    "components",
+    "intersection",
+    "interval",
+    "union",
+]

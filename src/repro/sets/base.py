@@ -1,0 +1,86 @@
+"""Abstract base classes for the Outcomes domain."""
+
+from __future__ import annotations
+
+from abc import ABC
+from abc import abstractmethod
+
+
+class OutcomeSet(ABC):
+    """A measurable subset of the ``Real + String`` outcome space.
+
+    Concrete subclasses are :class:`~repro.sets.interval.Interval`,
+    :class:`~repro.sets.finite.FiniteReal`,
+    :class:`~repro.sets.finite.FiniteNominal`,
+    :class:`~repro.sets.union.Union` and the :data:`EMPTY_SET` singleton.
+
+    Operator overloading provides a convenient set algebra::
+
+        a | b    # union
+        a & b    # intersection
+        ~a       # complement (within the natural universe of ``a``)
+    """
+
+    @abstractmethod
+    def contains(self, value) -> bool:
+        """Return True if ``value`` (a real number or string) is a member."""
+
+    @property
+    def is_empty(self) -> bool:
+        """Return True if this set has no members."""
+        return False
+
+    def __contains__(self, value) -> bool:
+        return self.contains(value)
+
+    def __or__(self, other: "OutcomeSet") -> "OutcomeSet":
+        from .operations import union
+
+        return union(self, other)
+
+    def __and__(self, other: "OutcomeSet") -> "OutcomeSet":
+        from .operations import intersection
+
+        return intersection(self, other)
+
+    def __invert__(self) -> "OutcomeSet":
+        from .operations import complement
+
+        return complement(self)
+
+    def __sub__(self, other: "OutcomeSet") -> "OutcomeSet":
+        from .operations import complement
+        from .operations import intersection
+
+        return intersection(self, complement(other, universe="both"))
+
+
+class EmptySet(OutcomeSet):
+    """The empty outcome set.  Use the :data:`EMPTY_SET` singleton."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def contains(self, value) -> bool:
+        return False
+
+    @property
+    def is_empty(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "EmptySet()"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EmptySet)
+
+    def __hash__(self) -> int:
+        return hash("EmptySet")
+
+
+#: Singleton instance of the empty outcome set.
+EMPTY_SET = EmptySet()

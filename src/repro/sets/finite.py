@@ -1,0 +1,102 @@
+"""Finite outcome sets: finite sets of reals and (complemented) string sets."""
+
+from __future__ import annotations
+
+import math
+
+from .base import OutcomeSet
+
+
+class FiniteReal(OutcomeSet):
+    """A finite, non-empty set of real numbers."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        vals = frozenset(float(v) for v in values)
+        if not vals:
+            raise ValueError("FiniteReal requires at least one value; use EMPTY_SET.")
+        for v in vals:
+            if math.isnan(v) or math.isinf(v):
+                raise ValueError("FiniteReal values must be finite (got %r)." % (v,))
+        self.values = vals
+
+    def contains(self, value) -> bool:
+        if isinstance(value, str):
+            return False
+        try:
+            x = float(value)
+        except (TypeError, ValueError):
+            return False
+        return x in self.values
+
+    def __iter__(self):
+        return iter(sorted(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return "FiniteReal(%s)" % (sorted(self.values),)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FiniteReal) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(("FiniteReal", self.values))
+
+
+class FiniteNominal(OutcomeSet):
+    """A finite set of strings, or the complement of one.
+
+    ``FiniteNominal({'a', 'b'})`` contains exactly the strings ``'a'`` and
+    ``'b'``.  ``FiniteNominal({'a', 'b'}, positive=False)`` contains every
+    string except ``'a'`` and ``'b'``; in particular
+    ``FiniteNominal(positive=False)`` is the set of all strings.
+    """
+
+    __slots__ = ("values", "positive")
+
+    def __init__(self, values=(), positive=True):
+        vals = frozenset(values)
+        for v in vals:
+            if not isinstance(v, str):
+                raise ValueError("FiniteNominal values must be strings (got %r)." % (v,))
+        if positive and not vals:
+            raise ValueError(
+                "A positive FiniteNominal requires at least one value; use EMPTY_SET."
+            )
+        self.values = vals
+        self.positive = bool(positive)
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, str):
+            return False
+        if self.positive:
+            return value in self.values
+        return value not in self.values
+
+    def __iter__(self):
+        return iter(sorted(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        if self.positive:
+            return "FiniteNominal(%s)" % (sorted(self.values),)
+        return "FiniteNominal(%s, positive=False)" % (sorted(self.values),)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FiniteNominal)
+            and self.values == other.values
+            and self.positive == other.positive
+        )
+
+    def __hash__(self) -> int:
+        return hash(("FiniteNominal", self.values, self.positive))
+
+
+#: The set of all strings.
+ALL_STRINGS = FiniteNominal(positive=False)

@@ -1,0 +1,119 @@
+"""Real intervals with open or closed endpoints over the extended reals."""
+
+from __future__ import annotations
+
+import math
+
+from .base import EMPTY_SET
+from .base import OutcomeSet
+
+_INF = math.inf
+
+
+class Interval(OutcomeSet):
+    """A non-degenerate real interval ``{r : left <op> r <op> right}``.
+
+    The endpoints may be ``-inf``/``+inf``, in which case the corresponding
+    side is forced open.  Degenerate intervals (``left == right``) are not
+    representable as :class:`Interval`; use the :func:`interval` factory,
+    which returns a :class:`~repro.sets.finite.FiniteReal` or
+    :data:`~repro.sets.base.EMPTY_SET` in those cases.
+    """
+
+    __slots__ = ("left", "right", "left_open", "right_open")
+
+    def __init__(self, left, right, left_open=False, right_open=False):
+        left = float(left)
+        right = float(right)
+        if left == -_INF:
+            left_open = True
+        if right == _INF:
+            right_open = True
+        if math.isnan(left) or math.isnan(right):
+            raise ValueError("Interval endpoints may not be NaN.")
+        if not left < right:
+            raise ValueError(
+                "Interval requires left < right; use interval() for "
+                "degenerate cases (got left=%r, right=%r)." % (left, right)
+            )
+        self.left = left
+        self.right = right
+        self.left_open = bool(left_open)
+        self.right_open = bool(right_open)
+
+    def contains(self, value) -> bool:
+        if isinstance(value, str):
+            return False
+        try:
+            x = float(value)
+        except (TypeError, ValueError):
+            return False
+        if math.isnan(x):
+            return False
+        if self.left_open:
+            if not self.left < x:
+                return False
+        elif not self.left <= x:
+            return False
+        if self.right_open:
+            return x < self.right
+        return x <= self.right
+
+    @property
+    def bounds(self):
+        """Return ``(left, right, left_open, right_open)``."""
+        return (self.left, self.right, self.left_open, self.right_open)
+
+    @property
+    def measure(self) -> float:
+        """Length of the interval (possibly infinite)."""
+        return self.right - self.left
+
+    def __repr__(self) -> str:
+        lb = "(" if self.left_open else "["
+        rb = ")" if self.right_open else "]"
+        return "Interval%s%r, %r%s" % (lb, self.left, self.right, rb)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.left == other.left
+            and self.right == other.right
+            and self.left_open == other.left_open
+            and self.right_open == other.right_open
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Interval", self.left, self.right, self.left_open, self.right_open))
+
+
+def interval(left, right, left_open=False, right_open=False) -> OutcomeSet:
+    """Canonicalizing interval factory.
+
+    Returns :data:`EMPTY_SET` when the bounds specify an empty set, a
+    :class:`~repro.sets.finite.FiniteReal` singleton when they specify a
+    single point, and an :class:`Interval` otherwise.
+    """
+    from .finite import FiniteReal
+
+    left = float(left)
+    right = float(right)
+    if math.isnan(left) or math.isnan(right):
+        raise ValueError("Interval endpoints may not be NaN.")
+    if left > right:
+        return EMPTY_SET
+    if left == right:
+        if left_open or right_open or math.isinf(left):
+            return EMPTY_SET
+        return FiniteReal([left])
+    return Interval(left, right, left_open=left_open, right_open=right_open)
+
+
+#: The whole real line.
+Reals = Interval(-_INF, _INF, True, True)
+
+#: The strictly positive reals.
+RealsPos = Interval(0.0, _INF, True, True)
+
+#: The strictly negative reals.
+RealsNeg = Interval(-_INF, 0.0, True, True)

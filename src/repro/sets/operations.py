@@ -1,0 +1,350 @@
+"""Set algebra over the Outcomes domain: union, intersection, complement.
+
+All operations return canonical sets: real components are merged into a
+minimal collection of disjoint intervals plus isolated points, the nominal
+component is a single (possibly complemented) finite string set, and a
+:class:`~repro.sets.union.Union` is only produced when more than one
+primitive component remains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+from typing import Optional
+from typing import Set
+from typing import Tuple
+
+from .base import EMPTY_SET
+from .base import EmptySet
+from .base import OutcomeSet
+from .finite import FiniteNominal
+from .finite import FiniteReal
+from .interval import Interval
+from .interval import Reals
+from .interval import interval
+from .union import Union
+
+_INF = math.inf
+
+
+# ---------------------------------------------------------------------------
+# Decomposition and assembly.
+# ---------------------------------------------------------------------------
+
+def components(s: OutcomeSet) -> List[OutcomeSet]:
+    """Return the primitive components of a canonical set as a list."""
+    if isinstance(s, EmptySet):
+        return []
+    if isinstance(s, Union):
+        return list(s.args)
+    return [s]
+
+
+def _decompose(
+    s: OutcomeSet,
+) -> Tuple[List[Interval], Set[float], Optional[FiniteNominal]]:
+    """Split ``s`` into (intervals, isolated real points, nominal part)."""
+    intervals: List[Interval] = []
+    points: Set[float] = set()
+    nominal: Optional[FiniteNominal] = None
+    for piece in components(s):
+        if isinstance(piece, Interval):
+            intervals.append(piece)
+        elif isinstance(piece, FiniteReal):
+            points |= piece.values
+        elif isinstance(piece, FiniteNominal):
+            nominal = piece if nominal is None else _nominal_union(nominal, piece)
+        else:
+            raise TypeError("Unknown outcome set component: %r" % (piece,))
+    return intervals, points, nominal
+
+
+def _assemble(
+    intervals: List[Interval],
+    points: Set[float],
+    nominal: Optional[FiniteNominal],
+) -> OutcomeSet:
+    pieces: List[OutcomeSet] = list(intervals)
+    if points:
+        pieces.append(FiniteReal(points))
+    if nominal is not None:
+        pieces.append(nominal)
+    if not pieces:
+        return EMPTY_SET
+    if len(pieces) == 1:
+        return pieces[0]
+    return Union(pieces)
+
+
+# ---------------------------------------------------------------------------
+# Real-line normalization.
+# ---------------------------------------------------------------------------
+
+def _merge_two(a: Interval, b: Interval) -> Interval:
+    """Merge two overlapping or touching intervals into one."""
+    if a.left < b.left:
+        left, left_open = a.left, a.left_open
+    elif b.left < a.left:
+        left, left_open = b.left, b.left_open
+    else:
+        left, left_open = a.left, a.left_open and b.left_open
+    if a.right > b.right:
+        right, right_open = a.right, a.right_open
+    elif b.right > a.right:
+        right, right_open = b.right, b.right_open
+    else:
+        right, right_open = a.right, a.right_open and b.right_open
+    return Interval(left, right, left_open, right_open)
+
+
+def _intervals_touch(a: Interval, b: Interval) -> bool:
+    """Return True if ``a`` and ``b`` overlap or share a closed endpoint.
+
+    Assumes ``a.left <= b.left``.
+    """
+    if b.left < a.right:
+        return True
+    if b.left == a.right:
+        return not (a.right_open and b.left_open)
+    return False
+
+
+def _merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Merge a list of intervals into disjoint, sorted intervals."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals, key=lambda ivl: (ivl.left, ivl.left_open))
+    merged = [ordered[0]]
+    for ivl in ordered[1:]:
+        last = merged[-1]
+        if _intervals_touch(last, ivl):
+            merged[-1] = _merge_two(last, ivl)
+        else:
+            merged.append(ivl)
+    return merged
+
+
+def _absorb_points(
+    intervals: List[Interval], points: Set[float]
+) -> Tuple[List[Interval], Set[float]]:
+    """Absorb isolated points that touch interval endpoints or lie inside."""
+    changed = True
+    intervals = list(intervals)
+    points = set(points)
+    while changed:
+        changed = False
+        intervals = _merge_intervals(intervals)
+        remaining: Set[float] = set()
+        for p in points:
+            absorbed = False
+            for i, ivl in enumerate(intervals):
+                if ivl.contains(p):
+                    absorbed = True
+                    break
+                if p == ivl.left and ivl.left_open:
+                    intervals[i] = Interval(ivl.left, ivl.right, False, ivl.right_open)
+                    absorbed = True
+                    changed = True
+                    break
+                if p == ivl.right and ivl.right_open:
+                    intervals[i] = Interval(ivl.left, ivl.right, ivl.left_open, False)
+                    absorbed = True
+                    changed = True
+                    break
+            if not absorbed:
+                remaining.add(p)
+        points = remaining
+    return _merge_intervals(intervals), points
+
+
+def _normalize_real(
+    intervals: List[Interval], points: Set[float]
+) -> Tuple[List[Interval], Set[float]]:
+    return _absorb_points(_merge_intervals(intervals), points)
+
+
+def _real_complement(
+    intervals: List[Interval], points: Set[float]
+) -> Tuple[List[Interval], Set[float]]:
+    """Complement of a canonical real set within the real line."""
+    intervals, points = _normalize_real(intervals, points)
+    items: List[Tuple[float, float, bool, bool]] = []
+    for ivl in intervals:
+        items.append((ivl.left, ivl.right, ivl.left_open, ivl.right_open))
+    for p in points:
+        items.append((p, p, False, False))
+    items.sort(key=lambda it: (it[0], it[1]))
+
+    result_intervals: List[Interval] = []
+    result_points: Set[float] = set()
+    cursor = -_INF
+    cursor_open = True
+    for left, right, left_open, right_open in items:
+        gap = interval(cursor, left, cursor_open, not left_open)
+        if isinstance(gap, Interval):
+            result_intervals.append(gap)
+        elif isinstance(gap, FiniteReal):
+            result_points |= gap.values
+        cursor = right
+        cursor_open = not right_open
+    tail = interval(cursor, _INF, cursor_open, True)
+    if isinstance(tail, Interval):
+        result_intervals.append(tail)
+    elif isinstance(tail, FiniteReal):
+        result_points |= tail.values
+    return _normalize_real(result_intervals, result_points)
+
+
+def _interval_intersection(a: Interval, b: Interval) -> OutcomeSet:
+    if a.left > b.left or (a.left == b.left and a.left_open and not b.left_open):
+        left, left_open = a.left, a.left_open
+    else:
+        left, left_open = b.left, b.left_open
+    if a.right < b.right or (a.right == b.right and a.right_open and not b.right_open):
+        right, right_open = a.right, a.right_open
+    else:
+        right, right_open = b.right, b.right_open
+    return interval(left, right, left_open, right_open)
+
+
+def _real_intersection(
+    a: Tuple[List[Interval], Set[float]], b: Tuple[List[Interval], Set[float]]
+) -> Tuple[List[Interval], Set[float]]:
+    a_intervals, a_points = _normalize_real(*a)
+    b_intervals, b_points = _normalize_real(*b)
+    intervals: List[Interval] = []
+    points: Set[float] = set()
+    for ai in a_intervals:
+        for bi in b_intervals:
+            piece = _interval_intersection(ai, bi)
+            if isinstance(piece, Interval):
+                intervals.append(piece)
+            elif isinstance(piece, FiniteReal):
+                points |= piece.values
+    for p in a_points:
+        if any(bi.contains(p) for bi in b_intervals) or p in b_points:
+            points.add(p)
+    for p in b_points:
+        if any(ai.contains(p) for ai in a_intervals):
+            points.add(p)
+    return _normalize_real(intervals, points)
+
+
+# ---------------------------------------------------------------------------
+# Nominal algebra.
+# ---------------------------------------------------------------------------
+
+def _nominal_union(a: FiniteNominal, b: FiniteNominal) -> FiniteNominal:
+    if a.positive and b.positive:
+        return FiniteNominal(a.values | b.values)
+    if a.positive and not b.positive:
+        return FiniteNominal(b.values - a.values, positive=False)
+    if not a.positive and b.positive:
+        return FiniteNominal(a.values - b.values, positive=False)
+    return FiniteNominal(a.values & b.values, positive=False)
+
+
+def _nominal_intersection(
+    a: FiniteNominal, b: FiniteNominal
+) -> Optional[FiniteNominal]:
+    if a.positive and b.positive:
+        values = a.values & b.values
+        return FiniteNominal(values) if values else None
+    if a.positive and not b.positive:
+        values = a.values - b.values
+        return FiniteNominal(values) if values else None
+    if not a.positive and b.positive:
+        values = b.values - a.values
+        return FiniteNominal(values) if values else None
+    return FiniteNominal(a.values | b.values, positive=False)
+
+
+def _nominal_complement(a: Optional[FiniteNominal]) -> Optional[FiniteNominal]:
+    if a is None:
+        return FiniteNominal(positive=False)
+    if a.positive:
+        return FiniteNominal(a.values, positive=False)
+    if not a.values:
+        return None
+    return FiniteNominal(a.values, positive=True)
+
+
+# ---------------------------------------------------------------------------
+# Public operations.
+# ---------------------------------------------------------------------------
+
+def union(*sets: OutcomeSet) -> OutcomeSet:
+    """Return the canonical union of the given outcome sets."""
+    intervals: List[Interval] = []
+    points: Set[float] = set()
+    nominal: Optional[FiniteNominal] = None
+    for s in sets:
+        s_intervals, s_points, s_nominal = _decompose(s)
+        intervals.extend(s_intervals)
+        points |= s_points
+        if s_nominal is not None:
+            nominal = s_nominal if nominal is None else _nominal_union(nominal, s_nominal)
+    intervals, points = _normalize_real(intervals, points)
+    return _assemble(intervals, points, nominal)
+
+
+def intersection(*sets: OutcomeSet) -> OutcomeSet:
+    """Return the canonical intersection of the given outcome sets."""
+    if not sets:
+        raise ValueError("intersection requires at least one argument.")
+    if any(s.is_empty for s in sets):
+        return EMPTY_SET
+    first, rest = sets[0], sets[1:]
+    intervals, points, nominal = _decompose(first)
+    intervals, points = _normalize_real(intervals, points)
+    has_nominal = nominal is not None
+    for s in rest:
+        s_intervals, s_points, s_nominal = _decompose(s)
+        intervals, points = _real_intersection(
+            (intervals, points), (s_intervals, s_points)
+        )
+        if has_nominal and s_nominal is not None:
+            nominal = _nominal_intersection(nominal, s_nominal)
+            has_nominal = nominal is not None
+        else:
+            nominal = None
+            has_nominal = False
+    return _assemble(intervals, points, nominal if has_nominal else None)
+
+
+def complement(s: OutcomeSet, universe: str = None) -> OutcomeSet:
+    """Return the complement of ``s``.
+
+    The complement is taken within a universe determined by the content of
+    ``s`` (matching Lst. 10 of the paper): a purely real set is complemented
+    within the real line, a purely nominal set within the strings, and the
+    empty set within ``Real + String``.  Pass ``universe`` explicitly
+    (``'real'``, ``'string'`` or ``'both'``) to override.
+    """
+    intervals, points, nominal = _decompose(s)
+    has_real = bool(intervals) or bool(points)
+    has_nominal = nominal is not None
+    if universe is None:
+        if not has_real and not has_nominal:
+            universe = "both"
+        elif has_real and has_nominal:
+            universe = "both"
+        elif has_real:
+            universe = "real"
+        else:
+            universe = "string"
+    if universe not in ("real", "string", "both"):
+        raise ValueError("Unknown universe %r." % (universe,))
+
+    out_intervals: List[Interval] = []
+    out_points: Set[float] = set()
+    out_nominal: Optional[FiniteNominal] = None
+    if universe in ("real", "both"):
+        if has_real:
+            out_intervals, out_points = _real_complement(intervals, points)
+        else:
+            out_intervals = [Reals]
+    if universe in ("string", "both"):
+        out_nominal = _nominal_complement(nominal)
+    return _assemble(out_intervals, out_points, out_nominal)

@@ -1,0 +1,45 @@
+"""Disjoint unions of primitive outcome sets."""
+
+from __future__ import annotations
+
+from .base import OutcomeSet
+
+
+class Union(OutcomeSet):
+    """A union of two or more pairwise-disjoint primitive outcome sets.
+
+    Clients should not construct :class:`Union` directly; use
+    :func:`repro.sets.union`, which canonicalizes its arguments and
+    guarantees disjointness of the resulting components.
+    """
+
+    __slots__ = ("args",)
+
+    def __init__(self, args):
+        args = tuple(args)
+        if len(args) < 2:
+            raise ValueError("Union requires at least two components.")
+        for arg in args:
+            if isinstance(arg, Union):
+                raise ValueError("Union components may not be nested Unions.")
+            if arg.is_empty:
+                raise ValueError("Union components may not be empty.")
+        self.args = args
+
+    def contains(self, value) -> bool:
+        return any(arg.contains(value) for arg in self.args)
+
+    def __iter__(self):
+        return iter(self.args)
+
+    def __len__(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        return "Union(%s)" % (list(self.args),)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Union) and frozenset(self.args) == frozenset(other.args)
+
+    def __hash__(self) -> int:
+        return hash(("Union", frozenset(self.args)))

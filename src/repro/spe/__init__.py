@@ -1,0 +1,51 @@
+"""Sum-product expressions and exact inference algorithms."""
+
+from .analysis import cdf_table
+from .analysis import entropy
+from .analysis import expectation
+from .analysis import marginal_support
+from .analysis import mutual_information
+from .analysis import probability_table
+from .analysis import variance
+from .base import DensityPair
+from .base import Memo
+from .base import SPE
+from .base import clause_key
+from .builders import factor_sum_of_products
+from .dedup import deduplicate
+from .leaf import Leaf
+from .product_node import ProductSPE
+from .product_node import spe_product
+from .serialize import spe_from_dict
+from .serialize import spe_from_json
+from .serialize import spe_to_dict
+from .serialize import spe_to_json
+from .sum_node import SumSPE
+from .sum_node import spe_sum
+from .visualize import to_dot
+
+__all__ = [
+    "DensityPair",
+    "Leaf",
+    "Memo",
+    "ProductSPE",
+    "SPE",
+    "SumSPE",
+    "cdf_table",
+    "clause_key",
+    "deduplicate",
+    "entropy",
+    "expectation",
+    "factor_sum_of_products",
+    "marginal_support",
+    "mutual_information",
+    "probability_table",
+    "spe_from_dict",
+    "spe_from_json",
+    "spe_product",
+    "spe_sum",
+    "spe_to_dict",
+    "spe_to_json",
+    "to_dot",
+    "variance",
+]

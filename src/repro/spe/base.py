@@ -1,0 +1,236 @@
+"""Abstract base class for sum-product expressions (SPEs).
+
+An SPE symbolically represents a joint probability distribution over a set
+of program variables (its *scope*).  The concrete node types are
+:class:`~repro.spe.leaf.Leaf`, :class:`~repro.spe.sum_node.SumSPE` and
+:class:`~repro.spe.product_node.ProductSPE`.
+
+Public queries (all exact):
+
+* :meth:`SPE.logprob` / :meth:`SPE.prob` -- probability of an event,
+* :meth:`SPE.condition` -- posterior SPE given a positive-probability event
+  (Theorem 4.1: SPEs are closed under conditioning),
+* :meth:`SPE.constrain` -- posterior SPE given (possibly measure-zero)
+  equality constraints on non-transformed variables (``condition0``),
+* :meth:`SPE.logpdf` -- mixed-type density of a point assignment,
+* :meth:`SPE.sample` -- forward sampling of all program variables.
+
+Inference uses memoization keyed on node identity so that deduplicated
+(shared) sub-expressions are visited once per query, which is what makes
+inference linear-time in the size of the expression graph (Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC
+from abc import abstractmethod
+from typing import Dict
+from typing import FrozenSet
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+from ..distributions import NEG_INF
+from ..distributions import log_add
+from ..events import Clause
+from ..events import Event
+from ..events import event_to_disjoint_clauses
+from ..transforms import Transform
+
+#: Density values are lexicographic pairs (number of continuous dimensions
+#: participating, log density).  See Lst. 1d of the paper.
+DensityPair = Tuple[int, float]
+
+
+def clause_key(clause: Clause):
+    """A hashable key identifying a solved clause (used for memoization)."""
+    return frozenset(clause.items())
+
+
+class Memo:
+    """Per-query caches for probability, conditioning and density traversals."""
+
+    def __init__(self):
+        self.logprob: Dict[tuple, float] = {}
+        self.condition: Dict[tuple, Optional["SPE"]] = {}
+        self.logpdf: Dict[tuple, DensityPair] = {}
+        self.constrain: Dict[tuple, Optional["SPE"]] = {}
+
+    def stats(self) -> Dict[str, int]:
+        """Return the number of cached entries per cache (for diagnostics)."""
+        return {
+            "logprob": len(self.logprob),
+            "condition": len(self.condition),
+            "logpdf": len(self.logpdf),
+            "constrain": len(self.constrain),
+        }
+
+
+class SPE(ABC):
+    """A sum-product expression over a finite set of program variables."""
+
+    # -- Structure -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def scope(self) -> FrozenSet[str]:
+        """The set of program variables this expression defines."""
+
+    @abstractmethod
+    def children_nodes(self) -> List["SPE"]:
+        """Immediate children (empty for leaves)."""
+
+    def size(self) -> int:
+        """Number of unique nodes in the expression graph (DAG size)."""
+        seen = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.extend(node.children_nodes())
+        return len(seen)
+
+    def tree_size(self) -> int:
+        """Number of nodes of the fully-unrolled (unshared) expression tree.
+
+        This measures the size the expression would have without the
+        deduplication optimization of Sec. 5.1; the ratio
+        ``tree_size() / size()`` is the compression ratio reported in
+        Table 1.  Computed with exact integer arithmetic.
+        """
+        cache: Dict[int, int] = {}
+
+        def visit(node: "SPE") -> int:
+            key = id(node)
+            if key not in cache:
+                cache[key] = 1 + sum(visit(child) for child in node.children_nodes())
+            return cache[key]
+
+        return visit(self)
+
+    # -- Abstract per-clause operations --------------------------------------
+
+    @abstractmethod
+    def logprob_clause(self, clause: Clause, memo: Memo) -> float:
+        """Log probability of a solved clause (restricted to this scope)."""
+
+    @abstractmethod
+    def condition_clause(self, clause: Clause, memo: Memo) -> Optional["SPE"]:
+        """Condition on a solved clause; None if it has probability zero."""
+
+    @abstractmethod
+    def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
+        """Lexicographic density of an assignment to non-transformed variables."""
+
+    @abstractmethod
+    def constrain_clause(
+        self, assignment: Dict[str, object], memo: Memo
+    ) -> Optional["SPE"]:
+        """Condition on equality constraints; None if the density is zero."""
+
+    @abstractmethod
+    def transform(self, symbol: str, expression: Transform) -> "SPE":
+        """Define a derived variable ``symbol = expression`` (Transform rules)."""
+
+    @abstractmethod
+    def sample_assignment(self, rng) -> Dict[str, object]:
+        """Draw one joint sample of every variable in scope."""
+
+    # -- Public query API -----------------------------------------------------
+
+    def logprob(self, event: Event, memo: Memo = None) -> float:
+        """Exact log probability of ``event``."""
+        self._check_event_scope(event)
+        memo = memo or Memo()
+        clauses = event_to_disjoint_clauses(event)
+        terms = [self.logprob_clause(clause, memo) for clause in clauses]
+        return log_add(terms)
+
+    def prob(self, event: Event, memo: Memo = None) -> float:
+        """Exact probability of ``event``."""
+        return math.exp(self.logprob(event, memo=memo))
+
+    def condition(self, event: Event, memo: Memo = None) -> "SPE":
+        """Return the posterior SPE given a positive-probability ``event``."""
+        from .sum_node import spe_sum
+
+        self._check_event_scope(event)
+        memo = memo or Memo()
+        clauses = event_to_disjoint_clauses(event)
+        weighted: List[Tuple[SPE, float]] = []
+        for clause in clauses:
+            log_weight = self.logprob_clause(clause, memo)
+            if log_weight == NEG_INF:
+                continue
+            conditioned = self.condition_clause(clause, memo)
+            if conditioned is None:
+                continue
+            weighted.append((conditioned, log_weight))
+        if not weighted:
+            raise ValueError(
+                "Conditioning event has probability zero: %r." % (event,)
+            )
+        children = [spe for spe, _ in weighted]
+        log_weights = [w for _, w in weighted]
+        return spe_sum(children, log_weights)
+
+    def logpdf(self, assignment: Dict[str, object], memo: Memo = None) -> float:
+        """Log density of an assignment to non-transformed variables."""
+        memo = memo or Memo()
+        self._check_assignment_scope(assignment)
+        _, log_density = self.logpdf_pair(assignment, memo)
+        return log_density
+
+    def constrain(self, assignment: Dict[str, object], memo: Memo = None) -> "SPE":
+        """Posterior SPE given equality constraints ``{X == x, Y == y, ...}``.
+
+        The constraints may have probability zero (e.g. observing a
+        continuous variable); the result follows the generalized density
+        semantics of the paper (Remark 4.2 / Appendix D.3).
+        """
+        memo = memo or Memo()
+        self._check_assignment_scope(assignment)
+        result = self.constrain_clause(assignment, memo)
+        if result is None:
+            raise ValueError(
+                "Constraint assignment has zero density: %r." % (assignment,)
+            )
+        return result
+
+    def sample(self, rng, n: int = None):
+        """Draw one sample (dict) or a list of ``n`` samples."""
+        if n is None:
+            return self.sample_assignment(rng)
+        return [self.sample_assignment(rng) for _ in range(n)]
+
+    def sample_subset(self, symbols, rng, n: int = None):
+        """Sample only the requested variables."""
+        keep = set(symbols)
+
+        def restrict(assignment):
+            return {k: v for k, v in assignment.items() if k in keep}
+
+        if n is None:
+            return restrict(self.sample_assignment(rng))
+        return [restrict(self.sample_assignment(rng)) for _ in range(n)]
+
+    # -- Validation helpers ---------------------------------------------------
+
+    def _check_event_scope(self, event: Event) -> None:
+        missing = set(event.get_symbols()) - set(self.scope)
+        if missing:
+            raise ValueError(
+                "Event mentions variables %s that are not in the model scope."
+                % (sorted(missing),)
+            )
+
+    def _check_assignment_scope(self, assignment: Dict[str, object]) -> None:
+        missing = set(assignment) - set(self.scope)
+        if missing:
+            raise ValueError(
+                "Assignment mentions variables %s that are not in the model scope."
+                % (sorted(missing),)
+            )

@@ -1,0 +1,63 @@
+"""Construction-time optimizations: factorization of sums of products.
+
+Implements the *factorization* optimization of Sec. 5.1 (Fig. 6a): when the
+children of a mixture are products that share common components (detected by
+node identity, as in the paper's O(1) memory-address comparison), the shared
+components are factored out of the mixture, which keeps the expression graph
+small when if/else branches only modify a subset of the variables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+from typing import Sequence
+
+from .base import SPE
+from .product_node import ProductSPE
+from .product_node import spe_product
+from .sum_node import spe_sum
+
+
+def factor_sum_of_products(children: Sequence[SPE], log_weights: Sequence[float]) -> SPE:
+    """Build a mixture, factoring out product components shared by identity."""
+    children = list(children)
+    log_weights = list(log_weights)
+    if len(children) != len(log_weights):
+        raise ValueError("factor_sum_of_products requires one weight per child.")
+    if not children:
+        raise ValueError("factor_sum_of_products requires at least one child.")
+    if len(children) == 1:
+        return children[0]
+
+    first = children[0]
+    if all(child is first for child in children[1:]):
+        return first
+
+    if not all(isinstance(child, ProductSPE) for child in children):
+        return spe_sum(children, log_weights)
+
+    common_ids = set(id(gc) for gc in children[0].children)
+    for child in children[1:]:
+        common_ids &= set(id(gc) for gc in child.children)
+    if not common_ids:
+        return spe_sum(children, log_weights)
+
+    shared: List[SPE] = [gc for gc in children[0].children if id(gc) in common_ids]
+    residuals: List[List[SPE]] = [
+        [gc for gc in child.children if id(gc) not in common_ids]
+        for child in children
+    ]
+
+    if all(not residual for residual in residuals):
+        return spe_product(shared)
+    if any(not residual for residual in residuals):
+        return spe_sum(children, log_weights)
+
+    residual_scopes = [
+        frozenset().union(*[gc.scope for gc in residual]) for residual in residuals
+    ]
+    if len(set(residual_scopes)) != 1:
+        return spe_sum(children, log_weights)
+
+    inner = spe_sum([spe_product(residual) for residual in residuals], log_weights)
+    return spe_product(shared + [inner])

@@ -1,0 +1,217 @@
+"""Leaf nodes: a primitive distribution for one variable plus derived variables.
+
+A leaf ``Leaf(x, d, env)`` consists of a program variable ``x``, a primitive
+:class:`~repro.distributions.base.Distribution` ``d``, and an *environment*
+``env`` mapping derived variables to univariate transforms of ``x`` (or of
+previously-defined derived variables).  The environment is how SPPL
+represents statements such as ``Z = X**2 + 1`` without extending the
+dimensionality of the underlying base measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+from typing import FrozenSet
+from typing import List
+from typing import Optional
+
+from ..distributions import Distribution
+from ..distributions import NEG_INF
+from ..events import Clause
+from ..sets import OutcomeSet
+from ..sets import intersection
+from ..transforms import Identity
+from ..transforms import Transform
+from .base import DensityPair
+from .base import Memo
+from .base import SPE
+from .base import clause_key
+
+
+class Leaf(SPE):
+    """A terminal sum-product expression node."""
+
+    def __init__(
+        self,
+        symbol: str,
+        dist: Distribution,
+        env: Dict[str, Transform] = None,
+    ):
+        if not isinstance(symbol, str) or not symbol:
+            raise ValueError("Leaf requires a non-empty variable name.")
+        if not isinstance(dist, Distribution):
+            raise TypeError("Leaf requires a Distribution, got %r." % (dist,))
+        self.symbol = symbol
+        self.dist = dist
+        self.env: Dict[str, Transform] = dict(env) if env else {}
+        if symbol in self.env:
+            raise ValueError(
+                "The leaf variable %r may not appear in its own environment." % (symbol,)
+            )
+        declared = {symbol} | set(self.env)
+        for derived, expression in self.env.items():
+            free = set(expression.get_symbols())
+            if not free <= declared:
+                raise ValueError(
+                    "Transform for %r mentions undefined variables %s."
+                    % (derived, sorted(free - declared))
+                )
+
+    # -- Structure -----------------------------------------------------------
+
+    @property
+    def scope(self) -> FrozenSet[str]:
+        return frozenset({self.symbol}) | frozenset(self.env)
+
+    def children_nodes(self) -> List[SPE]:
+        return []
+
+    def __repr__(self) -> str:
+        if self.env:
+            return "Leaf(%r, %r, env=%r)" % (self.symbol, self.dist, self.env)
+        return "Leaf(%r, %r)" % (self.symbol, self.dist)
+
+    # -- Environment handling -------------------------------------------------
+
+    def resolved_transform(self, symbol: str) -> Transform:
+        """Return the transform of ``symbol`` expressed over the base variable."""
+        if symbol == self.symbol:
+            return Identity(self.symbol)
+        if symbol not in self.env:
+            raise KeyError("Variable %r is not defined at this leaf." % (symbol,))
+        transform = self.env[symbol]
+        for _ in range(len(self.env) + 1):
+            free = set(transform.get_symbols())
+            pending = [s for s in free if s != self.symbol]
+            if not pending:
+                return transform
+            for s in pending:
+                transform = transform.substitute(s, self.env[s])
+        raise ValueError(
+            "Could not resolve transform for %r to the base variable." % (symbol,)
+        )
+
+    def _solve_clause_set(self, clause: Clause) -> Optional[OutcomeSet]:
+        """Pull the clause constraints back to a set of base-variable values.
+
+        Returns None when the clause does not constrain this leaf.
+        """
+        relevant = [s for s in clause if s in self.scope]
+        if not relevant:
+            return None
+        pieces = []
+        for s in relevant:
+            values = clause[s]
+            if s == self.symbol:
+                pieces.append(values)
+            else:
+                pieces.append(self.resolved_transform(s).invert(values))
+        return intersection(*pieces)
+
+    def _restrict(self, clause: Clause) -> Clause:
+        return {s: v for s, v in clause.items() if s in self.scope}
+
+    # -- Inference ------------------------------------------------------------
+
+    def logprob_clause(self, clause: Clause, memo: Memo) -> float:
+        restricted = self._restrict(clause)
+        key = (id(self), clause_key(restricted))
+        if key in memo.logprob:
+            return memo.logprob[key]
+        solved = self._solve_clause_set(restricted)
+        result = 0.0 if solved is None else self.dist.logprob(solved)
+        memo.logprob[key] = result
+        return result
+
+    def condition_clause(self, clause: Clause, memo: Memo) -> Optional[SPE]:
+        from .sum_node import spe_sum
+
+        restricted = self._restrict(clause)
+        key = (id(self), clause_key(restricted))
+        if key in memo.condition:
+            return memo.condition[key]
+        solved = self._solve_clause_set(restricted)
+        if solved is None:
+            memo.condition[key] = self
+            return self
+        branches = self.dist.condition(solved)
+        if not branches:
+            result: Optional[SPE] = None
+        elif len(branches) == 1:
+            result = Leaf(self.symbol, branches[0][0], env=self.env)
+        else:
+            leaves = [Leaf(self.symbol, d, env=self.env) for d, _ in branches]
+            log_weights = [w for _, w in branches]
+            result = spe_sum(leaves, log_weights)
+        memo.condition[key] = result
+        return result
+
+    def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
+        relevant = {s: v for s, v in assignment.items() if s in self.scope}
+        derived = [s for s in relevant if s != self.symbol]
+        if derived:
+            raise ValueError(
+                "Density queries are only supported on non-transformed "
+                "variables; %s are derived at this leaf." % (sorted(derived),)
+            )
+        if self.symbol not in relevant:
+            return (0, 0.0)
+        log_density = self.dist.logpdf(relevant[self.symbol])
+        if self.dist.is_continuous:
+            return (1, log_density)
+        return (1 if log_density == NEG_INF else 0, log_density)
+
+    def constrain_clause(
+        self, assignment: Dict[str, object], memo: Memo
+    ) -> Optional[SPE]:
+        relevant = {s: v for s, v in assignment.items() if s in self.scope}
+        derived = [s for s in relevant if s != self.symbol]
+        if derived:
+            raise ValueError(
+                "constrain() only supports equality constraints on "
+                "non-transformed variables; %s are derived at this leaf."
+                % (sorted(derived),)
+            )
+        if self.symbol not in relevant:
+            return self
+        key = (id(self),)
+        if key in memo.constrain:
+            return memo.constrain[key]
+        constrained = self.dist.constrain(relevant[self.symbol])
+        result = (
+            None
+            if constrained is None
+            else Leaf(self.symbol, constrained[0], env=self.env)
+        )
+        memo.constrain[key] = result
+        return result
+
+    # -- Derived variables and sampling ---------------------------------------
+
+    def transform(self, symbol: str, expression: Transform) -> SPE:
+        if symbol in self.scope:
+            raise ValueError("Variable %r is already defined (restriction R1)." % (symbol,))
+        free = set(expression.get_symbols())
+        if not free <= self.scope:
+            raise ValueError(
+                "Transform for %r mentions variables %s outside this leaf's scope."
+                % (symbol, sorted(free - self.scope))
+            )
+        env = dict(self.env)
+        env[symbol] = expression
+        return Leaf(self.symbol, self.dist, env=env)
+
+    def sample_assignment(self, rng) -> Dict[str, object]:
+        value = self.dist.sample(rng)
+        assignment: Dict[str, object] = {self.symbol: value}
+        for derived in self.env:
+            resolved = self.resolved_transform(derived)
+            if isinstance(value, str):
+                if isinstance(resolved, Identity):
+                    assignment[derived] = value
+                else:
+                    assignment[derived] = math.nan
+            else:
+                assignment[derived] = resolved.evaluate(float(value))
+        return assignment

@@ -1,0 +1,253 @@
+"""JSON serialization of sum-product expressions.
+
+Models translated from SPPL programs (and in particular *conditioned*
+posteriors, which can be expensive to recompute) can be saved to disk and
+reloaded later.  The representation is a flat table of nodes keyed by id, so
+structure sharing (deduplicated subtrees) survives a round trip, and the
+encoding is plain JSON with no pickling of code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict
+from typing import List
+
+from scipy import stats
+
+from ..distributions import AtomicDistribution
+from ..distributions import DiscreteDistribution
+from ..distributions import DiscreteFinite
+from ..distributions import Distribution
+from ..distributions import NominalDistribution
+from ..distributions import RealDistribution
+from ..transforms import Abs
+from ..transforms import Exp
+from ..transforms import Identity
+from ..transforms import Log
+from ..transforms import Poly
+from ..transforms import Radical
+from ..transforms import Reciprocal
+from ..transforms import Transform
+from .base import SPE
+from .leaf import Leaf
+from .product_node import ProductSPE
+from .sum_node import SumSPE
+
+
+class SerializationError(ValueError):
+    """Raised when an expression cannot be (de)serialized."""
+
+
+# ---------------------------------------------------------------------------
+# Transforms.
+# ---------------------------------------------------------------------------
+
+def transform_to_dict(transform: Transform) -> Dict:
+    """Encode a transform as a JSON-compatible dictionary."""
+    if isinstance(transform, Identity):
+        return {"kind": "identity", "symbol": transform.token}
+    if isinstance(transform, Poly):
+        return {
+            "kind": "poly",
+            "coeffs": list(transform.coeffs),
+            "subexpr": transform_to_dict(transform.subexpr),
+        }
+    if isinstance(transform, Reciprocal):
+        return {"kind": "reciprocal", "subexpr": transform_to_dict(transform.subexpr)}
+    if isinstance(transform, Abs):
+        return {"kind": "abs", "subexpr": transform_to_dict(transform.subexpr)}
+    if isinstance(transform, Radical):
+        return {
+            "kind": "radical",
+            "degree": transform.degree,
+            "subexpr": transform_to_dict(transform.subexpr),
+        }
+    if isinstance(transform, Exp):
+        return {
+            "kind": "exp",
+            "base": transform.base,
+            "subexpr": transform_to_dict(transform.subexpr),
+        }
+    if isinstance(transform, Log):
+        return {
+            "kind": "log",
+            "base": transform.base,
+            "subexpr": transform_to_dict(transform.subexpr),
+        }
+    raise SerializationError("Cannot serialize transform %r." % (transform,))
+
+
+def transform_from_dict(data: Dict) -> Transform:
+    """Decode a transform from its dictionary encoding."""
+    kind = data["kind"]
+    if kind == "identity":
+        return Identity(data["symbol"])
+    if "subexpr" not in data:
+        raise SerializationError("Unknown transform kind %r." % (kind,))
+    subexpr = transform_from_dict(data["subexpr"])
+    if kind == "poly":
+        return Poly(subexpr, data["coeffs"])
+    if kind == "reciprocal":
+        return Reciprocal(subexpr)
+    if kind == "abs":
+        return Abs(subexpr)
+    if kind == "radical":
+        return Radical(subexpr, data["degree"])
+    if kind == "exp":
+        return Exp(subexpr, data["base"])
+    if kind == "log":
+        return Log(subexpr, data["base"])
+    raise SerializationError("Unknown transform kind %r." % (kind,))
+
+
+# ---------------------------------------------------------------------------
+# Distributions.
+# ---------------------------------------------------------------------------
+
+def distribution_to_dict(dist: Distribution) -> Dict:
+    """Encode a primitive distribution as a JSON-compatible dictionary."""
+    if isinstance(dist, AtomicDistribution):
+        return {"kind": "atomic", "value": dist.value}
+    if isinstance(dist, NominalDistribution):
+        return {"kind": "nominal", "probabilities": dict(dist.probabilities)}
+    if isinstance(dist, DiscreteFinite):
+        return {
+            "kind": "finite",
+            "probabilities": {repr(k): v for k, v in dist.probabilities.items()},
+        }
+    if isinstance(dist, (RealDistribution, DiscreteDistribution)):
+        frozen = dist.dist
+        return {
+            "kind": "discrete_scipy" if isinstance(dist, DiscreteDistribution) else "real_scipy",
+            "family": frozen.dist.name,
+            "args": list(frozen.args),
+            "kwds": dict(frozen.kwds),
+            "lo": _encode_float(dist.lo),
+            "hi": _encode_float(dist.hi),
+            "name": dist.name,
+        }
+    raise SerializationError("Cannot serialize distribution %r." % (dist,))
+
+
+def distribution_from_dict(data: Dict) -> Distribution:
+    """Decode a primitive distribution from its dictionary encoding."""
+    kind = data["kind"]
+    if kind == "atomic":
+        return AtomicDistribution(data["value"])
+    if kind == "nominal":
+        return NominalDistribution(data["probabilities"])
+    if kind == "finite":
+        return DiscreteFinite({float(k): v for k, v in data["probabilities"].items()})
+    if kind in ("real_scipy", "discrete_scipy"):
+        family = getattr(stats, data["family"])
+        frozen = family(*data["args"], **data["kwds"])
+        lo = _decode_float(data["lo"])
+        hi = _decode_float(data["hi"])
+        if kind == "discrete_scipy":
+            return DiscreteDistribution(frozen, lo=lo, hi=hi, name=data.get("name"))
+        return RealDistribution(frozen, lo=lo, hi=hi, name=data.get("name"))
+    raise SerializationError("Unknown distribution kind %r." % (kind,))
+
+
+def _encode_float(value: float):
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _decode_float(value) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+def spe_to_dict(spe: SPE) -> Dict:
+    """Encode an expression graph (preserving sharing) as a dictionary."""
+    nodes: Dict[str, Dict] = {}
+    order: List[str] = []
+    identifiers: Dict[int, str] = {}
+
+    def visit(node: SPE) -> str:
+        key = id(node)
+        if key in identifiers:
+            return identifiers[key]
+        name = "node_%d" % (len(identifiers),)
+        identifiers[key] = name
+        if isinstance(node, Leaf):
+            spec = {
+                "kind": "leaf",
+                "symbol": node.symbol,
+                "distribution": distribution_to_dict(node.dist),
+                "env": {
+                    derived: transform_to_dict(expr) for derived, expr in node.env.items()
+                },
+            }
+        elif isinstance(node, SumSPE):
+            spec = {
+                "kind": "sum",
+                "children": [visit(child) for child in node.children],
+                "log_weights": list(node.log_weights),
+            }
+        elif isinstance(node, ProductSPE):
+            spec = {"kind": "product", "children": [visit(child) for child in node.children]}
+        else:
+            raise SerializationError("Cannot serialize node %r." % (node,))
+        nodes[name] = spec
+        order.append(name)
+        return name
+
+    root = visit(spe)
+    return {"format": "repro-spe", "version": 1, "root": root, "nodes": nodes, "order": order}
+
+
+def spe_from_dict(data: Dict) -> SPE:
+    """Decode an expression graph from its dictionary encoding."""
+    if data.get("format") != "repro-spe":
+        raise SerializationError("Not a serialized sum-product expression.")
+    nodes = data["nodes"]
+    built: Dict[str, SPE] = {}
+
+    def build(name: str) -> SPE:
+        if name in built:
+            return built[name]
+        spec = nodes[name]
+        kind = spec["kind"]
+        if kind == "leaf":
+            node: SPE = Leaf(
+                spec["symbol"],
+                distribution_from_dict(spec["distribution"]),
+                env={
+                    derived: transform_from_dict(encoded)
+                    for derived, encoded in spec["env"].items()
+                },
+            )
+        elif kind == "sum":
+            node = SumSPE([build(child) for child in spec["children"]], spec["log_weights"])
+        elif kind == "product":
+            node = ProductSPE([build(child) for child in spec["children"]])
+        else:
+            raise SerializationError("Unknown node kind %r." % (kind,))
+        built[name] = node
+        return node
+
+    return build(data["root"])
+
+
+def spe_to_json(spe: SPE, indent: int = None) -> str:
+    """Encode an expression as a JSON string."""
+    return json.dumps(spe_to_dict(spe), indent=indent)
+
+
+def spe_from_json(text: str) -> SPE:
+    """Decode an expression from a JSON string."""
+    return spe_from_dict(json.loads(text))

@@ -1,0 +1,210 @@
+"""Sum nodes: probabilistic mixtures of sum-product expressions."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+from typing import FrozenSet
+from typing import List
+from typing import Optional
+from typing import Sequence
+
+from ..distributions import NEG_INF
+from ..distributions import log_add
+from ..events import Clause
+from ..transforms import Transform
+from .base import DensityPair
+from .base import Memo
+from .base import SPE
+from .base import clause_key
+
+
+class SumSPE(SPE):
+    """A weighted mixture of sum-product expressions with identical scopes."""
+
+    def __init__(self, children: Sequence[SPE], log_weights: Sequence[float]):
+        children = list(children)
+        log_weights = [float(w) for w in log_weights]
+        if len(children) < 2:
+            raise ValueError("SumSPE requires at least two children; use spe_sum().")
+        if len(children) != len(log_weights):
+            raise ValueError("SumSPE requires one weight per child.")
+        scope = children[0].scope
+        for child in children[1:]:
+            if child.scope != scope:
+                raise ValueError(
+                    "All children of a SumSPE must have identical scope "
+                    "(condition C4): %s vs %s."
+                    % (sorted(scope), sorted(child.scope))
+                )
+        total = log_add(log_weights)
+        if total == NEG_INF:
+            raise ValueError("SumSPE weights must have positive total mass (C5).")
+        self.children = tuple(children)
+        self.log_weights = tuple(w - total for w in log_weights)
+        self._scope = scope
+
+    # -- Structure -----------------------------------------------------------
+
+    @property
+    def scope(self) -> FrozenSet[str]:
+        return self._scope
+
+    def children_nodes(self) -> List[SPE]:
+        return list(self.children)
+
+    @property
+    def weights(self) -> List[float]:
+        """Mixture weights in linear space."""
+        return [math.exp(w) for w in self.log_weights]
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            "%.4f: %r" % (math.exp(w), child)
+            for w, child in zip(self.log_weights, self.children)
+        )
+        return "SumSPE(%s)" % (pairs,)
+
+    def _restrict(self, clause: Clause) -> Clause:
+        return {s: v for s, v in clause.items() if s in self._scope}
+
+    # -- Inference ------------------------------------------------------------
+
+    def logprob_clause(self, clause: Clause, memo: Memo) -> float:
+        restricted = self._restrict(clause)
+        key = (id(self), clause_key(restricted))
+        if key in memo.logprob:
+            return memo.logprob[key]
+        terms = [
+            w + child.logprob_clause(restricted, memo)
+            for w, child in zip(self.log_weights, self.children)
+        ]
+        result = log_add(terms)
+        memo.logprob[key] = result
+        return result
+
+    def condition_clause(self, clause: Clause, memo: Memo) -> Optional[SPE]:
+        restricted = self._restrict(clause)
+        key = (id(self), clause_key(restricted))
+        if key in memo.condition:
+            return memo.condition[key]
+        weighted: List[SPE] = []
+        log_weights: List[float] = []
+        for w, child in zip(self.log_weights, self.children):
+            child_logprob = child.logprob_clause(restricted, memo)
+            if child_logprob == NEG_INF:
+                continue
+            conditioned = child.condition_clause(restricted, memo)
+            if conditioned is None:
+                continue
+            weighted.append(conditioned)
+            log_weights.append(w + child_logprob)
+        result = spe_sum(weighted, log_weights) if weighted else None
+        memo.condition[key] = result
+        return result
+
+    def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
+        key = (id(self),)
+        if key in memo.logpdf:
+            return memo.logpdf[key]
+        pairs = [
+            (child.logpdf_pair(assignment, memo), w)
+            for w, child in zip(self.log_weights, self.children)
+        ]
+        positive = [(d, lp, w) for (d, lp), w in pairs if lp > NEG_INF]
+        if not positive:
+            result = (1, NEG_INF)
+        else:
+            min_count = min(d for d, _, _ in positive)
+            terms = [w + lp for d, lp, w in positive if d == min_count]
+            result = (min_count, log_add(terms))
+        memo.logpdf[key] = result
+        return result
+
+    def constrain_clause(
+        self, assignment: Dict[str, object], memo: Memo
+    ) -> Optional[SPE]:
+        key = (id(self),)
+        if key in memo.constrain:
+            return memo.constrain[key]
+        densities = [
+            child.logpdf_pair(assignment, memo) for child in self.children
+        ]
+        positive = [
+            (i, d, lp) for i, (d, lp) in enumerate(densities) if lp > NEG_INF
+        ]
+        if not positive:
+            memo.constrain[key] = None
+            return None
+        min_count = min(d for _, d, _ in positive)
+        children: List[SPE] = []
+        log_weights: List[float] = []
+        for i, d, lp in positive:
+            if d != min_count:
+                continue
+            constrained = self.children[i].constrain_clause(assignment, memo)
+            if constrained is None:
+                continue
+            children.append(constrained)
+            log_weights.append(self.log_weights[i] + lp)
+        result = spe_sum(children, log_weights) if children else None
+        memo.constrain[key] = result
+        return result
+
+    # -- Derived variables and sampling ---------------------------------------
+
+    def transform(self, symbol: str, expression: Transform) -> SPE:
+        children = [child.transform(symbol, expression) for child in self.children]
+        return SumSPE(children, self.log_weights)
+
+    def sample_assignment(self, rng) -> Dict[str, object]:
+        index = rng.choice(len(self.children), p=self.weights)
+        return self.children[int(index)].sample_assignment(rng)
+
+
+def spe_sum(children: Sequence[SPE], log_weights: Sequence[float]) -> SPE:
+    """Canonicalizing constructor for mixtures.
+
+    Normalizes the weights, splices nested sums with identical scope,
+    merges duplicate children (by node identity), and collapses singleton
+    mixtures.
+    """
+    children = list(children)
+    log_weights = [float(w) for w in log_weights]
+    if not children:
+        raise ValueError("spe_sum requires at least one child.")
+    if len(children) != len(log_weights):
+        raise ValueError("spe_sum requires one weight per child.")
+    total = log_add(log_weights)
+    if total == NEG_INF:
+        raise ValueError("spe_sum requires positive total weight.")
+    normalized = [w - total for w in log_weights]
+
+    # Splice nested sums of identical scope into this one.
+    flat_children: List[SPE] = []
+    flat_weights: List[float] = []
+    for child, weight in zip(children, normalized):
+        if isinstance(child, SumSPE):
+            for sub_weight, sub_child in zip(child.log_weights, child.children):
+                flat_children.append(sub_child)
+                flat_weights.append(weight + sub_weight)
+        else:
+            flat_children.append(child)
+            flat_weights.append(weight)
+
+    # Merge duplicate children (deduplication by physical identity).
+    merged: Dict[int, int] = {}
+    unique_children: List[SPE] = []
+    unique_weights: List[float] = []
+    for child, weight in zip(flat_children, flat_weights):
+        if id(child) in merged:
+            index = merged[id(child)]
+            unique_weights[index] = log_add([unique_weights[index], weight])
+        else:
+            merged[id(child)] = len(unique_children)
+            unique_children.append(child)
+            unique_weights.append(weight)
+
+    if len(unique_children) == 1:
+        return unique_children[0]
+    return SumSPE(unique_children, unique_weights)

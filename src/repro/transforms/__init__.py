@@ -1,0 +1,63 @@
+"""Univariate transforms of random variables and their preimage solver.
+
+The public surface mirrors Lst. 1b / Appendix C of the paper:
+
+* :func:`Id` -- a program variable (the Identity transform),
+* arithmetic on transforms via Python operators (``+``, ``-``, ``*``, ``/``,
+  ``**``, ``abs``),
+* :func:`sqrt`, :func:`exp`, :func:`log` convenience constructors,
+* :class:`Piecewise` for case-defined transforms,
+* comparisons (``<``, ``<=``, ``>``, ``>=``, ``==``, ``<<``) which build
+  :mod:`repro.events` predicates.
+"""
+
+import math
+
+from .arithmetic import Abs
+from .arithmetic import Exp
+from .arithmetic import Log
+from .arithmetic import Radical
+from .arithmetic import Reciprocal
+from .base import Transform
+from .identity import Id
+from .identity import Identity
+from .piecewise import Piecewise
+from .polynomial import Poly
+from .polynomial import poly_lte
+from .polynomial import poly_roots
+from .polynomial import poly_solve
+
+
+def sqrt(transform: Transform) -> Transform:
+    """Square root of a transform."""
+    return Radical(transform, 2)
+
+
+def exp(transform: Transform, base: float = math.e) -> Transform:
+    """Exponential ``base ** transform``."""
+    return Exp(transform, base)
+
+
+def log(transform: Transform, base: float = math.e) -> Transform:
+    """Logarithm ``log_base(transform)``."""
+    return Log(transform, base)
+
+
+__all__ = [
+    "Abs",
+    "Exp",
+    "Id",
+    "Identity",
+    "Log",
+    "Piecewise",
+    "Poly",
+    "Radical",
+    "Reciprocal",
+    "Transform",
+    "exp",
+    "log",
+    "poly_lte",
+    "poly_roots",
+    "poly_solve",
+    "sqrt",
+]

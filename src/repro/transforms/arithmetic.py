@@ -1,0 +1,321 @@
+"""Non-polynomial primitive transforms: Reciprocal, Abs, Radical, Exp, Log."""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet
+from typing import List
+
+from ..sets import EMPTY_SET
+from ..sets import FiniteNominal
+from ..sets import FiniteReal
+from ..sets import Interval
+from ..sets import OutcomeSet
+from ..sets import components
+from ..sets import intersection
+from ..sets import interval
+from ..sets import union
+from .base import Transform
+
+_POSITIVE = Interval(0.0, math.inf, True, True)
+_NEGATIVE = Interval(-math.inf, 0.0, True, True)
+_NON_NEGATIVE = Interval(0.0, math.inf, False, True)
+
+
+class _UnaryTransform(Transform):
+    """Shared plumbing for transforms with a single subexpression."""
+
+    def __init__(self, subexpr: Transform):
+        if not isinstance(subexpr, Transform):
+            raise TypeError("Transform subexpression expected, got %r." % (subexpr,))
+        self._subexpr = subexpr
+
+    @property
+    def subexpr(self) -> Transform:
+        return self._subexpr
+
+    def get_symbols(self) -> FrozenSet[str]:
+        return self._subexpr.get_symbols()
+
+    def _rebuild(self, subexpr: Transform) -> "Transform":
+        return type(self)(subexpr)
+
+    def substitute(self, symbol: str, replacement: Transform) -> Transform:
+        return self._rebuild(self._subexpr.substitute(symbol, replacement))
+
+    def rename(self, mapping) -> Transform:
+        return self._rebuild(self._subexpr.rename(mapping))
+
+
+def _collect(pieces: List[OutcomeSet]) -> OutcomeSet:
+    pieces = [p for p in pieces if not p.is_empty]
+    if not pieces:
+        return EMPTY_SET
+    return union(*pieces)
+
+
+class Reciprocal(_UnaryTransform):
+    """The transform ``1 / subexpr`` (undefined at zero)."""
+
+    def evaluate(self, x: float) -> float:
+        inner = self._subexpr.evaluate(x)
+        if math.isnan(inner) or inner == 0.0:
+            return math.nan
+        return 1.0 / inner
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        pieces: List[OutcomeSet] = []
+        for piece in components(values):
+            if isinstance(piece, FiniteNominal):
+                continue
+            if isinstance(piece, FiniteReal):
+                inverses = [
+                    1.0 / r
+                    for r in piece.values
+                    if r != 0.0 and math.isfinite(r) and math.isfinite(1.0 / r)
+                ]
+                if inverses:
+                    pieces.append(FiniteReal(inverses))
+            elif isinstance(piece, Interval):
+                pieces.append(self._invert_interval_signed(piece, positive=True))
+                pieces.append(self._invert_interval_signed(piece, positive=False))
+            else:
+                raise TypeError("Unexpected outcome component %r." % (piece,))
+        return _collect(pieces)
+
+    @staticmethod
+    def _invert_interval_signed(piece: Interval, positive: bool) -> OutcomeSet:
+        """Preimage of the positive (or negative) part of an output interval."""
+        region = _POSITIVE if positive else _NEGATIVE
+        clipped = intersection(piece, region)
+        results: List[OutcomeSet] = []
+        for part in components(clipped):
+            if isinstance(part, FiniteReal):
+                inverses = [
+                    1.0 / r
+                    for r in part.values
+                    if r != 0.0 and math.isfinite(1.0 / r)
+                ]
+                if inverses:
+                    results.append(FiniteReal(inverses))
+                continue
+            if not isinstance(part, Interval):
+                continue
+            a, b = part.left, part.right
+            a_open, b_open = part.left_open, part.right_open
+            # The map w -> 1/w is a decreasing bijection on each sign region.
+            if b == math.inf:
+                new_left, new_left_open = 0.0, True
+            elif b == 0.0:
+                new_left, new_left_open = -math.inf, True
+            else:
+                new_left, new_left_open = 1.0 / b, b_open
+            if a == -math.inf:
+                new_right, new_right_open = 0.0, True
+            elif a == 0.0:
+                new_right, new_right_open = math.inf, True
+            else:
+                new_right, new_right_open = 1.0 / a, a_open
+            results.append(interval(new_left, new_right, new_left_open, new_right_open))
+        return _collect(results)
+
+    def _key(self):
+        return ("Reciprocal", self._subexpr._key())
+
+    def __repr__(self) -> str:
+        return "Reciprocal(%r)" % (self._subexpr,)
+
+
+class Abs(_UnaryTransform):
+    """The absolute value transform ``|subexpr|``."""
+
+    def evaluate(self, x: float) -> float:
+        inner = self._subexpr.evaluate(x)
+        if math.isnan(inner):
+            return math.nan
+        return abs(inner)
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        pieces: List[OutcomeSet] = []
+        for piece in components(values):
+            if isinstance(piece, FiniteNominal):
+                continue
+            clipped = intersection(piece, _NON_NEGATIVE)
+            for part in components(clipped):
+                pieces.append(part)
+                pieces.append(_mirror(part))
+        return _collect(pieces)
+
+    def _key(self):
+        return ("Abs", self._subexpr._key())
+
+    def __repr__(self) -> str:
+        return "Abs(%r)" % (self._subexpr,)
+
+
+def _mirror(piece: OutcomeSet) -> OutcomeSet:
+    """Reflect a real outcome set about zero."""
+    if isinstance(piece, FiniteReal):
+        return FiniteReal([-r for r in piece.values])
+    if isinstance(piece, Interval):
+        return interval(-piece.right, -piece.left, piece.right_open, piece.left_open)
+    return EMPTY_SET
+
+
+class Radical(_UnaryTransform):
+    """The n-th root transform ``subexpr ** (1/degree)`` on ``[0, inf)``."""
+
+    def __init__(self, subexpr: Transform, degree: int):
+        super().__init__(subexpr)
+        degree = int(degree)
+        if degree < 2:
+            raise ValueError("Radical degree must be an integer >= 2.")
+        self.degree = degree
+
+    def _rebuild(self, subexpr: Transform) -> Transform:
+        return Radical(subexpr, self.degree)
+
+    def evaluate(self, x: float) -> float:
+        inner = self._subexpr.evaluate(x)
+        if math.isnan(inner) or inner < 0.0:
+            return math.nan
+        return inner ** (1.0 / self.degree)
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        pieces: List[OutcomeSet] = []
+        for piece in components(values):
+            if isinstance(piece, FiniteNominal):
+                continue
+            clipped = intersection(piece, _NON_NEGATIVE)
+            for part in components(clipped):
+                if isinstance(part, FiniteReal):
+                    powered = [
+                        r ** self.degree
+                        for r in part.values
+                        if math.isfinite(r ** self.degree)
+                    ]
+                    if powered:
+                        pieces.append(FiniteReal(powered))
+                elif isinstance(part, Interval):
+                    left = part.left ** self.degree if math.isfinite(part.left) else part.left
+                    right = part.right ** self.degree if math.isfinite(part.right) else part.right
+                    pieces.append(interval(left, right, part.left_open, part.right_open))
+        return _collect(pieces)
+
+    def _key(self):
+        return ("Radical", self._subexpr._key(), self.degree)
+
+    def __repr__(self) -> str:
+        return "Radical(%r, %d)" % (self._subexpr, self.degree)
+
+
+class Exp(_UnaryTransform):
+    """The exponential transform ``base ** subexpr`` with ``base > 0, != 1``."""
+
+    def __init__(self, subexpr: Transform, base: float = math.e):
+        super().__init__(subexpr)
+        base = float(base)
+        if base <= 0 or base == 1.0:
+            raise ValueError("Exp base must be positive and not equal to one.")
+        self.base = base
+
+    def _rebuild(self, subexpr: Transform) -> Transform:
+        return Exp(subexpr, self.base)
+
+    def evaluate(self, x: float) -> float:
+        inner = self._subexpr.evaluate(x)
+        if math.isnan(inner):
+            return math.nan
+        try:
+            return self.base ** inner
+        except OverflowError:
+            return math.inf
+
+    def _log(self, value: float) -> float:
+        if value == 0.0:
+            return -math.inf if self.base > 1 else math.inf
+        if value == math.inf:
+            return math.inf if self.base > 1 else -math.inf
+        return math.log(value, self.base)
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        pieces: List[OutcomeSet] = []
+        increasing = self.base > 1
+        for piece in components(values):
+            if isinstance(piece, FiniteNominal):
+                continue
+            clipped = intersection(piece, _POSITIVE)
+            for part in components(clipped):
+                if isinstance(part, FiniteReal):
+                    pieces.append(FiniteReal([self._log(r) for r in part.values if r > 0]))
+                elif isinstance(part, Interval):
+                    lo, hi = self._log(part.left), self._log(part.right)
+                    if increasing:
+                        pieces.append(interval(lo, hi, part.left_open, part.right_open))
+                    else:
+                        pieces.append(interval(hi, lo, part.right_open, part.left_open))
+        return _collect(pieces)
+
+    def _key(self):
+        return ("Exp", self._subexpr._key(), self.base)
+
+    def __repr__(self) -> str:
+        return "Exp(%r, base=%g)" % (self._subexpr, self.base)
+
+
+class Log(_UnaryTransform):
+    """The logarithm transform ``log_base(subexpr)`` on ``(0, inf)``."""
+
+    def __init__(self, subexpr: Transform, base: float = math.e):
+        super().__init__(subexpr)
+        base = float(base)
+        if base <= 0 or base == 1.0:
+            raise ValueError("Log base must be positive and not equal to one.")
+        self.base = base
+
+    def _rebuild(self, subexpr: Transform) -> Transform:
+        return Log(subexpr, self.base)
+
+    def evaluate(self, x: float) -> float:
+        inner = self._subexpr.evaluate(x)
+        if math.isnan(inner) or inner <= 0.0:
+            return math.nan
+        return math.log(inner, self.base)
+
+    def _pow(self, value: float) -> float:
+        if value == -math.inf:
+            return 0.0 if self.base > 1 else math.inf
+        if value == math.inf:
+            return math.inf if self.base > 1 else 0.0
+        try:
+            return self.base ** value
+        except OverflowError:
+            return math.inf
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        pieces: List[OutcomeSet] = []
+        increasing = self.base > 1
+        for piece in components(values):
+            if isinstance(piece, FiniteNominal):
+                continue
+            if isinstance(piece, FiniteReal):
+                powered = [
+                    self._pow(r) for r in piece.values if math.isfinite(self._pow(r))
+                ]
+                if powered:
+                    pieces.append(FiniteReal(powered))
+            elif isinstance(piece, Interval):
+                lo, hi = self._pow(piece.left), self._pow(piece.right)
+                if increasing:
+                    pieces.append(interval(lo, hi, piece.left_open, piece.right_open))
+                else:
+                    pieces.append(interval(hi, lo, piece.right_open, piece.left_open))
+            else:
+                raise TypeError("Unexpected outcome component %r." % (piece,))
+        return _collect(pieces)
+
+    def _key(self):
+        return ("Log", self._subexpr._key(), self.base)
+
+    def __repr__(self) -> str:
+        return "Log(%r, base=%g)" % (self._subexpr, self.base)

@@ -1,0 +1,62 @@
+"""The identity transform, i.e. a bare program variable."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..sets import OutcomeSet
+from .base import Transform
+
+
+class Identity(Transform):
+    """The identity transform ``Id(x)`` over a named program variable."""
+
+    def __init__(self, token: str):
+        if not isinstance(token, str) or not token:
+            raise ValueError("Identity requires a non-empty variable name.")
+        self.token = token
+
+    @property
+    def subexpr(self) -> "Identity":
+        return self
+
+    def get_symbols(self) -> FrozenSet[str]:
+        return frozenset([self.token])
+
+    @property
+    def symbol(self) -> str:
+        return self.token
+
+    def substitute(self, symbol: str, replacement: Transform) -> Transform:
+        if symbol == self.token:
+            return replacement
+        return self
+
+    def rename(self, mapping) -> Transform:
+        if self.token in mapping:
+            return Identity(mapping[self.token])
+        return self
+
+    def evaluate(self, x: float) -> float:
+        return x
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        return values
+
+    def invert(self, values: OutcomeSet) -> OutcomeSet:
+        return values
+
+    def _key(self):
+        return ("Identity", self.token)
+
+    def __repr__(self) -> str:
+        return "Id(%r)" % (self.token,)
+
+    def __getitem__(self, index) -> "Identity":
+        """Array-style indexing: ``Id('X')[3]`` names the variable ``X[3]``."""
+        return Identity("%s[%d]" % (self.token, int(index)))
+
+
+def Id(token: str) -> Identity:
+    """Convenience constructor for :class:`Identity`."""
+    return Identity(token)

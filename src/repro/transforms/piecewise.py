@@ -1,0 +1,93 @@
+"""Piecewise transforms: a transform defined by cases over events."""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet
+from typing import List
+from typing import Sequence
+from typing import Tuple
+
+from ..sets import EMPTY_SET
+from ..sets import OutcomeSet
+from ..sets import intersection
+from ..sets import union
+from .base import Transform
+from .identity import Identity
+
+
+class Piecewise(Transform):
+    """A transform defined piecewise: ``t_i(x)`` whenever ``x`` satisfies ``e_i``.
+
+    All branch transforms and branch events must mention the same single
+    variable.  The branches are evaluated in order; the transform is
+    undefined outside the union of the branch events.
+    """
+
+    def __init__(self, branches: Sequence[Tuple[Transform, "object"]]):
+        branches = list(branches)
+        if not branches:
+            raise ValueError("Piecewise requires at least one branch.")
+        symbols = set()
+        for transform, event in branches:
+            if not isinstance(transform, Transform):
+                raise TypeError("Piecewise branch transform expected, got %r." % (transform,))
+            symbols |= set(transform.get_symbols())
+            symbols |= set(event.get_symbols())
+        if len(symbols) != 1:
+            raise ValueError(
+                "Piecewise branches must all mention the same single variable "
+                "(got %r)." % (sorted(symbols),)
+            )
+        self._symbol = next(iter(symbols))
+        self.branches = tuple((t, e) for (t, e) in branches)
+
+    @property
+    def subexpr(self) -> Transform:
+        return Identity(self._symbol)
+
+    def get_symbols(self) -> FrozenSet[str]:
+        return frozenset([self._symbol])
+
+    def substitute(self, symbol: str, replacement: Transform) -> Transform:
+        if symbol != self._symbol:
+            return self
+        if not isinstance(replacement, Identity):
+            raise ValueError(
+                "Piecewise transforms may only be renamed, not composed "
+                "(attempted substitution of %r)." % (replacement,)
+            )
+        return self.rename({symbol: replacement.token})
+
+    def rename(self, mapping) -> Transform:
+        return Piecewise(
+            [(t.rename(mapping), e.rename(mapping)) for (t, e) in self.branches]
+        )
+
+    def evaluate(self, x: float) -> float:
+        for transform, event in self.branches:
+            if event.evaluate({self._symbol: x}):
+                return transform.evaluate(x)
+        return math.nan
+
+    def invert_level(self, values: OutcomeSet) -> OutcomeSet:
+        return self.invert(values)
+
+    def invert(self, values: OutcomeSet) -> OutcomeSet:
+        pieces: List[OutcomeSet] = []
+        for transform, event in self.branches:
+            region = intersection(transform.invert(values), event.solve())
+            if not region.is_empty:
+                pieces.append(region)
+        if not pieces:
+            return EMPTY_SET
+        return union(*pieces)
+
+    def _key(self):
+        return (
+            "Piecewise",
+            tuple((t._key(), repr(e)) for (t, e) in self.branches),
+        )
+
+    def __repr__(self) -> str:
+        return "Piecewise(%s)" % (list(self.branches),)

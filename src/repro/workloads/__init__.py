@@ -1,0 +1,28 @@
+"""Benchmark workloads: every model used in the paper's evaluation.
+
+* :mod:`repro.workloads.indian_gpa`      -- the Indian GPA model (Fig. 2),
+* :mod:`repro.workloads.transforms_demo` -- the piecewise transform model (Fig. 4),
+* :mod:`repro.workloads.hmm`             -- the hierarchical HMM (Sec. 2.2, Fig. 3),
+* :mod:`repro.workloads.table1_models`   -- the seven compression benchmarks (Table 1),
+* :mod:`repro.workloads.fairness`        -- decision trees + population models (Table 2),
+* :mod:`repro.workloads.psi_benchmarks`  -- the PSI comparison programs (Tables 3-4),
+* :mod:`repro.workloads.rare_events`     -- the rare-event Bayes net (Fig. 8).
+"""
+
+from . import fairness
+from . import hmm
+from . import indian_gpa
+from . import psi_benchmarks
+from . import rare_events
+from . import table1_models
+from . import transforms_demo
+
+__all__ = [
+    "fairness",
+    "hmm",
+    "indian_gpa",
+    "psi_benchmarks",
+    "rare_events",
+    "table1_models",
+    "transforms_demo",
+]

@@ -1,0 +1,26 @@
+"""Fairness verification workloads (Sec. 6.1, Table 2).
+
+The benchmark family follows Albarghouthi et al. (FairSquare): a *population
+program* generates random job applicants, a *decision program* (a decision
+tree over the applicant's features) decides whether to hire, and the
+verification task is to decide whether the decision program is epsilon-fair
+(Eq. 7) with respect to a minority attribute.
+"""
+
+from .decision_trees import DECISION_TREES
+from .decision_trees import decision_tree_program
+from .population import POPULATION_MODELS
+from .population import population_program
+from .verifier import FAIRNESS_BENCHMARKS
+from .verifier import FairnessTask
+from .verifier import sppl_fairness_judgment
+
+__all__ = [
+    "DECISION_TREES",
+    "FAIRNESS_BENCHMARKS",
+    "FairnessTask",
+    "POPULATION_MODELS",
+    "decision_tree_program",
+    "population_program",
+    "sppl_fairness_judgment",
+]

@@ -1,0 +1,148 @@
+"""Decision-tree decision programs for the fairness benchmarks (Table 2).
+
+The paper evaluates machine-learned decision trees of increasing size (the
+subscript counts the number of conditionals): DT4, DT14, DT16, DT16a and
+DT44.  The learned thresholds are not published, so this module rebuilds the
+benchmark family as deterministic decision trees of the same sizes over the
+same applicant features; see DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+from ...compiler import Command
+from ...compiler import IfElse
+from ...compiler import Sample
+from ...distributions import atomic
+from ...events import Event
+from ...transforms import Id
+
+#: Feature name, lower bound, upper bound, and fairness-relevant weight.
+_FEATURES: List[Tuple[str, float, float, float]] = [
+    ("capital_gain", 0.0, 6000.0, 2.0),
+    ("education_num", 6.0, 14.0, 1.0),
+    ("age", 25.0, 55.0, 1.0),
+    ("hours_per_week", 25.0, 50.0, 1.0),
+]
+
+#: The decision variable defined by every decision program.
+HIRE_EVENT: Event = Id("hire") == 1
+
+
+@dataclass
+class _TreeNode:
+    """Internal node (feature split) or leaf (hire decision) of a decision tree."""
+
+    feature: Optional[str] = None
+    threshold: Optional[float] = None
+    low: Optional["_TreeNode"] = None
+    high: Optional["_TreeNode"] = None
+    decision: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.decision is not None
+
+    def count_conditionals(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + self.low.count_conditionals() + self.high.count_conditionals()
+
+
+def _build_tree(
+    budget: int,
+    depth: int,
+    bounds: Dict[str, Tuple[float, float]],
+    score: float,
+    total_weight: float,
+    threshold_scale: float,
+) -> _TreeNode:
+    """Recursively build a balanced decision tree with ``budget`` conditionals."""
+    if budget == 0:
+        decision = 1 if score * 2.0 >= total_weight else 0
+        return _TreeNode(decision=decision)
+    name, _lo, _hi, weight = _FEATURES[depth % len(_FEATURES)]
+    lo, hi = bounds[name]
+    threshold = (lo + hi) / 2.0 * threshold_scale
+    threshold = min(max(threshold, lo), hi)
+    low_budget = (budget - 1) // 2
+    high_budget = budget - 1 - low_budget
+    low_bounds = dict(bounds)
+    low_bounds[name] = (lo, threshold)
+    high_bounds = dict(bounds)
+    high_bounds[name] = (threshold, hi)
+    return _TreeNode(
+        feature=name,
+        threshold=threshold,
+        low=_build_tree(
+            low_budget, depth + 1, low_bounds, score, total_weight + weight, threshold_scale
+        ),
+        high=_build_tree(
+            high_budget,
+            depth + 1,
+            high_bounds,
+            score + weight,
+            total_weight + weight,
+            threshold_scale,
+        ),
+    )
+
+
+def _tree_to_command(node: _TreeNode) -> Command:
+    """Translate a decision tree into an SPPL decision program."""
+    if node.is_leaf:
+        return Sample("hire", atomic(float(node.decision)))
+    guard = Id(node.feature) < node.threshold
+    return IfElse(
+        [
+            (guard, _tree_to_command(node.low)),
+            (None, _tree_to_command(node.high)),
+        ]
+    )
+
+
+def _make_tree(n_conditionals: int, threshold_scale: float = 1.0) -> _TreeNode:
+    bounds = {name: (lo, hi) for name, lo, hi, _ in _FEATURES}
+    tree = _build_tree(n_conditionals, 0, bounds, 0.0, 0.0, threshold_scale)
+    assert tree.count_conditionals() == n_conditionals
+    return tree
+
+
+def decision_tree_program(name: str) -> Command:
+    """Build a named decision-tree decision program (e.g. ``'DT16'``)."""
+    if name not in DECISION_TREES:
+        raise KeyError(
+            "Unknown decision tree %r; available: %s" % (name, sorted(DECISION_TREES))
+        )
+    n_conditionals, threshold_scale = DECISION_TREES[name]
+    return _tree_to_command(_make_tree(n_conditionals, threshold_scale))
+
+
+#: Named decision trees: (number of conditionals, threshold scaling factor).
+#: ``DT16a`` is the alpha-variant of DT16 with shifted thresholds, as in Table 2.
+DECISION_TREES: Dict[str, Tuple[int, float]] = {
+    "DT4": (4, 1.0),
+    "DT14": (14, 1.0),
+    "DT16": (16, 1.0),
+    "DT16a": (16, 1.12),
+    "DT44": (44, 1.0),
+}
+
+
+def decision_tree_conditionals(name: str) -> int:
+    """Number of conditionals in a named decision tree."""
+    return DECISION_TREES[name][0]
+
+
+def all_decision_trees() -> List[str]:
+    """Names of all decision trees, ordered by size."""
+    return sorted(DECISION_TREES, key=lambda name: DECISION_TREES[name][0])
+
+
+DecisionTreeBuilder = Callable[[], Command]

@@ -1,0 +1,174 @@
+"""Population models for the fairness benchmarks (Table 2).
+
+Three population programs over job-applicant features, mirroring the three
+population models used by FairSquare for its decision-tree benchmarks: a
+fully independent model and two Bayesian networks in which the applicant's
+demographic attribute influences the other features.  The feature names and
+parameter magnitudes follow the adult-income data conventions used by the
+original benchmarks (re-implemented; see DESIGN.md).
+
+Features:
+
+* ``sex``             -- 1 for the minority group, 0 otherwise,
+* ``age``             -- years,
+* ``education_num``   -- years of education,
+* ``capital_gain``    -- yearly capital gains in dollars,
+* ``hours_per_week``  -- working hours per week.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+from typing import Dict
+
+from ...compiler import Command
+from ...compiler import IfElse
+from ...compiler import Sample
+from ...compiler import Sequence
+from ...distributions import bernoulli
+from ...distributions import normal
+from ...events import Event
+from ...transforms import Id
+
+SEX = Id("sex")
+AGE = Id("age")
+EDUCATION = Id("education_num")
+CAPITAL_GAIN = Id("capital_gain")
+HOURS = Id("hours_per_week")
+
+#: The protected (minority) group predicate.
+MINORITY_EVENT: Event = SEX == 1
+
+#: The qualification predicate used in the fairness ratio (Eq. 7).
+QUALIFIED_EVENT: Event = AGE > 18
+
+
+def independent_population() -> Command:
+    """All features independent of the protected attribute."""
+    return Sequence(
+        [
+            Sample("sex", bernoulli(0.3307)),
+            Sample("age", normal(38.58, 13.64)),
+            Sample("education_num", normal(10.08, 3.87)),
+            Sample("capital_gain", normal(1077.65, 7385.29)),
+            Sample("hours_per_week", normal(40.44, 12.35)),
+        ]
+    )
+
+
+def bayes_net_1_population() -> Command:
+    """Bayes net 1: capital gain depends on sex; age and education on capital gain."""
+
+    def given_sex(capital_mean: float, capital_std: float) -> Command:
+        return Sequence(
+            [
+                Sample("capital_gain", normal(capital_mean, capital_std)),
+                IfElse(
+                    [
+                        (
+                            CAPITAL_GAIN < 7298.0,
+                            Sequence(
+                                [
+                                    Sample("age", normal(38.4, 13.3)),
+                                    Sample("education_num", normal(10.0, 3.8)),
+                                ]
+                            ),
+                        ),
+                        (
+                            None,
+                            Sequence(
+                                [
+                                    Sample("age", normal(44.2, 11.1)),
+                                    Sample("education_num", normal(12.8, 2.4)),
+                                ]
+                            ),
+                        ),
+                    ]
+                ),
+            ]
+        )
+
+    return Sequence(
+        [
+            Sample("sex", bernoulli(0.3307)),
+            IfElse(
+                [
+                    (SEX == 1, given_sex(568.41, 2400.0)),
+                    (None, given_sex(1329.37, 8100.0)),
+                ]
+            ),
+            Sample("hours_per_week", normal(40.44, 12.35)),
+        ]
+    )
+
+
+def bayes_net_2_population() -> Command:
+    """Bayes net 2: adds a dependence of working hours on sex and education."""
+
+    def hours_given(education_threshold: float, low_mean: float, high_mean: float) -> Command:
+        return IfElse(
+            [
+                (EDUCATION < education_threshold, Sample("hours_per_week", normal(low_mean, 11.0))),
+                (None, Sample("hours_per_week", normal(high_mean, 11.5))),
+            ]
+        )
+
+    def given_sex(capital_mean: float, capital_std: float, low_hours: float, high_hours: float) -> Command:
+        return Sequence(
+            [
+                Sample("capital_gain", normal(capital_mean, capital_std)),
+                IfElse(
+                    [
+                        (
+                            CAPITAL_GAIN < 7298.0,
+                            Sequence(
+                                [
+                                    Sample("age", normal(38.4, 13.3)),
+                                    Sample("education_num", normal(10.0, 3.8)),
+                                ]
+                            ),
+                        ),
+                        (
+                            None,
+                            Sequence(
+                                [
+                                    Sample("age", normal(44.2, 11.1)),
+                                    Sample("education_num", normal(12.8, 2.4)),
+                                ]
+                            ),
+                        ),
+                    ]
+                ),
+                hours_given(10.0, low_hours, high_hours),
+            ]
+        )
+
+    return Sequence(
+        [
+            Sample("sex", bernoulli(0.3307)),
+            IfElse(
+                [
+                    (SEX == 1, given_sex(568.41, 2400.0, 36.5, 40.2)),
+                    (None, given_sex(1329.37, 8100.0, 40.1, 44.5)),
+                ]
+            ),
+        ]
+    )
+
+
+#: Registry of population models keyed by the names used in Table 2.
+POPULATION_MODELS: Dict[str, Callable[[], Command]] = {
+    "independent": independent_population,
+    "bayes_net_1": bayes_net_1_population,
+    "bayes_net_2": bayes_net_2_population,
+}
+
+
+def population_program(name: str) -> Command:
+    """Build a population model by name."""
+    if name not in POPULATION_MODELS:
+        raise KeyError(
+            "Unknown population model %r; available: %s"
+            % (name, sorted(POPULATION_MODELS))
+        )
+    return POPULATION_MODELS[name]()

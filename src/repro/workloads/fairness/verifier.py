@@ -1,0 +1,114 @@
+"""The fairness verification harness (Eq. 7 of the paper).
+
+A decision program ``D`` is epsilon-fair on a population ``H`` when::
+
+    P[D hires | minority and qualified]
+    ------------------------------------  >  1 - epsilon
+    P[D hires | majority and qualified]
+
+SPPL computes both conditional probabilities exactly by translating the
+combined population + decision program once and conditioning it twice.  The
+sampling baseline (:class:`repro.baselines.SamplingFairnessVerifier`)
+estimates the same ratio by simulation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+from typing import Tuple
+
+from ...compiler import Command
+from ...compiler import Sequence
+from ...compiler import render_spe
+from ...engine import SpplModel
+from .decision_trees import HIRE_EVENT
+from .decision_trees import decision_tree_program
+from .population import MINORITY_EVENT
+from .population import QUALIFIED_EVENT
+from .population import population_program
+
+#: Default fairness tolerance used by the benchmarks.
+DEFAULT_EPSILON = 0.15
+
+
+@dataclass
+class FairnessTask:
+    """One row of Table 2: a decision tree paired with a population model."""
+
+    decision_tree: str
+    population: str
+
+    @property
+    def name(self) -> str:
+        return "%s/%s" % (self.decision_tree, self.population)
+
+    def program(self) -> Command:
+        """The combined population + decision program."""
+        return Sequence(
+            [population_program(self.population), decision_tree_program(self.decision_tree)]
+        )
+
+    def lines_of_code(self) -> int:
+        """Number of SPPL source lines of the combined program."""
+        model = SpplModel.from_command(self.program())
+        return len(render_spe(model.spe).strip().splitlines())
+
+
+@dataclass
+class FairnessResult:
+    """Outcome of an exact fairness verification."""
+
+    task: str
+    fair: bool
+    ratio: float
+    p_minority: float
+    p_majority: float
+    translate_seconds: float
+    query_seconds: float
+
+    @property
+    def judgment(self) -> str:
+        return "Fair" if self.fair else "Unfair"
+
+    @property
+    def total_seconds(self) -> float:
+        return self.translate_seconds + self.query_seconds
+
+
+def sppl_fairness_judgment(task: FairnessTask, epsilon: float = DEFAULT_EPSILON) -> FairnessResult:
+    """Verify a fairness task exactly using SPPL."""
+    start = time.perf_counter()
+    model = SpplModel.from_command(task.program())
+    translate_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    minority_model = model.condition(MINORITY_EVENT & QUALIFIED_EVENT)
+    majority_model = model.condition(MINORITY_EVENT.negate() & QUALIFIED_EVENT)
+    p_minority = minority_model.prob(HIRE_EVENT)
+    p_majority = majority_model.prob(HIRE_EVENT)
+    ratio = p_minority / p_majority if p_majority > 0 else float("inf")
+    query_seconds = time.perf_counter() - start
+
+    return FairnessResult(
+        task=task.name,
+        fair=bool(ratio > 1.0 - epsilon),
+        ratio=ratio,
+        p_minority=p_minority,
+        p_majority=p_majority,
+        translate_seconds=translate_seconds,
+        query_seconds=query_seconds,
+    )
+
+
+def _benchmark_grid() -> List[FairnessTask]:
+    tasks: List[FairnessTask] = []
+    for tree in ("DT4", "DT14", "DT16", "DT16a", "DT44"):
+        for population in ("independent", "bayes_net_1", "bayes_net_2"):
+            tasks.append(FairnessTask(decision_tree=tree, population=population))
+    return tasks
+
+
+#: The 15 verification tasks of Table 2 (5 decision trees x 3 population models).
+FAIRNESS_BENCHMARKS: Tuple[FairnessTask, ...] = tuple(_benchmark_grid())

@@ -1,0 +1,67 @@
+"""The Indian GPA problem (Sec. 2.1, Fig. 2).
+
+A canonical mixed-type model: a student's GPA is either an exact atom (a
+perfect score) or a continuous uniform draw, with the support depending on
+the student's nationality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+from typing import List
+
+from ..engine import SpplModel
+from ..events import Event
+from ..transforms import Id
+
+#: The SPPL source program of Fig. 2a.
+SOURCE = """
+Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+if (Nationality == 'India'):
+    Perfect ~ bernoulli(p=0.10)
+    if Perfect:
+        GPA ~ atomic(10)
+    else:
+        GPA ~ uniform(0, 10)
+else:
+    Perfect ~ bernoulli(p=0.15)
+    if Perfect:
+        GPA ~ atomic(4)
+    else:
+        GPA ~ uniform(0, 4)
+"""
+
+Nationality = Id("Nationality")
+Perfect = Id("Perfect")
+GPA = Id("GPA")
+
+
+def model() -> SpplModel:
+    """Translate the Indian GPA program into a model."""
+    return SpplModel.from_source(SOURCE)
+
+
+def conditioning_event() -> Event:
+    """The conditioning event of Fig. 2f."""
+    return ((Nationality == "USA") & (GPA > 3)) | ((GPA > 8) & (GPA < 10))
+
+
+def prior_gpa_cdf(model_: SpplModel, grid: List[float] = None) -> Dict[float, float]:
+    """The marginal CDF of GPA (the query of Fig. 2b) on a grid of points."""
+    grid = grid if grid is not None else [x / 10.0 for x in range(0, 121)]
+    return {g: model_.prob(GPA <= g) for g in grid}
+
+
+def marginals(model_: SpplModel) -> Dict[str, Dict[object, float]]:
+    """Prior or posterior marginals of the three program variables (Fig. 2e/2h)."""
+    return {
+        "Nationality": {
+            "India": model_.prob(Nationality == "India"),
+            "USA": model_.prob(Nationality == "USA"),
+        },
+        "Perfect": {
+            0: model_.prob(Perfect == 0),
+            1: model_.prob(Perfect == 1),
+        },
+        "GPA": prior_gpa_cdf(model_),
+    }

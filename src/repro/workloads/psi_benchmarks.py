@@ -1,0 +1,492 @@
+"""The PSI comparison benchmarks of Tables 3 and 4.
+
+Each benchmark bundles an SPPL program, a set of observation datasets, and a
+fixed posterior query.  The multi-stage SPPL workflow translates the program
+once, conditions it once per dataset, and queries each posterior; the
+single-stage baseline (:class:`repro.baselines.PathEnumerationSolver`)
+re-solves the whole program per dataset, as PSI does (Fig. 7).
+
+Datasets are synthesized by forward-simulating the generative program with a
+fixed seed (the original PSI benchmark datasets are not distributed with the
+paper); the dataset *sizes* and distribution signatures match Table 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Callable
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Tuple
+from typing import Union
+
+import numpy as np
+
+from ..baselines import PathEnumerationSolver
+from ..baselines import PathExplosionError
+from ..compiler import Command
+from ..compiler import Condition
+from ..compiler import For
+from ..compiler import IfElse
+from ..compiler import Sample
+from ..compiler import Sequence
+from ..compiler import Switch
+from ..distributions import bernoulli
+from ..distributions import beta
+from ..distributions import binomial
+from ..distributions import choice
+from ..distributions import gamma
+from ..distributions import normal
+from ..distributions import poisson
+from ..engine import SpplModel
+from ..events import Event
+from ..transforms import Id
+from ..transforms import exp as exp_t
+from ..transforms import log as log_t
+from . import hmm
+from .table1_models import clinical_trial
+
+#: A dataset is either equality observations (constrain) or an event (condition).
+Dataset = Union[Dict[str, float], Event]
+
+
+@dataclass
+class PsiBenchmark:
+    """One row of Table 4."""
+
+    name: str
+    signature: str
+    build: Callable[[], Command]
+    datasets: List[Dataset]
+    query: Event
+    notes: str = ""
+
+    @property
+    def n_datasets(self) -> int:
+        return len(self.datasets)
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock timings of a multi-stage SPPL run (Table 4 columns)."""
+
+    translate: float
+    condition: List[float] = field(default_factory=list)
+    query: List[float] = field(default_factory=list)
+    answers: List[float] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return self.translate + sum(self.condition) + sum(self.query)
+
+
+def apply_dataset(model: SpplModel, dataset: Dataset) -> SpplModel:
+    """Condition a model on a dataset (equality observations or an event)."""
+    if isinstance(dataset, dict):
+        return model.constrain(dataset)
+    return model.condition(dataset)
+
+
+def run_sppl(benchmark: PsiBenchmark) -> StageTimings:
+    """Run a benchmark with the multi-stage SPPL workflow, timing each stage."""
+    start = time.perf_counter()
+    model = SpplModel.from_command(benchmark.build())
+    timings = StageTimings(translate=time.perf_counter() - start)
+    for dataset in benchmark.datasets:
+        start = time.perf_counter()
+        posterior = apply_dataset(model, dataset)
+        timings.condition.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        answer = posterior.prob(benchmark.query)
+        timings.query.append(time.perf_counter() - start)
+        timings.answers.append(answer)
+    return timings
+
+
+@dataclass
+class BaselineOutcome:
+    """Outcome of the single-stage path-enumeration baseline on one benchmark."""
+
+    per_dataset_seconds: List[float]
+    answers: List[Optional[float]]
+    failed: bool
+    failure_reason: str = ""
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_dataset_seconds)
+
+
+def run_baseline(benchmark: PsiBenchmark, max_paths: int = 50000) -> BaselineOutcome:
+    """Run a benchmark with the single-stage exact baseline (PSI substitute)."""
+    per_dataset: List[float] = []
+    answers: List[Optional[float]] = []
+    for dataset in benchmark.datasets:
+        solver = PathEnumerationSolver(benchmark.build(), max_paths=max_paths)
+        observations = dataset if isinstance(dataset, dict) else None
+        condition = dataset if isinstance(dataset, Event) else None
+        start = time.perf_counter()
+        try:
+            answer = solver.query_probability(
+                benchmark.query, observations=observations, condition=condition
+            )
+            answers.append(answer)
+        except PathExplosionError as error:
+            return BaselineOutcome(
+                per_dataset_seconds=per_dataset,
+                answers=answers,
+                failed=True,
+                failure_reason=str(error),
+            )
+        per_dataset.append(time.perf_counter() - start)
+    return BaselineOutcome(per_dataset_seconds=per_dataset, answers=answers, failed=False)
+
+
+# ---------------------------------------------------------------------------
+# Digit recognition: categorical class with 784 Bernoulli pixels.
+# ---------------------------------------------------------------------------
+
+_N_PIXELS = 784
+_N_CLASSES = 10
+
+
+def _digit_theta(digit: int, pixel: int) -> float:
+    """Synthetic per-class pixel activation probabilities (deterministic)."""
+    row, col = divmod(pixel, 28)
+    lit = (row * (digit + 3) + col * (digit + 7)) % 13 < 4
+    return 0.85 if lit else 0.08
+
+
+def digit_recognition_program(n_pixels: int = _N_PIXELS) -> Command:
+    """Naive-Bayes digit model: class ~ categorical(10), pixels ~ Bernoulli."""
+    digits = ["digit_%d" % (d,) for d in range(_N_CLASSES)]
+
+    def pixels_for(digit_name: str) -> Command:
+        digit = int(digit_name.split("_")[1])
+        return Sequence(
+            [
+                Sample("pixel[%d]" % (j,), bernoulli(_digit_theta(digit, j)))
+                for j in range(n_pixels)
+            ]
+        )
+
+    return Sequence(
+        [
+            Sample("digit", choice({name: 1.0 / _N_CLASSES for name in digits})),
+            Switch("digit", digits, pixels_for),
+        ]
+    )
+
+
+def digit_recognition_datasets(
+    n_datasets: int = 10, n_pixels: int = _N_PIXELS, seed: int = 7
+) -> List[Dict[str, float]]:
+    """Synthesize observed pixel vectors, one per dataset."""
+    rng = np.random.default_rng(seed)
+    datasets = []
+    for index in range(n_datasets):
+        digit = index % _N_CLASSES
+        observation = {
+            "pixel[%d]" % (j,): float(rng.random() < _digit_theta(digit, j))
+            for j in range(n_pixels)
+        }
+        datasets.append(observation)
+    return datasets
+
+
+def digit_recognition_benchmark(
+    n_datasets: int = 10, n_pixels: int = _N_PIXELS
+) -> PsiBenchmark:
+    return PsiBenchmark(
+        name="Digit Recognition",
+        signature="C x B^%d" % (n_pixels,),
+        build=lambda: digit_recognition_program(n_pixels),
+        datasets=digit_recognition_datasets(n_datasets, n_pixels),
+        query=Id("digit") == "digit_0",
+    )
+
+
+# ---------------------------------------------------------------------------
+# TrueSkill: truncated Poisson skills with Binomial performances.
+# ---------------------------------------------------------------------------
+
+_MAX_SKILL = 20
+
+
+def trueskill_program() -> Command:
+    """Two-player TrueSkill-style model with Poisson skills (Laurel et al.)."""
+
+    def player(name: str) -> Command:
+        skill = "skill_%s" % (name,)
+        perf = "perf_%s" % (name,)
+        return Sequence(
+            [
+                Sample(skill, poisson(10.0)),
+                Condition(Id(skill) <= _MAX_SKILL),
+                Switch(
+                    skill,
+                    list(range(_MAX_SKILL + 1)),
+                    lambda k, perf=perf: Sample(
+                        perf, binomial(max(int(k), 1), 0.75)
+                    ),
+                ),
+            ]
+        )
+
+    return Sequence([player("a"), player("b")])
+
+
+def trueskill_datasets(n_datasets: int = 2, seed: int = 11) -> List[Dict[str, float]]:
+    rng = np.random.default_rng(seed)
+    datasets = []
+    program = trueskill_program()
+    for _ in range(n_datasets):
+        assignment: Dict[str, object] = {}
+        while not program.execute(assignment, rng):
+            assignment = {}
+        datasets.append(
+            {"perf_a": float(assignment["perf_a"]), "perf_b": float(assignment["perf_b"])}
+        )
+    return datasets
+
+
+def trueskill_benchmark(n_datasets: int = 2) -> PsiBenchmark:
+    return PsiBenchmark(
+        name="TrueSkill",
+        signature="P x Bi^2",
+        build=trueskill_program,
+        datasets=trueskill_datasets(n_datasets),
+        query=Id("skill_a") >= 12,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Clinical trial (shared with Table 1) conditioned on patient outcomes.
+# ---------------------------------------------------------------------------
+
+def clinical_trial_datasets(
+    n_datasets: int = 10, n_patients: int = 50, seed: int = 5
+) -> List[Dict[str, float]]:
+    rng = np.random.default_rng(seed)
+    datasets = []
+    for index in range(n_datasets):
+        effective = index % 2 == 0
+        p_control = 0.35
+        p_treated = 0.75 if effective else 0.35
+        observation: Dict[str, float] = {}
+        for i in range(n_patients):
+            observation["control[%d]" % (i,)] = float(rng.random() < p_control)
+            observation["treated[%d]" % (i,)] = float(rng.random() < p_treated)
+        datasets.append(observation)
+    return datasets
+
+
+def clinical_trial_benchmark(
+    n_datasets: int = 10, n_patients: int = 50, n_bins: int = 8
+) -> PsiBenchmark:
+    return PsiBenchmark(
+        name="Clinical Trial",
+        signature="B x U^3 x B^%d x B^%d" % (n_patients, n_patients),
+        build=lambda: clinical_trial(n_patients=n_patients, n_bins=n_bins),
+        datasets=clinical_trial_datasets(n_datasets, n_patients),
+        query=Id("is_effective") == 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gamma transforms: many-to-one transforms of a Gamma random variable.
+# ---------------------------------------------------------------------------
+
+def gamma_transforms_program() -> Command:
+    """X ~ Gamma(3, 1); Y = 1/exp(X^2) if X < 1 else 1/ln(X); Z = -Y^3+Y^2+6Y."""
+    X = Id("X")
+    Y = Id("Y")
+    return Sequence(
+        [
+            Sample("X", gamma(3.0, 1.0)),
+            IfElse(
+                [
+                    (X < 1, _assign("Y", 1.0 / exp_t(X ** 2))),
+                    (None, _assign("Y", 1.0 / log_t(X))),
+                ]
+            ),
+            _assign("Z", -(Y ** 3) + Y ** 2 + 6 * Y),
+        ]
+    )
+
+
+def _assign(symbol: str, expression) -> Command:
+    from ..compiler import Assign
+
+    return Assign(symbol, expression)
+
+
+def gamma_transforms_datasets() -> List[Event]:
+    """Five conditioning constraints on the transformed variable Z."""
+    Z = Id("Z")
+    return [
+        (Z > 0) & (Z < 2),
+        Z ** 2 <= 1,
+        Z > 4,
+        (Z > 1) & (Z < 3),
+        Z <= 0.5,
+    ]
+
+
+def gamma_transforms_benchmark() -> PsiBenchmark:
+    return PsiBenchmark(
+        name="Gamma Transforms",
+        signature="G x T x (T+T)",
+        build=gamma_transforms_program,
+        datasets=gamma_transforms_datasets(),
+        query=Id("Y") < 0.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Student interviews: mixed atomic/Beta GPAs with Binomial outcomes.
+# ---------------------------------------------------------------------------
+
+def student_interviews_program(n_students: int = 2) -> Command:
+    """GPA mixture with interview/offer counts per student (Laurel et al.)."""
+
+    def student(i: int) -> Command:
+        perfect = Id("perfect[%d]" % (i,))
+        gpa = Id("gpa[%d]" % (i,))
+        from ..distributions import atomic
+
+        return Sequence(
+            [
+                Sample("perfect[%d]" % (i,), bernoulli(0.2)),
+                IfElse(
+                    [
+                        (perfect == 1, Sample("gpa[%d]" % (i,), atomic(4.0))),
+                        (None, Sample("gpa[%d]" % (i,), beta(7.0, 3.0, scale=4.0))),
+                    ]
+                ),
+                IfElse(
+                    [
+                        (gpa > 3.5, Sample("interviews[%d]" % (i,), binomial(20, 0.8))),
+                        (None, Sample("interviews[%d]" % (i,), binomial(20, 0.5))),
+                    ]
+                ),
+                IfElse(
+                    [
+                        (gpa > 3.5, Sample("offers[%d]" % (i,), binomial(10, 0.6))),
+                        (None, Sample("offers[%d]" % (i,), binomial(10, 0.3))),
+                    ]
+                ),
+            ]
+        )
+
+    return Sequence(
+        [
+            Sample("num_fairs", poisson(5.0)),
+            Condition(Id("num_fairs") <= 10),
+            For(0, n_students, student),
+        ]
+    )
+
+
+def student_interviews_datasets(
+    n_students: int, n_datasets: int = 10, seed: int = 13
+) -> List[Dict[str, float]]:
+    rng = np.random.default_rng(seed)
+    program = student_interviews_program(n_students)
+    datasets = []
+    for _ in range(n_datasets):
+        assignment: Dict[str, object] = {}
+        while not program.execute(assignment, rng):
+            assignment = {}
+        observation = {}
+        for i in range(n_students):
+            observation["interviews[%d]" % (i,)] = float(assignment["interviews[%d]" % (i,)])
+            observation["offers[%d]" % (i,)] = float(assignment["offers[%d]" % (i,)])
+        datasets.append(observation)
+    return datasets
+
+
+def student_interviews_benchmark(n_students: int, n_datasets: int = 10) -> PsiBenchmark:
+    return PsiBenchmark(
+        name="Student Interviews%d" % (n_students,),
+        signature="P x B^%d x Bi^%d x (A+Be)^%d" % (n_students, 2 * n_students, n_students),
+        build=lambda: student_interviews_program(n_students),
+        datasets=student_interviews_datasets(n_students, n_datasets),
+        query=Id("gpa[0]") > 3.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Markov switching: the hierarchical HMM of Sec. 2.2.
+# ---------------------------------------------------------------------------
+
+def markov_switching_datasets(
+    n_step: int, n_datasets: int = 10, seed: int = 17
+) -> List[Dict[str, float]]:
+    datasets = []
+    for index in range(n_datasets):
+        data = hmm.simulate_data(n_step, seed=seed + index)
+        datasets.append(hmm.observation_assignment(data["x"], data["y"]))
+    return datasets
+
+
+def markov_switching_benchmark(n_step: int, n_datasets: int = 10) -> PsiBenchmark:
+    return PsiBenchmark(
+        name="Markov Switching%d" % (n_step,),
+        signature="B x B^%d x N^%d x P^%d" % (n_step, n_step, n_step),
+        build=lambda: hmm.program(n_step),
+        datasets=markov_switching_datasets(n_step, n_datasets),
+        query=Id("separated") == 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registries used by the Table 3 and Table 4 benchmark harnesses.
+# ---------------------------------------------------------------------------
+
+def table4_benchmarks(scale: float = 1.0) -> List[PsiBenchmark]:
+    """The eight benchmarks of Table 4.
+
+    ``scale`` < 1 shrinks dataset counts and model sizes proportionally so
+    the suite can run quickly in CI; ``scale=1`` reproduces the paper's
+    configuration.
+    """
+
+    def scaled(n: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(n * scale)))
+
+    return [
+        digit_recognition_benchmark(
+            n_datasets=scaled(10), n_pixels=scaled(_N_PIXELS, minimum=16)
+        ),
+        trueskill_benchmark(n_datasets=scaled(2)),
+        clinical_trial_benchmark(
+            n_datasets=scaled(10), n_patients=scaled(50, minimum=4)
+        ),
+        gamma_transforms_benchmark(),
+        student_interviews_benchmark(n_students=2, n_datasets=scaled(10)),
+        student_interviews_benchmark(n_students=scaled(10, minimum=3), n_datasets=scaled(10)),
+        markov_switching_benchmark(n_step=3, n_datasets=scaled(10)),
+        markov_switching_benchmark(n_step=scaled(100, minimum=10), n_datasets=scaled(10)),
+    ]
+
+
+def table3_benchmarks(scale: float = 1.0) -> List[PsiBenchmark]:
+    """The four runtime-variance benchmarks of Table 3."""
+
+    def scaled(n: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(n * scale)))
+
+    return [
+        digit_recognition_benchmark(
+            n_datasets=scaled(10), n_pixels=scaled(_N_PIXELS, minimum=16)
+        ),
+        markov_switching_benchmark(n_step=3, n_datasets=scaled(10)),
+        student_interviews_benchmark(n_students=2, n_datasets=scaled(10)),
+        clinical_trial_benchmark(
+            n_datasets=scaled(10), n_patients=scaled(50, minimum=4)
+        ),
+    ]

@@ -1,0 +1,93 @@
+"""Rare-event probability estimation in a Bayesian network (Sec. 6.3, Fig. 8).
+
+A canonical discrete/continuous Bayesian network in which the probability of
+a predicate decreases exponentially with the number of constrained
+variables.  SPPL computes these probabilities exactly in milliseconds; the
+rejection-sampling baseline (BLOG substitute) needs a number of samples
+inversely proportional to the probability to even observe one satisfying
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+from typing import Tuple
+
+from ..compiler import Command
+from ..compiler import IfElse
+from ..compiler import Sample
+from ..compiler import Sequence
+from ..distributions import bernoulli
+from ..distributions import normal
+from ..distributions import poisson
+from ..engine import SpplModel
+from ..events import Conjunction
+from ..events import Event
+from ..transforms import Id
+
+#: Number of binary stages in the network.
+N_STAGES = 8
+
+
+def program(n_stages: int = N_STAGES) -> Command:
+    """A chain-structured Bayesian network with binary, Normal and Poisson nodes."""
+    commands: List[Command] = [Sample("B[0]", bernoulli(0.3))]
+    for i in range(1, n_stages):
+        previous = Id("B[%d]" % (i - 1,))
+        commands.append(
+            IfElse(
+                [
+                    (previous == 1, Sample("B[%d]" % (i,), bernoulli(0.40))),
+                    (None, Sample("B[%d]" % (i,), bernoulli(0.15))),
+                ]
+            )
+        )
+    last = Id("B[%d]" % (n_stages - 1,))
+    commands.append(
+        IfElse(
+            [
+                (last == 1, Sample("X", normal(3.0, 1.0))),
+                (None, Sample("X", normal(0.0, 1.0))),
+            ]
+        )
+    )
+    commands.append(
+        IfElse(
+            [
+                (last == 1, Sample("Y", poisson(8.0))),
+                (None, Sample("Y", poisson(2.0))),
+            ]
+        )
+    )
+    return Sequence(commands)
+
+
+def model(n_stages: int = N_STAGES) -> SpplModel:
+    """Translate the rare-event network into a model."""
+    return SpplModel.from_command(program(n_stages))
+
+
+def rare_events(n_stages: int = N_STAGES) -> List[Tuple[str, Event]]:
+    """Predicates of decreasing probability (the four panels of Fig. 8).
+
+    Each predicate constrains more variables of the network, so its
+    probability decreases roughly geometrically, covering the range of
+    log-probabilities reported in Fig. 8 (about -9.6 down to -17.3).
+    """
+    events: List[Tuple[str, Event]] = []
+    specifications = [
+        ("rare-1", 8, 4.2, None),
+        ("rare-2", 8, 4.2, 13),
+        ("rare-3", 8, 5.0, 13),
+        ("rare-4", 8, 5.5, 15),
+    ]
+    for label, n_ones, x_threshold, y_threshold in specifications:
+        literals: List[Event] = [
+            Id("B[%d]" % (i,)) == 1 for i in range(min(n_ones, n_stages))
+        ]
+        if x_threshold is not None:
+            literals.append(Id("X") > x_threshold)
+        if y_threshold is not None:
+            literals.append(Id("Y") >= y_threshold)
+        events.append((label, Conjunction(literals)))
+    return events

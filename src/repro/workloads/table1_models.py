@@ -1,0 +1,393 @@
+"""The seven expression-compression benchmarks of Table 1.
+
+Each builder returns an SPPL program (command IR).  The benchmark measures
+the size of the translated sum-product expression with and without the
+factorization/deduplication optimizations of Sec. 5.1: the optimized size is
+the number of unique nodes of the expression graph (``SPE.size()``) and the
+unoptimized size is the number of nodes of the fully-unrolled expression
+tree (``SPE.tree_size()``).
+
+The Hiring, Alarm, Grass, Noisy-OR and Clinical Trial programs follow the
+published benchmark structure (Albarghouthi et al. 2017; Nori et al. 2014);
+the Heart Disease network follows Spiegelhalter et al. 1993.  The
+hierarchical HMM is the model of Sec. 2.2 (:mod:`repro.workloads.hmm`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+from typing import Dict
+
+from ..compiler import Command
+from ..compiler import Condition
+from ..compiler import IfElse
+from ..compiler import Sample
+from ..compiler import Sequence
+from ..compiler import Switch
+from ..compiler import binspace
+from ..distributions import bernoulli
+from ..distributions import choice
+from ..distributions import normal
+from ..distributions import poisson
+from ..distributions import uniform
+from ..transforms import Id
+from . import hmm
+
+
+def hiring() -> Command:
+    """The small hiring model of Albarghouthi et al. (FairSquare Sec. 2)."""
+    ethnicity = Id("ethnicity")
+    college_rank = Id("college_rank")
+    years_exp = Id("years_experience")
+    return Sequence(
+        [
+            Sample("ethnicity", bernoulli(0.15)),
+            IfElse(
+                [
+                    (ethnicity == 1, Sample("college_rank", normal(15.0, 5.0))),
+                    (None, Sample("college_rank", normal(12.0, 5.0))),
+                ]
+            ),
+            Sample("years_experience", normal(10.0, 3.0)),
+            IfElse(
+                [
+                    (college_rank < 10.0, Sample("hire", bernoulli(0.85))),
+                    (years_exp > 12.0, Sample("hire", bernoulli(0.60))),
+                    (None, Sample("hire", bernoulli(0.20))),
+                ]
+            ),
+        ]
+    )
+
+
+def alarm() -> Command:
+    """The classic burglary/earthquake alarm network (R2 benchmark suite)."""
+    burglary = Id("burglary")
+    earthquake = Id("earthquake")
+    alarm_var = Id("alarm")
+    return Sequence(
+        [
+            Sample("burglary", bernoulli(0.001)),
+            Sample("earthquake", bernoulli(0.002)),
+            IfElse(
+                [
+                    (
+                        burglary == 1,
+                        IfElse(
+                            [
+                                (earthquake == 1, Sample("alarm", bernoulli(0.95))),
+                                (None, Sample("alarm", bernoulli(0.94))),
+                            ]
+                        ),
+                    ),
+                    (
+                        None,
+                        IfElse(
+                            [
+                                (earthquake == 1, Sample("alarm", bernoulli(0.29))),
+                                (None, Sample("alarm", bernoulli(0.001))),
+                            ]
+                        ),
+                    ),
+                ]
+            ),
+            IfElse(
+                [
+                    (alarm_var == 1, Sample("john_calls", bernoulli(0.9))),
+                    (None, Sample("john_calls", bernoulli(0.05))),
+                ]
+            ),
+            IfElse(
+                [
+                    (alarm_var == 1, Sample("mary_calls", bernoulli(0.7))),
+                    (None, Sample("mary_calls", bernoulli(0.01))),
+                ]
+            ),
+        ]
+    )
+
+
+def grass() -> Command:
+    """The sprinkler/rain/wet-grass network (R2 benchmark suite)."""
+    cloudy = Id("cloudy")
+    rain = Id("rain")
+    sprinkler = Id("sprinkler")
+    temp = Id("temp")
+
+    def wet_grass_given(p: float) -> Command:
+        return Sample("wet_grass", bernoulli(p))
+
+    return Sequence(
+        [
+            Sample("cloudy", bernoulli(0.5)),
+            IfElse(
+                [
+                    (cloudy == 1, Sample("rain", bernoulli(0.8))),
+                    (None, Sample("rain", bernoulli(0.2))),
+                ]
+            ),
+            IfElse(
+                [
+                    (cloudy == 1, Sample("sprinkler", bernoulli(0.1))),
+                    (None, Sample("sprinkler", bernoulli(0.5))),
+                ]
+            ),
+            Sample("temp", normal(20.0, 5.0)),
+            IfElse(
+                [
+                    (rain == 1, Sample("wet_roof", bernoulli(0.9))),
+                    (None, Sample("wet_roof", bernoulli(0.05))),
+                ]
+            ),
+            IfElse(
+                [
+                    (
+                        rain == 1,
+                        IfElse(
+                            [
+                                (sprinkler == 1, wet_grass_given(0.99)),
+                                (None, wet_grass_given(0.90)),
+                            ]
+                        ),
+                    ),
+                    (
+                        None,
+                        IfElse(
+                            [
+                                (sprinkler == 1, wet_grass_given(0.85)),
+                                (None, wet_grass_given(0.01)),
+                            ]
+                        ),
+                    ),
+                ]
+            ),
+            IfElse(
+                [
+                    ((temp > 30.0) & (cloudy == 0), Sample("dry_out", bernoulli(0.6))),
+                    (None, Sample("dry_out", bernoulli(0.05))),
+                ]
+            ),
+        ]
+    )
+
+
+def noisy_or(n_diseases: int = 4, n_symptoms: int = 4) -> Command:
+    """A two-layer noisy-OR diagnosis network (R2 benchmark suite)."""
+    leak = 0.02
+    activation = 0.65
+
+    def symptom(index: int) -> Command:
+        parents = [
+            Id("disease_%d" % (d,)) for d in range(n_diseases) if (index + d) % 2 == 0
+        ]
+
+        def build(remaining, n_active) -> Command:
+            if not remaining:
+                p_off = (1.0 - leak) * ((1.0 - activation) ** n_active)
+                return Sample("symptom_%d" % (index,), bernoulli(1.0 - p_off))
+            head, tail = remaining[0], remaining[1:]
+            return IfElse(
+                [
+                    (head == 1, build(tail, n_active + 1)),
+                    (None, build(tail, n_active)),
+                ]
+            )
+
+        return build(parents, 0)
+
+    commands = [
+        Sample("disease_%d" % (d,), bernoulli(0.1 + 0.05 * d)) for d in range(n_diseases)
+    ]
+    commands += [symptom(s) for s in range(n_symptoms)]
+    return Sequence(commands)
+
+
+def clinical_trial(n_patients: int = 20, n_bins: int = 8) -> Command:
+    """The clinical-trial model (Nori et al. 2014) with discretized rates.
+
+    Continuous treatment/control success probabilities are handled with the
+    discretization workaround of Lst. 4: a ``switch`` over ``binspace`` bins.
+    """
+    is_effective = Id("is_effective")
+    bins = binspace(0.0, 1.0, n_bins)
+
+    def patients(prefix: str, rate: float, count: int) -> Command:
+        return Sequence(
+            [Sample("%s[%d]" % (prefix, i), bernoulli(rate)) for i in range(count)]
+        )
+
+    def discretized(rate_var: str, body) -> Command:
+        return Switch(
+            rate_var,
+            bins,
+            lambda interval_: body((interval_.left + interval_.right) / 2.0),
+        )
+
+    # All three latent success rates are sampled up front so that the two
+    # branches of the effectiveness test define identical variables (R2).
+    effective_branch = Sequence(
+        [
+            discretized(
+                "prob_control", lambda rate: patients("control", rate, n_patients)
+            ),
+            discretized(
+                "prob_treated", lambda rate: patients("treated", rate, n_patients)
+            ),
+        ]
+    )
+    ineffective_branch = discretized(
+        "prob_all",
+        lambda rate: Sequence(
+            [
+                patients("control", rate, n_patients),
+                patients("treated", rate, n_patients),
+            ]
+        ),
+    )
+    return Sequence(
+        [
+            Sample("is_effective", bernoulli(0.5)),
+            Sample("prob_control", uniform(0.0, 1.0)),
+            Sample("prob_treated", uniform(0.0, 1.0)),
+            Sample("prob_all", uniform(0.0, 1.0)),
+            IfElse(
+                [
+                    (is_effective == 1, effective_branch),
+                    (None, ineffective_branch),
+                ]
+            ),
+        ]
+    )
+
+
+def clinical_trial_table1() -> Command:
+    """Clinical trial at the size used for the Table 1 measurement."""
+    return clinical_trial(n_patients=20, n_bins=8)
+
+
+def heart_disease() -> Command:
+    """A heart-disease risk network in the style of Spiegelhalter et al. 1993."""
+    age_group = Id("age_group")
+    smoker = Id("smoker")
+    exercise = Id("exercise")
+    cholesterol = Id("cholesterol")
+    blood_pressure = Id("blood_pressure")
+    disease = Id("heart_disease")
+
+    age_groups = ["young", "middle", "old"]
+    smoking_rates = {"young": 0.25, "middle": 0.30, "old": 0.20}
+    exercise_rates = {"young": 0.55, "middle": 0.40, "old": 0.25}
+    cholesterol_means = {"young": 180.0, "middle": 210.0, "old": 230.0}
+    pressure_means = {"young": 115.0, "middle": 125.0, "old": 140.0}
+    base_risk = {"young": 0.01, "middle": 0.05, "old": 0.12}
+
+    def per_age(age: str) -> Command:
+        return Sequence(
+            [
+                Sample("smoker", bernoulli(smoking_rates[age])),
+                Sample("exercise", bernoulli(exercise_rates[age])),
+                Switch(
+                    "smoker",
+                    [0, 1],
+                    lambda s, age=age: Sample(
+                        "cholesterol", normal(cholesterol_means[age] + 25.0 * s, 20.0)
+                    ),
+                ),
+                Switch(
+                    "exercise",
+                    [0, 1],
+                    lambda e, age=age: Sample(
+                        "blood_pressure", normal(pressure_means[age] - 8.0 * e, 12.0)
+                    ),
+                ),
+                IfElse(
+                    [
+                        (
+                            (cholesterol > 240.0) & (blood_pressure > 140.0),
+                            Sample("heart_disease", bernoulli(min(1.0, base_risk[age] * 6.0))),
+                        ),
+                        (
+                            (cholesterol > 240.0) | (blood_pressure > 140.0),
+                            Sample("heart_disease", bernoulli(min(1.0, base_risk[age] * 3.0))),
+                        ),
+                        (None, Sample("heart_disease", bernoulli(base_risk[age]))),
+                    ]
+                ),
+                IfElse(
+                    [
+                        (disease == 1, Sample("chest_pain", bernoulli(0.7))),
+                        (smoker == 1, Sample("chest_pain", bernoulli(0.2))),
+                        (None, Sample("chest_pain", bernoulli(0.05))),
+                    ]
+                ),
+                IfElse(
+                    [
+                        (disease == 1, Sample("fatigue", bernoulli(0.6))),
+                        (exercise == 0, Sample("fatigue", bernoulli(0.3))),
+                        (None, Sample("fatigue", bernoulli(0.1))),
+                    ]
+                ),
+                IfElse(
+                    [
+                        (disease == 1, Sample("abnormal_ecg", bernoulli(0.8))),
+                        (None, Sample("abnormal_ecg", bernoulli(0.05))),
+                    ]
+                ),
+            ]
+        )
+
+    return Sequence(
+        [
+            Sample("age_group", choice({"young": 0.35, "middle": 0.40, "old": 0.25})),
+            Switch("age_group", age_groups, per_age),
+        ]
+    )
+
+
+def hierarchical_hmm(n_step: int = 20) -> Command:
+    """The hierarchical HMM of Sec. 2.2 at the Table 1 measurement size."""
+    return hmm.program(n_step)
+
+
+#: Registry of the seven Table 1 benchmarks, in the order the table reports them.
+TABLE1_MODELS: Dict[str, Callable[[], Command]] = {
+    "Hiring": hiring,
+    "Alarm": alarm,
+    "Grass": grass,
+    "Noisy OR": noisy_or,
+    "Clinical Trial": clinical_trial_table1,
+    "Heart Disease": heart_disease,
+    "Hierarchical HMM": hierarchical_hmm,
+}
+
+
+def measure_compression(name: str) -> Dict[str, object]:
+    """Measure optimized vs unoptimized expression size for one benchmark.
+
+    The *optimized* count is the number of unique nodes in the expression
+    graph produced with factorization and deduplication enabled; the
+    *unoptimized* count is the number of nodes of the expression tree
+    produced with both optimizations disabled and all sharing expanded
+    (an exact integer, which is astronomically large for the HMM).
+    """
+    from ..compiler import TranslationOptions
+    from ..compiler import compile_command
+
+    builder = TABLE1_MODELS[name]
+    optimized = compile_command(builder(), TranslationOptions(factorize=True, dedup=True))
+    unoptimized = compile_command(
+        builder(), TranslationOptions(factorize=False, dedup=False)
+    )
+    optimized_nodes = optimized.size()
+    unoptimized_nodes = unoptimized.tree_size()
+    return {
+        "benchmark": name,
+        "optimized_nodes": optimized_nodes,
+        "unoptimized_nodes": unoptimized_nodes,
+        "compression_ratio": unoptimized_nodes / optimized_nodes,
+    }
+
+
+def table1_measurements() -> Dict[str, Dict[str, object]]:
+    """Compression measurements for every Table 1 benchmark."""
+    return {name: measure_compression(name) for name in TABLE1_MODELS}

@@ -1,0 +1,52 @@
+"""Inference on a stochastic many-to-one transformation (Fig. 4, Appendix C.3).
+
+``X ~ Normal(0, 2)``; the derived variable ``Z`` is a piecewise function of
+``X``: a cubic polynomial when ``X < 1`` and ``-5*sqrt(X) + 11`` otherwise
+(the transform shown in Fig. 4e).  Conditioning on ``Z**2 <= 4 and Z >= 0``
+splits the prior into three restricted components with weights approximately
+0.16 / 0.49 / 0.35 (Fig. 4d).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import SpplModel
+from ..events import Event
+from ..transforms import Id
+
+#: SPPL source for the prior program of Fig. 4a.
+SOURCE = """
+X ~ normal(0, 2)
+if X < 1:
+    Z ~ -X**3 + X**2 + 6*X
+else:
+    Z ~ -5*sqrt(X) + 11
+"""
+
+X = Id("X")
+Z = Id("Z")
+
+
+def model() -> SpplModel:
+    """Translate the Fig. 4 program into a model."""
+    return SpplModel.from_source(SOURCE)
+
+
+def conditioning_event() -> Event:
+    """The conditioning event of Fig. 4c: ``Z**2 <= 4 and Z >= 0``."""
+    return (Z ** 2 <= 4) & (Z >= 0)
+
+
+def posterior_component_weights(posterior: SpplModel) -> List[float]:
+    """Weights of the three X-regions of the conditioned expression (Fig. 4d).
+
+    The regions are, from left to right on the X axis:
+    ``[-2.17.., -2]``, ``[0, 0.32..]`` and ``[81/25, 121/25]``.
+    """
+    regions = [
+        (X >= -2.5) & (X <= -2.0),
+        (X >= 0.0) & (X <= 0.5),
+        (X >= 81.0 / 25.0) & (X <= 121.0 / 25.0),
+    ]
+    return [posterior.prob(region) for region in regions]

@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Hypothesis is run in derandomized mode so that the property-based tests are
+deterministic across runs and machines (the generated examples depend only
+on the test code, not on a random seed).
+"""
+
+from hypothesis import HealthCheck
+from hypothesis import settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

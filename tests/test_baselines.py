@@ -1,0 +1,220 @@
+"""Tests for the baseline inference engines (rejection, path enumeration, etc.)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import PathEnumerationSolver
+from repro.baselines import PathExplosionError
+from repro.baselines import RejectionSampler
+from repro.baselines import SamplingFairnessVerifier
+from repro.baselines import hmm_smoothing_forward_backward
+from repro.compiler import Assign
+from repro.compiler import Condition
+from repro.compiler import IfElse
+from repro.compiler import Sample
+from repro.compiler import Sequence
+from repro.compiler import Switch
+from repro.compiler import compile_command
+from repro.distributions import atomic
+from repro.distributions import bernoulli
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+K = Id("K")
+Z = Id("Z")
+
+
+def _mixed_program():
+    return Sequence(
+        [
+            Sample("X", uniform(0, 10)),
+            Sample("K", poisson(3)),
+            IfElse(
+                [
+                    (X < 5, Sample("Y", bernoulli(0.8))),
+                    (None, Sample("Y", bernoulli(0.2))),
+                ]
+            ),
+            Assign("Z", X ** 2),
+        ]
+    )
+
+
+class TestRejectionSampler:
+    def test_estimate_close_to_exact(self):
+        program = _mixed_program()
+        spe = compile_command(program)
+        sampler = RejectionSampler(program, seed=0)
+        event = (Y == 1) & (X < 5)
+        estimate = sampler.estimate_probability(event, 4000)
+        assert estimate == pytest.approx(spe.prob(event), abs=0.04)
+
+    def test_trajectory_is_monotone_in_samples(self):
+        sampler = RejectionSampler(_mixed_program(), seed=1)
+        records = sampler.estimate_trajectory(Y == 1, batch_size=200, n_batches=5)
+        assert len(records) == 5
+        assert records[-1]["samples"] == 1000
+        assert records[0]["elapsed"] <= records[-1]["elapsed"]
+
+    def test_respects_condition_statements(self):
+        program = Sequence([Sample("X", uniform(0, 1)), Condition(X > 0.5)])
+        sampler = RejectionSampler(program, seed=2)
+        samples = sampler.sample(100)
+        assert all(s["X"] > 0.5 for s in samples)
+
+
+class TestPathEnumerationSolver:
+    def test_agrees_with_sppl_on_branching_program(self):
+        program = _mixed_program()
+        spe = compile_command(program)
+        solver = PathEnumerationSolver(program)
+        for query in [Y == 1, (Y == 1) & (X < 2), Z > 25, K >= 4]:
+            assert solver.query_probability(query) == pytest.approx(
+                spe.prob(query), abs=1e-9
+            )
+
+    def test_posterior_with_observations(self):
+        program = _mixed_program()
+        spe = compile_command(program)
+        posterior = spe.constrain({"K": 2})
+        solver = PathEnumerationSolver(program)
+        assert solver.query_probability(Y == 1, observations={"K": 2}) == pytest.approx(
+            posterior.prob(Y == 1), abs=1e-9
+        )
+
+    def test_posterior_with_condition_event(self):
+        program = _mixed_program()
+        spe = compile_command(program)
+        solver = PathEnumerationSolver(program)
+        assert solver.query_probability(
+            Y == 1, condition=(X > 2) & (X < 7)
+        ) == pytest.approx(spe.condition((X > 2) & (X < 7)).prob(Y == 1), abs=1e-9)
+
+    def test_transform_constraints(self):
+        program = _mixed_program()
+        spe = compile_command(program)
+        solver = PathEnumerationSolver(program)
+        assert solver.query_probability(Y == 1, condition=Z < 9) == pytest.approx(
+            spe.condition(Z < 9).prob(Y == 1), abs=1e-9
+        )
+
+    def test_path_count_grows_with_branches(self):
+        def chain(n):
+            commands = [Sample("B[0]", bernoulli(0.5))]
+            for i in range(1, n):
+                commands.append(
+                    Switch(
+                        "B[%d]" % (i - 1,),
+                        [0, 1],
+                        lambda v, i=i: Sample("B[%d]" % (i,), bernoulli(0.3 + 0.4 * v)),
+                    )
+                )
+            return Sequence(commands)
+
+        solver3 = PathEnumerationSolver(chain(3))
+        solver5 = PathEnumerationSolver(chain(5))
+        assert solver3.count_paths() == 4
+        assert solver5.count_paths() == 16
+
+    def test_path_explosion_raises(self):
+        def chain(n):
+            commands = [Sample("B[0]", bernoulli(0.5))]
+            for i in range(1, n):
+                commands.append(
+                    Switch(
+                        "B[%d]" % (i - 1,),
+                        [0, 1],
+                        lambda v, i=i: Sample("B[%d]" % (i,), bernoulli(0.5)),
+                    )
+                )
+            return Sequence(commands)
+
+        solver = PathEnumerationSolver(chain(12), max_paths=100)
+        with pytest.raises(PathExplosionError):
+            solver.count_paths()
+
+    def test_zero_probability_observations_rejected(self):
+        program = Sequence([Sample("X", uniform(0, 1)), Sample("Y", bernoulli(0.5))])
+        solver = PathEnumerationSolver(program)
+        with pytest.raises(ValueError):
+            solver.query_probability(Y == 1, observations={"X": 5.0})
+
+
+class TestSamplingFairnessVerifier:
+    def test_agrees_with_exact_ratio_on_simple_program(self):
+        # Hiring depends only on a qualification score, not on the minority
+        # attribute, so the program is fair (ratio == 1).
+        program = Sequence(
+            [
+                Sample("minority", bernoulli(0.4)),
+                Sample("score", normal(10, 2)),
+                IfElse(
+                    [
+                        (Id("score") > 10, Sample("hire", atomic(1))),
+                        (None, Sample("hire", atomic(0))),
+                    ]
+                ),
+            ]
+        )
+        verifier = SamplingFairnessVerifier(
+            command=program,
+            decision=Id("hire") == 1,
+            minority=Id("minority") == 1,
+            qualified=Id("score") > 5,
+            seed=0,
+        )
+        judgment = verifier.verify(epsilon=0.2, batch_size=1000, max_samples=20000)
+        assert judgment.fair
+        assert judgment.ratio == pytest.approx(1.0, abs=0.15)
+        assert judgment.samples > 0
+        assert judgment.judgment == "Fair"
+
+    def test_detects_blatant_unfairness(self):
+        program = Sequence(
+            [
+                Sample("minority", bernoulli(0.4)),
+                IfElse(
+                    [
+                        (Id("minority") == 1, Sample("hire", bernoulli(0.1))),
+                        (None, Sample("hire", bernoulli(0.9))),
+                    ]
+                ),
+                Sample("score", normal(10, 2)),
+            ]
+        )
+        verifier = SamplingFairnessVerifier(
+            command=program,
+            decision=Id("hire") == 1,
+            minority=Id("minority") == 1,
+            qualified=Id("score") > 0,
+            seed=1,
+        )
+        judgment = verifier.verify(epsilon=0.15, batch_size=1000, max_samples=30000)
+        assert not judgment.fair
+        assert judgment.converged
+
+
+class TestForwardBackward:
+    def test_matches_sppl_smoothing_exactly(self):
+        from repro.workloads import hmm
+
+        data = hmm.simulate_data(n_step=6, seed=2)
+        model = hmm.model(n_step=6)
+        sppl_posteriors = hmm.smooth(model, data["x"], data["y"])
+        baseline = hmm_smoothing_forward_backward(data["x"], data["y"])
+        assert len(baseline["smoothed"]) == 6
+        for a, b in zip(sppl_posteriors, baseline["smoothed"]):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_posterior_separated_probability_is_valid(self):
+        from repro.workloads import hmm
+
+        data = hmm.simulate_data(n_step=6, seed=3)
+        baseline = hmm_smoothing_forward_backward(data["x"], data["y"])
+        assert 0.0 <= baseline["p_separated"] <= 1.0

@@ -1,0 +1,321 @@
+"""Unit tests for the command IR and the Command -> SPE translation (Lst. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compiler import Assign
+from repro.compiler import Condition
+from repro.compiler import For
+from repro.compiler import IfElse
+from repro.compiler import Sample
+from repro.compiler import Sequence
+from repro.compiler import Skip
+from repro.compiler import Switch
+from repro.compiler import TranslationOptions
+from repro.compiler import compile_command
+from repro.compiler import rejection_sample
+from repro.distributions import atomic
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import ProductSPE
+from repro.spe import SumSPE
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+Z = Id("Z")
+K = Id("K")
+RNG = np.random.default_rng(0)
+
+
+class TestBasicCommands:
+    def test_sample_translates_to_leaf(self):
+        spe = compile_command(Sample("X", normal(0, 1)))
+        assert isinstance(spe, Leaf)
+        assert spe.scope == frozenset(["X"])
+
+    def test_sequence_of_samples_translates_to_product(self):
+        spe = compile_command(
+            Sequence([Sample("X", normal(0, 1)), Sample("Y", uniform(0, 1))])
+        )
+        assert isinstance(spe, ProductSPE)
+        assert spe.scope == frozenset(["X", "Y"])
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            compile_command(
+                Sequence([Sample("X", normal(0, 1)), Sample("X", uniform(0, 1))])
+            )
+
+    def test_sample_requires_distribution(self):
+        with pytest.raises(TypeError):
+            Sample("X", 3)
+
+    def test_assign_defines_derived_variable(self):
+        spe = compile_command(
+            Sequence([Sample("X", uniform(0, 2)), Assign("Z", 3 * X + 1)])
+        )
+        assert spe.prob(Z <= 4) == pytest.approx(0.5)
+
+    def test_assign_requires_transform(self):
+        with pytest.raises(TypeError):
+            Assign("Z", 5)
+
+    def test_assign_before_sample_rejected(self):
+        with pytest.raises(ValueError):
+            compile_command(Assign("Z", X + 1))
+
+    def test_condition_statement_truncates_prior(self):
+        spe = compile_command(
+            Sequence([Sample("X", uniform(0, 10)), Condition(X < 5)])
+        )
+        assert spe.prob(X < 2.5) == pytest.approx(0.5)
+
+    def test_skip_is_identity(self):
+        spe = compile_command(Sequence([Sample("X", normal(0, 1)), Skip()]))
+        assert isinstance(spe, Leaf)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            compile_command(Sequence([Skip()]))
+
+    def test_and_operator_chains_commands(self):
+        program = Sample("X", uniform(0, 1)) & Sample("Y", uniform(0, 1))
+        assert compile_command(program).scope == frozenset(["X", "Y"])
+
+
+class TestIfElse:
+    def test_ifelse_builds_mixture(self):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 10)),
+                IfElse(
+                    [
+                        (X < 4, Sample("Y", bernoulli(0.9))),
+                        (None, Sample("Y", bernoulli(0.1))),
+                    ]
+                ),
+            ]
+        )
+        spe = compile_command(program)
+        assert spe.prob(Y == 1) == pytest.approx(0.4 * 0.9 + 0.6 * 0.1)
+
+    def test_elif_chain(self):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 9)),
+                IfElse(
+                    [
+                        (X < 3, Sample("Y", atomic(0))),
+                        (X < 6, Sample("Y", atomic(1))),
+                        (None, Sample("Y", atomic(2))),
+                    ]
+                ),
+            ]
+        )
+        spe = compile_command(program)
+        for value in (0, 1, 2):
+            assert spe.prob(Y == value) == pytest.approx(1.0 / 3.0)
+
+    def test_branches_must_define_same_variables(self):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 10)),
+                IfElse(
+                    [
+                        (X < 4, Sample("Y", bernoulli(0.9))),
+                        (None, Sample("W", bernoulli(0.1))),
+                    ]
+                ),
+            ]
+        )
+        with pytest.raises(ValueError):
+            compile_command(program)
+
+    def test_zero_probability_branch_dropped(self):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 1)),
+                IfElse(
+                    [
+                        (X > 5, Sample("Y", atomic(0))),
+                        (None, Sample("Y", atomic(1))),
+                    ]
+                ),
+            ]
+        )
+        spe = compile_command(program)
+        assert spe.prob(Y == 1) == pytest.approx(1.0)
+
+    def test_only_last_branch_may_omit_test(self):
+        with pytest.raises(ValueError):
+            IfElse([(None, Skip()), (X < 1, Skip())])
+
+    def test_nested_ifelse(self):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 1)),
+                Sample("Y", uniform(0, 1)),
+                IfElse(
+                    [
+                        (
+                            X < 0.5,
+                            IfElse(
+                                [
+                                    (Y < 0.5, Sample("Z", atomic(0))),
+                                    (None, Sample("Z", atomic(1))),
+                                ]
+                            ),
+                        ),
+                        (None, Sample("Z", atomic(2))),
+                    ]
+                ),
+            ]
+        )
+        spe = compile_command(program)
+        assert spe.prob(Z == 0) == pytest.approx(0.25)
+        assert spe.prob(Z == 2) == pytest.approx(0.5)
+
+    def test_factorization_shares_independent_components(self):
+        # The independent variable W should not be duplicated across branches.
+        program = Sequence(
+            [
+                Sample("W", normal(0, 1)),
+                Sample("X", uniform(0, 1)),
+                IfElse(
+                    [
+                        (X < 0.5, Sample("Y", bernoulli(0.2))),
+                        (None, Sample("Y", bernoulli(0.8))),
+                    ]
+                ),
+            ]
+        )
+        optimized = compile_command(program)
+        unoptimized = compile_command(
+            program, TranslationOptions(factorize=False, dedup=False)
+        )
+        assert optimized.size() <= unoptimized.tree_size()
+        assert optimized.prob(Y == 1) == pytest.approx(unoptimized.prob(Y == 1))
+
+
+class TestForAndSwitch:
+    def test_for_unrolls(self):
+        program = Sequence(
+            [Sample("X[0]", bernoulli(0.5))]
+            + [
+                For(
+                    1,
+                    4,
+                    lambda t: Switch(
+                        "X[%d]" % (t - 1,),
+                        [0, 1],
+                        lambda v, t=t: Sample(
+                            "X[%d]" % (t,), bernoulli(0.9 if v == 1 else 0.1)
+                        ),
+                    ),
+                )
+            ]
+        )
+        spe = compile_command(program)
+        assert spe.scope == frozenset(["X[0]", "X[1]", "X[2]", "X[3]"])
+        # Markov chain marginal stays at 0.5 by symmetry.
+        assert spe.prob(Id("X[3]") == 1) == pytest.approx(0.5)
+
+    def test_switch_over_nominal_values(self):
+        program = Sequence(
+            [
+                Sample("N", choice({"a": 0.25, "b": 0.75})),
+                Switch(
+                    "N",
+                    ["a", "b"],
+                    lambda v: Sample("Y", bernoulli(0.9 if v == "a" else 0.1)),
+                ),
+            ]
+        )
+        spe = compile_command(program)
+        assert spe.prob(Y == 1) == pytest.approx(0.25 * 0.9 + 0.75 * 0.1)
+
+    def test_switch_over_intervals(self):
+        from repro.compiler import binspace
+
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 1)),
+                Switch(
+                    "X",
+                    binspace(0, 1, 4),
+                    lambda ivl: Sample(
+                        "Y", bernoulli((ivl.left + ivl.right) / 2.0)
+                    ),
+                ),
+            ]
+        )
+        spe = compile_command(program)
+        assert spe.prob(Y == 1) == pytest.approx(0.5, abs=1e-9)
+
+    def test_switch_requires_cases(self):
+        with pytest.raises(ValueError):
+            Switch("X", [], lambda v: Skip())
+
+
+class TestForwardExecution:
+    def test_execute_samples_all_variables(self):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 1)),
+                Assign("Z", 2 * X),
+                IfElse([(Z < 1, Sample("Y", atomic(0))), (None, Sample("Y", atomic(1)))]),
+            ]
+        )
+        assignment = {}
+        assert program.execute(assignment, RNG)
+        assert set(assignment) == {"X", "Z", "Y"}
+        assert assignment["Z"] == pytest.approx(2 * assignment["X"])
+
+    def test_execute_rejects_on_condition(self):
+        program = Sequence([Sample("X", uniform(0, 1)), Condition(X > 2)])
+        assert not program.execute({}, RNG)
+
+    def test_rejection_sample_returns_requested_count(self):
+        program = Sequence([Sample("X", uniform(0, 1)), Condition(X > 0.5)])
+        samples = rejection_sample(program, RNG, 50)
+        assert len(samples) == 50
+        assert all(s["X"] > 0.5 for s in samples)
+
+    def test_rejection_sample_gives_up(self):
+        program = Sequence([Sample("X", uniform(0, 1)), Condition(X > 2)])
+        with pytest.raises(RuntimeError):
+            rejection_sample(program, RNG, 1, max_attempts_per_sample=10)
+
+
+class TestTranslationMatchesForwardSimulation:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_translated_probabilities_match_monte_carlo(self, seed):
+        program = Sequence(
+            [
+                Sample("X", uniform(0, 10)),
+                Sample("K", poisson(3)),
+                IfElse(
+                    [
+                        ((X < 5) & (K >= 2), Sample("Y", bernoulli(0.8))),
+                        (X >= 5, Sample("Y", bernoulli(0.5))),
+                        (None, Sample("Y", bernoulli(0.1))),
+                    ]
+                ),
+                Assign("Z", X ** 2),
+            ]
+        )
+        spe = compile_command(program)
+        rng = np.random.default_rng(seed)
+        samples = rejection_sample(program, rng, 3000)
+        events = [Y == 1, (Y == 1) & (X < 5), Z > 25, (K >= 3) | (Y == 0)]
+        for event in events:
+            exact = spe.prob(event)
+            frequency = sum(1 for s in samples if event.evaluate(s)) / len(samples)
+            assert frequency == pytest.approx(exact, abs=0.04)

@@ -1,0 +1,112 @@
+"""Tests for the inverse translation SPE -> SPPL source (Appendix E).
+
+The key property (Eq. 46) is that re-compiling the rendered program yields a
+distribution that assigns the same probability to every event over the
+original variables.
+"""
+
+import pytest
+
+from repro.compiler import compile_sppl
+from repro.compiler import render_distribution
+from repro.compiler import render_spe
+from repro.compiler import render_transform
+from repro.distributions import atomic
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.engine import SpplModel
+from repro.transforms import Id
+from repro.transforms import exp
+from repro.transforms import log
+from repro.transforms import sqrt
+
+X = Id("X")
+Y = Id("Y")
+GPA = Id("GPA")
+
+
+class TestRenderDistribution:
+    def test_atomic(self):
+        assert render_distribution(atomic(4)) == "atomic(4.0)"
+
+    def test_choice(self):
+        assert "India" in render_distribution(choice({"India": 0.5, "USA": 0.5}))
+
+    def test_discrete_finite(self):
+        assert "discrete" in render_distribution(bernoulli(0.3))
+
+    def test_scipy_backed(self):
+        rendered = render_distribution(normal(1, 2))
+        assert rendered.startswith("scipydist('norm'")
+
+    def test_rendered_distribution_is_parseable(self):
+        for dist in [normal(0, 1), uniform(0, 4), poisson(3), bernoulli(0.2), atomic(7)]:
+            source = "X ~ %s" % (render_distribution(dist),)
+            model = compile_sppl(source)
+            assert model.scope == frozenset(["X"])
+
+
+class TestRenderTransform:
+    def test_identity(self):
+        assert render_transform(X) == "X"
+
+    def test_polynomial(self):
+        rendered = render_transform(2 * X + 1)
+        assert "X" in rendered and "2" in rendered
+
+    def test_nested_functions(self):
+        assert "1/" in render_transform(1 / X)
+        assert "abs" in render_transform(abs(X))
+        assert "**(1/2)" in render_transform(sqrt(X))
+        assert "exp" in render_transform(exp(X))
+        assert "log" in render_transform(log(X))
+
+
+class TestRoundTrip:
+    def _assert_roundtrip(self, source, events):
+        model = SpplModel.from_source(source)
+        rendered = model.to_source()
+        recompiled = SpplModel.from_source(rendered)
+        for event in events:
+            assert recompiled.prob(event) == pytest.approx(model.prob(event), abs=1e-9)
+
+    def test_single_leaf(self):
+        self._assert_roundtrip("X ~ normal(0, 1)", [X <= 0, X > 1])
+
+    def test_product(self):
+        self._assert_roundtrip(
+            "X ~ normal(0, 1)\nY ~ uniform(0, 2)",
+            [(X <= 0) & (Y <= 1), (X > 0) | (Y > 1.5)],
+        )
+
+    def test_mixture_with_transform(self):
+        source = """
+X ~ uniform(0, 4)
+if X < 2:
+    Z ~ 2*X + 1
+else:
+    Z ~ 9 - X
+"""
+        Z = Id("Z")
+        self._assert_roundtrip(source, [Z <= 5, (Z > 5) & (X > 2), Z > 6.5])
+
+    def test_indian_gpa_roundtrip(self):
+        from repro.workloads.indian_gpa import SOURCE
+
+        Nationality = Id("Nationality")
+        Perfect = Id("Perfect")
+        events = [
+            Nationality == "USA",
+            Perfect == 1,
+            GPA <= 4,
+            (GPA > 8) & (Nationality == "India"),
+        ]
+        self._assert_roundtrip(SOURCE, events)
+
+    def test_rendered_source_mentions_every_variable(self):
+        model = SpplModel.from_source("X ~ normal(0, 1)\nY ~ bernoulli(p=0.5)")
+        rendered = render_spe(model.spe)
+        assert "X" in rendered and "Y" in rendered

@@ -1,0 +1,144 @@
+"""Tests for the high-level SpplModel API (the Fig. 1 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SpplModel
+from repro.engine import parse_event
+from repro.compiler import Sample
+from repro.compiler import Sequence
+from repro.distributions import normal
+from repro.distributions import uniform
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+
+SOURCE = """
+X ~ uniform(0, 10)
+if X < 4:
+    Y ~ bernoulli(p=0.9)
+else:
+    Y ~ bernoulli(p=0.1)
+"""
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SpplModel.from_source(SOURCE)
+
+
+class TestConstruction:
+    def test_from_source(self, model):
+        assert set(model.variables) == {"X", "Y"}
+
+    def test_from_command(self):
+        command = Sequence([Sample("X", normal(0, 1)), Sample("Y", uniform(0, 1))])
+        model = SpplModel.from_command(command)
+        assert set(model.variables) == {"X", "Y"}
+
+    def test_requires_spe(self):
+        with pytest.raises(TypeError):
+            SpplModel("not an spe")
+
+    def test_size_and_tree_size(self, model):
+        assert 0 < model.size() <= model.tree_size()
+
+    def test_repr(self, model):
+        assert "SpplModel" in repr(model)
+
+    def test_to_source_roundtrip(self, model):
+        recompiled = SpplModel.from_source(model.to_source())
+        assert recompiled.prob(Y == 1) == pytest.approx(model.prob(Y == 1))
+
+
+class TestQueries:
+    def test_prob_and_logprob(self, model):
+        p = model.prob(Y == 1)
+        assert p == pytest.approx(0.4 * 0.9 + 0.6 * 0.1)
+        assert np.exp(model.logprob(Y == 1)) == pytest.approx(p)
+
+    def test_string_event_queries(self, model):
+        assert model.prob("Y == 1") == pytest.approx(model.prob(Y == 1))
+        assert model.prob("X < 4 and Y == 1") == pytest.approx(
+            model.prob((X < 4) & (Y == 1))
+        )
+
+    def test_invalid_event_string(self, model):
+        with pytest.raises(ValueError):
+            model.prob("X <")
+
+    def test_invalid_event_type(self, model):
+        with pytest.raises(TypeError):
+            model.prob(42)
+
+    def test_logpdf(self, model):
+        assert model.logpdf({"X": 2.0}) == pytest.approx(np.log(0.1))
+
+    def test_condition_returns_new_model(self, model):
+        posterior = model.condition(Y == 1)
+        assert isinstance(posterior, SpplModel)
+        assert posterior.prob(X < 4) == pytest.approx(
+            model.prob((X < 4) & (Y == 1)) / model.prob(Y == 1)
+        )
+        # The prior model is unchanged (the workflow is non-destructive).
+        assert model.prob(X < 4) == pytest.approx(0.4)
+
+    def test_condition_with_string_event(self, model):
+        posterior = model.condition("Y == 1")
+        assert posterior.prob(X < 4) == pytest.approx(
+            model.condition(Y == 1).prob(X < 4)
+        )
+
+    def test_constrain_and_observe_alias(self, model):
+        constrained = model.constrain({"X": 2.0})
+        observed = model.observe({"X": 2.0})
+        assert constrained.prob(Y == 1) == pytest.approx(observed.prob(Y == 1))
+        assert constrained.prob(Y == 1) == pytest.approx(0.9)
+
+    def test_posterior_reuse_across_queries(self, model):
+        posterior = model.condition(Y == 1)
+        total = posterior.prob(X < 4) + posterior.prob(X >= 4)
+        assert total == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_single_and_many(self, model):
+        assert set(model.sample(seed=0)) == {"X", "Y"}
+        samples = model.sample(10, seed=0)
+        assert len(samples) == 10
+
+    def test_simulate_alias(self, model):
+        assert set(model.simulate(seed=1)) == {"X", "Y"}
+
+    def test_sample_subset(self, model):
+        subset = model.sample_subset(["Y"], n=5, seed=0)
+        assert all(set(s) == {"Y"} for s in subset)
+
+    def test_seed_reproducibility(self, model):
+        assert model.sample(5, seed=123) == model.sample(5, seed=123)
+
+    def test_explicit_rng(self, model):
+        rng = np.random.default_rng(9)
+        sample = model.sample(rng=rng)
+        assert "X" in sample
+
+    def test_sampling_frequency_matches_probability(self, model):
+        samples = model.sample(3000, seed=11)
+        frequency = sum(1 for s in samples if s["Y"] == 1) / len(samples)
+        assert frequency == pytest.approx(model.prob(Y == 1), abs=0.03)
+
+
+class TestParseEvent:
+    def test_basic(self):
+        event = parse_event("X > 1", ["X"])
+        assert event.evaluate({"X": 2})
+
+    def test_nominal_and_membership(self):
+        event = parse_event("N in {'a', 'b'}", ["N"])
+        assert event.evaluate({"N": "a"})
+        assert not event.evaluate({"N": "c"})
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(Exception):
+            parse_event("Q > 1", ["X"])

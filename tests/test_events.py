@@ -1,0 +1,194 @@
+"""Unit tests for the Event domain: construction, solving, negation, evaluation."""
+
+import pytest
+
+from repro.events import Conjunction
+from repro.events import Containment
+from repro.events import Disjunction
+from repro.events import Event
+from repro.events import EventNever
+from repro.sets import EMPTY_SET
+from repro.sets import FiniteNominal
+from repro.sets import FiniteReal
+from repro.sets import interval
+from repro.transforms import Id
+from repro.transforms import sqrt
+
+X = Id("X")
+Y = Id("Y")
+
+
+class TestEventConstruction:
+    def test_comparison_operators_build_containments(self):
+        assert isinstance(X < 1, Containment)
+        assert isinstance(X <= 1, Containment)
+        assert isinstance(X > 1, Containment)
+        assert isinstance(X >= 1, Containment)
+        assert isinstance(X == 1, Containment)
+        assert isinstance(X != 1, Containment)
+
+    def test_string_equality(self):
+        event = X == "a"
+        assert isinstance(event, Containment)
+        assert event.values == FiniteNominal(["a"])
+
+    def test_membership_operator(self):
+        event = X << {1, 2, 3}
+        assert event.values == FiniteReal([1, 2, 3])
+
+    def test_membership_with_strings(self):
+        event = X << {"a", "b"}
+        assert event.values == FiniteNominal(["a", "b"])
+
+    def test_and_or_invert(self):
+        event = (X < 1) & (Y > 2)
+        assert isinstance(event, Conjunction)
+        event = (X < 1) | (Y > 2)
+        assert isinstance(event, Disjunction)
+        assert isinstance(~(X < 1), Event)
+
+    def test_compound_flattening(self):
+        event = ((X < 1) & (Y > 2)) & (X > -1)
+        assert len(event.events) == 3
+
+    def test_events_have_no_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(X < 1)
+
+    def test_transforms_have_no_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(X)
+
+    def test_get_symbols(self):
+        assert ((X < 1) & (Y > 2)).get_symbols() == frozenset(["X", "Y"])
+
+    def test_transform_comparison(self):
+        event = X ** 2 < 4
+        assert event.get_symbols() == frozenset(["X"])
+
+
+class TestEventSolve:
+    def test_simple_interval(self):
+        assert (X < 1).solve() == interval(-float("inf"), 1, True, True)
+
+    def test_conjunction_intersects(self):
+        solved = ((X >= 0) & (X < 2)).solve()
+        assert solved == interval(0, 2, False, True)
+
+    def test_disjunction_unions(self):
+        solved = ((X < 0) | (X > 1)).solve()
+        assert solved.contains(-1)
+        assert solved.contains(2)
+        assert not solved.contains(0.5)
+
+    def test_transform_solved_through_preimage(self):
+        solved = (X ** 2 <= 4).solve()
+        assert solved.contains(-2)
+        assert solved.contains(2)
+        assert not solved.contains(3)
+
+    def test_contradiction_solves_to_empty(self):
+        assert ((X < 0) & (X > 1)).solve() is EMPTY_SET
+
+    def test_event_never(self):
+        never = EventNever()
+        assert never.solve() is EMPTY_SET
+        assert not never.evaluate({"X": 1})
+        assert never.dnf_clauses() == []
+
+
+class TestEventNegation:
+    def test_negate_interval(self):
+        negated = (X < 1).negate()
+        assert negated.evaluate({"X": 1})
+        assert negated.evaluate({"X": 2})
+        assert not negated.evaluate({"X": 0})
+
+    def test_negate_nominal(self):
+        negated = (X == "a").negate()
+        assert negated.evaluate({"X": "b"})
+        assert not negated.evaluate({"X": "a"})
+
+    def test_de_morgan(self):
+        event = (X < 1) & (Y > 2)
+        negated = event.negate()
+        assert isinstance(negated, Disjunction)
+
+    def test_double_negation_membership(self):
+        event = (X << {1, 2}) | (X > 10)
+        twice = event.negate().negate()
+        for value in (1, 2, 5, 11):
+            assert event.evaluate({"X": value}) == twice.evaluate({"X": value})
+
+
+class TestEventEvaluate:
+    def test_numeric(self):
+        assert (X < 1).evaluate({"X": 0})
+        assert not (X < 1).evaluate({"X": 2})
+
+    def test_string(self):
+        assert (X == "a").evaluate({"X": "a"})
+        assert not (X == "a").evaluate({"X": "b"})
+
+    def test_transform_evaluation(self):
+        assert (X ** 2 <= 4).evaluate({"X": 1.5})
+        assert not (X ** 2 <= 4).evaluate({"X": 3})
+
+    def test_string_under_transform_is_false(self):
+        assert not (X ** 2 <= 4).evaluate({"X": "a"})
+
+    def test_undefined_transform_is_false(self):
+        assert not (sqrt(X) < 1).evaluate({"X": -1})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            (X < 1).evaluate({"Y": 0})
+
+    def test_compound_evaluation(self):
+        event = ((X > 0) & (Y == "a")) | (X < -10)
+        assert event.evaluate({"X": 1, "Y": "a"})
+        assert event.evaluate({"X": -11, "Y": "b"})
+        assert not event.evaluate({"X": 1, "Y": "b"})
+
+
+class TestDnf:
+    def test_literal_single_clause(self):
+        assert (X < 1).dnf_clauses() == [[(X < 1)]] or len((X < 1).dnf_clauses()) == 1
+
+    def test_conjunction_of_disjunction_distributes(self):
+        event = ((X < 1) | (X > 5)) & (Y > 0)
+        clauses = event.dnf_clauses()
+        assert len(clauses) == 2
+        assert all(len(clause) == 2 for clause in clauses)
+
+    def test_nested_distribution(self):
+        event = ((X < 1) | (X > 5)) & ((Y > 0) | (Y < -1))
+        assert len(event.dnf_clauses()) == 4
+
+    def test_to_dnf_preserves_semantics(self):
+        event = ((X < 1) | (X > 5)) & ((Y > 0) | (Y < -1))
+        dnf = event.to_dnf()
+        for x in (-2, 0, 2, 6):
+            for y in (-3, -0.5, 1):
+                assignment = {"X": x, "Y": y}
+                assert event.evaluate(assignment) == dnf.evaluate(assignment)
+
+
+class TestSubstituteEnv:
+    def test_substitution_of_derived_variable(self):
+        env = {"Z": X ** 2}
+        event = (Id("Z") < 4).substitute_env(env)
+        assert event.get_symbols() == frozenset(["X"])
+        assert event.evaluate({"X": 1})
+        assert not event.evaluate({"X": 3})
+
+    def test_chained_substitution(self):
+        env = {"Z": X + 1, "W": Id("Z") * 2}
+        event = (Id("W") > 6).substitute_env(env)
+        assert event.get_symbols() == frozenset(["X"])
+        assert event.evaluate({"X": 3})
+        assert not event.evaluate({"X": 1})
+
+    def test_rename(self):
+        event = ((X < 1) & (Y > 2)).rename({"X": "A"})
+        assert event.get_symbols() == frozenset(["A", "Y"])

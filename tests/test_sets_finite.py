@@ -1,0 +1,103 @@
+"""Unit tests for finite real and nominal outcome sets."""
+
+import math
+
+import pytest
+
+from repro.sets import FiniteNominal
+from repro.sets import FiniteReal
+from repro.sets import Union
+
+
+class TestFiniteReal:
+    def test_contains_members(self):
+        s = FiniteReal([1, 2.5, -3])
+        assert s.contains(1)
+        assert s.contains(2.5)
+        assert s.contains(-3)
+        assert not s.contains(0)
+
+    def test_integer_and_float_equivalent(self):
+        assert FiniteReal([1]).contains(1.0)
+        assert FiniteReal([1.0]) == FiniteReal([1])
+
+    def test_strings_not_contained(self):
+        assert not FiniteReal([1]).contains("1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteReal([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteReal([math.inf])
+        with pytest.raises(ValueError):
+            FiniteReal([math.nan])
+
+    def test_iteration_sorted(self):
+        assert list(FiniteReal([3, 1, 2])) == [1, 2, 3]
+
+    def test_len(self):
+        assert len(FiniteReal([1, 2, 2.0])) == 2
+
+    def test_equality_hash(self):
+        assert FiniteReal([1, 2]) == FiniteReal([2, 1])
+        assert hash(FiniteReal([1, 2])) == hash(FiniteReal([2, 1]))
+
+
+class TestFiniteNominal:
+    def test_positive_contains(self):
+        s = FiniteNominal(["a", "b"])
+        assert s.contains("a")
+        assert not s.contains("c")
+        assert not s.contains(1)
+
+    def test_negative_contains_complement(self):
+        s = FiniteNominal(["a"], positive=False)
+        assert not s.contains("a")
+        assert s.contains("b")
+        assert not s.contains(0)
+
+    def test_all_strings(self):
+        s = FiniteNominal(positive=False)
+        assert s.contains("anything")
+        assert not s.contains(3.0)
+
+    def test_empty_positive_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteNominal([])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteNominal([1])
+
+    def test_equality_distinguishes_polarity(self):
+        assert FiniteNominal(["a"]) != FiniteNominal(["a"], positive=False)
+
+    def test_iteration_and_len(self):
+        s = FiniteNominal(["b", "a"])
+        assert list(s) == ["a", "b"]
+        assert len(s) == 2
+
+
+class TestUnion:
+    def test_requires_two_components(self):
+        with pytest.raises(ValueError):
+            Union([FiniteReal([1])])
+
+    def test_rejects_nested_unions(self):
+        inner = Union([FiniteReal([1]), FiniteNominal(["a"])])
+        with pytest.raises(ValueError):
+            Union([inner, FiniteReal([2])])
+
+    def test_contains_any_component(self):
+        u = Union([FiniteReal([1]), FiniteNominal(["a"])])
+        assert u.contains(1)
+        assert u.contains("a")
+        assert not u.contains(2)
+
+    def test_equality_order_independent(self):
+        a = Union([FiniteReal([1]), FiniteNominal(["a"])])
+        b = Union([FiniteNominal(["a"]), FiniteReal([1])])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,107 @@
+"""Unit tests for real intervals and the canonicalizing interval factory."""
+
+import math
+
+import pytest
+
+from repro.sets import EMPTY_SET
+from repro.sets import FiniteReal
+from repro.sets import Interval
+from repro.sets import Reals
+from repro.sets import interval
+
+
+class TestIntervalConstruction:
+    def test_closed_interval_contains_endpoints(self):
+        ivl = Interval(0, 1)
+        assert ivl.contains(0)
+        assert ivl.contains(1)
+        assert ivl.contains(0.5)
+
+    def test_open_interval_excludes_endpoints(self):
+        ivl = Interval(0, 1, left_open=True, right_open=True)
+        assert not ivl.contains(0)
+        assert not ivl.contains(1)
+        assert ivl.contains(0.5)
+
+    def test_half_open_intervals(self):
+        left_open = Interval(0, 1, left_open=True)
+        assert not left_open.contains(0)
+        assert left_open.contains(1)
+        right_open = Interval(0, 1, right_open=True)
+        assert right_open.contains(0)
+        assert not right_open.contains(1)
+
+    def test_infinite_endpoints_forced_open(self):
+        ivl = Interval(-math.inf, 0)
+        assert ivl.left_open
+        assert not ivl.contains(-math.inf)
+        assert ivl.contains(-1e300)
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1, 1)
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_nan_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1)
+
+    def test_strings_not_contained(self):
+        assert not Interval(0, 1).contains("a")
+
+    def test_nan_not_contained(self):
+        assert not Interval(0, 1).contains(math.nan)
+
+    def test_equality_and_hash(self):
+        assert Interval(0, 1) == Interval(0, 1)
+        assert Interval(0, 1) != Interval(0, 1, left_open=True)
+        assert hash(Interval(0, 1)) == hash(Interval(0, 1))
+
+    def test_measure(self):
+        assert Interval(2, 5).measure == 3
+        assert Interval(0, math.inf, True, True).measure == math.inf
+
+    def test_bounds_property(self):
+        assert Interval(0, 1, True, False).bounds == (0.0, 1.0, True, False)
+
+
+class TestIntervalFactory:
+    def test_factory_returns_interval(self):
+        assert isinstance(interval(0, 1), Interval)
+
+    def test_factory_empty_when_reversed(self):
+        assert interval(2, 1) is EMPTY_SET
+
+    def test_factory_singleton_point(self):
+        result = interval(3, 3)
+        assert isinstance(result, FiniteReal)
+        assert result.contains(3)
+
+    def test_factory_degenerate_open_is_empty(self):
+        assert interval(3, 3, left_open=True) is EMPTY_SET
+        assert interval(3, 3, right_open=True) is EMPTY_SET
+
+    def test_factory_degenerate_at_infinity_is_empty(self):
+        assert interval(math.inf, math.inf) is EMPTY_SET
+
+    def test_reals_constant(self):
+        assert Reals.contains(0)
+        assert Reals.contains(-1e308)
+        assert not Reals.contains("x")
+
+
+class TestEmptySet:
+    def test_contains_nothing(self):
+        assert not EMPTY_SET.contains(0)
+        assert not EMPTY_SET.contains("a")
+
+    def test_is_empty(self):
+        assert EMPTY_SET.is_empty
+        assert not Interval(0, 1).is_empty
+
+    def test_singleton_identity(self):
+        from repro.sets import EmptySet
+
+        assert EmptySet() is EMPTY_SET

@@ -1,0 +1,175 @@
+"""Unit tests for union, intersection and complement over the Outcomes domain."""
+
+import math
+
+from repro.sets import EMPTY_SET
+from repro.sets import FiniteNominal
+from repro.sets import FiniteReal
+from repro.sets import Interval
+from repro.sets import Reals
+from repro.sets import Union
+from repro.sets import complement
+from repro.sets import components
+from repro.sets import intersection
+from repro.sets import union
+
+
+class TestUnionOperation:
+    def test_merges_overlapping_intervals(self):
+        result = union(Interval(0, 2), Interval(1, 3))
+        assert result == Interval(0, 3)
+
+    def test_merges_touching_intervals_when_closed(self):
+        assert union(Interval(0, 1), Interval(1, 2)) == Interval(0, 2)
+
+    def test_keeps_touching_open_intervals_separate(self):
+        result = union(
+            Interval(0, 1, right_open=True), Interval(1, 2, left_open=True)
+        )
+        assert isinstance(result, Union)
+        assert not result.contains(1)
+
+    def test_point_closes_open_gap(self):
+        result = union(
+            Interval(0, 1, right_open=True),
+            FiniteReal([1]),
+            Interval(1, 2, left_open=True),
+        )
+        assert result == Interval(0, 2)
+
+    def test_point_inside_interval_absorbed(self):
+        assert union(Interval(0, 2), FiniteReal([1])) == Interval(0, 2)
+
+    def test_union_with_empty(self):
+        assert union(EMPTY_SET, Interval(0, 1)) == Interval(0, 1)
+        assert union(EMPTY_SET, EMPTY_SET) is EMPTY_SET
+
+    def test_mixed_real_and_nominal(self):
+        result = union(Interval(0, 1), FiniteNominal(["a"]))
+        assert result.contains(0.5)
+        assert result.contains("a")
+        assert isinstance(result, Union)
+
+    def test_nominal_union_positive(self):
+        result = union(FiniteNominal(["a"]), FiniteNominal(["b"]))
+        assert result == FiniteNominal(["a", "b"])
+
+    def test_nominal_union_with_complemented(self):
+        result = union(FiniteNominal(["a"]), FiniteNominal(["a", "b"], positive=False))
+        assert result == FiniteNominal(["b"], positive=False)
+
+    def test_disjoint_points_remain_finite(self):
+        result = union(FiniteReal([1]), FiniteReal([2]))
+        assert result == FiniteReal([1, 2])
+
+
+class TestIntersectionOperation:
+    def test_interval_overlap(self):
+        assert intersection(Interval(0, 5), Interval(3, 8)) == Interval(3, 5)
+
+    def test_interval_openness_preserved(self):
+        result = intersection(Interval(0, 5), Interval(3, 8, left_open=True))
+        assert result == Interval(3, 5, left_open=True)
+
+    def test_disjoint_intervals_empty(self):
+        assert intersection(Interval(0, 1), Interval(2, 3)) is EMPTY_SET
+
+    def test_touching_closed_intervals_give_point(self):
+        assert intersection(Interval(0, 1), Interval(1, 2)) == FiniteReal([1])
+
+    def test_point_with_interval(self):
+        assert intersection(FiniteReal([0.5, 7]), Interval(0, 1)) == FiniteReal([0.5])
+
+    def test_nominal_intersection(self):
+        result = intersection(FiniteNominal(["a", "b"]), FiniteNominal(["b", "c"]))
+        assert result == FiniteNominal(["b"])
+
+    def test_nominal_with_complement(self):
+        result = intersection(
+            FiniteNominal(["a", "b"]), FiniteNominal(["a"], positive=False)
+        )
+        assert result == FiniteNominal(["b"])
+
+    def test_real_with_nominal_is_empty(self):
+        assert intersection(Interval(0, 1), FiniteNominal(["a"])) is EMPTY_SET
+
+    def test_with_empty(self):
+        assert intersection(Interval(0, 1), EMPTY_SET) is EMPTY_SET
+
+    def test_three_way(self):
+        result = intersection(Interval(0, 10), Interval(2, 8), Interval(5, 20))
+        assert result == Interval(5, 8)
+
+    def test_union_operand(self):
+        operand = union(Interval(0, 1), Interval(5, 6))
+        assert intersection(operand, Interval(0.5, 5.5)) == union(
+            Interval(0.5, 1), Interval(5, 5.5)
+        )
+
+
+class TestComplementOperation:
+    def test_interval_complement(self):
+        result = complement(Interval(0, 1, left_open=True, right_open=False))
+        assert result.contains(0)
+        assert not result.contains(0.5)
+        assert not result.contains(1)
+        assert result.contains(1.5)
+
+    def test_complement_of_reals_is_empty(self):
+        assert complement(Reals) is EMPTY_SET
+
+    def test_complement_of_point(self):
+        result = complement(FiniteReal([0]))
+        assert not result.contains(0)
+        assert result.contains(0.1)
+        assert result.contains(-0.1)
+
+    def test_complement_of_nominal(self):
+        result = complement(FiniteNominal(["a"]))
+        assert result == FiniteNominal(["a"], positive=False)
+
+    def test_complement_of_empty_is_everything(self):
+        result = complement(EMPTY_SET)
+        assert result.contains(0)
+        assert result.contains("a")
+
+    def test_double_complement_of_interval(self):
+        original = Interval(0, 1, left_open=True)
+        assert complement(complement(original)) == original
+
+    def test_explicit_universe_real(self):
+        result = complement(FiniteNominal(["a"]), universe="real")
+        assert result == Reals
+
+    def test_explicit_universe_both(self):
+        result = complement(Interval(0, 1), universe="both")
+        assert result.contains("any string")
+        assert result.contains(2)
+        assert not result.contains(0.5)
+
+    def test_invalid_universe(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            complement(Interval(0, 1), universe="bogus")
+
+
+class TestComponents:
+    def test_components_of_empty(self):
+        assert components(EMPTY_SET) == []
+
+    def test_components_of_primitive(self):
+        assert components(Interval(0, 1)) == [Interval(0, 1)]
+
+    def test_components_of_union(self):
+        u = union(Interval(0, 1), Interval(5, 6))
+        assert len(components(u)) == 2
+
+    def test_set_operators(self):
+        a = Interval(0, 2)
+        b = Interval(1, 3)
+        assert (a | b) == Interval(0, 3)
+        assert (a & b) == Interval(1, 2)
+        assert not (~a).contains(1)
+        assert (a - b).contains(0.5)
+        assert not (a - b).contains(1.5)

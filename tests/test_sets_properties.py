@@ -1,0 +1,127 @@
+"""Property-based tests for the Outcomes set algebra (hypothesis)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.sets import EMPTY_SET
+from repro.sets import FiniteNominal
+from repro.sets import FiniteReal
+from repro.sets import complement
+from repro.sets import intersection
+from repro.sets import interval
+from repro.sets import union
+
+_FINITE_FLOATS = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+_TEST_POINTS = [-50.0, -3.5, -1.0, 0.0, 0.25, 1.0, 2.0, 7.5, 49.9, 80.0]
+_TEST_STRINGS = ["a", "b", "c", "zzz"]
+
+
+@st.composite
+def intervals(draw):
+    a = draw(_FINITE_FLOATS)
+    b = draw(_FINITE_FLOATS)
+    lo, hi = min(a, b), max(a, b)
+    left_open = draw(st.booleans())
+    right_open = draw(st.booleans())
+    return interval(lo, hi, left_open, right_open)
+
+
+@st.composite
+def finite_reals(draw):
+    values = draw(st.lists(_FINITE_FLOATS, min_size=1, max_size=4))
+    return FiniteReal(values)
+
+
+@st.composite
+def nominals(draw):
+    values = draw(st.lists(st.sampled_from(_TEST_STRINGS), min_size=1, max_size=3))
+    positive = draw(st.booleans())
+    return FiniteNominal(values, positive=positive)
+
+
+@st.composite
+def outcome_sets(draw):
+    pieces = draw(
+        st.lists(
+            st.one_of(intervals(), finite_reals(), nominals()), min_size=1, max_size=3
+        )
+    )
+    return union(*pieces)
+
+
+def _membership(s, point) -> bool:
+    return s.contains(point)
+
+
+class TestSetAlgebraProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(outcome_sets(), outcome_sets())
+    def test_union_membership(self, a, b):
+        combined = union(a, b)
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert combined.contains(point) == (a.contains(point) or b.contains(point))
+
+    @settings(max_examples=200, deadline=None)
+    @given(outcome_sets(), outcome_sets())
+    def test_intersection_membership(self, a, b):
+        combined = intersection(a, b)
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert combined.contains(point) == (a.contains(point) and b.contains(point))
+
+    @settings(max_examples=200, deadline=None)
+    @given(outcome_sets())
+    def test_complement_membership_within_both_universes(self, a):
+        comp = complement(a, universe="both")
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert comp.contains(point) == (not a.contains(point))
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcome_sets())
+    def test_double_complement(self, a):
+        twice = complement(complement(a, universe="both"), universe="both")
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert twice.contains(point) == a.contains(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcome_sets(), outcome_sets())
+    def test_de_morgan(self, a, b):
+        lhs = complement(union(a, b), universe="both")
+        rhs = intersection(
+            complement(a, universe="both"), complement(b, universe="both")
+        )
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert lhs.contains(point) == rhs.contains(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcome_sets())
+    def test_union_idempotent(self, a):
+        same = union(a, a)
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert same.contains(point) == a.contains(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcome_sets())
+    def test_intersection_with_complement_empty(self, a):
+        nothing = intersection(a, complement(a, universe="both"))
+        for point in _TEST_POINTS + _TEST_STRINGS:
+            assert not nothing.contains(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(intervals(), intervals(), intervals())
+    def test_union_associative_membership(self, a, b, c):
+        left = union(union(a, b), c)
+        right = union(a, union(b, c))
+        for point in _TEST_POINTS:
+            assert left.contains(point) == right.contains(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(intervals())
+    def test_interval_empty_detection(self, a):
+        if a is EMPTY_SET:
+            assert not any(a.contains(p) for p in _TEST_POINTS)

@@ -1,0 +1,180 @@
+"""Tests for derived exact queries (moments, entropy, mutual information, DOT)."""
+
+import math
+
+import pytest
+
+from repro.distributions import atomic
+from repro.distributions import bernoulli
+from repro.distributions import binomial
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.engine import SpplModel
+from repro.spe import Leaf
+from repro.spe import cdf_table
+from repro.spe import entropy
+from repro.spe import expectation
+from repro.spe import marginal_support
+from repro.spe import mutual_information
+from repro.spe import probability_table
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.spe import to_dot
+from repro.spe import variance
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+
+
+class TestMoments:
+    def test_expectation_of_uniform(self):
+        assert expectation(Leaf("X", uniform(0, 4)), "X") == pytest.approx(2.0)
+
+    def test_variance_of_uniform(self):
+        assert variance(Leaf("X", uniform(0, 12)), "X") == pytest.approx(12.0)
+
+    def test_expectation_of_normal_and_poisson(self):
+        assert expectation(Leaf("X", normal(3, 2)), "X") == pytest.approx(3.0, abs=1e-6)
+        assert expectation(Leaf("K", poisson(4)), "K") == pytest.approx(4.0, abs=1e-6)
+        assert variance(Leaf("K", poisson(4)), "K") == pytest.approx(4.0, abs=1e-3)
+
+    def test_expectation_of_finite_and_atom(self):
+        assert expectation(Leaf("K", bernoulli(0.25)), "K") == pytest.approx(0.25)
+        assert expectation(Leaf("A", atomic(7)), "A") == pytest.approx(7.0)
+        assert variance(Leaf("A", atomic(7)), "A") == pytest.approx(0.0)
+
+    def test_expectation_of_mixture(self):
+        model = spe_sum(
+            [Leaf("X", uniform(0, 2)), Leaf("X", uniform(10, 12))],
+            [math.log(0.5), math.log(0.5)],
+        )
+        assert expectation(model, "X") == pytest.approx(6.0)
+
+    def test_expectation_in_product(self):
+        model = spe_product([Leaf("X", uniform(0, 2)), Leaf("K", binomial(10, 0.5))])
+        assert expectation(model, "K") == pytest.approx(5.0, abs=1e-6)
+
+    def test_expectation_of_truncated_normal(self):
+        truncated = Leaf("X", normal(0, 1)).condition(X > 0)
+        assert expectation(truncated, "X") == pytest.approx(
+            math.sqrt(2.0 / math.pi), abs=1e-4
+        )
+
+    def test_expectation_of_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            expectation(Leaf("N", choice({"a": 1.0})), "N")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(KeyError):
+            expectation(Leaf("X", uniform(0, 1)), "Q")
+
+
+class TestTablesAndEntropy:
+    def test_probability_table(self):
+        model = Leaf("K", bernoulli(0.25))
+        table = probability_table(model, "K", [0, 1])
+        assert table[0] == pytest.approx(0.75)
+        assert table[1] == pytest.approx(0.25)
+
+    def test_cdf_table_monotone(self):
+        model = Leaf("X", normal(0, 1))
+        table = cdf_table(model, "X", [-2, -1, 0, 1, 2])
+        values = [table[g] for g in sorted(table)]
+        assert values == sorted(values)
+        assert table[0.0] == pytest.approx(0.5)
+
+    def test_entropy_of_fair_choice(self):
+        model = Leaf("N", choice({"a": 0.5, "b": 0.5}))
+        assert entropy(model, "N", ["a", "b"]) == pytest.approx(math.log(2))
+
+    def test_entropy_requires_exhaustive_values(self):
+        model = Leaf("N", choice({"a": 0.5, "b": 0.5}))
+        with pytest.raises(ValueError):
+            entropy(model, "N", ["a"])
+
+    def test_marginal_support(self):
+        model = spe_sum(
+            [Leaf("K", bernoulli(0.2)), Leaf("K", atomic(5))],
+            [math.log(0.5), math.log(0.5)],
+        )
+        assert marginal_support(model, "K") == [0.0, 1.0, 5.0]
+
+    def test_marginal_support_nominal(self):
+        model = Leaf("N", choice({"b": 0.5, "a": 0.5}))
+        assert marginal_support(model, "N") == ["a", "b"]
+
+    def test_marginal_support_continuous_rejected(self):
+        with pytest.raises(ValueError):
+            marginal_support(Leaf("X", normal(0, 1)), "X")
+
+
+class TestMutualInformation:
+    def test_independent_events_have_zero_information(self):
+        model = spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))])
+        assert mutual_information(model, X < 0.5, Y < 0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_identical_events_give_entropy(self):
+        model = Leaf("X", uniform(0, 1))
+        value = mutual_information(model, X < 0.5, X < 0.5)
+        assert value == pytest.approx(math.log(2), abs=1e-9)
+
+    def test_dependent_events_are_positive(self):
+        model = SpplModel.from_source(
+            """
+X ~ uniform(0, 1)
+if X < 0.5:
+    Y ~ bernoulli(p=0.9)
+else:
+    Y ~ bernoulli(p=0.1)
+"""
+        )
+        value = model.mutual_information(X < 0.5, Id("Y") == 1)
+        assert value > 0.1
+
+
+class TestModelConvenienceApi:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SpplModel.from_source(
+            """
+X ~ uniform(0, 4)
+K ~ bernoulli(p=0.3)
+"""
+        )
+
+    def test_expectation_and_variance(self, model):
+        assert model.expectation("X") == pytest.approx(2.0)
+        assert model.variance("K") == pytest.approx(0.21)
+
+    def test_probability_and_cdf_tables(self, model):
+        assert model.probability_table("K", [0, 1])[1] == pytest.approx(0.3)
+        assert model.cdf_table("X", [2.0])[2.0] == pytest.approx(0.5)
+
+    def test_entropy_and_support(self, model):
+        assert model.support("K") == [0.0, 1.0]
+        assert model.entropy("K", [0, 1]) == pytest.approx(
+            -(0.3 * math.log(0.3) + 0.7 * math.log(0.7))
+        )
+
+    def test_to_dot_output(self, model):
+        dot = model.to_dot()
+        assert dot.startswith("digraph")
+        assert "X ~" in dot and "K ~" in dot
+
+
+class TestDotRendering:
+    def test_shared_nodes_rendered_once(self):
+        shared = Leaf("Y", bernoulli(0.5))
+        model = spe_sum(
+            [
+                spe_product([Leaf("X", uniform(0, 1)), shared]),
+                spe_product([Leaf("X", uniform(2, 3)), shared]),
+            ],
+            [math.log(0.5), math.log(0.5)],
+        )
+        dot = to_dot(model)
+        assert dot.count("Y ~ DiscreteFinite") == 1
+        assert dot.count("shape=circle") >= 3

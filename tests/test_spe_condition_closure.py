@@ -1,0 +1,172 @@
+"""Tests of Theorem 4.1: sum-product expressions are closed under conditioning.
+
+For every prior S and positive-probability event e, the conditioned
+expression S' = condition(S, e) must satisfy, for every query event e',
+
+    P_{S'}(e') == P_S(e and e') / P_S(e).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import atomic
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import ProductSPE
+from repro.spe import SumSPE
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.transforms import Id
+from repro.transforms import sqrt
+
+X = Id("X")
+Y = Id("Y")
+N = Id("N")
+K = Id("K")
+Z = Id("Z")
+
+
+def _models():
+    """A collection of structurally-diverse sum-product expressions."""
+    mixed_leaf = Leaf("X", normal(0, 2), env={"Z": X ** 2 + 1})
+    mixture = spe_sum(
+        [Leaf("X", uniform(0, 4)), Leaf("X", normal(5, 1), env={})],
+        [math.log(0.3), math.log(0.7)],
+    )
+    product = spe_product(
+        [
+            Leaf("X", normal(0, 1)),
+            Leaf("Y", uniform(0, 10)),
+            Leaf("N", choice({"a": 0.25, "b": 0.75})),
+            Leaf("K", poisson(3)),
+        ]
+    )
+    hierarchical = spe_sum(
+        [
+            spe_product([Leaf("N", choice({"a": 1.0})), Leaf("X", uniform(0, 10))]),
+            spe_product([Leaf("N", choice({"b": 1.0})), Leaf("X", atomic(4))]),
+        ],
+        [math.log(0.6), math.log(0.4)],
+    )
+    return {
+        "leaf-with-transform": mixed_leaf,
+        "mixture": mixture,
+        "product": product,
+        "hierarchical": hierarchical,
+    }
+
+
+def _events_for(name):
+    if name == "leaf-with-transform":
+        return [X > 0, Z <= 5, (Z > 2) & (X < 0), (X < -1) | (X > 1)]
+    if name == "mixture":
+        return [X <= 2, (X <= 1) | (X >= 5), X > 3]
+    if name == "product":
+        return [
+            (X > 0) & (Y < 5),
+            (N == "a") | (K >= 5),
+            (X > 0) | (Y < 5),
+            (N == "b") & (K << {0, 1, 2}) & (Y > 1),
+        ]
+    if name == "hierarchical":
+        return [N == "a", X >= 4, (N == "b") | (X < 2)]
+    raise KeyError(name)
+
+
+class TestClosureUnderConditioning:
+    @pytest.mark.parametrize("name", sorted(_models()))
+    def test_conditional_probability_identity(self, name):
+        model = _models()[name]
+        events = _events_for(name)
+        for conditioning_event in events:
+            p_event = model.prob(conditioning_event)
+            if p_event <= 0:
+                continue
+            posterior = model.condition(conditioning_event)
+            for query in events:
+                joint = model.prob(conditioning_event & query)
+                assert posterior.prob(query) == pytest.approx(
+                    joint / p_event, abs=1e-9
+                ), "closure violated for %s: condition=%r query=%r" % (
+                    name,
+                    conditioning_event,
+                    query,
+                )
+
+    @pytest.mark.parametrize("name", sorted(_models()))
+    def test_conditioning_event_has_posterior_probability_one(self, name):
+        model = _models()[name]
+        for event in _events_for(name):
+            if model.prob(event) <= 0:
+                continue
+            posterior = model.condition(event)
+            assert posterior.prob(event) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(_models()))
+    def test_probability_of_event_and_negation_sums_to_one(self, name):
+        model = _models()[name]
+        for event in _events_for(name):
+            total = model.prob(event) + model.prob(event.negate())
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(_models()))
+    def test_repeated_conditioning_composes(self, name):
+        model = _models()[name]
+        events = _events_for(name)
+        first, second = events[0], events[1]
+        joint = first & second
+        if model.prob(joint) <= 0:
+            return
+        once = model.condition(joint)
+        twice = model.condition(first).condition(second)
+        for query in events:
+            assert once.prob(query) == pytest.approx(twice.prob(query), abs=1e-9)
+
+    def test_conditioning_zero_probability_event_raises(self):
+        model = Leaf("X", uniform(0, 1))
+        with pytest.raises(ValueError):
+            model.condition(X > 2)
+
+
+class TestTransformedConditioning:
+    def test_many_to_one_transform_conditioning(self):
+        # The Fig. 4 scenario, built directly as an SPE.
+        left = Leaf("X", normal(0, 2)).condition(X < 1).transform(
+            "Z", -(X ** 3) + X ** 2 + 6 * X
+        )
+        right = Leaf("X", normal(0, 2)).condition(X >= 1).transform(
+            "Z", -5 * sqrt(X) + 11
+        )
+        prior = spe_sum(
+            [left, right],
+            [Leaf("X", normal(0, 2)).logprob(X < 1), Leaf("X", normal(0, 2)).logprob(X >= 1)],
+        )
+        posterior = prior.condition((Z ** 2 <= 4) & (Z >= 0))
+        assert posterior.prob((Z >= 0) & (Z <= 2)) == pytest.approx(1.0)
+        weights = [
+            posterior.prob((X >= -2.5) & (X <= -2.0)),
+            posterior.prob((X >= 0.0) & (X <= 0.5)),
+            posterior.prob((X >= 3.0) & (X <= 5.0)),
+        ]
+        assert weights[0] == pytest.approx(0.16, abs=0.02)
+        assert weights[1] == pytest.approx(0.49, abs=0.02)
+        assert weights[2] == pytest.approx(0.35, abs=0.02)
+
+    def test_conditioning_on_set_valued_nominal_constraint(self):
+        model = spe_product(
+            [Leaf("N", choice({"a": 0.2, "b": 0.3, "c": 0.5})), Leaf("X", uniform(0, 1))]
+        )
+        posterior = model.condition(N << {"a", "b"})
+        assert posterior.prob(N == "c") == 0.0
+        assert posterior.prob(N == "a") == pytest.approx(0.4)
+
+    def test_conditioning_preserves_independent_marginals(self):
+        model = spe_product([Leaf("X", normal(0, 1)), Leaf("Y", uniform(0, 10))])
+        posterior = model.condition(X > 0)
+        assert posterior.prob(Y <= 5) == pytest.approx(0.5)

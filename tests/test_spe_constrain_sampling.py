@@ -1,0 +1,152 @@
+"""Tests for measure-zero conditioning (constrain) and forward sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import Memo
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+K = Id("K")
+N = Id("N")
+
+
+def _gaussian_mixture():
+    """A two-component Gaussian mixture over X with a dependent discrete K."""
+    low = spe_product([Leaf("X", normal(0, 1)), Leaf("K", bernoulli(0.2))])
+    high = spe_product([Leaf("X", normal(4, 1)), Leaf("K", bernoulli(0.9))])
+    return spe_sum([low, high], [math.log(0.5), math.log(0.5)])
+
+
+class TestConstrain:
+    def test_constrain_continuous_observation_reweights_mixture(self):
+        model = _gaussian_mixture()
+        posterior = model.constrain({"X": 0.0})
+        # Posterior responsibility of the low component at X=0.
+        density_low = math.exp(normal(0, 1).logpdf(0.0)) * 0.5
+        density_high = math.exp(normal(4, 1).logpdf(0.0)) * 0.5
+        expected = (0.2 * density_low + 0.9 * density_high) / (density_low + density_high)
+        assert posterior.prob(K == 1) == pytest.approx(expected, rel=1e-9)
+
+    def test_constrain_agrees_with_interval_conditioning_limit(self):
+        model = _gaussian_mixture()
+        exact = model.constrain({"X": 2.0}).prob(K == 1)
+        eps = 1e-5
+        approx = model.condition((X > 2.0 - eps) & (X < 2.0 + eps)).prob(K == 1)
+        assert exact == pytest.approx(approx, rel=1e-3)
+
+    def test_constrain_discrete_observation_matches_condition(self):
+        model = _gaussian_mixture()
+        constrained = model.constrain({"K": 1})
+        conditioned = model.condition(K == 1)
+        assert constrained.prob(X > 2) == pytest.approx(conditioned.prob(X > 2), rel=1e-9)
+
+    def test_constrain_multiple_observations(self):
+        model = spe_product(
+            [Leaf("X", normal(0, 1)), Leaf("Y", normal(1, 1)), Leaf("K", poisson(3))]
+        )
+        posterior = model.constrain({"X": 0.5, "K": 2})
+        assert posterior.prob(X == 0.5) == pytest.approx(1.0)
+        assert posterior.prob(K == 2) == pytest.approx(1.0)
+        assert posterior.prob(Y > 1) == pytest.approx(0.5)
+
+    def test_constrain_zero_density_raises(self):
+        model = spe_product([Leaf("X", uniform(0, 1)), Leaf("K", bernoulli(0.5))])
+        with pytest.raises(ValueError):
+            model.constrain({"X": 3.0})
+
+    def test_constrain_lexicographic_preference_for_atoms(self):
+        # A mixture of an atom at 0 and a continuous density: observing X=0
+        # must assign all posterior mass to the atom branch (the continuous
+        # branch has a higher "continuous dimension count").
+        from repro.distributions import atomic
+
+        atom_branch = spe_product([Leaf("X", atomic(0.0)), Leaf("K", bernoulli(0.9))])
+        cont_branch = spe_product([Leaf("X", normal(0, 1)), Leaf("K", bernoulli(0.1))])
+        model = spe_sum([atom_branch, cont_branch], [math.log(0.5), math.log(0.5)])
+        posterior = model.constrain({"X": 0.0})
+        assert posterior.prob(K == 1) == pytest.approx(0.9)
+
+    def test_logpdf_of_mixture(self):
+        model = _gaussian_mixture()
+        expected = 0.5 * math.exp(normal(0, 1).logpdf(1.0)) + 0.5 * math.exp(
+            normal(4, 1).logpdf(1.0)
+        )
+        assert math.exp(model.logpdf({"X": 1.0})) == pytest.approx(expected, rel=1e-9)
+
+    def test_logpdf_mixed_assignment(self):
+        model = _gaussian_mixture()
+        value = math.exp(model.logpdf({"X": 0.0, "K": 1}))
+        expected = 0.5 * math.exp(normal(0, 1).logpdf(0.0)) * 0.2 + 0.5 * math.exp(
+            normal(4, 1).logpdf(0.0)
+        ) * 0.9
+        assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_assignment_out_of_scope_raises(self):
+        model = _gaussian_mixture()
+        with pytest.raises(ValueError):
+            model.constrain({"Q": 1.0})
+
+
+class TestSamplingAgainstExactProbabilities:
+    def test_sampling_frequencies_match_probabilities(self):
+        rng = np.random.default_rng(42)
+        model = _gaussian_mixture()
+        samples = model.sample(rng, 4000)
+        events = {
+            "x_neg": (X < 0, lambda s: s["X"] < 0),
+            "k_one": (K == 1, lambda s: s["K"] == 1),
+            "joint": ((X > 2) & (K == 1), lambda s: s["X"] > 2 and s["K"] == 1),
+        }
+        for name, (event, predicate) in events.items():
+            exact = model.prob(event)
+            frequency = sum(1 for s in samples if predicate(s)) / len(samples)
+            assert frequency == pytest.approx(exact, abs=0.035), name
+
+    def test_posterior_sampling_matches_posterior_probabilities(self):
+        rng = np.random.default_rng(7)
+        model = _gaussian_mixture()
+        posterior = model.condition(X > 1)
+        samples = posterior.sample(rng, 4000)
+        assert all(s["X"] > 1 for s in samples)
+        exact = posterior.prob(K == 1)
+        frequency = sum(1 for s in samples if s["K"] == 1) / len(samples)
+        assert frequency == pytest.approx(exact, abs=0.035)
+
+    def test_nominal_sampling(self):
+        rng = np.random.default_rng(3)
+        model = Leaf("N", choice({"a": 0.3, "b": 0.7}))
+        samples = model.sample(rng, 3000)
+        frequency = sum(1 for s in samples if s["N"] == "a") / len(samples)
+        assert frequency == pytest.approx(0.3, abs=0.03)
+
+    def test_sample_subset_only_returns_requested(self):
+        rng = np.random.default_rng(5)
+        model = _gaussian_mixture()
+        subset = model.sample_subset(["K"], rng, 10)
+        assert all(set(s) == {"K"} for s in subset)
+
+
+class TestMemoization:
+    def test_memo_reuses_results_across_queries(self):
+        model = _gaussian_mixture()
+        memo = Memo()
+        first = model.logprob(X > 1, memo=memo)
+        cached_entries = memo.stats()["logprob"]
+        second = model.logprob(X > 1, memo=memo)
+        assert first == second
+        assert memo.stats()["logprob"] == cached_entries
+
+    def test_memo_stats_keys(self):
+        assert set(Memo().stats()) == {"logprob", "condition", "logpdf", "constrain"}

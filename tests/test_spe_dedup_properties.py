@@ -1,0 +1,153 @@
+"""Deduplication correctness and property-based tests on random SPEs."""
+
+import math
+
+from hypothesis import given
+from hypothesis import settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import deduplicate
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+N = Id("N")
+
+
+class TestDeduplicate:
+    def test_merges_structurally_equal_leaves(self):
+        model = spe_sum(
+            [
+                spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+                spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.7))]),
+            ],
+            [math.log(0.5), math.log(0.5)],
+        )
+        deduped = deduplicate(model)
+        assert deduped.size() < model.size()
+        assert deduped.tree_size() == model.tree_size()
+
+    def test_preserves_probabilities(self):
+        model = spe_sum(
+            [
+                spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+                spe_product([Leaf("X", uniform(0, 2)), Leaf("Y", bernoulli(0.3))]),
+            ],
+            [math.log(0.4), math.log(0.6)],
+        )
+        deduped = deduplicate(model)
+        for event in [X <= 0.5, Y == 1, (X <= 1) & (Y == 0), (X > 1.5) | (Y == 1)]:
+            assert deduped.prob(event) == pytest.approx(model.prob(event))
+
+    def test_idempotent(self):
+        model = spe_sum(
+            [
+                spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+                spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+            ],
+            [math.log(0.5), math.log(0.5)],
+        )
+        once = deduplicate(model)
+        twice = deduplicate(once)
+        assert once.size() == twice.size()
+
+    def test_nominal_leaf_dedup(self):
+        model = spe_sum(
+            [
+                spe_product([Leaf("N", choice({"a": 1.0})), Leaf("X", normal(0, 1))]),
+                spe_product([Leaf("N", choice({"a": 1.0})), Leaf("X", normal(1, 1))]),
+            ],
+            [math.log(0.5), math.log(0.5)],
+        )
+        deduped = deduplicate(model)
+        assert deduped.size() == model.size() - 1
+
+
+# ---------------------------------------------------------------------------
+# Random SPE generation for property-based testing.
+# ---------------------------------------------------------------------------
+
+_WEIGHT = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def random_leaf(draw, symbol):
+    kind = draw(st.sampled_from(["uniform", "normal", "bernoulli", "choice"]))
+    if kind == "uniform":
+        lo = draw(st.floats(min_value=-5, max_value=4, allow_nan=False))
+        width = draw(st.floats(min_value=0.5, max_value=5, allow_nan=False))
+        return Leaf(symbol, uniform(lo, lo + width))
+    if kind == "normal":
+        mean = draw(st.floats(min_value=-5, max_value=5, allow_nan=False))
+        return Leaf(symbol, normal(mean, 1.0))
+    if kind == "bernoulli":
+        p = draw(st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+        return Leaf(symbol, bernoulli(p))
+    return Leaf(symbol, choice({"a": 0.5, "b": 0.5}))
+
+
+@st.composite
+def random_spe(draw, depth=2):
+    """A random SPE over the fixed scope {X, Y}."""
+    if depth == 0:
+        return spe_product(
+            [draw(random_leaf("X")), draw(random_leaf("Y"))]
+        )
+    kind = draw(st.sampled_from(["sum", "product", "leafpair"]))
+    if kind == "product":
+        return spe_product([draw(random_leaf("X")), draw(random_leaf("Y"))])
+    if kind == "sum":
+        n = draw(st.integers(min_value=2, max_value=3))
+        children = [draw(random_spe(depth=depth - 1)) for _ in range(n)]
+        weights = [math.log(draw(_WEIGHT)) for _ in range(n)]
+        return spe_sum(children, weights)
+    return spe_product([draw(random_leaf("X")), draw(random_leaf("Y"))])
+
+
+def _query_events():
+    return [
+        X <= 0,
+        (X > -1) & (X < 1),
+        Y == 1,
+        (Y == "a") | (Y == 1) | (Y <= 0.3),
+        (X > 0) | (Y == 0),
+    ]
+
+
+class TestRandomSpeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_spe())
+    def test_probabilities_are_valid_and_complementary(self, model):
+        for event in _query_events():
+            p = model.prob(event)
+            assert -1e-9 <= p <= 1 + 1e-9
+            assert model.prob(event.negate()) == pytest.approx(1 - p, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_spe())
+    def test_conditioning_closure_on_random_spes(self, model):
+        for event in _query_events():
+            p_event = model.prob(event)
+            if p_event < 1e-9:
+                continue
+            posterior = model.condition(event)
+            for query in _query_events():
+                expected = model.prob(event & query) / p_event
+                assert posterior.prob(query) == pytest.approx(expected, abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_spe())
+    def test_deduplication_preserves_random_spe_semantics(self, model):
+        deduped = deduplicate(model)
+        assert deduped.size() <= model.size()
+        for event in _query_events():
+            assert deduped.prob(event) == pytest.approx(model.prob(event), abs=1e-9)

@@ -1,0 +1,176 @@
+"""Unit tests for Leaf nodes: scope, environments, inference, sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import atomic
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import poisson
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import Memo
+from repro.spe import SumSPE
+from repro.transforms import Id
+
+X = Id("X")
+Z = Id("Z")
+RNG = np.random.default_rng(0)
+
+
+class TestLeafConstruction:
+    def test_scope_single_variable(self):
+        leaf = Leaf("X", normal(0, 1))
+        assert leaf.scope == frozenset(["X"])
+
+    def test_scope_with_derived_variables(self):
+        leaf = Leaf("X", normal(0, 1), env={"Z": X ** 2})
+        assert leaf.scope == frozenset(["X", "Z"])
+
+    def test_env_may_not_contain_base_variable(self):
+        with pytest.raises(ValueError):
+            Leaf("X", normal(0, 1), env={"X": X})
+
+    def test_env_must_reference_defined_variables(self):
+        with pytest.raises(ValueError):
+            Leaf("X", normal(0, 1), env={"Z": Id("Y") + 1})
+
+    def test_chained_env_resolution(self):
+        leaf = Leaf("X", normal(0, 1), env={"Z": X + 1, "W": Z * 2})
+        resolved = leaf.resolved_transform("W")
+        assert resolved.get_symbols() == frozenset(["X"])
+        assert resolved.evaluate(3.0) == pytest.approx(8.0)
+
+    def test_requires_distribution(self):
+        with pytest.raises(TypeError):
+            Leaf("X", 5)
+
+
+class TestLeafInference:
+    def test_logprob_of_event(self):
+        leaf = Leaf("X", uniform(0, 10))
+        assert leaf.prob(X <= 5) == pytest.approx(0.5)
+
+    def test_logprob_event_on_derived_variable(self):
+        leaf = Leaf("X", uniform(0, 10), env={"Z": 2 * X})
+        assert leaf.prob(Z <= 10) == pytest.approx(0.5)
+
+    def test_logprob_conjunction_base_and_derived(self):
+        leaf = Leaf("X", uniform(0, 10), env={"Z": 2 * X})
+        assert leaf.prob((Z <= 10) & (X >= 2.5)) == pytest.approx(0.25)
+
+    def test_logprob_unrelated_clause_is_one(self):
+        leaf = Leaf("X", uniform(0, 10))
+        assert leaf.logprob_clause({}, Memo()) == 0.0
+
+    def test_condition_to_truncated_leaf(self):
+        leaf = Leaf("X", uniform(0, 10))
+        conditioned = leaf.condition(X <= 5)
+        assert isinstance(conditioned, Leaf)
+        assert conditioned.prob(X <= 2.5) == pytest.approx(0.5)
+
+    def test_condition_on_union_builds_mixture(self):
+        leaf = Leaf("X", uniform(0, 10))
+        conditioned = leaf.condition((X < 2) | (X > 8))
+        assert isinstance(conditioned, SumSPE)
+        assert conditioned.prob(X < 2) == pytest.approx(0.5)
+
+    def test_condition_zero_probability_raises(self):
+        leaf = Leaf("X", uniform(0, 10))
+        with pytest.raises(ValueError):
+            leaf.condition(X > 20)
+
+    def test_condition_event_out_of_scope_raises(self):
+        leaf = Leaf("X", uniform(0, 10))
+        with pytest.raises(ValueError):
+            leaf.condition(Id("Q") > 0)
+
+    def test_transformed_event_through_env(self):
+        leaf = Leaf("X", normal(0, 2), env={"Z": X ** 2})
+        assert leaf.prob(Z <= 4) == pytest.approx(leaf.prob((X >= -2) & (X <= 2)))
+
+    def test_nominal_leaf(self):
+        leaf = Leaf("N", choice({"a": 0.2, "b": 0.8}))
+        assert leaf.prob(Id("N") == "b") == pytest.approx(0.8)
+        conditioned = leaf.condition(Id("N") == "b")
+        assert conditioned.prob(Id("N") == "a") == 0.0
+
+    def test_discrete_leaf(self):
+        leaf = Leaf("K", poisson(3))
+        conditioned = leaf.condition(Id("K") << {1, 2})
+        total = conditioned.prob(Id("K") == 1) + conditioned.prob(Id("K") == 2)
+        assert total == pytest.approx(1.0)
+
+
+class TestLeafDensityAndConstrain:
+    def test_logpdf_continuous(self):
+        leaf = Leaf("X", normal(0, 1))
+        assert leaf.logpdf({"X": 0.0}) == pytest.approx(-0.5 * math.log(2 * math.pi))
+
+    def test_logpdf_discrete(self):
+        leaf = Leaf("K", bernoulli(0.3))
+        assert math.exp(leaf.logpdf({"K": 1})) == pytest.approx(0.3)
+
+    def test_logpdf_pair_counts_continuous_dimensions(self):
+        assert Leaf("X", normal(0, 1)).logpdf_pair({"X": 0.0}, Memo())[0] == 1
+        assert Leaf("K", bernoulli(0.3)).logpdf_pair({"K": 1}, Memo())[0] == 0
+
+    def test_logpdf_on_derived_variable_rejected(self):
+        leaf = Leaf("X", normal(0, 1), env={"Z": X ** 2})
+        with pytest.raises(ValueError):
+            leaf.logpdf({"Z": 1.0})
+
+    def test_constrain_continuous(self):
+        leaf = Leaf("X", normal(0, 1), env={"Z": X + 1})
+        constrained = leaf.constrain({"X": 0.5})
+        assert constrained.prob(X == 0.5) == pytest.approx(1.0)
+        assert constrained.prob(Z == 1.5) == pytest.approx(1.0)
+
+    def test_constrain_zero_density_raises(self):
+        leaf = Leaf("X", uniform(0, 1))
+        with pytest.raises(ValueError):
+            leaf.constrain({"X": 2.0})
+
+    def test_constrain_discrete(self):
+        leaf = Leaf("K", poisson(4))
+        constrained = leaf.constrain({"K": 2})
+        assert constrained.prob(Id("K") == 2) == pytest.approx(1.0)
+
+
+class TestLeafDerivedAndSampling:
+    def test_transform_adds_derived_variable(self):
+        leaf = Leaf("X", normal(0, 1)).transform("Z", X ** 2 + 1)
+        assert "Z" in leaf.scope
+        assert leaf.prob(Z >= 1) == pytest.approx(1.0)
+
+    def test_transform_duplicate_name_rejected(self):
+        leaf = Leaf("X", normal(0, 1))
+        with pytest.raises(ValueError):
+            leaf.transform("X", X + 1)
+
+    def test_transform_unknown_variable_rejected(self):
+        leaf = Leaf("X", normal(0, 1))
+        with pytest.raises(ValueError):
+            leaf.transform("Z", Id("Y") + 1)
+
+    def test_sampling_includes_derived_values(self):
+        leaf = Leaf("X", uniform(0, 1), env={"Z": 2 * X + 1})
+        sample = leaf.sample(RNG)
+        assert set(sample) == {"X", "Z"}
+        assert sample["Z"] == pytest.approx(2 * sample["X"] + 1)
+
+    def test_sampling_atomic(self):
+        leaf = Leaf("A", atomic(7))
+        assert leaf.sample(RNG)["A"] == 7.0
+
+    def test_sample_subset(self):
+        leaf = Leaf("X", uniform(0, 1), env={"Z": 2 * X})
+        subset = leaf.sample_subset(["Z"], RNG)
+        assert set(subset) == {"Z"}
+
+    def test_size(self):
+        assert Leaf("X", normal(0, 1)).size() == 1
+        assert Leaf("X", normal(0, 1)).tree_size() == 1

@@ -1,0 +1,198 @@
+"""Unit tests for Sum and Product nodes and their canonicalizing constructors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import ProductSPE
+from repro.spe import SumSPE
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.transforms import Id
+
+X = Id("X")
+Y = Id("Y")
+RNG = np.random.default_rng(1)
+
+
+def _two_component_mixture():
+    return spe_sum(
+        [Leaf("X", uniform(0, 1)), Leaf("X", uniform(2, 3))],
+        [math.log(0.25), math.log(0.75)],
+    )
+
+
+class TestSumConstruction:
+    def test_weights_normalized(self):
+        mixture = SumSPE(
+            [Leaf("X", uniform(0, 1)), Leaf("X", uniform(2, 3))],
+            [math.log(2.0), math.log(6.0)],
+        )
+        assert mixture.weights == pytest.approx([0.25, 0.75])
+
+    def test_scope_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SumSPE(
+                [Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))],
+                [math.log(0.5), math.log(0.5)],
+            )
+
+    def test_requires_two_children(self):
+        with pytest.raises(ValueError):
+            SumSPE([Leaf("X", uniform(0, 1))], [0.0])
+
+    def test_spe_sum_collapses_singleton(self):
+        leaf = Leaf("X", uniform(0, 1))
+        assert spe_sum([leaf], [0.0]) is leaf
+
+    def test_spe_sum_flattens_nested_sums(self):
+        inner = _two_component_mixture()
+        outer = spe_sum([inner, Leaf("X", uniform(5, 6))], [math.log(0.5), math.log(0.5)])
+        assert isinstance(outer, SumSPE)
+        assert len(outer.children) == 3
+
+    def test_spe_sum_merges_duplicate_children_by_identity(self):
+        leaf = Leaf("X", uniform(0, 1))
+        merged = spe_sum([leaf, leaf], [math.log(0.5), math.log(0.5)])
+        assert merged is leaf
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            spe_sum([Leaf("X", uniform(0, 1))], [-math.inf])
+
+
+class TestSumInference:
+    def test_mixture_probability(self):
+        mixture = _two_component_mixture()
+        assert mixture.prob(X <= 1) == pytest.approx(0.25)
+        assert mixture.prob(X <= 2.5) == pytest.approx(0.25 + 0.75 * 0.5)
+
+    def test_condition_reweights(self):
+        mixture = _two_component_mixture()
+        conditioned = mixture.condition((X <= 0.5) | (X >= 2.5))
+        # Posterior weights: 0.25*0.5 vs 0.75*0.5 -> 0.25 / 0.75.
+        assert conditioned.prob(X <= 1) == pytest.approx(0.25)
+        assert conditioned.prob(X >= 2) == pytest.approx(0.75)
+
+    def test_condition_drops_impossible_components(self):
+        mixture = _two_component_mixture()
+        conditioned = mixture.condition(X <= 1)
+        assert isinstance(conditioned, Leaf)
+
+    def test_sampling_frequencies(self):
+        mixture = _two_component_mixture()
+        samples = mixture.sample(RNG, 2000)
+        fraction_low = sum(1 for s in samples if s["X"] <= 1) / len(samples)
+        assert fraction_low == pytest.approx(0.25, abs=0.05)
+
+    def test_transform_propagates_to_children(self):
+        mixture = _two_component_mixture().transform("Z", 2 * X)
+        assert "Z" in mixture.scope
+        assert mixture.prob(Id("Z") <= 2) == pytest.approx(0.25)
+
+
+class TestProductConstruction:
+    def test_scope_union(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", normal(0, 1))])
+        assert product.scope == frozenset(["X", "Y"])
+
+    def test_overlapping_scopes_rejected(self):
+        with pytest.raises(ValueError):
+            ProductSPE([Leaf("X", uniform(0, 1)), Leaf("X", normal(0, 1))])
+
+    def test_spe_product_flattens(self):
+        inner = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", normal(0, 1))])
+        outer = spe_product([inner, Leaf("W", normal(0, 1))])
+        assert isinstance(outer, ProductSPE)
+        assert len(outer.children) == 3
+
+    def test_spe_product_collapses_singleton(self):
+        leaf = Leaf("X", uniform(0, 1))
+        assert spe_product([leaf]) is leaf
+
+
+class TestProductInference:
+    def test_independent_probabilities_multiply(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.5))])
+        assert product.prob((X <= 0.5) & (Y == 1)) == pytest.approx(0.25)
+
+    def test_marginal_query_ignores_other_children(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.5))])
+        assert product.prob(X <= 0.5) == pytest.approx(0.5)
+
+    def test_disjunction_across_children(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))])
+        probability = product.prob((X <= 0.5) | (Y <= 0.5))
+        assert probability == pytest.approx(0.75)
+
+    def test_condition_on_single_clause_keeps_product(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))])
+        conditioned = product.condition((X <= 0.5) & (Y >= 0.5))
+        assert isinstance(conditioned, ProductSPE)
+        assert conditioned.prob(X <= 0.25) == pytest.approx(0.5)
+
+    def test_condition_reuses_untouched_children(self):
+        x_leaf = Leaf("X", uniform(0, 1))
+        y_leaf = Leaf("Y", uniform(0, 1))
+        product = ProductSPE([x_leaf, y_leaf])
+        conditioned = product.condition(X <= 0.5)
+        assert isinstance(conditioned, ProductSPE)
+        assert any(child is y_leaf for child in conditioned.children)
+
+    def test_condition_on_disjunction_gives_sum_of_products(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))])
+        conditioned = product.condition((X <= 0.5) | (Y <= 0.5))
+        assert isinstance(conditioned, SumSPE)
+        assert conditioned.prob((X <= 0.5) | (Y <= 0.5)) == pytest.approx(1.0)
+
+    def test_nominal_and_real_mixed_product(self):
+        product = ProductSPE(
+            [Leaf("N", choice({"a": 0.5, "b": 0.5})), Leaf("X", normal(0, 1))]
+        )
+        assert product.prob((Id("N") == "a") & (X > 0)) == pytest.approx(0.25)
+
+    def test_sampling_merges_children(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.5))])
+        sample = product.sample(RNG)
+        assert set(sample) == {"X", "Y"}
+
+    def test_transform_dispatches_to_owning_child(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))])
+        transformed = product.transform("Z", 2 * X)
+        assert transformed.prob(Id("Z") <= 1) == pytest.approx(0.5)
+
+    def test_transform_duplicate_name_rejected(self):
+        product = ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", uniform(0, 1))])
+        with pytest.raises(ValueError):
+            product.transform("X", 2 * Y)
+
+    def test_logpdf_sums_over_children(self):
+        product = ProductSPE([Leaf("X", normal(0, 1)), Leaf("K", bernoulli(0.25))])
+        expected = normal(0, 1).logpdf(0.3) + math.log(0.25)
+        assert product.logpdf({"X": 0.3, "K": 1}) == pytest.approx(expected)
+
+    def test_constrain_subset_of_children(self):
+        product = ProductSPE([Leaf("X", normal(0, 1)), Leaf("Y", uniform(0, 1))])
+        constrained = product.constrain({"X": 0.2})
+        assert constrained.prob(X == 0.2) == pytest.approx(1.0)
+        assert constrained.prob(Y <= 0.5) == pytest.approx(0.5)
+
+
+class TestSizeMetrics:
+    def test_size_counts_unique_nodes(self):
+        shared = Leaf("X", uniform(0, 1))
+        mixture = SumSPE(
+            [
+                ProductSPE([shared, Leaf("Y", uniform(0, 1))]),
+                ProductSPE([shared, Leaf("Y", uniform(2, 3))]),
+            ],
+            [math.log(0.5), math.log(0.5)],
+        )
+        assert mixture.size() == 6
+        assert mixture.tree_size() == 7

@@ -1,0 +1,211 @@
+"""Unit tests for the non-polynomial transforms: Reciprocal, Abs, Radical, Exp, Log."""
+
+import math
+
+import pytest
+
+from repro.sets import EMPTY_SET
+from repro.sets import FiniteReal
+from repro.sets import Interval
+from repro.sets import interval
+from repro.transforms import Abs
+from repro.transforms import Exp
+from repro.transforms import Id
+from repro.transforms import Log
+from repro.transforms import Radical
+from repro.transforms import Reciprocal
+from repro.transforms import exp
+from repro.transforms import log
+from repro.transforms import sqrt
+
+X = Id("X")
+
+
+class TestReciprocal:
+    def test_evaluate(self):
+        t = Reciprocal(X)
+        assert t.evaluate(4.0) == 0.25
+        assert math.isnan(t.evaluate(0.0))
+
+    def test_operator_construction(self):
+        t = 1 / X
+        assert isinstance(t, Reciprocal) or t.subexpr is not None
+        assert t.evaluate(2.0) == pytest.approx(0.5)
+
+    def test_scaled_reciprocal(self):
+        t = 3 / X
+        assert t.evaluate(2.0) == pytest.approx(1.5)
+
+    def test_invert_point(self):
+        assert Reciprocal(X).invert(FiniteReal([0.5])) == FiniteReal([2.0])
+
+    def test_invert_zero_is_empty(self):
+        assert Reciprocal(X).invert(FiniteReal([0.0])) is EMPTY_SET
+
+    def test_invert_positive_interval(self):
+        preimage = Reciprocal(X).invert(interval(0.5, 1.0))
+        assert preimage.contains(1.5)
+        assert preimage.contains(2.0)
+        assert preimage.contains(1.0)
+        assert not preimage.contains(2.5)
+        assert not preimage.contains(-2.0)
+
+    def test_invert_negative_interval(self):
+        preimage = Reciprocal(X).invert(interval(-1.0, -0.5))
+        assert preimage.contains(-1.5)
+        assert not preimage.contains(1.5)
+
+    def test_invert_interval_spanning_zero(self):
+        preimage = Reciprocal(X).invert(interval(-1.0, 1.0))
+        # |1/x| <= 1  <=>  |x| >= 1.
+        assert preimage.contains(1.0)
+        assert preimage.contains(-2.0)
+        assert preimage.contains(100.0)
+        assert not preimage.contains(0.5)
+        assert not preimage.contains(0.0)
+
+    def test_invert_unbounded_interval(self):
+        preimage = Reciprocal(X).invert(Interval(1.0, math.inf, False, True))
+        assert preimage.contains(0.5)
+        assert preimage.contains(1.0)
+        assert not preimage.contains(1.5)
+        assert not preimage.contains(-1.0)
+
+
+class TestAbs:
+    def test_evaluate(self):
+        assert Abs(X).evaluate(-3.0) == 3.0
+        assert abs(X).evaluate(-3.0) == 3.0
+
+    def test_invert_point(self):
+        assert Abs(X).invert(FiniteReal([2])) == FiniteReal([-2, 2])
+
+    def test_invert_zero(self):
+        assert Abs(X).invert(FiniteReal([0])) == FiniteReal([0])
+
+    def test_invert_negative_point_empty(self):
+        assert Abs(X).invert(FiniteReal([-1])) is EMPTY_SET
+
+    def test_invert_interval(self):
+        preimage = Abs(X).invert(interval(1, 2))
+        assert preimage.contains(1.5)
+        assert preimage.contains(-1.5)
+        assert not preimage.contains(0.5)
+        assert not preimage.contains(3)
+
+    def test_invert_interval_with_negative_part(self):
+        preimage = Abs(X).invert(interval(-5, 1))
+        assert preimage.contains(0)
+        assert preimage.contains(-1)
+        assert not preimage.contains(1.5)
+
+
+class TestRadical:
+    def test_sqrt_evaluate(self):
+        assert sqrt(X).evaluate(9.0) == 3.0
+        assert math.isnan(sqrt(X).evaluate(-1.0))
+
+    def test_cube_root(self):
+        t = Radical(X, 3)
+        assert t.evaluate(27.0) == pytest.approx(3.0)
+
+    def test_fractional_power_syntax(self):
+        t = X ** 0.5
+        assert isinstance(t, Radical)
+
+    def test_invert_point(self):
+        assert sqrt(X).invert(FiniteReal([3])) == FiniteReal([9])
+
+    def test_invert_negative_point_empty(self):
+        assert sqrt(X).invert(FiniteReal([-1])) is EMPTY_SET
+
+    def test_invert_interval(self):
+        preimage = sqrt(X).invert(interval(1, 2))
+        assert preimage.contains(1)
+        assert preimage.contains(4)
+        assert preimage.contains(2.5)
+        assert not preimage.contains(0.5)
+        assert not preimage.contains(5)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            Radical(X, 1)
+
+
+class TestExpLog:
+    def test_exp_evaluate(self):
+        assert exp(X).evaluate(0.0) == 1.0
+        assert Exp(X, 2).evaluate(3.0) == 8.0
+
+    def test_log_evaluate(self):
+        assert log(X).evaluate(1.0) == 0.0
+        assert Log(X, 10).evaluate(100.0) == pytest.approx(2.0)
+        assert math.isnan(log(X).evaluate(-1.0))
+
+    def test_exp_invert_point(self):
+        preimage = Exp(X, 2).invert(FiniteReal([8]))
+        assert preimage == FiniteReal([3])
+
+    def test_exp_invert_nonpositive_empty(self):
+        assert exp(X).invert(FiniteReal([-1])) is EMPTY_SET
+        assert exp(X).invert(FiniteReal([0])) is EMPTY_SET
+
+    def test_exp_invert_interval(self):
+        preimage = exp(X).invert(interval(1, math.e))
+        assert preimage.contains(0)
+        assert preimage.contains(1)
+        assert preimage.contains(0.5)
+        assert not preimage.contains(1.5)
+
+    def test_log_invert_point(self):
+        assert Log(X, 10).invert(FiniteReal([2])) == FiniteReal([100])
+
+    def test_log_invert_interval(self):
+        preimage = log(X).invert(interval(0, 1))
+        assert preimage.contains(1)
+        assert preimage.contains(math.e)
+        assert not preimage.contains(0.5)
+        assert not preimage.contains(math.e + 1)
+
+    def test_invalid_bases(self):
+        with pytest.raises(ValueError):
+            Exp(X, 1.0)
+        with pytest.raises(ValueError):
+            Log(X, -2.0)
+
+
+class TestCompositions:
+    def test_poly_of_sqrt(self):
+        t = 5 * sqrt(X) + 11
+        assert t.evaluate(4.0) == pytest.approx(21.0)
+        preimage = t.invert(interval(16, 21))
+        assert preimage.contains(1)
+        assert preimage.contains(4)
+        assert not preimage.contains(4.5)
+
+    def test_reciprocal_of_exp_of_square(self):
+        t = 1 / exp(X ** 2)
+        assert t.evaluate(0.0) == pytest.approx(1.0)
+        assert t.evaluate(1.0) == pytest.approx(1.0 / math.e)
+        # 1/exp(x^2) >= 1/e  <=>  x^2 <= 1
+        preimage = t.invert(interval(1.0 / math.e, 1.0))
+        assert preimage.contains(0.5)
+        assert preimage.contains(-1.0)
+        assert not preimage.contains(1.5)
+
+    def test_domain_of_chain(self):
+        t = 1 / log(X)
+        domain = t.domain()
+        assert domain.contains(2.0)
+        assert domain.contains(0.5)
+        assert not domain.contains(1.0)
+        assert not domain.contains(-1.0)
+
+    def test_symbol_accessors(self):
+        t = 5 * sqrt(X) + 11
+        assert t.symbol == "X"
+        assert t.get_symbols() == frozenset(["X"])
+
+    def test_rename_chain(self):
+        t = (1 / exp(X ** 2)).rename({"X": "Y"})
+        assert t.get_symbols() == frozenset(["Y"])

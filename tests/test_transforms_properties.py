@@ -1,0 +1,167 @@
+"""Property-based tests of the preimage solver.
+
+The defining property of ``preimg`` (Sec. 3 of the paper) is::
+
+    x in preimg(t, v)   <=>   t(x) in v
+
+for every real input ``x`` at which ``t`` is defined.  We check it by
+sampling random transforms, random target sets, and random evaluation
+points.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.sets import FiniteReal
+from repro.sets import interval
+from repro.sets import union
+from repro.transforms import Abs
+from repro.transforms import Exp
+from repro.transforms import Id
+from repro.transforms import Log
+from repro.transforms import Radical
+from repro.transforms import Reciprocal
+from repro.transforms import Piecewise
+
+X = Id("X")
+
+_COEFF = st.floats(min_value=-4, max_value=4, allow_nan=False, allow_infinity=False)
+_POINT = st.floats(min_value=-20, max_value=20, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def polynomials(draw):
+    degree = draw(st.integers(min_value=1, max_value=4))
+    coeffs = [draw(_COEFF) for _ in range(degree + 1)]
+    if all(c == 0 for c in coeffs[1:]):
+        coeffs[1] = 1.0
+    from repro.transforms import Poly
+
+    return Poly(X, coeffs)
+
+
+@st.composite
+def transforms(draw):
+    base = draw(polynomials())
+    wrapper = draw(
+        st.sampled_from(["none", "abs", "reciprocal", "exp", "scaled"])
+    )
+    if wrapper == "abs":
+        return Abs(base)
+    if wrapper == "reciprocal":
+        return Reciprocal(base)
+    if wrapper == "exp":
+        return Exp(base, 2.0)
+    if wrapper == "scaled":
+        return 2.0 * base + 1.0
+    return base
+
+
+@st.composite
+def target_sets(draw):
+    kind = draw(st.sampled_from(["interval", "points", "union"]))
+    if kind == "points":
+        values = draw(st.lists(_POINT, min_size=1, max_size=3))
+        return FiniteReal(values)
+    a = draw(_POINT)
+    b = draw(_POINT)
+    lo, hi = min(a, b), max(a, b)
+    first = interval(lo, hi, draw(st.booleans()), draw(st.booleans()))
+    if kind == "interval":
+        return first
+    c = draw(_POINT)
+    d = draw(_POINT)
+    second = interval(min(c, d), max(c, d), draw(st.booleans()), draw(st.booleans()))
+    return union(first, second)
+
+
+def _evaluates(transform, x: float):
+    value = transform.evaluate(x)
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return None
+    return value
+
+
+class TestPreimageProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(transforms(), target_sets(), _POINT)
+    def test_membership_equivalence(self, transform, targets, x):
+        value = _evaluates(transform, x)
+        preimage = transform.invert(targets)
+        if value is None:
+            assert not preimage.contains(x)
+            return
+        expected = targets.contains(value)
+        actual = preimage.contains(x)
+        if expected != actual:
+            # Guard against floating-point boundary effects: re-check at a
+            # slightly perturbed target membership before failing.
+            boundary = any(
+                abs(value - edge) < 1e-7
+                for edge in _set_edges(targets)
+            )
+            assert boundary, (
+                "preimage membership mismatch: t=%r x=%r t(x)=%r targets=%r"
+                % (transform, x, value, targets)
+            )
+
+    @settings(max_examples=200, deadline=None)
+    @given(transforms(), _POINT)
+    def test_domain_contains_points_where_defined(self, transform, x):
+        value = _evaluates(transform, x)
+        if value is not None:
+            assert transform.domain().contains(x)
+
+    @settings(max_examples=100, deadline=None)
+    @given(polynomials(), _POINT)
+    def test_polynomial_defined_everywhere(self, poly, x):
+        assert not math.isnan(poly.evaluate(x))
+
+
+def _set_edges(targets):
+    from repro.sets import FiniteReal as FR
+    from repro.sets import Interval as IV
+    from repro.sets import components
+
+    edges = []
+    for piece in components(targets):
+        if isinstance(piece, IV):
+            edges.extend([piece.left, piece.right])
+        elif isinstance(piece, FR):
+            edges.extend(piece.values)
+    return edges
+
+
+class TestPiecewiseTransforms:
+    def test_piecewise_evaluate_and_invert(self):
+        branches = [
+            (-(X ** 3) + X ** 2 + 6 * X, X < 1),
+            (-5 * (X ** 0.5) + 11, X >= 1),
+        ]
+        t = Piecewise(branches)
+        assert t.evaluate(0.0) == 0.0
+        assert t.evaluate(4.0) == 1.0
+        preimage = t.invert(interval(0, 2))
+        # Matches the three regions of Fig. 4 (Appendix C.3).
+        assert preimage.contains(-2.1)
+        assert preimage.contains(0.2)
+        assert preimage.contains(4.0)
+        assert not preimage.contains(0.5)
+        assert not preimage.contains(2.0)
+
+    def test_piecewise_requires_single_variable(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Piecewise([(X + 1, Id("Y") < 1)])
+
+    def test_piecewise_undefined_outside_branches(self):
+        t = Piecewise([(X + 1, X < 0)])
+        assert math.isnan(t.evaluate(1.0))
+
+    def test_piecewise_rename(self):
+        t = Piecewise([(X + 1, X < 0)]).rename({"X": "Y"})
+        assert t.get_symbols() == frozenset(["Y"])

@@ -1,0 +1,157 @@
+"""Integration tests for the figure workloads (Fig. 2, Fig. 3, Fig. 4, Fig. 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import RejectionSampler
+from repro.baselines import hmm_smoothing_forward_backward
+from repro.transforms import Id
+from repro.workloads import hmm
+from repro.workloads import indian_gpa
+from repro.workloads import rare_events
+from repro.workloads import transforms_demo
+
+
+class TestIndianGpa:
+    """Checks against the numbers reported in Fig. 2 of the paper."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return indian_gpa.model()
+
+    def test_prior_marginals(self, model):
+        marginals = indian_gpa.marginals(model)
+        assert marginals["Nationality"]["USA"] == pytest.approx(0.5)
+        assert marginals["Nationality"]["India"] == pytest.approx(0.5)
+        assert marginals["Perfect"][1] == pytest.approx(0.125)
+
+    def test_prior_gpa_cdf_has_atoms(self, model):
+        cdf = indian_gpa.prior_gpa_cdf(model, grid=[3.999, 4.0, 9.999, 10.0])
+        # Jump of 0.5*0.15 at GPA=4 and 0.5*0.1 at GPA=10.
+        assert cdf[4.0] - cdf[3.999] == pytest.approx(0.075, abs=1e-3)
+        assert cdf[10.0] - cdf[9.999] == pytest.approx(0.05, abs=1e-3)
+        assert cdf[10.0] == pytest.approx(1.0)
+
+    def test_posterior_marginals_match_paper(self, model):
+        posterior = model.condition(indian_gpa.conditioning_event())
+        marginals = indian_gpa.marginals(posterior)
+        assert marginals["Nationality"]["India"] == pytest.approx(0.33, abs=0.01)
+        assert marginals["Nationality"]["USA"] == pytest.approx(0.67, abs=0.01)
+        assert marginals["Perfect"][1] == pytest.approx(0.28, abs=0.01)
+
+    def test_conditioning_event_probability(self, model):
+        assert model.prob(indian_gpa.conditioning_event()) == pytest.approx(0.27125)
+
+    def test_posterior_supports_joint_queries(self, model):
+        posterior = model.condition(indian_gpa.conditioning_event())
+        GPA, Nationality = indian_gpa.GPA, indian_gpa.Nationality
+        p = posterior.prob((Nationality == "India") & (GPA > 9))
+        assert 0 < p < posterior.prob(Nationality == "India")
+
+
+class TestTransformsDemo:
+    """Checks against Fig. 4 / Appendix C.3."""
+
+    def test_prior_branch_probability(self):
+        model = transforms_demo.model()
+        assert model.prob(transforms_demo.X < 1) == pytest.approx(0.691, abs=1e-3)
+
+    def test_posterior_component_weights(self):
+        model = transforms_demo.model()
+        posterior = model.condition(transforms_demo.conditioning_event())
+        weights = transforms_demo.posterior_component_weights(posterior)
+        assert weights[0] == pytest.approx(0.16, abs=0.01)
+        assert weights[1] == pytest.approx(0.49, abs=0.01)
+        assert weights[2] == pytest.approx(0.35, abs=0.01)
+        assert sum(weights) == pytest.approx(1.0, abs=1e-6)
+
+    def test_posterior_z_support(self):
+        model = transforms_demo.model()
+        posterior = model.condition(transforms_demo.conditioning_event())
+        Z = transforms_demo.Z
+        assert posterior.prob((Z >= 0) & (Z <= 2)) == pytest.approx(1.0)
+
+
+class TestHmmSmoothing:
+    """Checks against Sec. 2.2 / Fig. 3 (using the forward-backward oracle)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        n_step = 8
+        data = hmm.simulate_data(n_step, seed=4)
+        model = hmm.model(n_step)
+        return n_step, data, model
+
+    def test_smoothing_matches_forward_backward(self, setup):
+        n_step, data, model = setup
+        sppl = hmm.smooth(model, data["x"], data["y"])
+        oracle = hmm_smoothing_forward_backward(data["x"], data["y"])["smoothed"]
+        assert len(sppl) == n_step
+        for a, b in zip(sppl, oracle):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_smoothing_tracks_true_states(self, setup):
+        n_step, data, model = setup
+        posteriors = hmm.smooth(model, data["x"], data["y"])
+        accuracy = np.mean(
+            [(p > 0.5) == bool(z) for p, z in zip(posteriors, data["z"])]
+        )
+        assert accuracy >= 0.6
+
+    def test_filtering_uses_only_past_observations(self, setup):
+        n_step, data, model = setup
+        filtered = hmm.filtered(model, data["x"][:3], data["y"][:3])
+        assert len(filtered) == 3
+        assert all(0 <= p <= 1 for p in filtered)
+
+    def test_expression_growth_is_linear(self):
+        sizes = [hmm.model(n).size() for n in (4, 8, 16)]
+        growth_1 = sizes[1] - sizes[0]
+        growth_2 = sizes[2] - sizes[1]
+        # Doubling the number of steps should roughly double the added nodes
+        # (linear growth), not square it (exponential growth).
+        assert growth_2 < 4 * growth_1
+
+    def test_tree_size_is_exponentially_larger(self):
+        model = hmm.model(12)
+        assert model.tree_size() > 100 * model.size()
+
+    def test_observation_assignment_shape(self):
+        assignment = hmm.observation_assignment([1.0, 2.0], [3, 4])
+        assert assignment == {"X[0]": 1.0, "Y[0]": 3.0, "X[1]": 2.0, "Y[1]": 4.0}
+
+
+class TestRareEvents:
+    """Checks for Sec. 6.3 / Fig. 8."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return rare_events.model()
+
+    def test_events_are_increasingly_rare(self, model):
+        log_probs = [model.logprob(event) for _, event in rare_events.rare_events()]
+        assert all(b < a for a, b in zip(log_probs, log_probs[1:]))
+
+    def test_log_probabilities_in_paper_range(self, model):
+        log_probs = [model.logprob(event) for _, event in rare_events.rare_events()]
+        assert -11 < log_probs[0] < -8
+        assert -19 < log_probs[-1] < -15
+
+    def test_exact_agrees_with_rejection_sampling_on_common_event(self, model):
+        # Use a non-rare event so the sampling estimate converges quickly.
+        event = (Id("B[0]") == 1) & (Id("B[1]") == 1)
+        exact = model.prob(event)
+        sampler = RejectionSampler(rare_events.program(), seed=0)
+        estimate = sampler.estimate_probability(event, 4000)
+        assert estimate == pytest.approx(exact, abs=0.03)
+
+    def test_exact_rare_event_probability_is_fast_and_positive(self, model):
+        import time
+
+        start = time.perf_counter()
+        for _, event in rare_events.rare_events():
+            assert model.prob(event) > 0
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0

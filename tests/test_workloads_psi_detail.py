@@ -1,0 +1,117 @@
+"""Detailed tests for the PSI-benchmark substrate (Tables 3-4 workloads)."""
+
+import math
+
+import pytest
+
+from repro.engine import SpplModel
+from repro.transforms import Id
+from repro.workloads import psi_benchmarks
+
+
+class TestBenchmarkDefinitions:
+    def test_signatures_mention_dataset_sizes(self):
+        benchmark = psi_benchmarks.student_interviews_benchmark(2, n_datasets=1)
+        assert "B^2" in benchmark.signature
+        assert benchmark.n_datasets == 1
+
+    def test_digit_theta_is_deterministic_and_valid(self):
+        for digit in range(10):
+            for pixel in (0, 100, 783):
+                theta = psi_benchmarks._digit_theta(digit, pixel)
+                assert 0.0 < theta < 1.0
+                assert theta == psi_benchmarks._digit_theta(digit, pixel)
+
+    def test_digit_datasets_are_binary_vectors(self):
+        datasets = psi_benchmarks.digit_recognition_datasets(2, n_pixels=32)
+        assert len(datasets) == 2
+        for dataset in datasets:
+            assert len(dataset) == 32
+            assert set(dataset.values()) <= {0.0, 1.0}
+
+    def test_trueskill_datasets_have_performances(self):
+        datasets = psi_benchmarks.trueskill_datasets(2)
+        for dataset in datasets:
+            assert set(dataset) == {"perf_a", "perf_b"}
+            assert all(v >= 0 for v in dataset.values())
+
+    def test_clinical_trial_datasets_alternate_effectiveness(self):
+        datasets = psi_benchmarks.clinical_trial_datasets(2, n_patients=30, seed=1)
+        treated_rate_0 = sum(
+            v for k, v in datasets[0].items() if k.startswith("treated")
+        ) / 30.0
+        treated_rate_1 = sum(
+            v for k, v in datasets[1].items() if k.startswith("treated")
+        ) / 30.0
+        assert treated_rate_0 > treated_rate_1
+
+    def test_gamma_transforms_datasets_are_events(self):
+        from repro.events import Event
+
+        for event in psi_benchmarks.gamma_transforms_datasets():
+            assert isinstance(event, Event)
+
+    def test_markov_switching_datasets_cover_all_steps(self):
+        datasets = psi_benchmarks.markov_switching_datasets(4, n_datasets=1)
+        assert set(datasets[0]) == {
+            "X[0]", "X[1]", "X[2]", "X[3]", "Y[0]", "Y[1]", "Y[2]", "Y[3]"
+        }
+
+    def test_scaling_reduces_dataset_counts(self):
+        full = psi_benchmarks.table4_benchmarks(scale=1.0)
+        small = psi_benchmarks.table4_benchmarks(scale=0.1)
+        assert full[0].n_datasets > small[0].n_datasets
+
+
+class TestBenchmarkModels:
+    def test_trueskill_posterior_shifts_with_performance(self):
+        model = SpplModel.from_command(psi_benchmarks.trueskill_program())
+        skill = Id("skill_a")
+        prior = model.prob(skill >= 12)
+        posterior_high = model.constrain({"perf_a": 15.0}).prob(skill >= 12)
+        posterior_low = model.constrain({"perf_a": 2.0}).prob(skill >= 12)
+        assert posterior_high > prior > posterior_low
+
+    def test_gamma_transforms_prior_structure(self):
+        model = SpplModel.from_command(psi_benchmarks.gamma_transforms_program())
+        X, Y, Z = Id("X"), Id("Y"), Id("Z")
+        assert model.prob(X < 1) == pytest.approx(
+            1 - math.exp(-1) * (1 + 1 + 0.5), rel=1e-6
+        )
+        # Y = 1/exp(X^2) on X < 1 lies in (1/e, 1); Y = 1/ln(X) on X >= 1 is positive.
+        assert model.prob(Y > 0) == pytest.approx(1.0)
+        assert model.prob(Z <= 0) < 1.0
+
+    def test_gamma_transforms_conditioning_each_dataset(self):
+        model = SpplModel.from_command(psi_benchmarks.gamma_transforms_program())
+        for event in psi_benchmarks.gamma_transforms_datasets():
+            if model.prob(event) <= 0:
+                continue
+            posterior = model.condition(event)
+            assert posterior.prob(event) == pytest.approx(1.0, abs=1e-6)
+
+    def test_student_interviews_observation_shifts_gpa_belief(self):
+        model = SpplModel.from_command(psi_benchmarks.student_interviews_program(1))
+        gpa = Id("gpa[0]")
+        prior = model.prob(gpa > 3.5)
+        high = model.constrain({"interviews[0]": 19.0}).prob(gpa > 3.5)
+        low = model.constrain({"interviews[0]": 6.0}).prob(gpa > 3.5)
+        assert high > prior
+        assert low < prior
+
+    def test_digit_recognition_posterior_identifies_true_class(self):
+        n_pixels = 48
+        model = SpplModel.from_command(
+            psi_benchmarks.digit_recognition_program(n_pixels)
+        )
+        dataset = psi_benchmarks.digit_recognition_datasets(1, n_pixels=n_pixels)[0]
+        posterior = model.constrain(dataset)
+        # Dataset 0 is generated from digit 0.
+        p_true = posterior.prob(Id("digit") == "digit_0")
+        assert p_true > 0.9
+
+    def test_run_sppl_reports_one_answer_per_dataset(self):
+        benchmark = psi_benchmarks.markov_switching_benchmark(3, n_datasets=3)
+        timings = psi_benchmarks.run_sppl(benchmark)
+        assert len(timings.answers) == 3
+        assert all(0.0 <= a <= 1.0 for a in timings.answers)

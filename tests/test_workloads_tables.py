@@ -1,0 +1,197 @@
+"""Integration tests for the table workloads (Tables 1-4)."""
+
+import math
+
+import pytest
+
+from repro.baselines import PathEnumerationSolver
+from repro.engine import SpplModel
+from repro.transforms import Id
+from repro.workloads import psi_benchmarks
+from repro.workloads import table1_models
+from repro.workloads.fairness import FAIRNESS_BENCHMARKS
+from repro.workloads.fairness import FairnessTask
+from repro.workloads.fairness import decision_tree_program
+from repro.workloads.fairness import population_program
+from repro.workloads.fairness import sppl_fairness_judgment
+from repro.workloads.fairness.decision_trees import DECISION_TREES
+from repro.workloads.fairness.decision_trees import HIRE_EVENT
+from repro.workloads.fairness.decision_trees import decision_tree_conditionals
+from repro.workloads.fairness.population import MINORITY_EVENT
+from repro.workloads.fairness.population import POPULATION_MODELS
+from repro.workloads.fairness.population import QUALIFIED_EVENT
+
+
+class TestTable1Compression:
+    def test_all_seven_benchmarks_registered(self):
+        assert len(table1_models.TABLE1_MODELS) == 7
+
+    @pytest.mark.parametrize(
+        "name", ["Hiring", "Alarm", "Grass", "Noisy OR", "Heart Disease"]
+    )
+    def test_optimizations_never_increase_size(self, name):
+        measurement = table1_models.measure_compression(name)
+        assert measurement["optimized_nodes"] <= measurement["unoptimized_nodes"]
+        assert measurement["compression_ratio"] >= 1.0
+
+    def test_structured_models_compress_more_than_flat_ones(self):
+        hiring = table1_models.measure_compression("Hiring")["compression_ratio"]
+        noisy_or = table1_models.measure_compression("Noisy OR")["compression_ratio"]
+        assert noisy_or > hiring
+
+    def test_clinical_trial_compression_is_substantial(self):
+        measurement = table1_models.measure_compression("Clinical Trial")
+        assert measurement["compression_ratio"] > 3.0
+
+    def test_hmm_compression_is_astronomical(self):
+        from repro.compiler import compile_command
+
+        spe = compile_command(table1_models.hierarchical_hmm(n_step=20))
+        assert spe.tree_size() / spe.size() > 1e4
+
+    def test_optimized_and_unoptimized_semantics_agree(self):
+        from repro.compiler import TranslationOptions
+        from repro.compiler import compile_command
+
+        program = table1_models.alarm()
+        optimized = compile_command(program)
+        unoptimized = compile_command(
+            program, TranslationOptions(factorize=False, dedup=False)
+        )
+        event = (Id("john_calls") == 1) & (Id("mary_calls") == 1)
+        assert optimized.prob(event) == pytest.approx(unoptimized.prob(event))
+
+    def test_alarm_posterior_is_sensible(self):
+        model = SpplModel.from_command(table1_models.alarm())
+        prior = model.prob(Id("burglary") == 1)
+        posterior = model.condition(
+            (Id("john_calls") == 1) & (Id("mary_calls") == 1)
+        ).prob(Id("burglary") == 1)
+        assert posterior > prior
+
+
+class TestTable2Fairness:
+    def test_benchmark_grid_has_fifteen_tasks(self):
+        assert len(FAIRNESS_BENCHMARKS) == 15
+
+    def test_decision_tree_sizes(self):
+        for name, (size, _scale) in DECISION_TREES.items():
+            assert decision_tree_conditionals(name) == size
+
+    @pytest.mark.parametrize("population", sorted(POPULATION_MODELS))
+    def test_population_programs_translate(self, population):
+        model = SpplModel.from_command(population_program(population))
+        assert model.prob(MINORITY_EVENT) == pytest.approx(0.3307, abs=1e-6)
+        assert 0.9 < model.prob(QUALIFIED_EVENT) <= 1.0
+
+    def test_decision_program_defines_hire(self):
+        model = SpplModel.from_command(
+            FairnessTask("DT4", "independent").program()
+        )
+        assert model.prob(HIRE_EVENT) + model.prob(Id("hire") == 0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("tree", ["DT4", "DT16"])
+    def test_sppl_judgment_runs_and_is_consistent(self, tree):
+        task = FairnessTask(tree, "bayes_net_1")
+        result = sppl_fairness_judgment(task)
+        assert 0 <= result.p_minority <= 1
+        assert 0 <= result.p_majority <= 1
+        assert result.fair == (result.ratio > 0.85)
+        assert result.total_seconds < 30
+
+    def test_exact_judgment_matches_sampling_verifier(self):
+        from repro.baselines import SamplingFairnessVerifier
+
+        task = FairnessTask("DT4", "bayes_net_2")
+        exact = sppl_fairness_judgment(task)
+        verifier = SamplingFairnessVerifier(
+            command=task.program(),
+            decision=HIRE_EVENT,
+            minority=MINORITY_EVENT,
+            qualified=QUALIFIED_EVENT,
+            seed=0,
+        )
+        sampled = verifier.verify(batch_size=4000, max_samples=40000)
+        assert sampled.ratio == pytest.approx(exact.ratio, abs=0.15)
+
+    def test_lines_of_code_counts_are_positive_and_ordered(self):
+        small = FairnessTask("DT4", "independent").lines_of_code()
+        large = FairnessTask("DT44", "independent").lines_of_code()
+        assert 0 < small < large
+
+
+class TestTable3And4Benchmarks:
+    def test_registries_have_expected_sizes(self):
+        assert len(psi_benchmarks.table4_benchmarks(scale=0.1)) == 8
+        assert len(psi_benchmarks.table3_benchmarks(scale=0.1)) == 4
+
+    def test_gamma_transforms_sppl_vs_baseline(self):
+        benchmark = psi_benchmarks.gamma_transforms_benchmark()
+        timings = psi_benchmarks.run_sppl(benchmark)
+        outcome = psi_benchmarks.run_baseline(benchmark)
+        assert not outcome.failed
+        for a, b in zip(timings.answers, outcome.answers):
+            assert a == pytest.approx(b, abs=1e-6)
+
+    def test_trueskill_sppl_vs_baseline(self):
+        benchmark = psi_benchmarks.trueskill_benchmark(n_datasets=1)
+        timings = psi_benchmarks.run_sppl(benchmark)
+        outcome = psi_benchmarks.run_baseline(benchmark)
+        assert not outcome.failed
+        assert timings.answers[0] == pytest.approx(outcome.answers[0], abs=1e-9)
+
+    def test_student_interviews_answers_are_probabilities(self):
+        benchmark = psi_benchmarks.student_interviews_benchmark(2, n_datasets=2)
+        timings = psi_benchmarks.run_sppl(benchmark)
+        assert all(0 <= answer <= 1 for answer in timings.answers)
+
+    def test_markov_switching_small_agrees_with_baseline(self):
+        benchmark = psi_benchmarks.markov_switching_benchmark(3, n_datasets=2)
+        timings = psi_benchmarks.run_sppl(benchmark)
+        outcome = psi_benchmarks.run_baseline(benchmark)
+        assert not outcome.failed
+        for a, b in zip(timings.answers, outcome.answers):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_markov_switching_large_explodes_for_baseline(self):
+        benchmark = psi_benchmarks.markov_switching_benchmark(40, n_datasets=1)
+        outcome = psi_benchmarks.run_baseline(benchmark, max_paths=2000)
+        assert outcome.failed
+        assert "path" in outcome.failure_reason.lower() or outcome.failure_reason
+
+    def test_digit_recognition_small_scale(self):
+        benchmark = psi_benchmarks.digit_recognition_benchmark(
+            n_datasets=2, n_pixels=16
+        )
+        timings = psi_benchmarks.run_sppl(benchmark)
+        outcome = psi_benchmarks.run_baseline(benchmark)
+        assert not outcome.failed
+        for a, b in zip(timings.answers, outcome.answers):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_clinical_trial_small_scale_answers_agree(self):
+        benchmark = psi_benchmarks.clinical_trial_benchmark(
+            n_datasets=2, n_patients=6, n_bins=4
+        )
+        timings = psi_benchmarks.run_sppl(benchmark)
+        outcome = psi_benchmarks.run_baseline(benchmark)
+        assert not outcome.failed
+        for a, b in zip(timings.answers, outcome.answers):
+            assert a == pytest.approx(b, abs=1e-6)
+
+    def test_clinical_trial_posterior_favours_effectiveness_on_separated_data(self):
+        benchmark = psi_benchmarks.clinical_trial_benchmark(
+            n_datasets=2, n_patients=20, n_bins=8
+        )
+        timings = psi_benchmarks.run_sppl(benchmark)
+        # Dataset 0 was generated with a large treatment effect, dataset 1
+        # without one; the posterior should reflect that ordering.
+        assert timings.answers[0] > timings.answers[1]
+
+    def test_stage_timings_structure(self):
+        benchmark = psi_benchmarks.gamma_transforms_benchmark()
+        timings = psi_benchmarks.run_sppl(benchmark)
+        assert timings.translate >= 0
+        assert len(timings.condition) == benchmark.n_datasets
+        assert len(timings.query) == benchmark.n_datasets
+        assert timings.total >= timings.translate
