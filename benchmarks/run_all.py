@@ -1,0 +1,153 @@
+"""Standalone benchmark driver emitting a machine-readable perf snapshot.
+
+Runs a fixed battery of probes covering the system's hot paths --
+translation, compression (Table 1), vectorized bulk sampling (Fig. 3),
+cached repeated queries, and the ``constrain -> query`` posterior chain --
+and writes wall times plus node counts to a ``BENCH_*.json`` file, so
+successive PRs have a trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # BENCH_latest.json
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_pr7.json
+
+The driver needs only numpy/scipy (no pytest) and finishes in well under a
+minute at the default scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.compiler import TranslationOptions  # noqa: E402
+from repro.compiler import compile_command  # noqa: E402
+from repro.engine import SpplModel  # noqa: E402
+from repro.spe import intern_stats  # noqa: E402
+from repro.transforms import Id  # noqa: E402
+from repro.workloads import hmm  # noqa: E402
+from repro.workloads import table1_models  # noqa: E402
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_compression() -> dict:
+    """Table 1: optimized node counts and compression ratios."""
+    rows = {}
+    benchmarks = [
+        ("hiring", table1_models.hiring),
+        ("alarm", table1_models.alarm),
+        ("grass", table1_models.grass),
+        ("noisy_or", table1_models.noisy_or),
+        ("clinical_trial", table1_models.clinical_trial_table1),
+        ("heart_disease", table1_models.heart_disease),
+        ("hierarchical_hmm_20", lambda: hmm.program(20)),
+    ]
+    for name, builder in benchmarks:
+        program = builder()
+        optimized, translate_s = _timed(lambda: compile_command(program))
+        unoptimized = compile_command(
+            program, TranslationOptions(factorize=False, dedup=False)
+        )
+        size = optimized.size()
+        tree = unoptimized.tree_size()
+        rows[name] = {
+            "translate_s": round(translate_s, 6),
+            "optimized_nodes": size,
+            "unoptimized_tree_nodes": tree,
+            "compression_ratio": round(tree / size, 2),
+        }
+    return rows
+
+
+def bench_sampling() -> dict:
+    """Fig. 3 HMM: vectorized bulk sampling."""
+    model = hmm.model(20)
+    _, columns_s = _timed(lambda: model.sample_columns(10_000, seed=0))
+    _, rows_s = _timed(lambda: model.sample(10_000, seed=0))
+    return {
+        "model_nodes": model.size(),
+        "sample_columns_10k_s": round(columns_s, 4),
+        "sample_rows_10k_s": round(rows_s, 4),
+    }
+
+
+def bench_repeated_queries() -> dict:
+    """Repeated logprob queries: persistent-cache payoff."""
+    out = {}
+    for name, builder, symbol in [
+        ("heart_disease", table1_models.heart_disease, "heart_disease"),
+        ("clinical_trial", table1_models.clinical_trial_table1, "is_effective"),
+    ]:
+        model = SpplModel(compile_command(builder()))
+        query = Id(symbol) == 1
+        _, cold_s = _timed(lambda: model.logprob(query))
+        _, warm_s = _timed(lambda: [model.logprob(query) for _ in range(100)])
+        out[name] = {
+            "first_query_s": round(cold_s, 6),
+            "next_100_queries_s": round(warm_s, 6),
+        }
+    return out
+
+
+def bench_posterior_chain() -> dict:
+    """HMM constrain -> per-step marginals (the multi-stage workflow)."""
+    n_step = 10
+    data = hmm.simulate_data(n_step, seed=0)
+    model = hmm.model(n_step)
+
+    def chain():
+        posterior = model.constrain(
+            hmm.observation_assignment(data["x"], data["y"])
+        )
+        return [posterior.prob(Id(hmm.z(t)) == 1) for t in range(n_step)]
+
+    _, first_s = _timed(chain)
+    _, repeat_s = _timed(chain)
+    return {
+        "n_step": n_step,
+        "first_chain_s": round(first_s, 4),
+        "repeated_chain_s": round(repeat_s, 4),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="BENCH_latest.json",
+        help="snapshot path (default: BENCH_latest.json in the repo root)",
+    )
+    args = parser.parse_args()
+
+    snapshot = {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "compression": bench_compression(),
+        "sampling": bench_sampling(),
+        "repeated_queries": bench_repeated_queries(),
+        "posterior_chain": bench_posterior_chain(),
+        "intern_table": intern_stats(),
+    }
+
+    output = Path(args.output)
+    if not output.is_absolute():
+        output = REPO_ROOT / output
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print("\nwrote %s" % (output,))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

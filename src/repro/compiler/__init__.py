@@ -16,6 +16,7 @@ from .parser import SpplParseError
 from .parser import SpplParser
 from .parser import binspace
 from .parser import compile_sppl
+from .parser import parse_event
 from .parser import parse_sppl
 from .render import render_distribution
 from .render import render_spe

@@ -32,11 +32,13 @@ from ..distributions import NEG_INF
 from ..events import Conjunction
 from ..events import Event
 from ..sets import OutcomeSet
-from ..spe import Leaf
 from ..spe import Memo
 from ..spe import SPE
 from ..spe import deduplicate
+from ..spe import factor_shared
 from ..spe import factor_sum_of_products
+from ..spe import no_interning
+from ..spe import spe_leaf
 from ..spe import spe_product
 from ..spe import spe_sum
 from ..transforms import Identity
@@ -132,7 +134,7 @@ class Sample(Command):
         self.dist = dist
 
     def interpret(self, spe: Optional[SPE]) -> SPE:
-        leaf = Leaf(self.symbol, self.dist)
+        leaf = spe_leaf(self.symbol, self.dist)
         if spe is None:
             return leaf
         if self.symbol in spe.scope:
@@ -220,7 +222,7 @@ class Sequence(Command):
                         "Variable %r is sampled twice (restriction R1)."
                         % (command.symbol,)
                     )
-                pending.append(Leaf(command.symbol, command.dist))
+                pending.append(spe_leaf(command.symbol, command.dist))
             else:
                 spe = flush(spe)
                 spe = command.interpret(spe)
@@ -404,11 +406,31 @@ def compile_command(command: Command, options: TranslationOptions = None) -> SPE
     """Translate a complete SPPL program (a command) into its prior SPE.
 
     ``options`` selects the construction-time optimizations of Sec. 5.1;
-    by default both factorization and deduplication are enabled.
+    by default both factorization and deduplication are enabled.  With
+    deduplication on, the canonicalizing constructors hash-cons every node
+    against the global unique table *during* translation, so
+    structurally-equal subgraphs built on separate code paths (e.g.
+    parallel if/else branches) are shared the moment they exist; the final
+    :func:`deduplicate` pass is then a cheap no-op safety net.  With
+    deduplication off, translation runs under
+    :class:`~repro.spe.no_interning` to produce the deliberately-unshared
+    baseline measured in Table 1 and the ablation study.
     """
     options = options or TranslationOptions()
     with _use_options(options):
-        spe = command.interpret(None)
+        if options.dedup:
+            spe = command.interpret(None)
+            if spe is not None and options.factorize:
+                # Interning makes cross-branch components physically shared
+                # during translation, so a global factoring pass (Fig. 6a)
+                # can now fire at mixtures produced by conditioning, not
+                # just at if/else sites.
+                spe = factor_shared(spe)
+        else:
+            with no_interning():
+                spe = command.interpret(None)
+                if spe is not None and options.factorize:
+                    spe = factor_shared(spe)
     if spe is None:
         raise ValueError("The program does not define any random variables.")
     if options.dedup:

@@ -148,6 +148,26 @@ class SpplParser:
             raise SpplParseError("Invalid SPPL syntax: %s" % (error,)) from error
         return self._parse_block(module.body)
 
+    def parse_event(self, text: str, scope=None) -> Event:
+        """Parse a textual event (e.g. ``"X > 1 and Y == 'a'"``).
+
+        ``scope`` names the random variables the event may mention; when
+        given, it is added to the parser's set of known random variables
+        for this (and subsequent) calls.  This is the public API for
+        turning user-facing query strings into
+        :class:`~repro.events.Event` values -- used by
+        :meth:`repro.engine.SpplModel.logprob` and friends.
+        """
+        if scope is not None:
+            self.randoms = self.randoms | set(scope)
+        try:
+            expression = ast.parse(text, mode="eval").body
+        except SyntaxError as error:
+            raise SpplParseError(
+                "Invalid event syntax %r: %s" % (text, error)
+            ) from error
+        return self._to_event(self._eval(expression))
+
     # -- Statements -----------------------------------------------------------
 
     def _parse_block(self, statements) -> Command:
@@ -529,3 +549,8 @@ def parse_sppl(source: str, constants: Dict[str, object] = None) -> Command:
 def compile_sppl(source: str, constants: Dict[str, object] = None) -> SPE:
     """Parse and translate SPPL source text into its prior sum-product expression."""
     return compile_command(parse_sppl(source, constants=constants))
+
+
+def parse_event(text: str, scope=None) -> Event:
+    """Parse a textual event against a scope of random variables."""
+    return SpplParser().parse_event(text, scope=scope)

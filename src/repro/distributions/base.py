@@ -63,6 +63,16 @@ class Distribution(ABC):
     #: True when the distribution admits a density w.r.t. Lebesgue measure.
     is_continuous: bool = False
 
+    def structural_key(self) -> tuple:
+        """A hashable key identifying the distribution up to structural equality.
+
+        Two distributions with equal keys define the same probability
+        measure; the key is what the hash-consing layer of the SPE module
+        uses to intern structurally-equal leaves.  The default is identity
+        (no structural sharing) so that exotic subclasses stay correct.
+        """
+        return ("id", id(self))
+
     @abstractmethod
     def support(self) -> OutcomeSet:
         """Return the support as an outcome set."""
@@ -101,6 +111,12 @@ class Distribution(ABC):
         """Probability that the variable lies in ``values``."""
         return math.exp(self.logprob(values))
 
-    def sample_many(self, rng, n: int) -> list:
-        """Draw ``n`` independent values."""
+    def sample_many(self, rng, n: int):
+        """Draw ``n`` independent values.
+
+        Subclasses override this with a vectorized implementation (a single
+        numpy/scipy call) where possible; the fallback loops over
+        :meth:`sample`.  The result is indexable and of length ``n``
+        (typically a numpy array).
+        """
         return [self.sample(rng) for _ in range(n)]

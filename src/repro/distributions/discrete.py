@@ -8,6 +8,8 @@ from typing import List
 from typing import Optional
 from typing import Tuple
 
+import numpy as np
+
 from ..sets import FiniteReal
 from ..sets import Interval
 from ..sets import OutcomeSet
@@ -84,11 +86,28 @@ class DiscreteDistribution(Distribution):
     def support(self) -> OutcomeSet:
         return interval(self.lo, self.hi)
 
+    def structural_key(self) -> tuple:
+        frozen = self.dist
+        return (
+            "discrete_scipy",
+            frozen.dist.name,
+            tuple(frozen.args),
+            tuple(sorted(frozen.kwds.items())),
+            self.lo,
+            self.hi,
+        )
+
     def sample(self, rng) -> int:
         u_lo = self._raw_cdf(self.lo - 1) if not math.isinf(self.lo) else 0.0
         u_hi = self._raw_cdf(self.hi)
         u = rng.uniform(u_lo, u_hi)
         return int(self.dist.ppf(u))
+
+    def sample_many(self, rng, n: int):
+        u_lo = self._raw_cdf(self.lo - 1) if not math.isinf(self.lo) else 0.0
+        u_hi = self._raw_cdf(self.hi)
+        u = rng.uniform(u_lo, u_hi, size=n)
+        return np.asarray(self.dist.ppf(u)).astype(np.int64)
 
     def logprob(self, values: OutcomeSet) -> float:
         log_terms: List[float] = []
@@ -163,11 +182,20 @@ class DiscreteFinite(Distribution):
     def support(self) -> OutcomeSet:
         return FiniteReal(self.probabilities.keys())
 
+    def structural_key(self) -> tuple:
+        return ("finite", tuple(sorted(self.probabilities.items())))
+
     def sample(self, rng) -> float:
         values = sorted(self.probabilities)
         probs = [self.probabilities[v] for v in values]
         index = rng.choice(len(values), p=probs)
         return float(values[int(index)])
+
+    def sample_many(self, rng, n: int):
+        values = sorted(self.probabilities)
+        probs = [self.probabilities[v] for v in values]
+        indexes = rng.choice(len(values), size=n, p=probs)
+        return np.asarray(values, dtype=float)[indexes]
 
     def logprob(self, values: OutcomeSet) -> float:
         log_terms = [

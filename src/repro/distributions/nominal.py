@@ -8,6 +8,8 @@ from typing import List
 from typing import Optional
 from typing import Tuple
 
+import numpy as np
+
 from ..sets import FiniteNominal
 from ..sets import OutcomeSet
 from .base import Distribution
@@ -36,11 +38,20 @@ class NominalDistribution(Distribution):
     def support(self) -> OutcomeSet:
         return FiniteNominal(self.probabilities.keys())
 
+    def structural_key(self) -> tuple:
+        return ("nominal", tuple(sorted(self.probabilities.items())))
+
     def sample(self, rng) -> str:
         values = sorted(self.probabilities)
         probs = [self.probabilities[v] for v in values]
         index = rng.choice(len(values), p=probs)
         return values[int(index)]
+
+    def sample_many(self, rng, n: int):
+        values = sorted(self.probabilities)
+        probs = [self.probabilities[v] for v in values]
+        indexes = rng.choice(len(values), size=n, p=probs)
+        return np.asarray(values, dtype=object)[indexes]
 
     def logprob(self, values: OutcomeSet) -> float:
         log_terms = [

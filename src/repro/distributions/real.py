@@ -7,6 +7,8 @@ from typing import List
 from typing import Optional
 from typing import Tuple
 
+import numpy as np
+
 from ..sets import EMPTY_SET
 from ..sets import FiniteNominal
 from ..sets import FiniteReal
@@ -69,11 +71,28 @@ class RealDistribution(Distribution):
     def support(self) -> OutcomeSet:
         return interval(self.lo, self.hi)
 
+    def structural_key(self) -> tuple:
+        frozen = self.dist
+        return (
+            "real_scipy",
+            frozen.dist.name,
+            tuple(frozen.args),
+            tuple(sorted(frozen.kwds.items())),
+            self.lo,
+            self.hi,
+        )
+
     def sample(self, rng) -> float:
         u_lo = float(self.dist.cdf(self.lo))
         u_hi = float(self.dist.cdf(self.hi))
         u = rng.uniform(u_lo, u_hi)
         return float(self.dist.ppf(u))
+
+    def sample_many(self, rng, n: int):
+        u_lo = float(self.dist.cdf(self.lo))
+        u_hi = float(self.dist.cdf(self.hi))
+        u = rng.uniform(u_lo, u_hi, size=n)
+        return np.asarray(self.dist.ppf(u), dtype=float)
 
     def logprob(self, values: OutcomeSet) -> float:
         log_terms: List[float] = []
@@ -139,8 +158,14 @@ class AtomicDistribution(Distribution):
     def support(self) -> OutcomeSet:
         return FiniteReal([self.value])
 
+    def structural_key(self) -> tuple:
+        return ("atomic", self.value)
+
     def sample(self, rng) -> float:
         return self.value
+
+    def sample_many(self, rng, n: int):
+        return np.full(n, self.value, dtype=float)
 
     def logprob(self, values: OutcomeSet) -> float:
         return 0.0 if values.contains(self.value) else NEG_INF

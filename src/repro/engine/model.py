@@ -11,15 +11,26 @@ Because conditioning returns another :class:`SpplModel`, expensive stages
 (translation, conditioning on a dataset) are computed once and reused across
 any number of downstream queries — the multi-stage workflow the paper
 contrasts with single-stage solvers such as PSI (Fig. 7).
+
+Every model owns a persistent :class:`~repro.spe.QueryCache` keyed on
+structural node uids (see :mod:`repro.spe.interning`), so traversal results
+survive across queries; posterior models returned by ``condition`` /
+``constrain`` *share* their parent's cache, so sub-expressions common to
+prior and posterior are never recomputed.  Because the keys are structural,
+one cache may also safely be shared between separately compiled,
+structurally-equal models.  The batched entry points
+(:meth:`~SpplModel.logprob_batch`, :meth:`~SpplModel.logpdf_batch`,
+:meth:`~SpplModel.sample_columns`) amortize a whole workload over a single
+traversal cache or a single vectorized sampling pass.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Dict
 from typing import Iterable
 from typing import List
 from typing import Optional
+from typing import Sequence
 from typing import Union
 
 import numpy as np
@@ -31,30 +42,56 @@ from ..compiler import compile_sppl
 from ..compiler import render_spe
 from ..events import Event
 from ..spe import Memo
+from ..spe import QueryCache
 from ..spe import SPE
+from ..spe import interning_enabled
 
 EventLike = Union[Event, str]
 
 
 def parse_event(text: str, scope: Iterable[str]) -> Event:
     """Parse a textual event (e.g. ``"X > 1 and Y == 'a'"``) against a scope."""
-    parser = SpplParser()
-    parser.randoms = set(scope)
-    try:
-        expression = ast.parse(text, mode="eval").body
-    except SyntaxError as error:
-        raise ValueError("Invalid event syntax %r: %s" % (text, error)) from error
-    value = parser._eval(expression)
-    return parser._to_event(value)
+    return SpplParser().parse_event(text, scope=scope)
 
 
 class SpplModel:
-    """A probabilistic model backed by a sum-product expression."""
+    """A probabilistic model backed by a sum-product expression.
 
-    def __init__(self, spe: SPE):
+    ``cache`` controls the persistent query cache: ``None`` (default)
+    creates a fresh :class:`~repro.spe.QueryCache`, an existing
+    ``QueryCache`` is adopted (sharing entries with whichever models
+    already use it), and ``False`` disables persistent caching (every
+    query runs with a throwaway scratch memo — useful for measurement and
+    differential testing).
+
+    ``intern`` (default True) resolves the expression against the global
+    unique table, so the model's cache keys (structural uids) are shared
+    with every structurally-equal model in the process; ``model.spe`` is
+    then the canonical representative, which may be a different (smaller)
+    object than the expression passed in.  Pass ``intern=False`` to keep
+    a deliberately-unshared graph as-is, e.g. when measuring the
+    ``TranslationOptions(dedup=False)`` ablation baselines through the
+    model layer.
+    """
+
+    def __init__(
+        self, spe: SPE, cache: Optional[QueryCache] = None, intern: bool = True
+    ):
         if not isinstance(spe, SPE):
             raise TypeError("SpplModel requires a sum-product expression.")
-        self.spe = spe
+        from ..spe import intern as intern_spe
+
+        self.spe = intern_spe(spe) if (intern and interning_enabled()) else spe
+        if cache is None:
+            self._cache: Optional[QueryCache] = QueryCache()
+        elif cache is False:
+            self._cache = None
+        elif isinstance(cache, Memo):
+            self._cache = cache
+        else:
+            raise TypeError(
+                "cache must be a QueryCache/Memo, None, or False; got %r." % (cache,)
+            )
 
     # -- Construction ---------------------------------------------------------
 
@@ -67,6 +104,35 @@ class SpplModel:
     def from_command(cls, command: Command) -> "SpplModel":
         """Translate a command-IR program into a model."""
         return cls(compile_command(command))
+
+    # -- Cache management -----------------------------------------------------
+
+    @property
+    def cache(self) -> Optional[QueryCache]:
+        """The persistent query cache (None when caching is disabled)."""
+        return self._cache
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Entry counts plus cumulative hit/miss counters of the cache."""
+        if self._cache is None:
+            return {"enabled": 0}
+        stats = dict(self._cache.stats())
+        stats["enabled"] = 1
+        stats["hits"] = self._cache.hits
+        stats["misses"] = self._cache.misses
+        return stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached traversal result (releases posterior graphs)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _memo(self, memo: Memo = None) -> Memo:
+        if memo is not None:
+            return memo
+        if self._cache is not None:
+            return self._cache
+        return Memo()
 
     # -- Introspection --------------------------------------------------------
 
@@ -101,23 +167,49 @@ class SpplModel:
 
     def logprob(self, event: EventLike, memo: Memo = None) -> float:
         """Exact log probability of an event."""
-        return self.spe.logprob(self._resolve_event(event), memo=memo)
+        return self.spe.logprob(self._resolve_event(event), memo=self._memo(memo))
 
     def prob(self, event: EventLike, memo: Memo = None) -> float:
         """Exact probability of an event."""
-        return self.spe.prob(self._resolve_event(event), memo=memo)
+        return self.spe.prob(self._resolve_event(event), memo=self._memo(memo))
 
-    def logpdf(self, assignment: Dict[str, object]) -> float:
+    def logprob_batch(self, events: Sequence[EventLike], memo: Memo = None) -> List[float]:
+        """Exact log probabilities of many events in one cached pass."""
+        memo = self._memo(memo)
+        return [
+            self.spe.logprob(self._resolve_event(event), memo=memo)
+            for event in events
+        ]
+
+    def prob_batch(self, events: Sequence[EventLike], memo: Memo = None) -> List[float]:
+        """Exact probabilities of many events in one cached pass."""
+        return [float(np.exp(lp)) for lp in self.logprob_batch(events, memo=memo)]
+
+    def logpdf(self, assignment: Dict[str, object], memo: Memo = None) -> float:
         """Log density of a point assignment to non-transformed variables."""
-        return self.spe.logpdf(assignment)
+        return self.spe.logpdf(assignment, memo=self._memo(memo))
+
+    def logpdf_batch(
+        self, assignments: Sequence[Dict[str, object]], memo: Memo = None
+    ) -> List[float]:
+        """Log densities of many point assignments in one cached pass."""
+        memo = self._memo(memo)
+        return [self.spe.logpdf(assignment, memo=memo) for assignment in assignments]
 
     def condition(self, event: EventLike) -> "SpplModel":
-        """Return a new model for the posterior given a positive-probability event."""
-        return SpplModel(self.spe.condition(self._resolve_event(event)))
+        """Return a new model for the posterior given a positive-probability event.
+
+        The posterior model shares this model's query cache: traversal
+        results for sub-expressions common to prior and posterior are
+        reused across the whole ``condition → query`` chain.
+        """
+        posterior = self.spe.condition(self._resolve_event(event), memo=self._memo())
+        return SpplModel(posterior, cache=self._cache if self._cache is not None else False)
 
     def constrain(self, assignment: Dict[str, object]) -> "SpplModel":
         """Return a new model given equality observations (may be measure zero)."""
-        return SpplModel(self.spe.constrain(assignment))
+        posterior = self.spe.constrain(assignment, memo=self._memo())
+        return SpplModel(posterior, cache=self._cache if self._cache is not None else False)
 
     #: ``observe`` is an alias for :meth:`constrain`, matching common PPL APIs.
     observe = constrain
@@ -125,13 +217,26 @@ class SpplModel:
     def sample(self, n: int = None, rng=None, seed: int = None):
         """Draw samples of all program variables.
 
-        Returns a single assignment dict when ``n`` is None, otherwise a list.
+        Returns a single assignment dict when ``n`` is None, otherwise a
+        list.  The ``n``-sample path is vectorized: each visited leaf draws
+        its whole batch with one numpy/scipy call (see
+        :meth:`sample_columns` for the columnar fast path that skips the
+        per-row dict materialization entirely).
         """
         rng = self._rng(rng, seed)
         return self.spe.sample(rng, n)
 
     #: ``simulate`` is the paper's name for forward sampling.
     simulate = sample
+
+    def sample_columns(self, n: int, rng=None, seed: int = None) -> Dict[str, np.ndarray]:
+        """Draw ``n`` joint samples as columns (one numpy array per variable).
+
+        Row ``i`` across all columns is one joint sample.  This is the
+        fastest bulk-sampling surface: no per-row dictionaries are built.
+        """
+        rng = self._rng(rng, seed)
+        return self.spe.sample_bulk(rng, n)
 
     def sample_subset(self, symbols: Iterable[str], n: int = None, rng=None, seed: int = None):
         """Draw samples of a subset of the program variables."""
@@ -163,26 +268,29 @@ class SpplModel:
         from ..spe import mutual_information
 
         return mutual_information(
-            self.spe, self._resolve_event(event_a), self._resolve_event(event_b)
+            self.spe,
+            self._resolve_event(event_a),
+            self._resolve_event(event_b),
+            memo=self._memo(),
         )
 
     def probability_table(self, symbol: str, values: Iterable) -> Dict[object, float]:
         """Exact marginal probabilities of each value of a variable."""
         from ..spe import probability_table
 
-        return probability_table(self.spe, symbol, values)
+        return probability_table(self.spe, symbol, values, memo=self._memo())
 
     def cdf_table(self, symbol: str, grid: Iterable[float]) -> Dict[float, float]:
         """Exact marginal CDF of a numeric variable on a grid of points."""
         from ..spe import cdf_table
 
-        return cdf_table(self.spe, symbol, list(grid))
+        return cdf_table(self.spe, symbol, list(grid), memo=self._memo())
 
     def entropy(self, symbol: str, values: Iterable) -> float:
         """Exact entropy (nats) of a finite-valued variable."""
         from ..spe import entropy
 
-        return entropy(self.spe, symbol, values)
+        return entropy(self.spe, symbol, values, memo=self._memo())
 
     def support(self, symbol: str):
         """The values a finite-valued variable can take."""

@@ -9,11 +9,22 @@ from .analysis import probability_table
 from .analysis import variance
 from .base import DensityPair
 from .base import Memo
+from .base import QueryCache
 from .base import SPE
+from .base import assignment_key
 from .base import clause_key
+from .builders import factor_shared
 from .builders import factor_sum_of_products
 from .dedup import deduplicate
+from .interning import clear_intern_table
+from .interning import intern
+from .interning import intern_stats
+from .interning import intern_uid
+from .interning import interning_enabled
+from .interning import no_interning
+from .interning import structural_key
 from .leaf import Leaf
+from .leaf import spe_leaf
 from .product_node import ProductSPE
 from .product_node import spe_product
 from .serialize import spe_from_dict
@@ -29,23 +40,34 @@ __all__ = [
     "Leaf",
     "Memo",
     "ProductSPE",
+    "QueryCache",
     "SPE",
     "SumSPE",
+    "assignment_key",
     "cdf_table",
     "clause_key",
+    "clear_intern_table",
     "deduplicate",
     "entropy",
     "expectation",
+    "factor_shared",
     "factor_sum_of_products",
+    "intern",
+    "intern_stats",
+    "intern_uid",
+    "interning_enabled",
     "marginal_support",
     "mutual_information",
+    "no_interning",
     "probability_table",
     "spe_from_dict",
     "spe_from_json",
+    "spe_leaf",
     "spe_product",
     "spe_sum",
     "spe_to_dict",
     "spe_to_json",
+    "structural_key",
     "to_dot",
     "variance",
 ]

@@ -3,14 +3,18 @@
 Beyond the primitive queries (probability, conditioning, density, sampling),
 several useful quantities can be computed exactly from them:
 
-* :func:`condition_probability_table` -- marginal probability tables,
+* :func:`probability_table` -- marginal probability tables,
 * :func:`mutual_information` -- mutual information between two events,
 * :func:`entropy` -- entropy of a finite-valued program variable,
 * :func:`expectation` / :func:`variance` -- moments of a numeric variable,
 * :func:`cdf_table` -- the marginal CDF of a numeric variable on a grid.
 
 These mirror the auxiliary queries shipped with the reference SPPL system
-and are used by the examples and benchmark reports.
+and are used by the examples and benchmark reports.  Every function accepts
+an optional ``memo`` so callers (e.g. :class:`~repro.engine.SpplModel`) can
+route the traversals through a persistent
+:class:`~repro.spe.base.QueryCache`; the structural traversals are
+iterative, so deep chain models (long HMMs) are safe.
 """
 
 from __future__ import annotations
@@ -31,22 +35,29 @@ from .product_node import ProductSPE
 from .sum_node import SumSPE
 
 
-def probability_table(spe: SPE, symbol: str, values: Iterable) -> Dict[object, float]:
+def probability_table(
+    spe: SPE, symbol: str, values: Iterable, memo: Memo = None
+) -> Dict[object, float]:
     """Exact marginal probabilities ``P(symbol == v)`` for each value."""
     variable = Id(symbol)
-    return {value: spe.prob(variable == value) for value in values}
+    memo = memo if memo is not None else Memo()
+    return {value: spe.prob(variable == value, memo=memo) for value in values}
 
 
-def cdf_table(spe: SPE, symbol: str, grid: Sequence[float]) -> Dict[float, float]:
+def cdf_table(
+    spe: SPE, symbol: str, grid: Sequence[float], memo: Memo = None
+) -> Dict[float, float]:
     """Exact marginal CDF ``P(symbol <= g)`` on a grid of points."""
     variable = Id(symbol)
-    memo = Memo()
+    memo = memo if memo is not None else Memo()
     return {float(g): spe.prob(variable <= g, memo=memo) for g in grid}
 
 
-def mutual_information(spe: SPE, event_a: Event, event_b: Event) -> float:
+def mutual_information(
+    spe: SPE, event_a: Event, event_b: Event, memo: Memo = None
+) -> float:
     """Mutual information (in nats) between the indicators of two events."""
-    memo = Memo()
+    memo = memo if memo is not None else Memo()
     total = 0.0
     for a in (event_a, event_a.negate()):
         for b in (event_b, event_b.negate()):
@@ -60,9 +71,9 @@ def mutual_information(spe: SPE, event_a: Event, event_b: Event) -> float:
     return max(total, 0.0)
 
 
-def entropy(spe: SPE, symbol: str, values: Iterable) -> float:
+def entropy(spe: SPE, symbol: str, values: Iterable, memo: Memo = None) -> float:
     """Entropy (in nats) of a finite-valued program variable."""
-    table = probability_table(spe, symbol, values)
+    table = probability_table(spe, symbol, values, memo=memo)
     total = sum(table.values())
     if not math.isclose(total, 1.0, abs_tol=1e-6):
         raise ValueError(
@@ -103,24 +114,50 @@ def _leaf_moment(leaf: Leaf, order: int) -> float:
 
 
 def _moment(spe: SPE, symbol: str, order: int) -> float:
-    if isinstance(spe, Leaf):
-        if symbol != spe.symbol:
-            raise ValueError(
-                "Moments are only supported for non-transformed variables; "
-                "%r is derived." % (symbol,)
+    """Raw moment of a numeric variable (iterative, memoized on node uid)."""
+    cache: Dict[int, float] = {}
+    stack: List[SPE] = [spe]
+    while stack:
+        node = stack[-1]
+        if node._uid in cache:
+            stack.pop()
+            continue
+        if isinstance(node, Leaf):
+            if symbol != node.symbol:
+                raise ValueError(
+                    "Moments are only supported for non-transformed variables; "
+                    "%r is derived." % (symbol,)
+                )
+            cache[node._uid] = _leaf_moment(node, order)
+            stack.pop()
+            continue
+        if isinstance(node, SumSPE):
+            pending = [c for c in node.children if c._uid not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            cache[node._uid] = sum(
+                math.exp(w) * cache[child._uid]
+                for w, child in zip(node.log_weights, node.children)
             )
-        return _leaf_moment(spe, order)
-    if isinstance(spe, SumSPE):
-        return sum(
-            math.exp(w) * _moment(child, symbol, order)
-            for w, child in zip(spe.log_weights, spe.children)
-        )
-    if isinstance(spe, ProductSPE):
-        for child in spe.children:
-            if symbol in child.scope:
-                return _moment(child, symbol, order)
-        raise KeyError("Variable %r is not in scope." % (symbol,))
-    raise TypeError("Unknown SPE node %r." % (spe,))
+            stack.pop()
+            continue
+        if isinstance(node, ProductSPE):
+            owner = None
+            for child in node.children:
+                if symbol in child.scope:
+                    owner = child
+                    break
+            if owner is None:
+                raise KeyError("Variable %r is not in scope." % (symbol,))
+            if owner._uid not in cache:
+                stack.append(owner)
+                continue
+            cache[node._uid] = cache[owner._uid]
+            stack.pop()
+            continue
+        raise TypeError("Unknown SPE node %r." % (node,))
+    return cache[spe._uid]
 
 
 def expectation(spe: SPE, symbol: str) -> float:
@@ -139,16 +176,24 @@ def variance(spe: SPE, symbol: str) -> float:
 
 def marginal_support(spe: SPE, symbol: str) -> List[object]:
     """The set of values a finite-valued variable can take (sorted)."""
-    values = set()
+    from ..distributions import AtomicDistribution
+    from ..distributions import DiscreteFinite
+    from ..distributions import NominalDistribution
 
-    def visit(node: SPE):
+    if symbol not in spe.scope:
+        raise KeyError("Variable %r is not in scope." % (symbol,))
+
+    values = set()
+    seen = set()
+    stack: List[SPE] = [spe]
+    while stack:
+        node = stack.pop()
+        if node._uid in seen:
+            continue
+        seen.add(node._uid)
         if isinstance(node, Leaf):
             if node.symbol != symbol:
-                return
-            from ..distributions import DiscreteFinite
-            from ..distributions import AtomicDistribution
-            from ..distributions import NominalDistribution
-
+                continue
             if isinstance(node.dist, DiscreteFinite):
                 values.update(node.dist.probabilities)
             elif isinstance(node.dist, AtomicDistribution):
@@ -159,12 +204,8 @@ def marginal_support(spe: SPE, symbol: str) -> List[object]:
                 raise ValueError(
                     "Variable %r does not have a finite support." % (symbol,)
                 )
-            return
+            continue
         for child in node.children_nodes():
             if symbol in child.scope:
-                visit(child)
-
-    if symbol not in spe.scope:
-        raise KeyError("Variable %r is not in scope." % (symbol,))
-    visit(spe)
+                stack.append(child)
     return sorted(values, key=lambda v: (isinstance(v, str), v))

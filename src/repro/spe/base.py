@@ -8,16 +8,25 @@ of program variables (its *scope*).  The concrete node types are
 Public queries (all exact):
 
 * :meth:`SPE.logprob` / :meth:`SPE.prob` -- probability of an event,
+* :meth:`SPE.logprob_batch` -- probabilities of many events in one pass,
 * :meth:`SPE.condition` -- posterior SPE given a positive-probability event
   (Theorem 4.1: SPEs are closed under conditioning),
 * :meth:`SPE.constrain` -- posterior SPE given (possibly measure-zero)
   equality constraints on non-transformed variables (``condition0``),
-* :meth:`SPE.logpdf` -- mixed-type density of a point assignment,
-* :meth:`SPE.sample` -- forward sampling of all program variables.
+* :meth:`SPE.logpdf` / :meth:`SPE.logpdf_batch` -- mixed-type density of
+  point assignments,
+* :meth:`SPE.sample` / :meth:`SPE.sample_bulk` -- forward sampling
+  (``sample_bulk`` draws all ``n`` joint samples with one vectorized
+  distribution call per visited leaf).
 
-Inference uses memoization keyed on node identity so that deduplicated
-(shared) sub-expressions are visited once per query, which is what makes
-inference linear-time in the size of the expression graph (Theorem 4.3).
+Inference memoizes on *structural node uids* (see
+:mod:`~repro.spe.interning`) so that deduplicated (shared) sub-expressions
+are visited once per query, which is what makes inference linear-time in
+the size of the expression graph (Theorem 4.3).  Uids are never reused, so
+the same caches can persist across queries (:class:`QueryCache`) without
+the id()-aliasing hazards of address-based keys.  All traversals are
+iterative (explicit stack), so model depth is not bounded by Python's
+recursion limit.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from typing import Dict
 from typing import FrozenSet
 from typing import List
 from typing import Optional
+from typing import Sequence
 from typing import Tuple
 
 from ..distributions import NEG_INF
@@ -37,6 +47,7 @@ from ..events import Clause
 from ..events import Event
 from ..events import event_to_disjoint_clauses
 from ..transforms import Transform
+from .interning import next_uid
 
 #: Density values are lexicographic pairs (number of continuous dimensions
 #: participating, log density).  See Lst. 1d of the paper.
@@ -48,14 +59,28 @@ def clause_key(clause: Clause):
     return frozenset(clause.items())
 
 
+def assignment_key(assignment: Dict[str, object]):
+    """A hashable key identifying an equality-constraint assignment."""
+    return frozenset(assignment.items())
+
+
 class Memo:
-    """Per-query caches for probability, conditioning and density traversals."""
+    """Per-query scratch caches for probability, conditioning and density
+    traversals.
+
+    Entries are keyed on ``(node uid, restricted clause/assignment)``, so a
+    single ``Memo`` can safely be reused across queries and across
+    different events -- results can never be confused between two
+    assignments, and uids (unlike ``id()``) are never recycled.
+    """
 
     def __init__(self):
         self.logprob: Dict[tuple, float] = {}
         self.condition: Dict[tuple, Optional["SPE"]] = {}
         self.logpdf: Dict[tuple, DensityPair] = {}
         self.constrain: Dict[tuple, Optional["SPE"]] = {}
+        self.hits = 0
+        self.misses = 0
 
     def stats(self) -> Dict[str, int]:
         """Return the number of cached entries per cache (for diagnostics)."""
@@ -66,9 +91,43 @@ class Memo:
             "constrain": len(self.constrain),
         }
 
+    def clear(self) -> None:
+        """Drop every cached entry (counters included)."""
+        self.logprob.clear()
+        self.condition.clear()
+        self.logpdf.clear()
+        self.constrain.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class QueryCache(Memo):
+    """A persistent cross-query cache owned by a model.
+
+    Structurally identical to :class:`Memo` but intended to live for the
+    lifetime of a model (or a family of models): because entries are keyed
+    on structural uids, the cache remains correct across repeated queries,
+    across ``condition``/``constrain`` chains (posterior models share their
+    parent's cache, so sub-expressions shared between prior and posterior
+    hit the same entries), and across structurally-equal models compiled
+    separately.
+
+    Note that cached ``condition``/``constrain`` entries hold references to
+    posterior sub-expressions, keeping them alive; call :meth:`clear` to
+    release memory between unrelated workloads.
+    """
+
 
 class SPE(ABC):
     """A sum-product expression over a finite set of program variables."""
+
+    def __init__(self):
+        #: Structural uid: unique per node, never reused (see interning).
+        self._uid = next_uid()
+        #: Canonical representative once interned (self when canonical).
+        self._canonical: Optional["SPE"] = None
+        #: Unique-table key of the representative (None until interned).
+        self._structural_key: Optional[tuple] = None
 
     # -- Structure -----------------------------------------------------------
 
@@ -81,15 +140,27 @@ class SPE(ABC):
     def children_nodes(self) -> List["SPE"]:
         """Immediate children (empty for leaves)."""
 
+    @abstractmethod
+    def _restrict(self, clause: Clause) -> Clause:
+        """Restrict a clause/assignment to the variables of this scope."""
+
+    def _intern_local_key(self, child_reps) -> Optional[tuple]:
+        """Structural key given interned children; None = no identity."""
+        return None
+
+    def _intern_rebuild(self, child_reps) -> "SPE":
+        """Clone this node with its children replaced by representatives."""
+        raise TypeError("Cannot rebuild node %r." % (self,))
+
     def size(self) -> int:
         """Number of unique nodes in the expression graph (DAG size)."""
         seen = set()
         stack = [self]
         while stack:
             node = stack.pop()
-            if id(node) in seen:
+            if node._uid in seen:
                 continue
-            seen.add(id(node))
+            seen.add(node._uid)
             stack.extend(node.children_nodes())
         return len(seen)
 
@@ -99,52 +170,68 @@ class SPE(ABC):
         This measures the size the expression would have without the
         deduplication optimization of Sec. 5.1; the ratio
         ``tree_size() / size()`` is the compression ratio reported in
-        Table 1.  Computed with exact integer arithmetic.
+        Table 1.  Computed iteratively with exact integer arithmetic.
         """
         cache: Dict[int, int] = {}
+        stack = [self]
+        while stack:
+            node = stack[-1]
+            if node._uid in cache:
+                stack.pop()
+                continue
+            children = node.children_nodes()
+            pending = [c for c in children if c._uid not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            cache[node._uid] = 1 + sum(cache[c._uid] for c in children)
+            stack.pop()
+        return cache[self._uid]
 
-        def visit(node: "SPE") -> int:
-            key = id(node)
-            if key not in cache:
-                cache[key] = 1 + sum(visit(child) for child in node.children_nodes())
-            return cache[key]
+    # -- Per-clause operations (memoized, iterative) --------------------------
 
-        return visit(self)
-
-    # -- Abstract per-clause operations --------------------------------------
-
-    @abstractmethod
     def logprob_clause(self, clause: Clause, memo: Memo) -> float:
         """Log probability of a solved clause (restricted to this scope)."""
+        from .traversal import logprob_clause
 
-    @abstractmethod
+        return logprob_clause(self, clause, memo)
+
     def condition_clause(self, clause: Clause, memo: Memo) -> Optional["SPE"]:
         """Condition on a solved clause; None if it has probability zero."""
+        from .traversal import condition_clause
 
-    @abstractmethod
+        return condition_clause(self, clause, memo)
+
     def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
         """Lexicographic density of an assignment to non-transformed variables."""
+        from .traversal import logpdf_pair
 
-    @abstractmethod
+        return logpdf_pair(self, assignment, memo)
+
     def constrain_clause(
         self, assignment: Dict[str, object], memo: Memo
     ) -> Optional["SPE"]:
         """Condition on equality constraints; None if the density is zero."""
+        from .traversal import constrain_clause
+
+        return constrain_clause(self, assignment, memo)
 
     @abstractmethod
     def transform(self, symbol: str, expression: Transform) -> "SPE":
         """Define a derived variable ``symbol = expression`` (Transform rules)."""
 
-    @abstractmethod
     def sample_assignment(self, rng) -> Dict[str, object]:
         """Draw one joint sample of every variable in scope."""
+        from .traversal import sample_assignment
+
+        return sample_assignment(self, rng)
 
     # -- Public query API -----------------------------------------------------
 
     def logprob(self, event: Event, memo: Memo = None) -> float:
         """Exact log probability of ``event``."""
         self._check_event_scope(event)
-        memo = memo or Memo()
+        memo = memo if memo is not None else Memo()
         clauses = event_to_disjoint_clauses(event)
         terms = [self.logprob_clause(clause, memo) for clause in clauses]
         return log_add(terms)
@@ -153,12 +240,23 @@ class SPE(ABC):
         """Exact probability of ``event``."""
         return math.exp(self.logprob(event, memo=memo))
 
+    def logprob_batch(self, events: Sequence[Event], memo: Memo = None) -> List[float]:
+        """Exact log probabilities of many events sharing one traversal cache.
+
+        Sub-expression results computed for one event are reused by every
+        later event in the batch, so a batch over related events (e.g. a
+        CDF grid, or per-timestep marginals) costs far less than
+        independent :meth:`logprob` calls.
+        """
+        memo = memo if memo is not None else Memo()
+        return [self.logprob(event, memo=memo) for event in events]
+
     def condition(self, event: Event, memo: Memo = None) -> "SPE":
         """Return the posterior SPE given a positive-probability ``event``."""
         from .sum_node import spe_sum
 
         self._check_event_scope(event)
-        memo = memo or Memo()
+        memo = memo if memo is not None else Memo()
         clauses = event_to_disjoint_clauses(event)
         weighted: List[Tuple[SPE, float]] = []
         for clause in clauses:
@@ -179,10 +277,17 @@ class SPE(ABC):
 
     def logpdf(self, assignment: Dict[str, object], memo: Memo = None) -> float:
         """Log density of an assignment to non-transformed variables."""
-        memo = memo or Memo()
+        memo = memo if memo is not None else Memo()
         self._check_assignment_scope(assignment)
         _, log_density = self.logpdf_pair(assignment, memo)
         return log_density
+
+    def logpdf_batch(
+        self, assignments: Sequence[Dict[str, object]], memo: Memo = None
+    ) -> List[float]:
+        """Log densities of many assignments sharing one traversal cache."""
+        memo = memo if memo is not None else Memo()
+        return [self.logpdf(assignment, memo=memo) for assignment in assignments]
 
     def constrain(self, assignment: Dict[str, object], memo: Memo = None) -> "SPE":
         """Posterior SPE given equality constraints ``{X == x, Y == y, ...}``.
@@ -191,7 +296,7 @@ class SPE(ABC):
         continuous variable); the result follows the generalized density
         semantics of the paper (Remark 4.2 / Appendix D.3).
         """
-        memo = memo or Memo()
+        memo = memo if memo is not None else Memo()
         self._check_assignment_scope(assignment)
         result = self.constrain_clause(assignment, memo)
         if result is None:
@@ -201,21 +306,45 @@ class SPE(ABC):
         return result
 
     def sample(self, rng, n: int = None):
-        """Draw one sample (dict) or a list of ``n`` samples."""
+        """Draw one sample (dict) or a list of ``n`` samples.
+
+        The ``n``-sample path is vectorized: every visited leaf draws all
+        of its values with a single numpy/scipy call (see
+        :meth:`sample_bulk`) instead of ``n`` independent traversals.
+        """
         if n is None:
             return self.sample_assignment(rng)
-        return [self.sample_assignment(rng) for _ in range(n)]
+        columns = self.sample_bulk(rng, n)
+        # tolist() converts numpy scalars back to Python int/float/str, so
+        # row dictionaries are interchangeable with the n=None path (and
+        # JSON-serializable), matching the pre-vectorization API.
+        rows = {s: column.tolist() for s, column in columns.items()}
+        symbols = list(rows)
+        return [{s: rows[s][i] for s in symbols} for i in range(n)]
+
+    def sample_bulk(self, rng, n: int) -> Dict[str, "object"]:
+        """Draw ``n`` joint samples, returned as columns (numpy arrays).
+
+        The result maps each variable in scope to an array of length ``n``;
+        row ``i`` across all columns is one joint sample.  This is the fast
+        path for large ``n``: mixture branches are chosen for all samples
+        at once and each leaf samples its entire batch with one vectorized
+        distribution call.
+        """
+        from .traversal import sample_bulk
+
+        return sample_bulk(self, rng, n)
 
     def sample_subset(self, symbols, rng, n: int = None):
         """Sample only the requested variables."""
         keep = set(symbols)
-
-        def restrict(assignment):
-            return {k: v for k, v in assignment.items() if k in keep}
-
         if n is None:
-            return restrict(self.sample_assignment(rng))
-        return [restrict(self.sample_assignment(rng)) for _ in range(n)]
+            assignment = self.sample_assignment(rng)
+            return {k: v for k, v in assignment.items() if k in keep}
+        columns = self.sample_bulk(rng, n)
+        rows = {s: column.tolist() for s, column in columns.items() if s in keep}
+        kept = list(rows)
+        return [{s: rows[s][i] for s in kept} for i in range(n)]
 
     # -- Validation helpers ---------------------------------------------------
 

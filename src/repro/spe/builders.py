@@ -2,19 +2,29 @@
 
 Implements the *factorization* optimization of Sec. 5.1 (Fig. 6a): when the
 children of a mixture are products that share common components (detected by
-node identity, as in the paper's O(1) memory-address comparison), the shared
+physical sharing, the paper's O(1) memory-address comparison), the shared
 components are factored out of the mixture, which keeps the expression graph
 small when if/else branches only modify a subset of the variables.
+
+With hash-consed interning (:mod:`~repro.spe.interning`) physical sharing
+subsumes structural equality: components that are merely *structurally*
+equal across branches -- e.g. identical emission leaves built separately in
+each branch of the hierarchical HMM -- resolve to one canonical node before
+factorization runs, so the common-component detection fires far more often
+than under the seed's purely address-based scheme.
 """
 
 from __future__ import annotations
 
+from typing import Dict
 from typing import List
 from typing import Sequence
 
 from .base import SPE
+from .leaf import Leaf
 from .product_node import ProductSPE
 from .product_node import spe_product
+from .sum_node import SumSPE
 from .sum_node import spe_sum
 
 
@@ -36,15 +46,15 @@ def factor_sum_of_products(children: Sequence[SPE], log_weights: Sequence[float]
     if not all(isinstance(child, ProductSPE) for child in children):
         return spe_sum(children, log_weights)
 
-    common_ids = set(id(gc) for gc in children[0].children)
+    common_uids = set(gc._uid for gc in children[0].children)
     for child in children[1:]:
-        common_ids &= set(id(gc) for gc in child.children)
-    if not common_ids:
+        common_uids &= set(gc._uid for gc in child.children)
+    if not common_uids:
         return spe_sum(children, log_weights)
 
-    shared: List[SPE] = [gc for gc in children[0].children if id(gc) in common_ids]
+    shared: List[SPE] = [gc for gc in children[0].children if gc._uid in common_uids]
     residuals: List[List[SPE]] = [
-        [gc for gc in child.children if id(gc) not in common_ids]
+        [gc for gc in child.children if gc._uid not in common_uids]
         for child in children
     ]
 
@@ -61,3 +71,51 @@ def factor_sum_of_products(children: Sequence[SPE], log_weights: Sequence[float]
 
     inner = spe_sum([spe_product(residual) for residual in residuals], log_weights)
     return spe_product(shared + [inner])
+
+
+def factor_shared(spe: SPE) -> SPE:
+    """Globally re-factor shared product components out of every mixture.
+
+    :func:`factor_sum_of_products` only runs where the translator happens
+    to build a mixture (if/else sites); mixtures produced by *conditioning*
+    during translation never see it, and in the pre-hash-consing design
+    their components only became physically shared at the final
+    deduplication pass -- after every factoring decision had already been
+    taken.  With interning, sharing exists the moment nodes are built, so
+    this bottom-up pass (iterative, recursion-safe) can recover the
+    factored form of Fig. 6a across the whole graph.  Passes repeat while
+    the node count strictly decreases; the result is returned only when it
+    is no larger than the input.
+    """
+    for _ in range(10):
+        rebuilt: Dict[int, SPE] = {}
+        stack: List[SPE] = [spe]
+        while stack:
+            node = stack[-1]
+            if node._uid in rebuilt:
+                stack.pop()
+                continue
+            children = node.children_nodes()
+            pending = [c for c in children if c._uid not in rebuilt]
+            if pending:
+                stack.extend(pending)
+                continue
+            new_children = [rebuilt[c._uid] for c in children]
+            if isinstance(node, Leaf):
+                result: SPE = node
+            elif isinstance(node, SumSPE):
+                result = factor_sum_of_products(new_children, node.log_weights)
+            elif isinstance(node, ProductSPE):
+                if all(n is c for n, c in zip(new_children, children)):
+                    result = node
+                else:
+                    result = spe_product(new_children)
+            else:
+                result = node
+            rebuilt[node._uid] = result
+            stack.pop()
+        candidate = rebuilt[spe._uid]
+        if candidate is spe or candidate.size() >= spe.size():
+            break
+        spe = candidate
+    return spe

@@ -2,92 +2,55 @@
 
 When a translated expression contains identical sub-expressions that cannot
 be factored out without violating the scope conditions, the optimizer
-resolves them into a single physical node shared by every parent.  Sharing
-is detected bottom-up with structural keys, after which parents refer to the
-interned child objects; all inference algorithms already memoize on node
-identity, so deduplication directly reduces both memory and repeated
-computation.
+resolves them into a single physical node shared by every parent.  Since the
+introduction of hash-consing (:mod:`~repro.spe.interning`), deduplication
+*is* interning: :func:`deduplicate` resolves every subtree against the
+global unique table, so structurally-equal subgraphs -- within one
+expression or across separately built expressions -- become physically
+shared.  All inference algorithms memoize on structural node uids, so
+deduplication directly reduces both memory and repeated computation.
+
+The expressions produced by the canonicalizing constructors are already
+interned; an explicit :func:`deduplicate` pass is only needed for graphs
+assembled from raw node constructors (e.g. hand-built test fixtures or
+graphs created under :class:`~repro.spe.interning.no_interning`).
 """
 
 from __future__ import annotations
 
-from typing import Dict
 from typing import Tuple
 
-from ..distributions import AtomicDistribution
-from ..distributions import DiscreteDistribution
-from ..distributions import DiscreteFinite
 from ..distributions import Distribution
-from ..distributions import NominalDistribution
-from ..distributions import RealDistribution
 from .base import SPE
-from .leaf import Leaf
-from .product_node import ProductSPE
-from .sum_node import SumSPE
+from .interning import intern
+from .interning import structural_key as node_structural_key
 
 
 def distribution_key(dist: Distribution) -> Tuple:
-    """A structural key identifying a primitive distribution."""
-    if isinstance(dist, AtomicDistribution):
-        return ("atomic", dist.value)
-    if isinstance(dist, NominalDistribution):
-        return ("nominal", tuple(sorted(dist.probabilities.items())))
-    if isinstance(dist, DiscreteFinite):
-        return ("finite", tuple(sorted(dist.probabilities.items())))
-    if isinstance(dist, (RealDistribution, DiscreteDistribution)):
-        frozen = dist.dist
-        return (
-            "scipy",
-            type(dist).__name__,
-            frozen.dist.name,
-            tuple(frozen.args),
-            tuple(sorted(frozen.kwds.items())),
-            dist.lo,
-            dist.hi,
-        )
-    return ("id", id(dist))
+    """A structural key identifying a primitive distribution.
+
+    Retained for backward compatibility; the canonical implementation is
+    :meth:`Distribution.structural_key`.
+    """
+    return dist.structural_key()
 
 
-def node_key(node: SPE, child_ids: Tuple[int, ...]) -> Tuple:
-    """A structural key for a node given the identities of its (interned) children."""
-    if isinstance(node, Leaf):
-        env_key = tuple(sorted((k, v._key()) for k, v in node.env.items()))
-        return ("leaf", node.symbol, distribution_key(node.dist), env_key)
-    if isinstance(node, SumSPE):
-        return ("sum", tuple(zip(child_ids, node.log_weights)))
-    if isinstance(node, ProductSPE):
-        return ("product", tuple(sorted(child_ids)))
-    return ("id", id(node))
+def node_key(node: SPE, child_ids: Tuple[int, ...] = None) -> Tuple:
+    """The structural key of a node (children resolved via interning).
+
+    The ``child_ids`` parameter of the legacy signature is ignored: keys
+    are now computed against the global unique table, which already
+    identifies children canonically.
+    """
+    return node_structural_key(node)
 
 
 def deduplicate(spe: SPE) -> SPE:
     """Return an equivalent expression with identical subtrees merged.
 
     The result is semantically identical to the input (same distribution);
-    only the amount of structure sharing changes.
+    only the amount of structure sharing changes.  Merging is performed
+    against the process-wide unique table, so repeated calls -- and calls
+    on structurally overlapping expressions -- share representatives.
     """
-    interned: Dict[Tuple, SPE] = {}
-    rebuilt: Dict[int, SPE] = {}
-
-    def visit(node: SPE) -> SPE:
-        if id(node) in rebuilt:
-            return rebuilt[id(node)]
-        children = [visit(child) for child in node.children_nodes()]
-        child_ids = tuple(id(child) for child in children)
-        key = node_key(node, child_ids)
-        if key in interned:
-            result = interned[key]
-        else:
-            if isinstance(node, Leaf):
-                result = node
-            elif isinstance(node, SumSPE):
-                result = SumSPE(children, node.log_weights)
-            elif isinstance(node, ProductSPE):
-                result = ProductSPE(children)
-            else:
-                result = node
-            interned[key] = result
-        rebuilt[id(node)] = result
-        return result
-
-    return visit(spe)
+    return intern(spe)

@@ -1,0 +1,176 @@
+"""Hash-consed structural interning of sum-product expressions (Sec. 5.1).
+
+The paper's linear-time inference guarantee (Theorem 4.3) and the Table 1
+compression ratios both depend on structurally-equal sub-expressions being
+represented by a *single* physical node.  This module maintains a global
+weak-value *unique table* mapping structural keys to canonical
+representative nodes, so that
+
+* the canonicalizing constructors (:func:`~repro.spe.sum_node.spe_sum`,
+  :func:`~repro.spe.product_node.spe_product`,
+  :func:`~repro.spe.leaf.spe_leaf`) return the shared representative of a
+  node the moment it is built, even when structurally-equal subgraphs are
+  produced on entirely separate code paths (e.g. the two ``separated``
+  branches of the hierarchical HMM), and
+* caches keyed on a node's :func:`intern_uid` remain valid across queries
+  and across structurally-equal models, because equal structures resolve to
+  the same representative.
+
+Structural keys are exact (no hashing shortcuts): a key records the node
+kind, its parameters, and the *intern uids* of its (already interned)
+children -- see the ``_intern_local_key`` method on each node class.  Uids
+are drawn from a monotonically increasing counter and are never reused, so
+-- unlike ``id()`` -- a key can never alias a dead node.  Sum and product
+keys sort their child entries, making sharing order-insensitive (mixtures
+and products are commutative).
+
+The table holds only weak references to representatives: once every model
+referencing a subgraph is dropped, its entries vanish and memory is
+reclaimed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import Tuple
+
+#: Global unique table: structural key -> canonical representative node.
+_TABLE = weakref.WeakValueDictionary()
+
+#: Process-wide uid source shared by every SPE node (see SPE.__init__).
+_UIDS = itertools.count(1)
+
+#: When False, the canonicalizing constructors stop interning (used by the
+#: ablation configurations with ``TranslationOptions(dedup=False)``).
+_ENABLED = [True]
+
+#: Cumulative table statistics (for diagnostics and tests).
+_STATS = {"hits": 0, "misses": 0}
+
+
+def next_uid() -> int:
+    """Allocate a fresh, never-reused node uid."""
+    return next(_UIDS)
+
+
+def interning_enabled() -> bool:
+    """Whether the canonicalizing constructors currently intern."""
+    return _ENABLED[0]
+
+
+class no_interning:
+    """Context manager disabling constructor-time interning.
+
+    Used to build deliberately-unshared expressions, e.g. the unoptimized
+    baselines of Table 1 and the ablation study.
+    """
+
+    def __enter__(self):
+        self._previous = _ENABLED[0]
+        _ENABLED[0] = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _ENABLED[0] = self._previous
+        return False
+
+
+def intern_stats() -> dict:
+    """Unique-table statistics: live entries plus cumulative hits/misses."""
+    return {"entries": len(_TABLE), "hits": _STATS["hits"], "misses": _STATS["misses"]}
+
+
+def clear_intern_table() -> None:
+    """Drop every unique-table entry (existing nodes stay valid; new
+    constructions simply stop sharing with them).  Intended for tests."""
+    _TABLE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def intern(root) -> "SPE":
+    """Return the canonical representative of ``root``.
+
+    The whole subgraph below ``root`` is interned bottom-up (iteratively,
+    so arbitrarily deep chains are safe); every node's representative is
+    cached on the node itself, making repeated calls O(1).  The result is
+    semantically identical to the input -- only structure sharing changes.
+    """
+    canonical = root._canonical
+    if canonical is not None:
+        return canonical
+    stack = [root]
+    while stack:
+        node = stack[-1]
+        if node._canonical is not None:
+            stack.pop()
+            continue
+        children = node.children_nodes()
+        pending = [c for c in children if c._canonical is None]
+        if pending:
+            stack.extend(pending)
+            continue
+        reps = [c._canonical for c in children]
+        key = node._intern_local_key(reps)
+        if key is None:
+            # No structural identity (e.g. an exotic distribution without a
+            # structural key): the node is its own representative, but it
+            # still adopts interned children when they changed.
+            if any(r is not c for r, c in zip(reps, children)):
+                rep = node._intern_rebuild(reps)
+            else:
+                rep = node
+            rep._canonical = rep
+            node._canonical = rep
+            stack.pop()
+            continue
+        found = _TABLE.get(key)
+        if found is not None:
+            _STATS["hits"] += 1
+            node._canonical = found
+        else:
+            _STATS["misses"] += 1
+            if any(r is not c for r, c in zip(reps, children)):
+                rep = node._intern_rebuild(reps)
+            else:
+                rep = node
+            rep._structural_key = key
+            rep._canonical = rep
+            _TABLE[key] = rep
+            node._canonical = rep
+        stack.pop()
+    return root._canonical
+
+
+def maybe_intern(node) -> "SPE":
+    """Intern ``node`` when constructor-time interning is enabled."""
+    if _ENABLED[0]:
+        return intern(node)
+    return node
+
+
+def structural_key(node) -> Tuple:
+    """The structural key of ``node``'s canonical representative.
+
+    Keys of interior nodes reference children by intern uid; two nodes have
+    equal keys if and only if they are structurally equal (same shape, same
+    parameters, same weights), independent of construction order.
+    """
+    rep = intern(node)
+    key = rep._structural_key
+    if key is None:
+        # Node kind without structural identity: fall back to its uid,
+        # which is unique and never reused.
+        return ("uid", rep._uid)
+    return key
+
+
+def intern_uid(node) -> int:
+    """The uid of ``node``'s canonical representative.
+
+    This is the key all persistent caches use: stable for the lifetime of
+    the process, never reused, and shared by every structurally-equal node
+    built while interning is enabled.
+    """
+    return intern(node)._uid

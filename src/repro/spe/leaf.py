@@ -6,6 +6,10 @@ A leaf ``Leaf(x, d, env)`` consists of a program variable ``x``, a primitive
 previously-defined derived variables).  The environment is how SPPL
 represents statements such as ``Z = X**2 + 1`` without extending the
 dimensionality of the underlying base measure.
+
+:func:`spe_leaf` is the canonicalizing (hash-consing) constructor: it
+returns the interned representative, so structurally-equal leaves built on
+separate code paths become physically shared.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from typing import FrozenSet
 from typing import List
 from typing import Optional
 
+import numpy as np
+
 from ..distributions import Distribution
 from ..distributions import NEG_INF
 from ..events import Clause
@@ -24,9 +30,8 @@ from ..sets import intersection
 from ..transforms import Identity
 from ..transforms import Transform
 from .base import DensityPair
-from .base import Memo
 from .base import SPE
-from .base import clause_key
+from .interning import maybe_intern
 
 
 class Leaf(SPE):
@@ -38,6 +43,7 @@ class Leaf(SPE):
         dist: Distribution,
         env: Dict[str, Transform] = None,
     ):
+        super().__init__()
         if not isinstance(symbol, str) or not symbol:
             raise ValueError("Leaf requires a non-empty variable name.")
         if not isinstance(dist, Distribution):
@@ -66,6 +72,13 @@ class Leaf(SPE):
 
     def children_nodes(self) -> List[SPE]:
         return []
+
+    def _intern_local_key(self, child_reps) -> Optional[tuple]:
+        dist_key = self.dist.structural_key()
+        if dist_key and dist_key[0] == "id":
+            return None
+        env_key = tuple(sorted((s, t._key()) for s, t in self.env.items()))
+        return ("leaf", self.symbol, dist_key, env_key)
 
     def __repr__(self) -> str:
         if self.env:
@@ -112,80 +125,55 @@ class Leaf(SPE):
     def _restrict(self, clause: Clause) -> Clause:
         return {s: v for s, v in clause.items() if s in self.scope}
 
-    # -- Inference ------------------------------------------------------------
+    # -- Inference kernels (invoked by the iterative traversal engine) --------
 
-    def logprob_clause(self, clause: Clause, memo: Memo) -> float:
-        restricted = self._restrict(clause)
-        key = (id(self), clause_key(restricted))
-        if key in memo.logprob:
-            return memo.logprob[key]
+    def _logprob_restricted(self, restricted: Clause) -> float:
         solved = self._solve_clause_set(restricted)
-        result = 0.0 if solved is None else self.dist.logprob(solved)
-        memo.logprob[key] = result
-        return result
+        return 0.0 if solved is None else self.dist.logprob(solved)
 
-    def condition_clause(self, clause: Clause, memo: Memo) -> Optional[SPE]:
+    def _condition_restricted(self, restricted: Clause) -> Optional[SPE]:
         from .sum_node import spe_sum
 
-        restricted = self._restrict(clause)
-        key = (id(self), clause_key(restricted))
-        if key in memo.condition:
-            return memo.condition[key]
         solved = self._solve_clause_set(restricted)
         if solved is None:
-            memo.condition[key] = self
             return self
         branches = self.dist.condition(solved)
         if not branches:
-            result: Optional[SPE] = None
-        elif len(branches) == 1:
-            result = Leaf(self.symbol, branches[0][0], env=self.env)
-        else:
-            leaves = [Leaf(self.symbol, d, env=self.env) for d, _ in branches]
-            log_weights = [w for _, w in branches]
-            result = spe_sum(leaves, log_weights)
-        memo.condition[key] = result
-        return result
+            return None
+        if len(branches) == 1:
+            return spe_leaf(self.symbol, branches[0][0], env=self.env)
+        leaves = [spe_leaf(self.symbol, d, env=self.env) for d, _ in branches]
+        log_weights = [w for _, w in branches]
+        return spe_sum(leaves, log_weights)
 
-    def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
-        relevant = {s: v for s, v in assignment.items() if s in self.scope}
-        derived = [s for s in relevant if s != self.symbol]
+    def _logpdf_restricted(self, restricted: Dict[str, object]) -> DensityPair:
+        derived = [s for s in restricted if s != self.symbol]
         if derived:
             raise ValueError(
                 "Density queries are only supported on non-transformed "
                 "variables; %s are derived at this leaf." % (sorted(derived),)
             )
-        if self.symbol not in relevant:
+        if self.symbol not in restricted:
             return (0, 0.0)
-        log_density = self.dist.logpdf(relevant[self.symbol])
+        log_density = self.dist.logpdf(restricted[self.symbol])
         if self.dist.is_continuous:
             return (1, log_density)
         return (1 if log_density == NEG_INF else 0, log_density)
 
-    def constrain_clause(
-        self, assignment: Dict[str, object], memo: Memo
-    ) -> Optional[SPE]:
-        relevant = {s: v for s, v in assignment.items() if s in self.scope}
-        derived = [s for s in relevant if s != self.symbol]
+    def _constrain_restricted(self, restricted: Dict[str, object]) -> Optional[SPE]:
+        derived = [s for s in restricted if s != self.symbol]
         if derived:
             raise ValueError(
                 "constrain() only supports equality constraints on "
                 "non-transformed variables; %s are derived at this leaf."
                 % (sorted(derived),)
             )
-        if self.symbol not in relevant:
+        if self.symbol not in restricted:
             return self
-        key = (id(self),)
-        if key in memo.constrain:
-            return memo.constrain[key]
-        constrained = self.dist.constrain(relevant[self.symbol])
-        result = (
-            None
-            if constrained is None
-            else Leaf(self.symbol, constrained[0], env=self.env)
-        )
-        memo.constrain[key] = result
-        return result
+        constrained = self.dist.constrain(restricted[self.symbol])
+        if constrained is None:
+            return None
+        return spe_leaf(self.symbol, constrained[0], env=self.env)
 
     # -- Derived variables and sampling ---------------------------------------
 
@@ -200,9 +188,10 @@ class Leaf(SPE):
             )
         env = dict(self.env)
         env[symbol] = expression
-        return Leaf(self.symbol, self.dist, env=env)
+        return spe_leaf(self.symbol, self.dist, env=env)
 
-    def sample_assignment(self, rng) -> Dict[str, object]:
+    def _sample_one(self, rng) -> Dict[str, object]:
+        """Draw one joint sample of the base and derived variables."""
         value = self.dist.sample(rng)
         assignment: Dict[str, object] = {self.symbol: value}
         for derived in self.env:
@@ -215,3 +204,32 @@ class Leaf(SPE):
             else:
                 assignment[derived] = resolved.evaluate(float(value))
         return assignment
+
+    def _sample_batch(self, rng, n: int) -> Dict[str, object]:
+        """Draw ``n`` values per variable with one vectorized base draw."""
+        values = self.dist.sample_many(rng, n)
+        values = np.asarray(values)
+        columns: Dict[str, object] = {self.symbol: values}
+        for derived in self.env:
+            resolved = self.resolved_transform(derived)
+            if values.dtype.kind in "OUS":
+                if isinstance(resolved, Identity):
+                    columns[derived] = values
+                else:
+                    columns[derived] = np.full(n, math.nan)
+            else:
+                columns[derived] = np.asarray(
+                    [resolved.evaluate(float(v)) for v in values]
+                )
+        return columns
+
+
+def spe_leaf(symbol: str, dist: Distribution, env: Dict[str, Transform] = None) -> Leaf:
+    """Canonicalizing (hash-consing) constructor for leaves.
+
+    Returns the interned representative of ``Leaf(symbol, dist, env)``:
+    structurally-equal leaves built anywhere in the process resolve to one
+    shared node, so downstream factorization and memoization see them as
+    identical.
+    """
+    return maybe_intern(Leaf(symbol, dist, env=env))

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict
 from typing import FrozenSet
 from typing import List
 from typing import Optional
@@ -10,16 +9,15 @@ from typing import Sequence
 
 from ..events import Clause
 from ..transforms import Transform
-from .base import DensityPair
-from .base import Memo
 from .base import SPE
-from .base import clause_key
+from .interning import maybe_intern
 
 
 class ProductSPE(SPE):
     """A product of sum-product expressions with pairwise-disjoint scopes."""
 
     def __init__(self, children: Sequence[SPE]):
+        super().__init__()
         children = list(children)
         if len(children) < 2:
             raise ValueError("ProductSPE requires at least two children; use spe_product().")
@@ -44,137 +42,34 @@ class ProductSPE(SPE):
     def children_nodes(self) -> List[SPE]:
         return list(self.children)
 
+    def _intern_local_key(self, child_reps) -> Optional[tuple]:
+        # Products of independent components are commutative: sorting the
+        # child uids makes the key order-insensitive.
+        return ("product", tuple(sorted(rep._uid for rep in child_reps)))
+
+    def _intern_rebuild(self, child_reps) -> SPE:
+        return ProductSPE(child_reps)
+
     def __repr__(self) -> str:
         return "ProductSPE(%s)" % (list(self.children),)
 
     def _restrict(self, clause: Clause) -> Clause:
         return {s: v for s, v in clause.items() if s in self._scope}
 
-    # -- Inference ------------------------------------------------------------
-
-    def logprob_clause(self, clause: Clause, memo: Memo) -> float:
-        restricted = self._restrict(clause)
-        key = (id(self), clause_key(restricted))
-        if key in memo.logprob:
-            return memo.logprob[key]
-        total = 0.0
-        for child in self.children:
-            child_clause = {s: v for s, v in restricted.items() if s in child.scope}
-            if not child_clause:
-                continue
-            total += child.logprob_clause(child_clause, memo)
-        memo.logprob[key] = total
-        return total
-
-    def condition_clause(self, clause: Clause, memo: Memo) -> Optional[SPE]:
-        restricted = self._restrict(clause)
-        key = (id(self), clause_key(restricted))
-        if key in memo.condition:
-            return memo.condition[key]
-        new_children: List[SPE] = []
-        changed = False
-        failed = False
-        for child in self.children:
-            child_clause = {s: v for s, v in restricted.items() if s in child.scope}
-            if not child_clause:
-                new_children.append(child)
-                continue
-            conditioned = child.condition_clause(child_clause, memo)
-            if conditioned is None:
-                failed = True
-                break
-            changed = changed or (conditioned is not child)
-            new_children.append(conditioned)
-        if failed:
-            result: Optional[SPE] = None
-        elif not changed:
-            result = self
-        else:
-            result = spe_product(new_children)
-        memo.condition[key] = result
-        return result
-
-    def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
-        key = (id(self),)
-        if key in memo.logpdf:
-            return memo.logpdf[key]
-        count = 0
-        total = 0.0
-        for child in self.children:
-            child_assignment = {
-                s: v for s, v in assignment.items() if s in child.scope
-            }
-            if not child_assignment:
-                continue
-            child_count, child_logpdf = child.logpdf_pair(child_assignment, memo)
-            count += child_count
-            total += child_logpdf
-        result = (count, total)
-        memo.logpdf[key] = result
-        return result
-
-    def constrain_clause(
-        self, assignment: Dict[str, object], memo: Memo
-    ) -> Optional[SPE]:
-        key = (id(self),)
-        if key in memo.constrain:
-            return memo.constrain[key]
-        new_children: List[SPE] = []
-        changed = False
-        failed = False
-        for child in self.children:
-            child_assignment = {
-                s: v for s, v in assignment.items() if s in child.scope
-            }
-            if not child_assignment:
-                new_children.append(child)
-                continue
-            constrained = child.constrain_clause(child_assignment, memo)
-            if constrained is None:
-                failed = True
-                break
-            changed = changed or (constrained is not child)
-            new_children.append(constrained)
-        if failed:
-            result: Optional[SPE] = None
-        elif not changed:
-            result = self
-        else:
-            result = spe_product(new_children)
-        memo.constrain[key] = result
-        return result
-
-    # -- Derived variables and sampling ---------------------------------------
+    # -- Derived variables ----------------------------------------------------
 
     def transform(self, symbol: str, expression: Transform) -> SPE:
-        if symbol in self._scope:
-            raise ValueError("Variable %r is already defined (restriction R1)." % (symbol,))
-        free = set(expression.get_symbols())
-        owners = [
-            i for i, child in enumerate(self.children) if free & set(child.scope)
-        ]
-        if len(owners) != 1 or not free <= set(self.children[owners[0]].scope):
-            raise ValueError(
-                "Transform for %r mentions variables %s spanning multiple "
-                "independent components; multivariate transforms are ruled "
-                "out by restriction (R3)." % (symbol, sorted(free))
-            )
-        index = owners[0]
-        children = list(self.children)
-        children[index] = children[index].transform(symbol, expression)
-        return ProductSPE(children)
+        from .traversal import transform_spe
 
-    def sample_assignment(self, rng) -> Dict[str, object]:
-        assignment: Dict[str, object] = {}
-        for child in self.children:
-            assignment.update(child.sample_assignment(rng))
-        return assignment
+        return transform_spe(self, symbol, expression)
 
 
 def spe_product(children: Sequence[SPE]) -> SPE:
     """Canonicalizing constructor for products.
 
-    Splices nested products and collapses singleton products.
+    Splices nested products, collapses singleton products, and interns the
+    result against the global unique table so structurally-equal products
+    become physically shared.
     """
     flat: List[SPE] = []
     for child in children:
@@ -186,4 +81,4 @@ def spe_product(children: Sequence[SPE]) -> SPE:
         raise ValueError("spe_product requires at least one child.")
     if len(flat) == 1:
         return flat[0]
-    return ProductSPE(flat)
+    return maybe_intern(ProductSPE(flat))

@@ -2,9 +2,15 @@
 
 Models translated from SPPL programs (and in particular *conditioned*
 posteriors, which can be expensive to recompute) can be saved to disk and
-reloaded later.  The representation is a flat table of nodes keyed by id, so
-structure sharing (deduplicated subtrees) survives a round trip, and the
-encoding is plain JSON with no pickling of code.
+reloaded later.  The representation is a flat table of nodes keyed by
+*structural identity* (the hash-consing layer of
+:mod:`~repro.spe.interning`), so structure sharing survives a round trip
+and structurally-equal subtrees are stored once even when the in-memory
+graph had not been deduplicated.  Decoding routes nodes back through the
+interning table, so a loaded model physically shares subgraphs with any
+structurally-equal model already alive in the process.  Both traversals are
+iterative, so arbitrarily deep expressions (de)serialize without hitting
+the recursion limit.  The encoding is plain JSON with no pickling of code.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from ..transforms import Radical
 from ..transforms import Reciprocal
 from ..transforms import Transform
 from .base import SPE
+from .interning import maybe_intern
 from .leaf import Leaf
 from .product_node import ProductSPE
 from .sum_node import SumSPE
@@ -172,17 +179,39 @@ def _decode_float(value) -> float:
 # ---------------------------------------------------------------------------
 
 def spe_to_dict(spe: SPE) -> Dict:
-    """Encode an expression graph (preserving sharing) as a dictionary."""
+    """Encode an expression graph (preserving sharing) as a dictionary.
+
+    The graph is first resolved against the interning table, so nodes are
+    identified structurally: subtrees that are structurally equal -- even
+    when the caller's graph holds physically distinct copies -- serialize
+    to a single entry of the node table.  ``order`` lists the nodes
+    children-first, which lets the decoder rebuild iteratively.
+
+    Under :class:`~repro.spe.interning.no_interning` the encoder falls
+    back to identity-based node naming (and the decoder likewise skips
+    interning), so deliberately-unshared graphs -- e.g. the Table 1 /
+    ablation baselines -- round-trip with their sharing degree intact and
+    without registering subtrees in the global unique table.
+    """
+    root_node = maybe_intern(spe)
     nodes: Dict[str, Dict] = {}
     order: List[str] = []
     identifiers: Dict[int, str] = {}
 
-    def visit(node: SPE) -> str:
-        key = id(node)
-        if key in identifiers:
-            return identifiers[key]
+    stack: List[SPE] = [root_node]
+    while stack:
+        node = stack[-1]
+        if node._uid in identifiers:
+            stack.pop()
+            continue
+        if not isinstance(node, (Leaf, SumSPE, ProductSPE)):
+            raise SerializationError("Cannot serialize node %r." % (node,))
+        pending = [c for c in node.children_nodes() if c._uid not in identifiers]
+        if pending:
+            stack.extend(pending)
+            continue
         name = "node_%d" % (len(identifiers),)
-        identifiers[key] = name
+        identifiers[node._uid] = name
         if isinstance(node, Leaf):
             spec = {
                 "kind": "leaf",
@@ -195,52 +224,107 @@ def spe_to_dict(spe: SPE) -> Dict:
         elif isinstance(node, SumSPE):
             spec = {
                 "kind": "sum",
-                "children": [visit(child) for child in node.children],
+                "children": [identifiers[child._uid] for child in node.children],
                 "log_weights": list(node.log_weights),
             }
-        elif isinstance(node, ProductSPE):
-            spec = {"kind": "product", "children": [visit(child) for child in node.children]}
         else:
-            raise SerializationError("Cannot serialize node %r." % (node,))
+            spec = {
+                "kind": "product",
+                "children": [identifiers[child._uid] for child in node.children],
+            }
         nodes[name] = spec
         order.append(name)
-        return name
+        stack.pop()
 
-    root = visit(spe)
-    return {"format": "repro-spe", "version": 1, "root": root, "nodes": nodes, "order": order}
+    return {
+        "format": "repro-spe",
+        "version": 2,
+        "root": identifiers[root_node._uid],
+        "nodes": nodes,
+        "order": order,
+    }
 
 
 def spe_from_dict(data: Dict) -> SPE:
-    """Decode an expression graph from its dictionary encoding."""
+    """Decode an expression graph from its dictionary encoding.
+
+    Rebuilt nodes are routed back through the interning table, so the
+    loaded expression physically shares subgraphs with any
+    structurally-equal expression alive in the process.  Accepts both the
+    legacy (version 1) and the structural (version 2) encodings.
+    """
     if data.get("format") != "repro-spe":
         raise SerializationError("Not a serialized sum-product expression.")
     nodes = data["nodes"]
     built: Dict[str, SPE] = {}
 
-    def build(name: str) -> SPE:
-        if name in built:
-            return built[name]
+    def construct(name: str) -> SPE:
         spec = nodes[name]
-        kind = spec["kind"]
-        if kind == "leaf":
-            node: SPE = Leaf(
-                spec["symbol"],
-                distribution_from_dict(spec["distribution"]),
-                env={
-                    derived: transform_from_dict(encoded)
-                    for derived, encoded in spec["env"].items()
-                },
-            )
-        elif kind == "sum":
-            node = SumSPE([build(child) for child in spec["children"]], spec["log_weights"])
-        elif kind == "product":
-            node = ProductSPE([build(child) for child in spec["children"]])
-        else:
-            raise SerializationError("Unknown node kind %r." % (kind,))
-        built[name] = node
-        return node
+        kind = spec.get("kind")
+        # Child lookups may legitimately raise KeyError when the "order"
+        # fast path runs on an incomplete list (the caller falls back);
+        # missing spec fields, by contrast, mean a corrupt payload.
+        children = [built[child] for child in spec.get("children", [])]
+        try:
+            if kind == "leaf":
+                return Leaf(
+                    spec["symbol"],
+                    distribution_from_dict(spec["distribution"]),
+                    env={
+                        derived: transform_from_dict(encoded)
+                        for derived, encoded in spec["env"].items()
+                    },
+                )
+            if kind == "sum":
+                return SumSPE(children, spec["log_weights"])
+            if kind == "product":
+                return ProductSPE(children)
+        except KeyError as error:
+            raise SerializationError(
+                "Malformed %r node spec %r: missing field %s." % (kind, name, error)
+            ) from error
+        raise SerializationError("Unknown node kind %r." % (kind,))
 
-    return build(data["root"])
+    # Fast path: the encoder's "order" field lists nodes children-first,
+    # so a single linear pass builds the graph.
+    order = data.get("order")
+    if order:
+        try:
+            for name in order:
+                built[name] = construct(name)
+        except KeyError:
+            built.clear()  # order incomplete/corrupt: fall back below
+
+    if data["root"] not in built:
+        # Children-first iterative build for payloads without a usable
+        # order: a node is constructed once every child it names is built.
+        stack: List[str] = [data["root"]]
+        expanding = set()
+        while stack:
+            name = stack[-1]
+            if name in built:
+                stack.pop()
+                continue
+            if name not in nodes:
+                raise SerializationError("Dangling node reference %r." % (name,))
+            pending = [
+                child
+                for child in nodes[name].get("children", [])
+                if child not in built
+            ]
+            if pending:
+                if expanding.intersection(pending) or name in pending:
+                    raise SerializationError(
+                        "Cyclic node references at %r." % (name,)
+                    )
+                expanding.add(name)
+                stack.extend(pending)
+                continue
+            built[name] = construct(name)
+            expanding.discard(name)
+            stack.pop()
+
+    return maybe_intern(built[data["root"]])
 
 
 def spe_to_json(spe: SPE, indent: int = None) -> str:

@@ -13,16 +13,15 @@ from ..distributions import NEG_INF
 from ..distributions import log_add
 from ..events import Clause
 from ..transforms import Transform
-from .base import DensityPair
-from .base import Memo
 from .base import SPE
-from .base import clause_key
+from .interning import maybe_intern
 
 
 class SumSPE(SPE):
     """A weighted mixture of sum-product expressions with identical scopes."""
 
     def __init__(self, children: Sequence[SPE], log_weights: Sequence[float]):
+        super().__init__()
         children = list(children)
         log_weights = [float(w) for w in log_weights]
         if len(children) < 2:
@@ -53,6 +52,15 @@ class SumSPE(SPE):
     def children_nodes(self) -> List[SPE]:
         return list(self.children)
 
+    def _intern_local_key(self, child_reps) -> Optional[tuple]:
+        # Mixtures are commutative: sorting the (child uid, weight) pairs
+        # makes the key order-insensitive.
+        pairs = tuple(sorted(zip((rep._uid for rep in child_reps), self.log_weights)))
+        return ("sum", pairs)
+
+    def _intern_rebuild(self, child_reps) -> SPE:
+        return SumSPE(child_reps, self.log_weights)
+
     @property
     def weights(self) -> List[float]:
         """Mixture weights in linear space."""
@@ -68,106 +76,22 @@ class SumSPE(SPE):
     def _restrict(self, clause: Clause) -> Clause:
         return {s: v for s, v in clause.items() if s in self._scope}
 
-    # -- Inference ------------------------------------------------------------
-
-    def logprob_clause(self, clause: Clause, memo: Memo) -> float:
-        restricted = self._restrict(clause)
-        key = (id(self), clause_key(restricted))
-        if key in memo.logprob:
-            return memo.logprob[key]
-        terms = [
-            w + child.logprob_clause(restricted, memo)
-            for w, child in zip(self.log_weights, self.children)
-        ]
-        result = log_add(terms)
-        memo.logprob[key] = result
-        return result
-
-    def condition_clause(self, clause: Clause, memo: Memo) -> Optional[SPE]:
-        restricted = self._restrict(clause)
-        key = (id(self), clause_key(restricted))
-        if key in memo.condition:
-            return memo.condition[key]
-        weighted: List[SPE] = []
-        log_weights: List[float] = []
-        for w, child in zip(self.log_weights, self.children):
-            child_logprob = child.logprob_clause(restricted, memo)
-            if child_logprob == NEG_INF:
-                continue
-            conditioned = child.condition_clause(restricted, memo)
-            if conditioned is None:
-                continue
-            weighted.append(conditioned)
-            log_weights.append(w + child_logprob)
-        result = spe_sum(weighted, log_weights) if weighted else None
-        memo.condition[key] = result
-        return result
-
-    def logpdf_pair(self, assignment: Dict[str, object], memo: Memo) -> DensityPair:
-        key = (id(self),)
-        if key in memo.logpdf:
-            return memo.logpdf[key]
-        pairs = [
-            (child.logpdf_pair(assignment, memo), w)
-            for w, child in zip(self.log_weights, self.children)
-        ]
-        positive = [(d, lp, w) for (d, lp), w in pairs if lp > NEG_INF]
-        if not positive:
-            result = (1, NEG_INF)
-        else:
-            min_count = min(d for d, _, _ in positive)
-            terms = [w + lp for d, lp, w in positive if d == min_count]
-            result = (min_count, log_add(terms))
-        memo.logpdf[key] = result
-        return result
-
-    def constrain_clause(
-        self, assignment: Dict[str, object], memo: Memo
-    ) -> Optional[SPE]:
-        key = (id(self),)
-        if key in memo.constrain:
-            return memo.constrain[key]
-        densities = [
-            child.logpdf_pair(assignment, memo) for child in self.children
-        ]
-        positive = [
-            (i, d, lp) for i, (d, lp) in enumerate(densities) if lp > NEG_INF
-        ]
-        if not positive:
-            memo.constrain[key] = None
-            return None
-        min_count = min(d for _, d, _ in positive)
-        children: List[SPE] = []
-        log_weights: List[float] = []
-        for i, d, lp in positive:
-            if d != min_count:
-                continue
-            constrained = self.children[i].constrain_clause(assignment, memo)
-            if constrained is None:
-                continue
-            children.append(constrained)
-            log_weights.append(self.log_weights[i] + lp)
-        result = spe_sum(children, log_weights) if children else None
-        memo.constrain[key] = result
-        return result
-
-    # -- Derived variables and sampling ---------------------------------------
+    # -- Derived variables ----------------------------------------------------
 
     def transform(self, symbol: str, expression: Transform) -> SPE:
-        children = [child.transform(symbol, expression) for child in self.children]
-        return SumSPE(children, self.log_weights)
+        from .traversal import transform_spe
 
-    def sample_assignment(self, rng) -> Dict[str, object]:
-        index = rng.choice(len(self.children), p=self.weights)
-        return self.children[int(index)].sample_assignment(rng)
+        return transform_spe(self, symbol, expression)
 
 
 def spe_sum(children: Sequence[SPE], log_weights: Sequence[float]) -> SPE:
     """Canonicalizing constructor for mixtures.
 
     Normalizes the weights, splices nested sums with identical scope,
-    merges duplicate children (by node identity), and collapses singleton
-    mixtures.
+    merges duplicate children (physically shared nodes -- which, thanks to
+    hash-consing, includes every structurally-equal subgraph), collapses
+    singleton mixtures, and interns the result against the global unique
+    table.
     """
     children = list(children)
     log_weights = [float(w) for w in log_weights]
@@ -192,19 +116,20 @@ def spe_sum(children: Sequence[SPE], log_weights: Sequence[float]) -> SPE:
             flat_children.append(child)
             flat_weights.append(weight)
 
-    # Merge duplicate children (deduplication by physical identity).
+    # Merge duplicate children (deduplication by physical identity; with
+    # interning enabled, structural duplicates are already physical ones).
     merged: Dict[int, int] = {}
     unique_children: List[SPE] = []
     unique_weights: List[float] = []
     for child, weight in zip(flat_children, flat_weights):
-        if id(child) in merged:
-            index = merged[id(child)]
+        if child._uid in merged:
+            index = merged[child._uid]
             unique_weights[index] = log_add([unique_weights[index], weight])
         else:
-            merged[id(child)] = len(unique_children)
+            merged[child._uid] = len(unique_children)
             unique_children.append(child)
             unique_weights.append(weight)
 
     if len(unique_children) == 1:
         return unique_children[0]
-    return SumSPE(unique_children, unique_weights)
+    return maybe_intern(SumSPE(unique_children, unique_weights))

@@ -3,7 +3,9 @@
 The renderer emits plain DOT text (no graphviz dependency); shared
 (deduplicated) sub-expressions appear once and are referenced by multiple
 parents, so the rendered graph makes the structure sharing of Sec. 5.1
-visible, as in Fig. 2d / Fig. 3d of the paper.
+visible, as in Fig. 2d / Fig. 3d of the paper.  The traversal is iterative
+and keyed on structural node uids, so arbitrarily deep expressions render
+without recursion-depth limits.
 """
 
 from __future__ import annotations
@@ -33,33 +35,49 @@ def to_dot(spe: SPE, graph_name: str = "spe") -> str:
         "  node [fontname=\"Helvetica\"];",
     ]
     identifiers: Dict[int, str] = {}
+    edges: List[str] = []
 
-    def visit(node: SPE) -> str:
-        key = id(node)
-        if key in identifiers:
-            return identifiers[key]
+    stack: List[SPE] = [spe]
+    while stack:
+        node = stack.pop()
+        if node._uid in identifiers:
+            continue
         name = "n%d" % (len(identifiers),)
-        identifiers[key] = name
+        identifiers[node._uid] = name
         if isinstance(node, Leaf):
             lines.append(
                 '  %s [shape=box, label="%s"];' % (name, _leaf_label(node))
             )
         elif isinstance(node, SumSPE):
             lines.append('  %s [shape=circle, label="+"];' % (name,))
-            for weight, child in zip(node.log_weights, node.children):
-                child_name = visit(child)
-                lines.append(
-                    '  %s -> %s [label="%.3f"];' % (name, child_name, math.exp(weight))
-                )
         elif isinstance(node, ProductSPE):
             lines.append('  %s [shape=circle, label="×"];' % (name,))
-            for child in node.children:
-                child_name = visit(child)
-                lines.append("  %s -> %s;" % (name, child_name))
         else:
-            lines.append('  %s [shape=diamond, label="%s"];' % (name, type(node).__name__))
-        return name
+            lines.append(
+                '  %s [shape=diamond, label="%s"];' % (name, type(node).__name__)
+            )
+        stack.extend(reversed(node.children_nodes()))
 
-    visit(spe)
+    # Emit edges once every referenced node has a stable name.
+    seen = set()
+    stack = [spe]
+    while stack:
+        node = stack.pop()
+        if node._uid in seen:
+            continue
+        seen.add(node._uid)
+        name = identifiers[node._uid]
+        if isinstance(node, SumSPE):
+            for weight, child in zip(node.log_weights, node.children):
+                edges.append(
+                    '  %s -> %s [label="%.3f"];'
+                    % (name, identifiers[child._uid], math.exp(weight))
+                )
+        elif isinstance(node, ProductSPE):
+            for child in node.children:
+                edges.append("  %s -> %s;" % (name, identifiers[child._uid]))
+        stack.extend(reversed(node.children_nodes()))
+
+    lines.extend(edges)
     lines.append("}")
     return "\n".join(lines) + "\n"

@@ -1,0 +1,261 @@
+"""Persistent QueryCache correctness, batched queries, and the memo-key fix."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import bernoulli
+from repro.distributions import normal
+from repro.distributions import uniform
+from repro.engine import SpplModel
+from repro.spe import Leaf
+from repro.spe import Memo
+from repro.spe import ProductSPE
+from repro.spe import QueryCache
+from repro.spe import SumSPE
+from repro.spe import spe_leaf
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.transforms import Id
+
+X = Id("X")
+K = Id("K")
+
+_SOURCE = """
+X ~ uniform(0, 10)
+if X < 4:
+    K ~ bernoulli(p=0.9)
+else:
+    K ~ bernoulli(p=0.1)
+"""
+
+
+def _model(**kwargs):
+    spe = spe_sum(
+        [
+            spe_product([spe_leaf("X", normal(0, 1)), spe_leaf("K", bernoulli(0.9))]),
+            spe_product([spe_leaf("X", normal(5, 2)), spe_leaf("K", bernoulli(0.2))]),
+        ],
+        [math.log(0.4), math.log(0.6)],
+    )
+    return SpplModel(spe, **kwargs)
+
+
+class TestPersistentCache:
+    def test_repeated_queries_hit_the_cache(self):
+        model = _model()
+        first = model.logprob(K == 1)
+        misses = model.cache.misses
+        second = model.logprob(K == 1)
+        assert first == second
+        assert model.cache.misses == misses  # answered entirely from cache
+        assert model.cache.hits > 0
+
+    def test_structurally_equal_models_share_cache_hits(self):
+        cache = QueryCache()
+        a = _model(cache=cache)
+        answer = a.logprob(X > 1)
+        entries = cache.stats()["logprob"]
+        # A separately built, structurally-equal model resolves to the same
+        # canonical nodes, so its queries are answered from the same cache.
+        b = _model(cache=cache)
+        assert b.spe is a.spe
+        assert b.logprob(X > 1) == answer
+        assert cache.stats()["logprob"] == entries
+
+    def test_posterior_shares_parent_cache(self):
+        model = _model()
+        posterior = model.condition(K == 1)
+        assert posterior.cache is model.cache
+        assert posterior.prob(X > 0) == pytest.approx(
+            model.prob((X > 0) & (K == 1)) / model.prob(K == 1)
+        )
+
+    def test_condition_logprob_chain_identical_with_and_without_cache(self):
+        cached = SpplModel.from_source(_SOURCE)
+        uncached = SpplModel(SpplModel.from_source(_SOURCE).spe, cache=False)
+        assert uncached.cache is None
+        events = [K == 1, X < 2, (X > 1) & (K == 0), (X < 4) | (K == 1)]
+        for event in events:
+            assert cached.logprob(event) == uncached.logprob(event)
+        cond_cached = cached.condition(K == 1)
+        cond_uncached = uncached.condition(K == 1)
+        for event in [X < 2, X > 5, (X < 4) | (K == 1)]:
+            assert cond_cached.logprob(event) == cond_uncached.logprob(event)
+        # Re-running the whole chain stays bit-identical.
+        again = cached.condition(K == 1)
+        assert again.logprob(X < 2) == cond_uncached.logprob(X < 2)
+
+    def test_clear_cache(self):
+        model = _model()
+        model.logprob(K == 1)
+        assert sum(model.cache_stats()[k] for k in ("logprob",)) > 0
+        model.clear_cache()
+        assert model.cache_stats()["logprob"] == 0
+
+    def test_explicit_memo_argument_bypasses_model_cache(self):
+        model = _model()
+        memo = Memo()
+        model.logprob(K == 1, memo=memo)
+        assert memo.stats()["logprob"] > 0
+        assert model.cache_stats()["logprob"] == 0
+
+
+class TestBatchedQueries:
+    def test_logprob_batch_matches_single_queries(self):
+        model = _model()
+        events = [K == 1, X > 0, (X > 0) & (K == 0)]
+        batch = model.logprob_batch(events)
+        singles = [model.logprob(e) for e in events]
+        assert batch == singles
+
+    def test_prob_batch(self):
+        model = _model()
+        probs = model.prob_batch([K == 1, K == 0])
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_logpdf_batch_matches_single_queries(self):
+        model = _model()
+        assignments = [{"X": 0.0}, {"X": 1.5}, {"X": 0.0, "K": 1.0}]
+        batch = model.logpdf_batch(assignments)
+        singles = [model.logpdf(a) for a in assignments]
+        assert batch == singles
+
+    def test_event_strings_supported_in_batches(self):
+        model = _model()
+        batch = model.logprob_batch(["K == 1", "X > 0"])
+        assert batch[0] == pytest.approx(model.logprob(K == 1))
+
+
+class TestVectorizedSampling:
+    def test_sample_columns_matches_probabilities(self):
+        model = _model()
+        columns = model.sample_columns(8000, seed=3)
+        assert set(columns) == {"X", "K"}
+        assert len(columns["X"]) == 8000
+        frequency = float(np.mean(columns["K"] == 1))
+        assert frequency == pytest.approx(model.prob(K == 1), abs=0.02)
+
+    def test_sample_list_and_columns_agree_statistically(self):
+        model = _model()
+        rows = model.sample(4000, seed=5)
+        frequency = sum(1 for r in rows if r["K"] == 1) / len(rows)
+        assert frequency == pytest.approx(model.prob(K == 1), abs=0.03)
+
+    def test_sample_columns_nominal_dtype(self):
+        from repro.distributions import choice
+
+        model = SpplModel(spe_leaf("N", choice({"a": 0.5, "b": 0.5})))
+        columns = model.sample_columns(100, seed=0)
+        assert set(np.unique(columns["N"])) <= {"a", "b"}
+
+    def test_sample_rows_are_python_scalars(self):
+        import json
+
+        from repro.distributions import choice, poisson
+
+        model = SpplModel(
+            spe_product(
+                [
+                    spe_leaf("X", normal(0, 1)),
+                    spe_leaf("K", poisson(3)),
+                    spe_leaf("N", choice({"a": 0.5, "b": 0.5})),
+                ]
+            )
+        )
+        rows = model.sample(3, seed=0)
+        for row in rows:
+            assert isinstance(row["X"], float)
+            assert isinstance(row["K"], int)
+            assert isinstance(row["N"], str)
+        json.dumps(rows)  # the vectorized path stays JSON-serializable
+
+
+class TestMemoKeyRegression:
+    """The density/constrain memo must key on the assignment, not just the node.
+
+    Older revisions keyed ``SumSPE.logpdf_pair`` / ``constrain_clause`` (and
+    their Product counterparts) on ``(id(self),)`` alone, so reusing one
+    Memo across two assignments returned stale results.
+    """
+
+    def _sum(self):
+        return SumSPE(
+            [Leaf("X", normal(0.0, 1.0)), Leaf("X", normal(5.0, 1.0))],
+            [math.log(0.5), math.log(0.5)],
+        )
+
+    def test_sum_logpdf_with_shared_memo(self):
+        spe = self._sum()
+        memo = Memo()
+        first = spe.logpdf_pair({"X": 0.0}, memo)
+        second = spe.logpdf_pair({"X": 5.0}, memo)
+        assert first == spe.logpdf_pair({"X": 0.0}, Memo())
+        assert second == spe.logpdf_pair({"X": 5.0}, Memo())
+        assert first == second  # symmetric mixture: densities match by symmetry
+
+        asym = SumSPE(
+            [Leaf("X", normal(0.0, 1.0)), Leaf("X", normal(5.0, 1.0))],
+            [math.log(0.9), math.log(0.1)],
+        )
+        memo = Memo()
+        at_zero = asym.logpdf_pair({"X": 0.0}, memo)
+        at_five = asym.logpdf_pair({"X": 5.0}, memo)
+        assert at_zero != at_five
+
+    def test_sum_constrain_with_shared_memo(self):
+        spe = self._sum()
+        memo = Memo()
+        at_zero = spe.constrain_clause({"X": 0.0}, memo)
+        at_five = spe.constrain_clause({"X": 5.0}, memo)
+        assert at_zero is not at_five
+        rng = np.random.default_rng(0)
+        assert at_zero.sample(rng)["X"] == 0.0
+        assert at_five.sample(rng)["X"] == 5.0
+
+    def test_product_logpdf_with_shared_memo(self):
+        spe = ProductSPE([Leaf("X", normal(0, 1)), Leaf("Y", uniform(0, 1))])
+        memo = Memo()
+        first = spe.logpdf_pair({"X": 0.0, "Y": 0.5}, memo)
+        second = spe.logpdf_pair({"X": 3.0, "Y": 0.5}, memo)
+        assert first != second
+
+    def test_product_constrain_with_shared_memo(self):
+        spe = ProductSPE([Leaf("X", normal(0, 1)), Leaf("Y", uniform(0, 1))])
+        memo = Memo()
+        at_zero = spe.constrain_clause({"X": 0.0}, memo)
+        at_two = spe.constrain_clause({"X": 2.0}, memo)
+        rng = np.random.default_rng(0)
+        assert at_zero.sample(rng)["X"] == 0.0
+        assert at_two.sample(rng)["X"] == 2.0
+
+
+class TestDeepChains:
+    """Model depth must not be bounded by the interpreter recursion limit."""
+
+    def _chain(self, depth):
+        node = Leaf("V0", bernoulli(0.5))
+        for i in range(1, depth):
+            a = spe_product([node, spe_leaf("V%d" % i, bernoulli(0.3))])
+            b = spe_product([node, spe_leaf("V%d" % i, bernoulli(0.7))])
+            node = spe_sum([a, b], [math.log(0.4), math.log(0.6)])
+        return node
+
+    def test_deep_chain_queries_and_sampling(self):
+        import sys
+
+        depth = max(1200, sys.getrecursionlimit() + 200)
+        spe = self._chain(depth)
+        top = Id("V%d" % (depth - 1))
+        assert spe.prob(top == 1) == pytest.approx(0.4 * 0.3 + 0.6 * 0.7)
+        posterior = spe.condition(top == 1)
+        assert posterior.size() > 0
+        assert math.isfinite(spe.logpdf({"V%d" % (depth - 1): 1.0}))
+        rng = np.random.default_rng(0)
+        assert len(spe.sample(rng)) == depth
+        columns = spe.sample_bulk(rng, 50)
+        assert len(columns) == depth
+        assert spe.tree_size() > 0
+        derived = spe.transform("D", Id("V0") ** 2)
+        assert "D" in derived.scope

@@ -13,6 +13,8 @@ from repro.distributions import choice
 from repro.distributions import normal
 from repro.distributions import uniform
 from repro.spe import Leaf
+from repro.spe import ProductSPE
+from repro.spe import SumSPE
 from repro.spe import deduplicate
 from repro.spe import spe_product
 from repro.spe import spe_sum
@@ -25,6 +27,23 @@ N = Id("N")
 
 class TestDeduplicate:
     def test_merges_structurally_equal_leaves(self):
+        # Raw node constructors do not hash-cons, so the two X leaves are
+        # physically distinct until an explicit deduplicate() pass.
+        model = SumSPE(
+            [
+                ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+                ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.7))]),
+            ],
+            [math.log(0.5), math.log(0.5)],
+        )
+        deduped = deduplicate(model)
+        assert deduped.size() < model.size()
+        assert deduped.tree_size() == model.tree_size()
+
+    def test_canonicalizing_constructors_intern_on_construction(self):
+        # The canonicalizing constructors hash-cons: the structurally-equal
+        # X leaves are shared the moment the mixture is built, so an
+        # explicit deduplicate() pass has nothing left to merge.
         model = spe_sum(
             [
                 spe_product([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
@@ -32,9 +51,8 @@ class TestDeduplicate:
             ],
             [math.log(0.5), math.log(0.5)],
         )
-        deduped = deduplicate(model)
-        assert deduped.size() < model.size()
-        assert deduped.tree_size() == model.tree_size()
+        assert model.size() == 6  # sum + 2 products + shared X + 2 Y leaves
+        assert deduplicate(model).size() == model.size()
 
     def test_preserves_probabilities(self):
         model = spe_sum(
@@ -61,10 +79,10 @@ class TestDeduplicate:
         assert once.size() == twice.size()
 
     def test_nominal_leaf_dedup(self):
-        model = spe_sum(
+        model = SumSPE(
             [
-                spe_product([Leaf("N", choice({"a": 1.0})), Leaf("X", normal(0, 1))]),
-                spe_product([Leaf("N", choice({"a": 1.0})), Leaf("X", normal(1, 1))]),
+                ProductSPE([Leaf("N", choice({"a": 1.0})), Leaf("X", normal(0, 1))]),
+                ProductSPE([Leaf("N", choice({"a": 1.0})), Leaf("X", normal(1, 1))]),
             ],
             [math.log(0.5), math.log(0.5)],
         )

@@ -1,0 +1,157 @@
+"""Hash-consed structural interning: sharing, keys, and the disable switch."""
+
+import math
+
+import pytest
+
+from repro.distributions import bernoulli
+from repro.distributions import choice
+from repro.distributions import normal
+from repro.distributions import uniform
+from repro.spe import Leaf
+from repro.spe import ProductSPE
+from repro.spe import SumSPE
+from repro.spe import intern
+from repro.spe import intern_uid
+from repro.spe import interning_enabled
+from repro.spe import no_interning
+from repro.spe import spe_leaf
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.spe import structural_key
+from repro.transforms import Id
+
+X = Id("X")
+
+
+class TestLeafInterning:
+    def test_structurally_equal_leaves_are_shared(self):
+        assert spe_leaf("X", normal(0, 1)) is spe_leaf("X", normal(0, 1))
+        assert spe_leaf("N", choice({"a": 0.4, "b": 0.6})) is spe_leaf(
+            "N", choice({"b": 0.6, "a": 0.4})
+        )
+
+    def test_different_parameters_are_not_shared(self):
+        assert spe_leaf("X", normal(0, 1)) is not spe_leaf("X", normal(1, 1))
+        assert spe_leaf("X", bernoulli(0.3)) is not spe_leaf("X", bernoulli(0.4))
+
+    def test_different_symbols_are_not_shared(self):
+        assert spe_leaf("X", normal(0, 1)) is not spe_leaf("Y", normal(0, 1))
+
+    def test_environments_participate_in_identity(self):
+        with_env = spe_leaf("X", normal(0, 1), env={"Z": X ** 2})
+        without = spe_leaf("X", normal(0, 1))
+        assert with_env is not without
+        assert with_env is spe_leaf("X", normal(0, 1), env={"Z": X ** 2})
+
+
+class TestCompositeInterning:
+    def _mixture(self, p):
+        return spe_sum(
+            [spe_leaf("X", normal(0, 1)), spe_leaf("X", normal(4, 1))],
+            [math.log(p), math.log(1 - p)],
+        )
+
+    def test_equal_mixtures_are_shared(self):
+        assert self._mixture(0.3) is self._mixture(0.3)
+
+    def test_weight_differences_are_respected(self):
+        assert self._mixture(0.3) is not self._mixture(0.4)
+
+    def test_mixture_sharing_is_order_insensitive(self):
+        a = spe_sum(
+            [spe_leaf("X", normal(0, 1)), spe_leaf("X", normal(4, 1))],
+            [math.log(0.3), math.log(0.7)],
+        )
+        b = spe_sum(
+            [spe_leaf("X", normal(4, 1)), spe_leaf("X", normal(0, 1))],
+            [math.log(0.7), math.log(0.3)],
+        )
+        assert a is b
+
+    def test_product_sharing_is_order_insensitive(self):
+        a = spe_product([spe_leaf("X", normal(0, 1)), spe_leaf("Y", bernoulli(0.5))])
+        b = spe_product([spe_leaf("Y", bernoulli(0.5)), spe_leaf("X", normal(0, 1))])
+        assert a is b
+
+    def test_scope_differences_are_respected(self):
+        a = spe_product([spe_leaf("X", normal(0, 1)), spe_leaf("Y", bernoulli(0.5))])
+        b = spe_product([spe_leaf("X", normal(0, 1)), spe_leaf("Z", bernoulli(0.5))])
+        assert a is not b
+
+    def test_structurally_equal_children_merge_in_mixture(self):
+        # w1*D + w2*D == D; the constructor collapses the singleton.
+        merged = spe_sum(
+            [spe_leaf("X", uniform(0, 1)), spe_leaf("X", uniform(0, 1))],
+            [math.log(0.5), math.log(0.5)],
+        )
+        assert merged is spe_leaf("X", uniform(0, 1))
+
+
+class TestStructuralKeys:
+    def test_keys_agree_exactly_for_equal_structures(self):
+        a = SumSPE(
+            [Leaf("X", normal(0, 1)), Leaf("X", normal(4, 1))],
+            [math.log(0.5), math.log(0.5)],
+        )
+        b = SumSPE(
+            [Leaf("X", normal(4, 1)), Leaf("X", normal(0, 1))],
+            [math.log(0.5), math.log(0.5)],
+        )
+        assert structural_key(a) == structural_key(b)
+        assert intern_uid(a) == intern_uid(b)
+
+    def test_keys_differ_for_different_weights(self):
+        a = SumSPE(
+            [Leaf("X", normal(0, 1)), Leaf("X", normal(4, 1))],
+            [math.log(0.5), math.log(0.5)],
+        )
+        b = SumSPE(
+            [Leaf("X", normal(0, 1)), Leaf("X", normal(4, 1))],
+            [math.log(0.2), math.log(0.8)],
+        )
+        assert structural_key(a) != structural_key(b)
+
+    def test_intern_preserves_semantics(self):
+        raw = SumSPE(
+            [
+                ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+                ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.7))]),
+            ],
+            [math.log(0.4), math.log(0.6)],
+        )
+        shared = intern(raw)
+        assert shared.size() <= raw.size()
+        for event in [X <= 0.5, Id("Y") == 1, (X > 0.2) & (Id("Y") == 0)]:
+            assert shared.prob(event) == pytest.approx(raw.prob(event), abs=1e-12)
+
+
+class TestNoInterning:
+    def test_context_disables_constructor_sharing(self):
+        assert interning_enabled()
+        with no_interning():
+            assert not interning_enabled()
+            a = spe_leaf("X", normal(0, 1))
+            b = spe_leaf("X", normal(0, 1))
+            assert a is not b
+        assert interning_enabled()
+
+    def test_raw_constructors_never_intern(self):
+        assert Leaf("X", normal(0, 1)) is not Leaf("X", normal(0, 1))
+
+    def test_serialization_preserves_unshared_baselines(self):
+        from repro.spe import spe_from_json
+        from repro.spe import spe_to_json
+
+        with no_interning():
+            model = SumSPE(
+                [
+                    ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.3))]),
+                    ProductSPE([Leaf("X", uniform(0, 1)), Leaf("Y", bernoulli(0.7))]),
+                ],
+                [math.log(0.5), math.log(0.5)],
+            )
+            restored = spe_from_json(spe_to_json(model))
+            # The deliberately-unshared ablation baseline keeps its sharing
+            # degree (the duplicate X leaves are not silently merged).
+            assert restored.size() == model.size()
