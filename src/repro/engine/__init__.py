@@ -1,6 +1,8 @@
 """High-level modelling and inference API (the workflow of Fig. 1)."""
 
+from ..spe import QueryCache
+from ..spe import ZeroProbabilityError
 from .model import SpplModel
 from .model import parse_event
 
-__all__ = ["SpplModel", "parse_event"]
+__all__ = ["QueryCache", "SpplModel", "ZeroProbabilityError", "parse_event"]

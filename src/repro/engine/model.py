@@ -44,6 +44,7 @@ from ..events import Event
 from ..spe import Memo
 from ..spe import QueryCache
 from ..spe import SPE
+from ..spe import ZeroProbabilityError
 from ..spe import interning_enabled
 
 EventLike = Union[Event, str]
@@ -62,7 +63,12 @@ class SpplModel:
     ``QueryCache`` is adopted (sharing entries with whichever models
     already use it), and ``False`` disables persistent caching (every
     query runs with a throwaway scratch memo — useful for measurement and
-    differential testing).
+    differential testing).  ``cache_size`` bounds the total entry count of
+    a freshly created cache (default
+    :data:`~repro.spe.DEFAULT_CACHE_ENTRIES`; ``cache_size=None`` keeps
+    that default, pass a ``QueryCache(max_entries=None)`` for an unbounded
+    cache); least-recently-used entries are evicted past the bound and
+    recomputed bit-identically when queried again.
 
     ``intern`` (default True) resolves the expression against the global
     unique table, so the model's cache keys (structural uids) are shared
@@ -75,7 +81,11 @@ class SpplModel:
     """
 
     def __init__(
-        self, spe: SPE, cache: Optional[QueryCache] = None, intern: bool = True
+        self,
+        spe: SPE,
+        cache: Optional[QueryCache] = None,
+        intern: bool = True,
+        cache_size: Optional[int] = None,
     ):
         if not isinstance(spe, SPE):
             raise TypeError("SpplModel requires a sum-product expression.")
@@ -83,10 +93,20 @@ class SpplModel:
 
         self.spe = intern_spe(spe) if (intern and interning_enabled()) else spe
         if cache is None:
-            self._cache: Optional[QueryCache] = QueryCache()
+            if cache_size is None:
+                self._cache: Optional[QueryCache] = QueryCache()
+            else:
+                self._cache = QueryCache(max_entries=cache_size)
         elif cache is False:
+            if cache_size is not None:
+                raise ValueError("cache_size is meaningless with cache=False.")
             self._cache = None
         elif isinstance(cache, Memo):
+            if cache_size is not None:
+                raise ValueError(
+                    "Pass cache_size only when the model creates its own "
+                    "cache; an adopted cache keeps its existing bound."
+                )
             self._cache = cache
         else:
             raise TypeError(
@@ -113,7 +133,7 @@ class SpplModel:
         return self._cache
 
     def cache_stats(self) -> Dict[str, int]:
-        """Entry counts plus cumulative hit/miss counters of the cache."""
+        """Entry counts plus hit/miss/eviction counters of the cache."""
         if self._cache is None:
             return {"enabled": 0}
         stats = dict(self._cache.stats())
@@ -122,10 +142,24 @@ class SpplModel:
         stats["misses"] = self._cache.misses
         return stats
 
-    def clear_cache(self) -> None:
-        """Drop every cached traversal result (releases posterior graphs)."""
-        if self._cache is not None:
+    def clear_cache(self, everything: bool = False) -> None:
+        """Drop cached traversal results for this model (releases posteriors).
+
+        By default clearing is **scoped to this model's reachable
+        sub-expressions**: on a posterior model sharing its parent's cache,
+        ``clear_cache()`` drops only entries keyed on uids the posterior
+        can reach, so entries exclusive to the parent (or to unrelated
+        models sharing the cache) survive.  Entries for sub-expressions
+        physically shared between parent and posterior are dropped too --
+        scoping is conservative, never stale.  Pass ``everything=True`` to
+        wipe the shared cache entirely (the pre-bounded-cache behavior).
+        """
+        if self._cache is None:
+            return
+        if everything or not isinstance(self._cache, QueryCache):
             self._cache.clear()
+        else:
+            self._cache.clear(uids=self.spe.reachable_uids())
 
     def _memo(self, memo: Memo = None) -> Memo:
         if memo is not None:
@@ -202,12 +236,21 @@ class SpplModel:
         The posterior model shares this model's query cache: traversal
         results for sub-expressions common to prior and posterior are
         reused across the whole ``condition → query`` chain.
+
+        Raises :class:`~repro.spe.ZeroProbabilityError` (a ``ValueError``)
+        when the event has probability zero; the shared cache is left
+        uncorrupted (no partial entries) by the failure.
         """
         posterior = self.spe.condition(self._resolve_event(event), memo=self._memo())
         return SpplModel(posterior, cache=self._cache if self._cache is not None else False)
 
     def constrain(self, assignment: Dict[str, object]) -> "SpplModel":
-        """Return a new model given equality observations (may be measure zero)."""
+        """Return a new model given equality observations (may be measure zero).
+
+        Raises :class:`~repro.spe.ZeroProbabilityError` -- the same
+        exception type as :meth:`condition` -- when the assignment has zero
+        density, leaving the shared cache uncorrupted.
+        """
         posterior = self.spe.constrain(assignment, memo=self._memo())
         return SpplModel(posterior, cache=self._cache if self._cache is not None else False)
 

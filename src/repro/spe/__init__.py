@@ -7,10 +7,12 @@ from .analysis import marginal_support
 from .analysis import mutual_information
 from .analysis import probability_table
 from .analysis import variance
+from .base import DEFAULT_CACHE_ENTRIES
 from .base import DensityPair
 from .base import Memo
 from .base import QueryCache
 from .base import SPE
+from .base import ZeroProbabilityError
 from .base import assignment_key
 from .base import clause_key
 from .builders import factor_shared
@@ -36,6 +38,7 @@ from .sum_node import spe_sum
 from .visualize import to_dot
 
 __all__ = [
+    "DEFAULT_CACHE_ENTRIES",
     "DensityPair",
     "Leaf",
     "Memo",
@@ -43,6 +46,7 @@ __all__ = [
     "QueryCache",
     "SPE",
     "SumSPE",
+    "ZeroProbabilityError",
     "assignment_key",
     "cdf_table",
     "clause_key",

@@ -31,14 +31,19 @@ recursion limit.
 
 from __future__ import annotations
 
+import contextlib
 import math
+import threading
 from abc import ABC
 from abc import abstractmethod
+from collections import OrderedDict
 from typing import Dict
 from typing import FrozenSet
+from typing import Iterable
 from typing import List
 from typing import Optional
 from typing import Sequence
+from typing import Set
 from typing import Tuple
 
 from ..distributions import NEG_INF
@@ -52,6 +57,26 @@ from .interning import next_uid
 #: Density values are lexicographic pairs (number of continuous dimensions
 #: participating, log density).  See Lst. 1d of the paper.
 DensityPair = Tuple[int, float]
+
+#: Default entry bound of a :class:`QueryCache` (total across all four
+#: sections).  Large enough that interactive workloads never evict, small
+#: enough that a long-running service cannot pin unbounded posterior
+#: subgraphs.
+DEFAULT_CACHE_ENTRIES = 100_000
+
+
+class ZeroProbabilityError(ValueError):
+    """Conditioning on an event (or equality assignment) of probability zero.
+
+    Raised by both :meth:`SPE.condition` and :meth:`SPE.constrain` so
+    callers can handle the two failure modes uniformly; the offending
+    event/assignment is rendered in the message and kept on the ``event``
+    attribute.  Subclasses ``ValueError`` for backward compatibility.
+    """
+
+    def __init__(self, message: str, event=None):
+        super().__init__(message)
+        self.event = event
 
 
 def clause_key(clause: Clause):
@@ -82,14 +107,22 @@ class Memo:
         self.hits = 0
         self.misses = 0
 
+    def _sections(self) -> Dict[str, object]:
+        return {
+            "logprob": self.logprob,
+            "condition": self.condition,
+            "logpdf": self.logpdf,
+            "constrain": self.constrain,
+        }
+
+    @contextlib.contextmanager
+    def query_scope(self):
+        """Bracket one public query (no-op for a scratch memo)."""
+        yield
+
     def stats(self) -> Dict[str, int]:
         """Return the number of cached entries per cache (for diagnostics)."""
-        return {
-            "logprob": len(self.logprob),
-            "condition": len(self.condition),
-            "logpdf": len(self.logpdf),
-            "constrain": len(self.constrain),
-        }
+        return {name: len(section) for name, section in self._sections().items()}
 
     def clear(self) -> None:
         """Drop every cached entry (counters included)."""
@@ -101,21 +134,238 @@ class Memo:
         self.misses = 0
 
 
-class QueryCache(Memo):
-    """A persistent cross-query cache owned by a model.
+class _CacheSection:
+    """One LRU-ordered, bounded section of a :class:`QueryCache`.
 
-    Structurally identical to :class:`Memo` but intended to live for the
-    lifetime of a model (or a family of models): because entries are keyed
-    on structural uids, the cache remains correct across repeated queries,
-    across ``condition``/``constrain`` chains (posterior models share their
-    parent's cache, so sub-expressions shared between prior and posterior
-    hit the same entries), and across structurally-equal models compiled
-    separately.
-
-    Note that cached ``condition``/``constrain`` entries hold references to
-    posterior sub-expressions, keeping them alive; call :meth:`clear` to
-    release memory between unrelated workloads.
+    The section exposes the small dict surface the traversal engine uses
+    (``in``, ``[]``, assignment, ``get``, ``len``, ``clear``); every
+    operation takes the owning cache's lock.  Entries are stored
+    most-recently-used last, tagged with the cache generation that last
+    touched them.  Membership tests and reads *refresh* an entry (recency
+    and generation), which both implements LRU and pins every entry an
+    in-flight query depends on against eviction mid-traversal.
     """
+
+    __slots__ = ("_cache", "_data")
+
+    def __init__(self, cache: "QueryCache"):
+        self._cache = cache
+        self._data: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def _refresh(self, key, entry) -> None:
+        generation = self._cache._generation
+        if entry[0] != generation:
+            self._data[key] = (generation, entry[1])
+        self._data.move_to_end(key)
+
+    def __contains__(self, key) -> bool:
+        with self._cache._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                return False
+            self._refresh(key, entry)
+            return True
+
+    def __getitem__(self, key):
+        with self._cache._lock:
+            entry = self._data[key]
+            self._refresh(key, entry)
+            return entry[1]
+
+    def get(self, key, default=None):
+        with self._cache._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                return default
+            self._refresh(key, entry)
+            return entry[1]
+
+    def __setitem__(self, key, value) -> None:
+        cache = self._cache
+        with cache._lock:
+            self._data[key] = (cache._generation, value)
+            self._data.move_to_end(key)
+            cache._evict_over_bound()
+
+    def __len__(self) -> int:
+        with self._cache._lock:
+            return len(self._data)
+
+    def __iter__(self):
+        with self._cache._lock:
+            return iter(list(self._data))
+
+    def clear(self) -> None:
+        with self._cache._lock:
+            self._data.clear()
+
+    def _oldest_generation(self) -> Optional[int]:
+        """Generation of the LRU entry (entries are ordered by last touch,
+        and generations are non-decreasing along that order)."""
+        if not self._data:
+            return None
+        first_key = next(iter(self._data))
+        return self._data[first_key][0]
+
+
+class QueryCache(Memo):
+    """A bounded, thread-safe, persistent cross-query cache owned by a model.
+
+    Like :class:`Memo`, entries are keyed on structural uids, so the cache
+    remains correct across repeated queries, across ``condition`` /
+    ``constrain`` chains (posterior models share their parent's cache, so
+    sub-expressions shared between prior and posterior hit the same
+    entries), and across structurally-equal models compiled separately.
+
+    Unlike the scratch :class:`Memo`, the four sections are **bounded**:
+    when the total entry count exceeds ``max_entries`` the cache evicts
+    least-recently-used entries (``max_entries=None`` disables eviction).
+    Eviction is purely a memory policy -- an evicted result is recomputed
+    bit-identically on the next query, because every traversal is
+    deterministic in the expression graph and the restricted
+    clause/assignment.
+
+    Eviction is generation-aware so it can never corrupt an in-flight
+    query: each public query runs inside :meth:`query_scope`, which bumps
+    the generation counter and registers itself as active; entries written
+    or read by an active query carry its generation and only entries
+    *older than every active query* are evictable.  A single query writing
+    more than ``max_entries`` entries may therefore temporarily exceed the
+    bound; the overshoot is reclaimed as soon as the query finishes.
+
+    All section operations, eviction, and :meth:`clear` hold one reentrant
+    lock, so a cache may be shared by models queried from multiple threads
+    (the ``hits``/``misses`` counters are updated without the lock and are
+    best-effort diagnostics).
+
+    Cached ``condition``/``constrain`` entries hold references to posterior
+    sub-expressions, keeping them alive; the entry bound therefore also
+    bounds the number of pinned posterior subgraphs.  Call :meth:`clear`
+    (optionally scoped to one model's reachable uids) to release memory
+    eagerly between unrelated workloads.
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_CACHE_ENTRIES):
+        if max_entries is not None:
+            max_entries = int(max_entries)
+            if max_entries < 1:
+                raise ValueError(
+                    "QueryCache max_entries must be positive or None, got %r."
+                    % (max_entries,)
+                )
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._active: Dict[int, int] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.logprob = _CacheSection(self)
+        self.condition = _CacheSection(self)
+        self.logpdf = _CacheSection(self)
+        self.constrain = _CacheSection(self)
+
+    @contextlib.contextmanager
+    def query_scope(self):
+        """Bracket one public query: entries it touches are pinned."""
+        with self._lock:
+            self._generation += 1
+            generation = self._generation
+            self._active[generation] = self._active.get(generation, 0) + 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                count = self._active.get(generation, 0) - 1
+                if count > 0:
+                    self._active[generation] = count
+                else:
+                    self._active.pop(generation, None)
+                self._evict_over_bound()
+
+    def total_entries(self) -> int:
+        """Total number of cached entries across all four sections."""
+        with self._lock:
+            return sum(len(s._data) for s in self._sections().values())
+
+    def _evict_over_bound(self) -> None:
+        """Evict LRU entries until within bound (caller holds the lock)."""
+        if self.max_entries is None:
+            return
+        sections = list(self._sections().values())
+        floor = min(self._active) if self._active else self._generation + 1
+        while sum(len(s._data) for s in sections) > self.max_entries:
+            victim = None
+            victim_generation = None
+            for section in sections:
+                oldest = section._oldest_generation()
+                if oldest is None or oldest >= floor:
+                    continue
+                if victim_generation is None or oldest < victim_generation:
+                    victim = section
+                    victim_generation = oldest
+            if victim is None:
+                return  # every remaining entry is pinned by an active query
+            victim._data.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Entry counts per section plus eviction/bound/generation info."""
+        with self._lock:
+            stats = {
+                name: len(section._data)
+                for name, section in self._sections().items()
+            }
+            stats["evictions"] = self.evictions
+            stats["max_entries"] = self.max_entries
+            stats["generation"] = self._generation
+            return stats
+
+    def clear(self, uids: Optional[Iterable[int]] = None) -> None:
+        """Drop cached entries.
+
+        With ``uids=None`` every entry and every counter is dropped.  With
+        an iterable of node uids, only entries keyed on those uids are
+        dropped (counters kept): this is how a model scopes clearing to
+        *its own* reachable sub-expressions, so clearing a posterior's
+        cache does not wipe entries that only its parent (or an unrelated
+        model sharing the cache) can reach.
+
+        Like eviction, clearing never removes entries pinned by an
+        in-flight query on another thread (their generation is at least
+        the oldest active query's): a traversal that already checked a
+        key must still find it.  Such entries simply survive the clear --
+        they are always correct; clearing is purely a memory-release
+        operation.  With no active queries (the single-threaded case)
+        everything requested is dropped.
+        """
+        with self._lock:
+            floor = min(self._active) if self._active else self._generation + 1
+            if uids is None:
+                for section in self._sections().values():
+                    if self._active:
+                        dead = [
+                            key
+                            for key, (generation, _) in section._data.items()
+                            if generation < floor
+                        ]
+                        for key in dead:
+                            del section._data[key]
+                    else:
+                        section._data.clear()
+                self.hits = 0
+                self.misses = 0
+                self.evictions = 0
+                return
+            uids = set(uids)
+            for section in self._sections().values():
+                dead = [
+                    key
+                    for key, (generation, _) in section._data.items()
+                    if key[0] in uids and generation < floor
+                ]
+                for key in dead:
+                    del section._data[key]
 
 
 class SPE(ABC):
@@ -152,9 +402,14 @@ class SPE(ABC):
         """Clone this node with its children replaced by representatives."""
         raise TypeError("Cannot rebuild node %r." % (self,))
 
-    def size(self) -> int:
-        """Number of unique nodes in the expression graph (DAG size)."""
-        seen = set()
+    def reachable_uids(self) -> Set[int]:
+        """Uids of every node reachable from this expression.
+
+        These are exactly the uids persistent-cache entries for queries
+        against this expression are keyed on, which is what lets a model
+        scope :meth:`QueryCache.clear` to its own entries.
+        """
+        seen: Set[int] = set()
         stack = [self]
         while stack:
             node = stack.pop()
@@ -162,7 +417,11 @@ class SPE(ABC):
                 continue
             seen.add(node._uid)
             stack.extend(node.children_nodes())
-        return len(seen)
+        return seen
+
+    def size(self) -> int:
+        """Number of unique nodes in the expression graph (DAG size)."""
+        return len(self.reachable_uids())
 
     def tree_size(self) -> int:
         """Number of nodes of the fully-unrolled (unshared) expression tree.
@@ -232,9 +491,10 @@ class SPE(ABC):
         """Exact log probability of ``event``."""
         self._check_event_scope(event)
         memo = memo if memo is not None else Memo()
-        clauses = event_to_disjoint_clauses(event)
-        terms = [self.logprob_clause(clause, memo) for clause in clauses]
-        return log_add(terms)
+        with memo.query_scope():
+            clauses = event_to_disjoint_clauses(event)
+            terms = [self.logprob_clause(clause, memo) for clause in clauses]
+            return log_add(terms)
 
     def prob(self, event: Event, memo: Memo = None) -> float:
         """Exact probability of ``event``."""
@@ -252,35 +512,43 @@ class SPE(ABC):
         return [self.logprob(event, memo=memo) for event in events]
 
     def condition(self, event: Event, memo: Memo = None) -> "SPE":
-        """Return the posterior SPE given a positive-probability ``event``."""
+        """Return the posterior SPE given a positive-probability ``event``.
+
+        Raises :class:`ZeroProbabilityError` when the event has probability
+        zero; the memo/cache is left uncorrupted (every entry written up to
+        the failure is a complete, correct traversal result).
+        """
         from .sum_node import spe_sum
 
         self._check_event_scope(event)
         memo = memo if memo is not None else Memo()
-        clauses = event_to_disjoint_clauses(event)
-        weighted: List[Tuple[SPE, float]] = []
-        for clause in clauses:
-            log_weight = self.logprob_clause(clause, memo)
-            if log_weight == NEG_INF:
-                continue
-            conditioned = self.condition_clause(clause, memo)
-            if conditioned is None:
-                continue
-            weighted.append((conditioned, log_weight))
-        if not weighted:
-            raise ValueError(
-                "Conditioning event has probability zero: %r." % (event,)
-            )
-        children = [spe for spe, _ in weighted]
-        log_weights = [w for _, w in weighted]
-        return spe_sum(children, log_weights)
+        with memo.query_scope():
+            clauses = event_to_disjoint_clauses(event)
+            weighted: List[Tuple[SPE, float]] = []
+            for clause in clauses:
+                log_weight = self.logprob_clause(clause, memo)
+                if log_weight == NEG_INF:
+                    continue
+                conditioned = self.condition_clause(clause, memo)
+                if conditioned is None:
+                    continue
+                weighted.append((conditioned, log_weight))
+            if not weighted:
+                raise ZeroProbabilityError(
+                    "Conditioning event has probability zero: %r." % (event,),
+                    event,
+                )
+            children = [spe for spe, _ in weighted]
+            log_weights = [w for _, w in weighted]
+            return spe_sum(children, log_weights)
 
     def logpdf(self, assignment: Dict[str, object], memo: Memo = None) -> float:
         """Log density of an assignment to non-transformed variables."""
         memo = memo if memo is not None else Memo()
         self._check_assignment_scope(assignment)
-        _, log_density = self.logpdf_pair(assignment, memo)
-        return log_density
+        with memo.query_scope():
+            _, log_density = self.logpdf_pair(assignment, memo)
+            return log_density
 
     def logpdf_batch(
         self, assignments: Sequence[Dict[str, object]], memo: Memo = None
@@ -294,16 +562,21 @@ class SPE(ABC):
 
         The constraints may have probability zero (e.g. observing a
         continuous variable); the result follows the generalized density
-        semantics of the paper (Remark 4.2 / Appendix D.3).
+        semantics of the paper (Remark 4.2 / Appendix D.3).  When the
+        assignment has zero *density* (it lies outside the support), a
+        :class:`ZeroProbabilityError` is raised -- the same exception type
+        as :meth:`condition` -- and the memo/cache is left uncorrupted.
         """
         memo = memo if memo is not None else Memo()
         self._check_assignment_scope(assignment)
-        result = self.constrain_clause(assignment, memo)
-        if result is None:
-            raise ValueError(
-                "Constraint assignment has zero density: %r." % (assignment,)
-            )
-        return result
+        with memo.query_scope():
+            result = self.constrain_clause(assignment, memo)
+            if result is None:
+                raise ZeroProbabilityError(
+                    "Constraint assignment has zero density: %r." % (assignment,),
+                    assignment,
+                )
+            return result
 
     def sample(self, rng, n: int = None):
         """Draw one sample (dict) or a list of ``n`` samples.

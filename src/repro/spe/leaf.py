@@ -14,7 +14,6 @@ separate code paths become physically shared.
 
 from __future__ import annotations
 
-import math
 from typing import Dict
 from typing import FrozenSet
 from typing import List
@@ -190,6 +189,14 @@ class Leaf(SPE):
         env[symbol] = expression
         return spe_leaf(self.symbol, self.dist, env=env)
 
+    def _nominal_transform_error(self, derived: str, resolved: Transform) -> TypeError:
+        return TypeError(
+            "Derived variable %r applies the non-Identity transform %r to "
+            "draws of the nominal (string-valued) variable %r; real "
+            "transforms are undefined on strings."
+            % (derived, resolved, self.symbol)
+        )
+
     def _sample_one(self, rng) -> Dict[str, object]:
         """Draw one joint sample of the base and derived variables."""
         value = self.dist.sample(rng)
@@ -197,30 +204,40 @@ class Leaf(SPE):
         for derived in self.env:
             resolved = self.resolved_transform(derived)
             if isinstance(value, str):
-                if isinstance(resolved, Identity):
-                    assignment[derived] = value
-                else:
-                    assignment[derived] = math.nan
+                if not isinstance(resolved, Identity):
+                    raise self._nominal_transform_error(derived, resolved)
+                assignment[derived] = value
             else:
                 assignment[derived] = resolved.evaluate(float(value))
         return assignment
 
     def _sample_batch(self, rng, n: int) -> Dict[str, object]:
-        """Draw ``n`` values per variable with one vectorized base draw."""
+        """Draw ``n`` values per variable with one vectorized base draw.
+
+        Derived variables are computed with one vectorized
+        ``Transform.evaluate_many`` call per column instead of a
+        per-element Python loop.
+        """
         values = self.dist.sample_many(rng, n)
         values = np.asarray(values)
         columns: Dict[str, object] = {self.symbol: values}
+        if not self.env:
+            return columns
+        nominal = values.dtype.kind in "OUS"
+        reals = None if nominal else np.asarray(values, dtype=float)
         for derived in self.env:
             resolved = self.resolved_transform(derived)
-            if values.dtype.kind in "OUS":
-                if isinstance(resolved, Identity):
-                    columns[derived] = values
-                else:
-                    columns[derived] = np.full(n, math.nan)
+            if nominal:
+                if not isinstance(resolved, Identity):
+                    raise self._nominal_transform_error(derived, resolved)
+                columns[derived] = values
             else:
-                columns[derived] = np.asarray(
-                    [resolved.evaluate(float(v)) for v in values]
-                )
+                column = resolved.evaluate_many(reals)
+                if column is reals or column is values:
+                    # Identity's kernel returns its input uncopied; derived
+                    # columns must not alias the base column.
+                    column = column.copy()
+                columns[derived] = column
         return columns
 
 

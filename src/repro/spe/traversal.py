@@ -19,6 +19,16 @@ All four inference traversals memoize into a :class:`~repro.spe.base.Memo`
   older revisions used for densities, silently returned stale results when
   a memo was reused across assignments).
 
+The traversals only use the dict surface (``in``, ``[]``, assignment) of
+the four memo sections, so they run unchanged against both the plain-dict
+scratch :class:`~repro.spe.base.Memo` and the bounded, LRU-evicting
+sections of a :class:`~repro.spe.base.QueryCache`.  With a ``QueryCache``,
+every membership test and read *refreshes* the entry (recency and
+generation), which pins each entry a traversal depends on against
+eviction until the enclosing public query (see ``Memo.query_scope``)
+finishes -- interior reads like ``logs[child_key]`` after a pending-child
+pass can therefore never hit an evicted key.
+
 The post-order pattern is shared by all traversals: a frame is re-examined
 after its missing children have been computed, so each frame is visited at
 most twice and the total work is linear in the number of graph edges.
@@ -47,6 +57,12 @@ from .sum_node import SumSPE
 from .sum_node import spe_sum
 
 
+#: Sentinel distinguishing "not cached" from cached None/0.0 results in
+#: the single-lookup fast path (one locked operation instead of an
+#: ``in`` + ``[]`` pair on a shared QueryCache).
+_MISSING = object()
+
+
 def _entry(node: SPE, clause: Clause, keyer):
     """Restrict ``clause`` to ``node`` and build its memo key."""
     restricted = node._restrict(clause)
@@ -61,9 +77,10 @@ def logprob_clause(root: SPE, clause: Clause, memo: Memo) -> float:
     """Log probability of a solved clause (iterative, memoized)."""
     logs = memo.logprob
     _, key0 = _entry(root, clause, clause_key)
-    if key0 in logs:
+    cached = logs.get(key0, _MISSING)
+    if cached is not _MISSING:
         memo.hits += 1
-        return logs[key0]
+        return cached
     memo.misses += 1
     stack = [(root, clause)]
     while stack:
@@ -121,9 +138,10 @@ def condition_clause(root: SPE, clause: Clause, memo: Memo) -> Optional[SPE]:
     """Condition on a solved clause; None if it has probability zero."""
     conds = memo.condition
     _, key0 = _entry(root, clause, clause_key)
-    if key0 in conds:
+    cached = conds.get(key0, _MISSING)
+    if cached is not _MISSING:
         memo.hits += 1
-        return conds[key0]
+        return cached
     memo.misses += 1
     stack = [(root, clause)]
     while stack:
@@ -217,9 +235,10 @@ def logpdf_pair(root: SPE, assignment: Dict[str, object], memo: Memo) -> Density
     """Lexicographic density (continuous dimension count, log density)."""
     dens = memo.logpdf
     _, key0 = _entry(root, assignment, assignment_key)
-    if key0 in dens:
+    cached = dens.get(key0, _MISSING)
+    if cached is not _MISSING:
         memo.hits += 1
-        return dens[key0]
+        return cached
     memo.misses += 1
     stack = [(root, assignment)]
     while stack:
@@ -294,9 +313,10 @@ def constrain_clause(
     """Condition on equality constraints; None if the density is zero."""
     cons = memo.constrain
     _, key0 = _entry(root, assignment, assignment_key)
-    if key0 in cons:
+    cached = cons.get(key0, _MISSING)
+    if cached is not _MISSING:
         memo.hits += 1
-        return cons[key0]
+        return cached
     memo.misses += 1
     stack = [(root, assignment)]
     while stack:

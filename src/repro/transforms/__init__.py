@@ -9,6 +9,23 @@ The public surface mirrors Lst. 1b / Appendix C of the paper:
 * :class:`Piecewise` for case-defined transforms,
 * comparisons (``<``, ``<=``, ``>``, ``>=``, ``==``, ``<<``) which build
   :mod:`repro.events` predicates.
+
+Every transform supports two evaluation surfaces:
+
+* ``evaluate(x)`` -- scalar evaluation; returns NaN where the transform is
+  undefined.  This is the **reference semantics**.
+* ``evaluate_many(xs)`` -- vectorized evaluation over a 1-D numpy array
+  (or anything ``np.asarray`` accepts), returning a float ndarray.  The
+  contract is elementwise, bit-for-bit agreement with ``evaluate``:
+  ``evaluate_many(xs)[i] == evaluate(float(xs[i]))`` for every ``i``,
+  with NaN results at exactly the same (undefined) points and identical
+  handling of ``+/-inf`` inputs.  Every concrete subclass implements a
+  numpy kernel (Horner evaluation for polynomials, masked branch dispatch
+  for piecewise transforms); the base-class fallback is the per-element
+  reference loop.  ``evaluate_many`` is the hot path of vectorized bulk
+  sampling of derived variables (``Leaf._sample_batch``), and is
+  property-tested against the scalar semantics in
+  ``tests/test_transforms_evaluate_many.py``.
 """
 
 import math

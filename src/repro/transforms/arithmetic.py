@@ -6,6 +6,8 @@ import math
 from typing import FrozenSet
 from typing import List
 
+import numpy as np
+
 from ..sets import EMPTY_SET
 from ..sets import FiniteNominal
 from ..sets import FiniteReal
@@ -62,6 +64,11 @@ class Reciprocal(_UnaryTransform):
         if math.isnan(inner) or inner == 0.0:
             return math.nan
         return 1.0 / inner
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        inner = self._subexpr.evaluate_many(xs)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(inner == 0.0, np.nan, 1.0 / inner)
 
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:
         pieces: List[OutcomeSet] = []
@@ -135,6 +142,9 @@ class Abs(_UnaryTransform):
             return math.nan
         return abs(inner)
 
+    def evaluate_many(self, xs) -> "np.ndarray":
+        return np.abs(self._subexpr.evaluate_many(xs))
+
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:
         pieces: List[OutcomeSet] = []
         for piece in components(values):
@@ -179,7 +189,18 @@ class Radical(_UnaryTransform):
         inner = self._subexpr.evaluate(x)
         if math.isnan(inner) or inner < 0.0:
             return math.nan
-        return inner ** (1.0 / self.degree)
+        # numpy's pow kernel, not Python's ``**``: libm pow can differ from
+        # the vectorized kernel by an ulp, and the two surfaces must agree
+        # bit-for-bit.
+        return float(np.power(np.float64(inner), 1.0 / self.degree))
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        inner = self._subexpr.evaluate_many(xs)
+        with np.errstate(invalid="ignore"):
+            out = np.power(inner, 1.0 / self.degree)
+        # Mask negatives explicitly: C pow(-inf, 1/k) is +inf, but the
+        # scalar guard makes every negative input (including -inf) NaN.
+        return np.where(inner < 0.0, np.nan, out)
 
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:
         pieces: List[OutcomeSet] = []
@@ -226,10 +247,16 @@ class Exp(_UnaryTransform):
         inner = self._subexpr.evaluate(x)
         if math.isnan(inner):
             return math.nan
-        try:
-            return self.base ** inner
-        except OverflowError:
-            return math.inf
+        # numpy's pow kernel (saturates overflow to inf) instead of
+        # Python's ``**``, so the scalar and vectorized surfaces agree
+        # bit-for-bit.
+        with np.errstate(over="ignore"):
+            return float(np.power(np.float64(self.base), np.float64(inner)))
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        inner = self._subexpr.evaluate_many(xs)
+        with np.errstate(over="ignore"):
+            return np.power(self.base, inner)
 
     def _log(self, value: float) -> float:
         if value == 0.0:
@@ -280,7 +307,16 @@ class Log(_UnaryTransform):
         inner = self._subexpr.evaluate(x)
         if math.isnan(inner) or inner <= 0.0:
             return math.nan
-        return math.log(inner, self.base)
+        # log(x)/log(base) through numpy's log kernel (an ulp away from
+        # math.log on some inputs), so scalar and vectorized agree
+        # bit-for-bit.
+        return float(np.log(np.float64(inner)) / math.log(self.base))
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        inner = self._subexpr.evaluate_many(xs)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.log(inner) / math.log(self.base)
+        return np.where(inner <= 0.0, np.nan, out)
 
     def _pow(self, value: float) -> float:
         if value == -math.inf:

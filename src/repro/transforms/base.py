@@ -5,7 +5,9 @@ many-to-one) real function of a single program variable.  The terminal
 subexpression of every transform is an :class:`~repro.transforms.identity.Identity`
 naming that variable.  Transforms support:
 
-* numeric evaluation (``t(x)``),
+* numeric evaluation (``t(x)``) and vectorized evaluation over numpy
+  arrays (``t.evaluate_many(xs)``), with the scalar ``evaluate`` as the
+  reference semantics,
 * exact preimage computation (``t.invert(values)``) used by the inference
   engine to solve predicates on transformed variables,
 * an operator-overloading DSL for building transforms and events, e.g.
@@ -19,6 +21,8 @@ from abc import ABC
 from abc import abstractmethod
 from fractions import Fraction
 from typing import FrozenSet
+
+import numpy as np
 
 from ..sets import EMPTY_SET
 from ..sets import FiniteNominal
@@ -66,6 +70,20 @@ class Transform(ABC):
     @abstractmethod
     def evaluate(self, x: float) -> float:
         """Evaluate the transform at ``x``; NaN where undefined."""
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        """Vectorized :meth:`evaluate` over a 1-D array of inputs.
+
+        The contract is extensional equality with the scalar semantics:
+        ``evaluate_many(xs)[i]`` equals ``evaluate(float(xs[i]))`` for
+        every ``i``, bit-for-bit, including NaN (undefined points) and
+        ``+/-inf`` inputs.  Subclasses override this with a numpy kernel;
+        this base implementation is the per-element reference loop (kept as
+        the fallback for exotic transforms and as the baseline the property
+        tests and benchmarks compare against).
+        """
+        arr = np.asarray(xs, dtype=float)
+        return np.array([self.evaluate(float(x)) for x in arr], dtype=float)
 
     @abstractmethod
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
+import numpy as np
+
 from ..sets import OutcomeSet
 from .base import Transform
 
@@ -39,6 +41,9 @@ class Identity(Transform):
 
     def evaluate(self, x: float) -> float:
         return x
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        return np.asarray(xs, dtype=float)
 
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:
         return values

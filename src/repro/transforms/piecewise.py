@@ -8,12 +8,82 @@ from typing import List
 from typing import Sequence
 from typing import Tuple
 
+import numpy as np
+
 from ..sets import EMPTY_SET
+from ..sets import FiniteReal
+from ..sets import Interval
 from ..sets import OutcomeSet
+from ..sets import components
 from ..sets import intersection
 from ..sets import union
 from .base import Transform
 from .identity import Identity
+
+
+def _contains_many(values: OutcomeSet, xs: "np.ndarray") -> "np.ndarray":
+    """Vectorized membership of real inputs in an outcome set.
+
+    Agrees with ``values.contains(x)`` elementwise for float inputs; NaN
+    and out-of-range infinities are never members, and nominal components
+    never contain numeric inputs.
+    """
+    mask = np.zeros(xs.shape, dtype=bool)
+    for piece in components(values):
+        if isinstance(piece, Interval):
+            if piece.left_open:
+                member = piece.left < xs
+            else:
+                member = piece.left <= xs
+            if piece.right_open:
+                member &= xs < piece.right
+            else:
+                member &= xs <= piece.right
+            mask |= member
+        elif isinstance(piece, FiniteReal):
+            for v in piece.values:
+                mask |= xs == v
+        else:
+            # Nominal components (or future set kinds): fall back to the
+            # scalar membership test, which numeric inputs fail anyway.
+            mask |= np.array(
+                [piece.contains(float(x)) for x in xs], dtype=bool
+            )
+    return mask
+
+
+def _event_mask(event, xs: "np.ndarray") -> "np.ndarray":
+    """Vectorized ``event.evaluate({symbol: x})`` over real inputs.
+
+    Mirrors the scalar event semantics exactly -- the branch predicate is
+    decided by *evaluating* the event's transform (so overflow-to-inf and
+    NaN behave as in the scalar path), not by symbolic preimages.
+    """
+    from ..events import Containment
+    from ..events.base import Conjunction
+    from ..events.base import Disjunction
+
+    if isinstance(event, Containment):
+        if isinstance(event.transform, Identity):
+            return _contains_many(event.values, xs)
+        outputs = event.transform.evaluate_many(xs)
+        # NaN outputs fail every membership test in _contains_many, which
+        # matches the scalar guard (undefined is never a member).
+        return _contains_many(event.values, outputs)
+    if isinstance(event, Conjunction):
+        mask = np.ones(xs.shape, dtype=bool)
+        for sub in event.events:
+            mask &= _event_mask(sub, xs)
+        return mask
+    if isinstance(event, Disjunction):
+        mask = np.zeros(xs.shape, dtype=bool)
+        for sub in event.events:
+            mask |= _event_mask(sub, xs)
+        return mask
+    symbol = next(iter(event.get_symbols()))
+    return np.array(
+        [bool(event.evaluate({symbol: float(x)})) for x in xs], dtype=bool
+    )
 
 
 class Piecewise(Transform):
@@ -69,6 +139,19 @@ class Piecewise(Transform):
             if event.evaluate({self._symbol: x}):
                 return transform.evaluate(x)
         return math.nan
+
+    def evaluate_many(self, xs) -> "np.ndarray":
+        xs = np.asarray(xs, dtype=float)
+        out = np.full(xs.shape, math.nan)
+        remaining = np.ones(xs.shape, dtype=bool)
+        for transform, event in self.branches:
+            mask = remaining & _event_mask(event, xs)
+            if mask.any():
+                out[mask] = transform.evaluate_many(xs[mask])
+                remaining &= ~mask
+            if not remaining.any():
+                break
+        return out
 
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:
         return self.invert(values)

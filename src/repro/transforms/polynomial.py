@@ -217,6 +217,16 @@ class Poly(Transform):
             return math.nan
         return poly_evaluate(self.coeffs, inner)
 
+    def evaluate_many(self, xs) -> "np.ndarray":
+        inner = self._subexpr.evaluate_many(xs)
+        # Same Horner recurrence (and therefore the same rounding and the
+        # same 0.0*inf=NaN corner) as the scalar poly_evaluate.
+        result = np.zeros_like(inner, dtype=float)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for c in reversed(self.coeffs):
+                result = result * inner + c
+        return result
+
     def invert_level(self, values: OutcomeSet) -> OutcomeSet:
         pieces: List[OutcomeSet] = []
         for piece in components(values):

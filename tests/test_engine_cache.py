@@ -259,3 +259,59 @@ class TestDeepChains:
         assert spe.tree_size() > 0
         derived = spe.transform("D", Id("V0") ** 2)
         assert "D" in derived.scope
+
+
+class TestDerivedVariableSampling:
+    """Vectorized derived-variable columns and the nominal-draw bugfix."""
+
+    def _poly_leaf(self):
+        return spe_leaf("X", normal(0, 1)).transform(
+            "Z", Id("X") ** 3 - 2 * Id("X") + 1
+        )
+
+    def test_batch_matches_scalar_transform_semantics(self):
+        leaf = self._poly_leaf()
+        columns = leaf._sample_batch(np.random.default_rng(0), 500)
+        resolved = leaf.resolved_transform("Z")
+        expected = np.array([resolved.evaluate(float(v)) for v in columns["X"]])
+        assert np.array_equal(columns["Z"], expected)
+
+    def test_bulk_and_single_sampling_agree_statistically(self):
+        model = SpplModel(self._poly_leaf())
+        columns = model.sample_columns(4000, seed=1)
+        singles = model.sample(4000, seed=1)
+        assert np.mean(columns["Z"]) == pytest.approx(
+            np.mean([r["Z"] for r in singles]), abs=0.2
+        )
+
+    def test_nominal_draw_with_real_transform_raises_type_error(self):
+        # Regression: this used to silently emit an all-NaN column.
+        from repro.distributions import choice
+
+        leaf = spe_leaf("N", choice({"a": 0.5, "b": 0.5})).transform(
+            "Z", Id("N") ** 2
+        )
+        rng = np.random.default_rng(0)
+        with pytest.raises(TypeError, match="nominal"):
+            leaf._sample_batch(rng, 10)
+        with pytest.raises(TypeError, match="nominal"):
+            leaf._sample_one(rng)
+
+    def test_nominal_draw_with_identity_transform_still_works(self):
+        from repro.distributions import choice
+
+        leaf = spe_leaf("N", choice({"a": 0.5, "b": 0.5})).transform(
+            "M", Id("N")
+        )
+        columns = leaf._sample_batch(np.random.default_rng(0), 50)
+        assert list(columns["M"]) == list(columns["N"])
+        row = leaf._sample_one(np.random.default_rng(0))
+        assert row["M"] == row["N"]
+
+    def test_identity_derived_column_does_not_alias_base_column(self):
+        leaf = spe_leaf("X", normal(0, 1)).transform("Y", Id("X"))
+        columns = leaf._sample_batch(np.random.default_rng(0), 20)
+        assert columns["Y"] is not columns["X"]
+        before = float(columns["X"][0])
+        columns["Y"][0] = before + 1.0
+        assert columns["X"][0] == before

@@ -1,0 +1,345 @@
+"""The bounded QueryCache subsystem: eviction, scoping, errors, threads.
+
+Covers the hardening pass on the persistent cache:
+
+* the entry bound with generation/LRU eviction and observable stats,
+* bit-identical recomputation of evicted results,
+* clear() scoped to one model's reachable sub-expressions,
+* ZeroProbabilityError from both condition() and constrain(), leaving the
+  shared cache uncorrupted,
+* concurrent queries against one bounded shared cache.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributions import bernoulli
+from repro.distributions import normal
+from repro.engine import SpplModel
+from repro.spe import DEFAULT_CACHE_ENTRIES
+from repro.spe import Memo
+from repro.spe import QueryCache
+from repro.spe import ZeroProbabilityError
+from repro.spe import spe_leaf
+from repro.spe import spe_product
+from repro.spe import spe_sum
+from repro.transforms import Id
+from repro.workloads import hmm
+
+X = Id("X")
+K = Id("K")
+
+
+def _model(**kwargs):
+    spe = spe_sum(
+        [
+            spe_product([spe_leaf("X", normal(0, 1)), spe_leaf("K", bernoulli(0.9))]),
+            spe_product([spe_leaf("X", normal(5, 2)), spe_leaf("K", bernoulli(0.2))]),
+        ],
+        [math.log(0.4), math.log(0.6)],
+    )
+    return SpplModel(spe, **kwargs)
+
+
+class TestBoundedCache:
+    def test_default_cache_is_bounded(self):
+        model = _model()
+        assert model.cache.max_entries == DEFAULT_CACHE_ENTRIES
+
+    def test_cache_size_parameter(self):
+        model = _model(cache_size=16)
+        assert model.cache.max_entries == 16
+        assert model.cache_stats()["max_entries"] == 16
+
+    def test_cache_size_rejected_with_adopted_or_disabled_cache(self):
+        with pytest.raises(ValueError):
+            _model(cache=QueryCache(), cache_size=16)
+        with pytest.raises(ValueError):
+            _model(cache=False, cache_size=16)
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+        assert QueryCache(max_entries=None).max_entries is None
+
+    def test_unbounded_cache_never_evicts(self):
+        model = _model(cache=QueryCache(max_entries=None))
+        for i in range(200):
+            model.logprob(X < i * 0.1)
+        assert model.cache.evictions == 0
+        assert model.cache.total_entries() > 200
+
+    def test_10k_distinct_condition_logprob_queries_stay_under_bound(self):
+        """Acceptance: 10k distinct condition+logprob queries against an
+        HMM model keep the entry count under the configured bound, with
+        eviction stats observable and evicted results recomputing
+        identically."""
+        bound = 512
+        model = hmm.model(1)
+        model = SpplModel(model.spe, cache_size=bound)
+        x0, z0 = Id(hmm.x(0)), Id(hmm.z(0))
+
+        first_event = x0 < 0.5
+        posterior = model.condition(first_event)
+        first_answer = posterior.logprob(z0 == 1)
+
+        for i in range(10_000):
+            post = model.condition(x0 < 0.5 + (i + 1) * 1e-4)
+            post.logprob(z0 == 1)
+            if i % 1000 == 0:
+                assert model.cache.total_entries() <= bound
+        stats = model.cache.stats()
+        assert model.cache.total_entries() <= bound
+        assert stats["evictions"] > 0
+        assert stats["max_entries"] == bound
+        # The very first query was long evicted; recomputing it must give a
+        # bit-identical answer.
+        again = model.condition(first_event).logprob(z0 == 1)
+        assert again == first_answer
+
+    def test_evicted_results_recompute_bit_identical_property(self):
+        """Property test: an aggressively evicting cache answers a random
+        query sequence bit-identically to an uncached model."""
+        events = [X < t for t in np.linspace(-2, 7, 25)]
+        events += [(X > t) & (K == 1) for t in np.linspace(-2, 7, 25)]
+        events += [(X < t) | (K == 0) for t in np.linspace(-2, 7, 25)]
+        rng = np.random.default_rng(7)
+        bounded = _model(cache_size=8)  # far smaller than one query's entries
+        reference = _model(cache=False)
+        for trial in rng.integers(0, len(events), size=200):
+            event = events[int(trial)]
+            assert bounded.logprob(event) == reference.logprob(event)
+        assert bounded.cache.evictions > 0
+        assert bounded.cache.total_entries() <= 8
+
+    def test_single_query_may_overshoot_then_shrinks(self):
+        # One query writes more entries than the bound: it must complete
+        # correctly (entries of the in-flight query are pinned), and the
+        # overshoot is reclaimed by the end of the query.
+        model = _model(cache_size=2)
+        reference = _model(cache=False)
+        event = (X < 1) | ((X > 2) & (K == 1))
+        assert model.logprob(event) == reference.logprob(event)
+        assert model.cache.total_entries() <= 2
+
+    def test_stats_expose_hits_misses_evictions(self):
+        model = _model(cache_size=64)
+        model.logprob(K == 1)
+        model.logprob(K == 1)
+        stats = model.cache_stats()
+        assert stats["hits"] > 0
+        assert stats["misses"] > 0
+        assert stats["evictions"] == 0
+        assert stats["enabled"] == 1
+
+
+class TestScopedClear:
+    def test_posterior_clear_does_not_wipe_parent_entries(self):
+        """Regression: clear_cache() on a conditioned model used to wipe
+        the shared cache, nuking the parent's entries too."""
+        model = _model()
+        model.logprob(K == 1)
+        posterior = model.condition(K == 1)
+        posterior.logprob(X < 1)
+        assert posterior.cache is model.cache
+
+        misses_before = model.cache.misses
+        posterior.clear_cache()
+        # Entries keyed on parent-only nodes survive: repeating the parent
+        # query is answered from cache (no new misses at the top level).
+        model.logprob(K == 1)
+        assert model.cache.misses == misses_before
+
+    def test_posterior_clear_drops_posterior_entries(self):
+        model = _model()
+        posterior = model.condition(K == 1)
+        posterior.logprob(X < 1)
+        posterior_uids = posterior.spe.reachable_uids()
+        section = model.cache.logprob
+        assert any(key[0] in posterior_uids for key in section)
+        posterior.clear_cache()
+        assert not any(key[0] in posterior_uids for key in section)
+
+    def test_clear_everything_wipes_shared_cache(self):
+        model = _model()
+        model.logprob(K == 1)
+        posterior = model.condition(K == 1)
+        posterior.clear_cache(everything=True)
+        assert model.cache.total_entries() == 0
+
+    def test_scoped_clear_keeps_counters(self):
+        model = _model()
+        model.logprob(K == 1)
+        model.logprob(K == 1)
+        hits = model.cache.hits
+        assert hits > 0
+        model.clear_cache()  # scoped clear: entries go, counters stay
+        assert model.cache.hits == hits
+        model.clear_cache(everything=True)
+        assert model.cache.hits == 0
+
+    def test_results_identical_after_scoped_clear(self):
+        model = _model()
+        posterior = model.condition(K == 1)
+        before = posterior.logprob(X < 1)
+        posterior.clear_cache()
+        assert posterior.logprob(X < 1) == before
+
+
+class TestZeroProbabilityErrors:
+    def test_condition_and_constrain_raise_same_type(self):
+        model = _model()
+        with pytest.raises(ZeroProbabilityError):
+            model.condition(X > 1e9)
+        with pytest.raises(ZeroProbabilityError):
+            model.constrain({"X": math.nan})
+
+    def test_zero_probability_error_is_a_valueerror(self):
+        assert issubclass(ZeroProbabilityError, ValueError)
+
+    def test_offending_event_rendered_in_message(self):
+        model = _model()
+        with pytest.raises(ZeroProbabilityError) as cond_err:
+            model.condition(X > 1e9)
+        assert "'X'" in str(cond_err.value) and "1000000000.0" in str(cond_err.value)
+        with pytest.raises(ZeroProbabilityError) as cons_err:
+            model.constrain({"K": 7.0})
+        assert "'K'" in str(cons_err.value) and "7.0" in str(cons_err.value)
+        assert cons_err.value.event == {"K": 7.0}
+
+    def test_cache_uncorrupted_after_failed_condition(self):
+        model = _model()
+        reference = _model(cache=False)
+        with pytest.raises(ZeroProbabilityError):
+            model.condition(X > 1e9)
+        with pytest.raises(ZeroProbabilityError):
+            model.constrain({"K": 7.0})
+        # Every entry written up to the failure is a complete traversal
+        # result: subsequent queries through the shared cache match an
+        # uncached model bit-for-bit.
+        events = [K == 1, X < 1, (X > 1) & (K == 0), X > 1e9]
+        for event in events:
+            assert model.logprob(event) == reference.logprob(event)
+        posterior = model.condition(K == 1)
+        ref_posterior = reference.condition(K == 1)
+        assert posterior.logprob(X < 1) == ref_posterior.logprob(X < 1)
+
+    def test_failed_query_scope_does_not_pin_forever(self):
+        model = _model(cache_size=4)
+        with pytest.raises(ZeroProbabilityError):
+            model.condition(X > 1e9)
+        # The failed query's scope was released: later inserts may evict
+        # its entries, keeping the cache within bound.
+        for i in range(50):
+            model.logprob(X < i * 0.1)
+        assert model.cache.total_entries() <= 4
+
+
+class TestConcurrentCache:
+    def test_concurrent_queries_on_shared_bounded_cache(self):
+        model = _model(cache_size=32)
+        reference = _model(cache=False)
+        events = [X < t for t in np.linspace(-2, 7, 40)]
+        expected = [reference.logprob(e) for e in events]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(offset):
+            try:
+                barrier.wait()
+                for i in range(len(events)):
+                    event = events[(i + offset * 5) % len(events)]
+                    expect = expected[(i + offset * 5) % len(events)]
+                    for _ in range(3):
+                        assert model.logprob(event) == expect
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert model.cache.total_entries() <= 32
+
+
+class TestMemoCompatibility:
+    def test_scratch_memo_unaffected_by_bounds(self):
+        model = _model()
+        memo = Memo()
+        model.logprob(K == 1, memo=memo)
+        assert memo.stats()["logprob"] > 0
+        assert model.cache.total_entries() == 0
+
+    def test_query_cache_sections_support_dict_surface(self):
+        cache = QueryCache(max_entries=4)
+        section = cache.logprob
+        section[(1, "a")] = 0.5
+        assert (1, "a") in section
+        assert section[(1, "a")] == 0.5
+        assert section.get((2, "b")) is None
+        assert len(section) == 1
+        section.clear()
+        assert len(section) == 0
+
+
+class TestClearRespectsPinning:
+    def test_clear_keeps_entries_pinned_by_an_active_query(self):
+        """A concurrent clear() must not remove entries an in-flight query
+        already depends on (same floor rule as eviction)."""
+        model = _model()
+        model.logprob(K == 1)
+        cache = model.cache
+        with cache.query_scope():
+            pinned = next(iter(cache.logprob))
+            _ = cache.logprob[pinned]  # touched under the active scope
+            cache.clear()
+            assert pinned in cache.logprob  # survived: another thread reads it next
+        cache.clear()  # no active queries: now everything goes
+        assert cache.total_entries() == 0
+
+    def test_scoped_clear_keeps_pinned_entries(self):
+        model = _model()
+        posterior = model.condition(K == 1)
+        posterior.logprob(X < 1)
+        cache = model.cache
+        with cache.query_scope():
+            pinned = next(iter(cache.logprob))
+            _ = cache.logprob[pinned]
+            posterior.clear_cache(everything=True)
+            assert pinned in cache.logprob
+
+    def test_concurrent_clear_during_queries_never_corrupts(self):
+        model = _model(cache_size=64)
+        reference = _model(cache=False)
+        events = [X < t for t in np.linspace(-2, 7, 30)]
+        expected = [reference.logprob(e) for e in events]
+        errors = []
+        stop = threading.Event()
+
+        def querier():
+            try:
+                for _ in range(10):
+                    for event, expect in zip(events, expected):
+                        assert model.logprob(event) == expect
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def clearer():
+            while not stop.is_set():
+                model.clear_cache()
+                model.clear_cache(everything=True)
+
+        threads = [threading.Thread(target=querier) for _ in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

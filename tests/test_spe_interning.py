@@ -155,3 +155,80 @@ class TestNoInterning:
             # The deliberately-unshared ablation baseline keeps its sharing
             # degree (the duplicate X leaves are not silently merged).
             assert restored.size() == model.size()
+
+
+class TestConcurrentInterning:
+    """The unique table, uid counter, and interning pass are thread-safe."""
+
+    def _build(self, tag):
+        return spe_sum(
+            [
+                spe_product(
+                    [
+                        spe_leaf("CX_%s" % tag, normal(0, 1)),
+                        spe_leaf("CY_%s" % tag, bernoulli(0.3)),
+                    ]
+                ),
+                spe_product(
+                    [
+                        spe_leaf("CX_%s" % tag, normal(0, 1)),
+                        spe_leaf("CY_%s" % tag, bernoulli(0.7)),
+                    ]
+                ),
+            ],
+            [math.log(0.4), math.log(0.6)],
+        )
+
+    def test_8_threads_build_one_representative(self):
+        import threading
+
+        n_threads = 8
+        for trial in range(10):
+            tag = "t%d" % trial
+            barrier = threading.Barrier(n_threads)
+            results = [None] * n_threads
+            errors = []
+
+            def worker(slot, tag=tag, barrier=barrier, results=results):
+                try:
+                    barrier.wait()
+                    results[slot] = self._build(tag)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(k,)) for k in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            # Exactly one interned representative: all threads got the
+            # identical object, hence one uid and no torn table state.
+            assert all(r is results[0] for r in results)
+            assert len({intern_uid(r) for r in results}) == 1
+            assert len({structural_key(r) for r in results}) == 1
+
+    def test_concurrent_uid_allocation_never_duplicates(self):
+        import threading
+
+        from repro.spe.interning import next_uid
+
+        n_threads, per_thread = 8, 2000
+        uid_lists = [[] for _ in range(n_threads)]
+        barrier = threading.Barrier(n_threads)
+
+        def worker(slot):
+            barrier.wait()
+            uid_lists[slot] = [next_uid() for _ in range(per_thread)]
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        all_uids = [u for uids in uid_lists for u in uids]
+        assert len(set(all_uids)) == n_threads * per_thread

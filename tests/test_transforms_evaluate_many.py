@@ -1,0 +1,173 @@
+"""Property tests: ``evaluate_many`` agrees with scalar ``evaluate``.
+
+The contract (see the :mod:`repro.transforms` module docstring) is
+elementwise, bit-for-bit agreement between the vectorized kernels and the
+scalar reference semantics -- including NaN at undefined points, ``+/-inf``
+inputs, and piecewise boundary points.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.transforms import Id
+from repro.transforms import Piecewise
+from repro.transforms import Transform
+from repro.transforms import exp
+from repro.transforms import log
+from repro.transforms import sqrt
+from repro.transforms.arithmetic import Abs
+from repro.transforms.arithmetic import Exp
+from repro.transforms.arithmetic import Log
+from repro.transforms.arithmetic import Radical
+from repro.transforms.arithmetic import Reciprocal
+from repro.transforms.identity import Identity
+from repro.transforms.polynomial import Poly
+
+X = Id("X")
+
+#: One representative per Transform subclass, plus compositions.
+TRANSFORMS = {
+    "identity": X,
+    "poly_linear": 2 * X - 3,
+    "poly_cubic": X ** 3 - 2 * X + 1,
+    "poly_constant": X * 0 + 2.5,
+    "poly_quintic": 0.5 * X ** 5 - X ** 4 + 3 * X ** 2 - 7,
+    "reciprocal": 1 / X,
+    "reciprocal_of_poly": 1 / (X ** 2 - 1),
+    "abs": abs(X - 1),
+    "radical_sqrt": sqrt(X),
+    "radical_cbrt": Radical(X, 3),
+    "exp_e": exp(X),
+    "exp_2": exp(X, base=2),
+    "exp_decay": exp(X, base=0.5),
+    "log_e": log(X),
+    "log_10": log(X, base=10),
+    "log_decay": log(X, base=0.5),
+    "log_of_poly": log(X ** 2 + 1),
+    "piecewise": Piecewise([(X ** 2, X < 0), (X + 1, X >= 0)]),
+    "piecewise_overlapping": Piecewise([(X, X > 0), (0 * X - 1, X > -1)]),
+    "piecewise_gap": Piecewise([(1 / X, X > 1), (X ** 2, X < -1)]),
+    "piecewise_transformed_event": Piecewise([(1 / X, X ** 2 > 1), (X, X ** 2 <= 1)]),
+}
+
+#: Inputs every transform is evaluated at: NaN, both infinities, signed
+#: zero, piecewise/branch boundary points, huge, tiny, and near-boundary
+#: values.
+SPECIAL_INPUTS = np.array(
+    [
+        math.nan,
+        math.inf,
+        -math.inf,
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        2.0,
+        -2.0,
+        0.5,
+        -0.5,
+        1e300,
+        -1e300,
+        1e-300,
+        -1e-300,
+        math.nextafter(1.0, 2.0),
+        math.nextafter(-1.0, 0.0),
+    ]
+)
+
+
+def assert_matches_scalar(transform: Transform, xs: np.ndarray) -> None:
+    many = transform.evaluate_many(xs)
+    reference = np.array([transform.evaluate(float(x)) for x in xs], dtype=float)
+    assert isinstance(many, np.ndarray)
+    assert many.shape == reference.shape
+    agree = (many == reference) | (np.isnan(many) & np.isnan(reference))
+    if not agree.all():
+        bad = np.where(~agree)[0][:10]
+        raise AssertionError(
+            "evaluate_many disagrees with evaluate for %r at %s"
+            % (transform, [(float(xs[i]), float(many[i]), float(reference[i])) for i in bad])
+        )
+
+
+@pytest.mark.parametrize("name", sorted(TRANSFORMS))
+class TestEvaluateManyContract:
+    def test_special_inputs(self, name):
+        assert_matches_scalar(TRANSFORMS[name], SPECIAL_INPUTS)
+
+    def test_random_inputs_property(self, name):
+        transform = TRANSFORMS[name]
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            xs = np.concatenate(
+                [
+                    rng.normal(0.0, 1.0, 64),
+                    rng.normal(0.0, 100.0, 64),
+                    rng.uniform(-2.0, 2.0, 64),
+                    SPECIAL_INPUTS,
+                ]
+            )
+            rng.shuffle(xs)
+            assert_matches_scalar(transform, xs)
+
+    def test_base_class_fallback_matches_kernel(self, name):
+        # The Transform base implementation is the per-element reference
+        # loop; every subclass kernel must agree with it exactly.
+        transform = TRANSFORMS[name]
+        xs = SPECIAL_INPUTS
+        fallback = Transform.evaluate_many(transform, xs)
+        kernel = transform.evaluate_many(xs)
+        agree = (fallback == kernel) | (np.isnan(fallback) & np.isnan(kernel))
+        assert agree.all()
+
+    def test_empty_input(self, name):
+        out = TRANSFORMS[name].evaluate_many(np.array([]))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (0,)
+
+    def test_accepts_lists_and_integer_arrays(self, name):
+        transform = TRANSFORMS[name]
+        assert_matches_scalar(transform, np.asarray([-2, -1, 0, 1, 2], dtype=float))
+        out_list = transform.evaluate_many([-2, -1, 0, 1, 2])
+        out_arr = transform.evaluate_many(np.array([-2, -1, 0, 1, 2]))
+        agree = (out_list == out_arr) | (np.isnan(out_list) & np.isnan(out_arr))
+        assert agree.all()
+
+
+class TestSubclassCoverage:
+    def test_every_concrete_transform_subclass_is_exercised(self):
+        covered = set()
+        for transform in TRANSFORMS.values():
+            stack = [transform]
+            while stack:
+                node = stack.pop()
+                covered.add(type(node))
+                if not isinstance(node, Identity):
+                    stack.append(node.subexpr)
+                if isinstance(node, Piecewise):
+                    stack.extend(t for t, _ in node.branches)
+        assert {Identity, Poly, Reciprocal, Abs, Radical, Exp, Log, Piecewise} <= covered
+
+
+class TestPiecewiseBoundaries:
+    def test_first_matching_branch_wins_on_overlap(self):
+        pw = Piecewise([(X, X > 0), (0 * X - 1, X > -1)])
+        out = pw.evaluate_many(np.array([-0.5, 0.0, 0.5]))
+        assert out[0] == -1.0  # second branch
+        assert out[1] == -1.0  # first branch excludes 0
+        assert out[2] == 0.5  # first branch wins on the overlap
+
+    def test_boundary_points_exact(self):
+        pw = Piecewise([(X ** 2, X < 0), (X + 1, X >= 0)])
+        xs = np.array([-1e-300, 0.0, -0.0, 1e-300])
+        out = pw.evaluate_many(xs)
+        assert out[0] == (-1e-300) ** 2
+        assert out[1] == 1.0 and out[2] == 1.0
+        assert out[3] == 1.0 + 1e-300
+
+    def test_undefined_outside_branches_is_nan(self):
+        pw = Piecewise([(1 / X, X > 1), (X ** 2, X < -1)])
+        out = pw.evaluate_many(np.array([-1.0, 0.0, 1.0, math.nan]))
+        assert np.isnan(out).all()
