@@ -3,8 +3,10 @@
 Runs a fixed battery of probes covering the system's hot paths --
 translation, compression (Table 1), vectorized bulk sampling (Fig. 3),
 vectorized derived-variable (transform) evaluation, the bounded query
-cache, cached repeated queries, and the ``constrain -> query`` posterior
-chain -- and writes wall times plus node counts to a ``BENCH_*.json``
+cache, cached repeated queries, the ``constrain -> query`` posterior
+chain, and the ``repro.serve`` micro-batching service (coalesced
+queries/sec over the real wire) -- and writes wall times plus node counts
+to a ``BENCH_*.json``
 file, so successive PRs have a trajectory to compare against::
 
     PYTHONPATH=src python benchmarks/run_all.py            # BENCH_latest.json
@@ -207,6 +209,86 @@ def bench_posterior_chain() -> dict:
     }
 
 
+def bench_serve_throughput() -> dict:
+    """``repro.serve`` micro-batching: concurrent coalesced vs sequential.
+
+    Starts an in-process inference service (asyncio front-end, default
+    2 ms / 256-request coalescing window) on ``hmm20`` and replays the
+    same 256 distinct single-event ``logprob`` requests three ways over
+    the real HTTP wire path:
+
+    * **concurrent** -- all 256 in flight at once over 32 pipelined
+      connections; the scheduler coalesces them into a few
+      ``logprob_batch`` calls (best of 3 passes),
+    * **sequential** -- one at a time through the default path; each lone
+      request is evaluated in a batch of one after its coalescing window
+      elapses (the latency cost micro-batching imposes on unbatched
+      callers),
+    * **sequential no_batch** -- one at a time with the window bypassed,
+      isolating pure wire overhead from the batching trade-off.
+
+    Caches are warmed with one untimed pass first, so the probe measures
+    the serving layer (wire, scheduling, coalescing), not first-touch
+    symbolic inference.  ``speedup`` is sequential/concurrent;
+    ``coalesced_qps`` is the concurrent throughput.
+    """
+    import asyncio
+
+    from repro.serve import AsyncServeClient
+    from repro.serve import InferenceService
+    from repro.serve import ModelRegistry
+
+    n_requests = 256
+    window_s = 0.002
+
+    async def run():
+        registry = ModelRegistry()
+        registry.register_catalog("hmm20")
+        service = InferenceService(
+            registry, workers=0, window=window_s, max_batch=n_requests
+        )
+        host, port = await service.start()
+        client = AsyncServeClient(host, port)
+        requests = [
+            {
+                "id": i,
+                "model": "hmm20",
+                "kind": "logprob",
+                "event": "X[%d] < %r" % (i % 20, 0.05 + (i * 0.0037) % 1.0),
+            }
+            for i in range(n_requests)
+        ]
+        warm = await client.query_many(requests, connections=32)
+        assert all(response["ok"] for response in warm)
+
+        async def timed(coroutine):
+            start = time.perf_counter()
+            await coroutine
+            return time.perf_counter() - start
+
+        concurrent_s = min(
+            [await timed(client.query_many(requests, connections=32)) for _ in range(3)]
+        )
+        sequential_s = await timed(client.query_seq(requests))
+        sequential_no_batch_s = await timed(client.query_seq(requests, no_batch=True))
+        stats = await client.stats()
+        await service.close()
+        return {
+            "requests": n_requests,
+            "window_ms": window_s * 1e3,
+            "workers": 0,
+            "concurrent_s": round(concurrent_s, 4),
+            "sequential_s": round(sequential_s, 4),
+            "sequential_no_batch_s": round(sequential_no_batch_s, 4),
+            "speedup": round(sequential_s / concurrent_s, 1),
+            "speedup_no_batch": round(sequential_no_batch_s / concurrent_s, 1),
+            "coalesced_qps": round(n_requests / concurrent_s),
+            "mean_batch_size": stats["scheduler"]["mean_batch_size"],
+        }
+
+    return asyncio.run(run())
+
+
 #: Fail the gate when a model's translate_s grows by more than this factor
 #: relative to the fleet-median ratio ...
 GATE_SLOWDOWN_FACTOR = 1.25
@@ -306,6 +388,7 @@ def main() -> int:
         "cache_bound": bench_cache_bound(),
         "repeated_queries": bench_repeated_queries(),
         "posterior_chain": bench_posterior_chain(),
+        "serve_throughput": bench_serve_throughput(),
         "intern_table": intern_stats(),
     }
 

@@ -153,13 +153,22 @@ class SpplParser:
 
         ``scope`` names the random variables the event may mention; when
         given, it is added to the parser's set of known random variables
-        for this (and subsequent) calls.  This is the public API for
-        turning user-facing query strings into
+        for this (and subsequent) calls.  Scope names of the indexed form
+        ``base[i]`` (how ``for``-loop arrays translate, e.g. the HMM's
+        ``X[0]``) additionally register ``base`` as an array, so query
+        strings can use the natural subscript syntax ``"X[0] < 0.5"``.
+        This is the public API for turning user-facing query strings into
         :class:`~repro.events.Event` values -- used by
-        :meth:`repro.engine.SpplModel.logprob` and friends.
+        :meth:`repro.engine.SpplModel.logprob` and friends, and by the
+        serve wire layer on every textual query.
         """
         if scope is not None:
             self.randoms = self.randoms | set(scope)
+            for name in scope:
+                match = re.match(r"^([A-Za-z_]\w*)\[(\d+)\]$", name)
+                if match:
+                    base, index = match.group(1), int(match.group(2))
+                    self.arrays[base] = max(self.arrays.get(base, 0), index + 1)
         try:
             expression = ast.parse(text, mode="eval").body
         except SyntaxError as error:

@@ -16,7 +16,11 @@ Every model owns a persistent :class:`~repro.spe.QueryCache` keyed on
 structural node uids (see :mod:`repro.spe.interning`), so traversal results
 survive across queries; posterior models returned by ``condition`` /
 ``constrain`` *share* their parent's cache, so sub-expressions common to
-prior and posterior are never recomputed.  Because the keys are structural,
+prior and posterior are never recomputed.  Textual queries additionally
+hit a small per-model parsed-event cache: parsing ``"X > 1"`` costs more
+than a cached traversal, and services replay the same query strings, so
+repeated text resolves to the same :class:`~repro.events.Event` without
+re-parsing.  Because the keys are structural,
 one cache may also safely be shared between separately compiled,
 structurally-equal models.  The batched entry points
 (:meth:`~SpplModel.logprob_batch`, :meth:`~SpplModel.logpdf_batch`,
@@ -26,6 +30,9 @@ traversal cache or a single vectorized sampling pass.
 
 from __future__ import annotations
 
+import contextlib
+import threading
+from collections import OrderedDict
 from typing import Dict
 from typing import Iterable
 from typing import List
@@ -48,6 +55,9 @@ from ..spe import ZeroProbabilityError
 from ..spe import interning_enabled
 
 EventLike = Union[Event, str]
+
+#: Bound of the per-model parsed-event cache (distinct query strings).
+EVENT_CACHE_ENTRIES = 4096
 
 
 def parse_event(text: str, scope: Iterable[str]) -> Event:
@@ -112,6 +122,8 @@ class SpplModel:
             raise TypeError(
                 "cache must be a QueryCache/Memo, None, or False; got %r." % (cache,)
             )
+        self._event_cache: "OrderedDict[str, Event]" = OrderedDict()
+        self._event_cache_lock = threading.Lock()
 
     # -- Construction ---------------------------------------------------------
 
@@ -161,6 +173,34 @@ class SpplModel:
         else:
             self._cache.clear(uids=self.spe.reachable_uids())
 
+    @contextlib.contextmanager
+    def query_scope(self):
+        """Pin this model's cache entries for a batch of queries.
+
+        Every query issued inside the scope (from any model sharing this
+        cache — e.g. posteriors produced by :meth:`condition` /
+        :meth:`constrain`) runs at a generation at least as new as the
+        scope's, so entries the batch reads or writes cannot be evicted
+        by the cache bound until the scope exits::
+
+            with model.query_scope():
+                for event in workload:
+                    model.logprob(event)
+
+        This is the multi-query analogue of the per-query pinning each
+        public query already gets; the serve scheduler brackets every
+        coalesced micro-batch with it so eviction cannot race a batch.
+        A batch touching more than ``max_entries`` entries may overshoot
+        the bound while the scope is open; the overshoot is reclaimed on
+        exit.  With caching disabled (``cache=False``) the scope is a
+        no-op.  Scopes nest freely and are thread-safe.
+        """
+        if self._cache is None:
+            yield self
+            return
+        with self._cache.query_scope():
+            yield self
+
     def _memo(self, memo: Memo = None) -> Memo:
         if memo is not None:
             return memo
@@ -193,10 +233,28 @@ class SpplModel:
     # -- Queries --------------------------------------------------------------
 
     def _resolve_event(self, event: EventLike) -> Event:
+        """Resolve a textual or structured event against the model scope.
+
+        Textual events are memoized in a small LRU (events are immutable,
+        parsing is deterministic in the scope, and ``ast`` parsing costs
+        more than a warm traversal, so services replaying query strings
+        skip it entirely on repeats).
+        """
         if isinstance(event, Event):
             return event
         if isinstance(event, str):
-            return parse_event(event, self.spe.scope)
+            with self._event_cache_lock:
+                cached = self._event_cache.get(event)
+                if cached is not None:
+                    self._event_cache.move_to_end(event)
+                    return cached
+            parsed = parse_event(event, self.spe.scope)
+            with self._event_cache_lock:
+                self._event_cache[event] = parsed
+                self._event_cache.move_to_end(event)
+                while len(self._event_cache) > EVENT_CACHE_ENTRIES:
+                    self._event_cache.popitem(last=False)
+            return parsed
         raise TypeError("Expected an Event or event string, got %r." % (event,))
 
     def logprob(self, event: EventLike, memo: Memo = None) -> float:

@@ -1,0 +1,79 @@
+"""``repro.serve``: the exact-inference library as a long-running service.
+
+The paper's engine answers one query at a time; this package turns it
+into the "heavy traffic" deployment shape the ROADMAP targets:
+
+* :mod:`repro.serve.registry`  -- named models with per-model cache budgets,
+* :mod:`repro.serve.scheduler` -- asyncio micro-batcher coalescing
+  concurrent single-event requests into batched
+  ``logprob_batch``/``logpdf_batch`` calls under query-scope pinning,
+* :mod:`repro.serve.sharding`  -- consistent-hash-routed worker processes,
+  each holding a digest-verified deserialized copy of every model and a
+  private :class:`~repro.spe.QueryCache`,
+* :mod:`repro.serve.wire`      -- the newline-delimited JSON protocol,
+* :mod:`repro.serve.http`      -- the stdlib asyncio HTTP front-end
+  (pipelined connections, stats/model/health endpoints),
+* :mod:`repro.serve.client`    -- async + blocking clients used by tests,
+  benchmarks, and examples.
+
+Run ``python -m repro.serve --model hmm20 --workers 4`` for a server, or
+embed one in-process::
+
+    import asyncio
+    from repro.serve import InferenceService, ModelRegistry, AsyncServeClient
+
+    async def main():
+        registry = ModelRegistry()
+        registry.register_catalog("hmm5")
+        service = InferenceService(registry)
+        host, port = await service.start()
+        client = AsyncServeClient(host, port)
+        responses = await client.query_many(
+            [{"model": "hmm5", "kind": "logprob", "event": "X_0 < 0.5"}]
+        )
+        await service.close()
+
+    asyncio.run(main())
+"""
+
+from .client import AsyncServeClient
+from .client import ServeClient
+from .client import ServeClientError
+from .client import value_of
+from .http import InferenceService
+from .registry import ModelRegistry
+from .registry import RegisteredModel
+from .registry import RegistryError
+from .scheduler import InProcessBackend
+from .scheduler import MicroBatcher
+from .scheduler import evaluate_batch
+from .sharding import HashRing
+from .sharding import WorkerError
+from .sharding import WorkerPool
+from .sharding import WorkerPoolBackend
+from .wire import Request
+from .wire import WireError
+from .wire import parse_request
+from .wire import parse_request_line
+
+__all__ = [
+    "AsyncServeClient",
+    "HashRing",
+    "InProcessBackend",
+    "InferenceService",
+    "MicroBatcher",
+    "ModelRegistry",
+    "RegisteredModel",
+    "RegistryError",
+    "Request",
+    "ServeClient",
+    "ServeClientError",
+    "WireError",
+    "WorkerError",
+    "WorkerPool",
+    "WorkerPoolBackend",
+    "evaluate_batch",
+    "parse_request",
+    "parse_request_line",
+    "value_of",
+]

@@ -1,0 +1,107 @@
+"""Command-line entry point: ``python -m repro.serve --model hmm20 --workers 4``.
+
+Starts the inference service on ``--host``/``--port`` (port 0 = pick a
+free port, printed on startup) serving every ``--model`` (workloads
+catalog name) and ``--spe`` (``[name=]path`` to a serialized SPE file).
+``--workers N`` shards evaluation across N worker processes; ``0``
+(default) evaluates in-process.  Shuts down cleanly on SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from .http import InferenceService
+from .registry import ModelRegistry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="workloads-catalog model to serve (hmm<N>, indian_gpa, hiring, "
+        "alarm, grass, noisy_or, clinical_trial, heart_disease); repeatable",
+    )
+    parser.add_argument(
+        "--spe",
+        action="append",
+        default=[],
+        metavar="[NAME=]PATH",
+        help="serialized SPE file (SpplModel.save) to serve; repeatable",
+    )
+    parser.add_argument("--workers", type=int, default=0, help="worker processes (0 = in-process)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8144, help="0 picks a free port")
+    parser.add_argument(
+        "--window-ms", type=float, default=2.0, help="micro-batch coalescing window"
+    )
+    parser.add_argument("--max-batch", type=int, default=256, help="max requests per batch")
+    parser.add_argument(
+        "--cache-size", type=int, default=None, help="per-model query-cache entry budget"
+    )
+    return parser
+
+
+def build_registry(args: argparse.Namespace) -> ModelRegistry:
+    registry = ModelRegistry(default_cache_size=args.cache_size)
+    for spec in args.model:
+        registry.register_catalog(spec)
+    for entry in args.spe:
+        name, separator, path = entry.partition("=")
+        if separator:
+            registry.register_file(path, name=name)
+        else:
+            registry.register_file(entry)
+    if not len(registry):
+        raise SystemExit("No models: pass at least one --model or --spe.")
+    return registry
+
+
+async def run(args: argparse.Namespace) -> int:
+    registry = build_registry(args)
+    service = InferenceService(
+        registry,
+        workers=args.workers,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        host=args.host,
+        port=args.port,
+    )
+    host, port = await service.start()
+    print(
+        "repro.serve listening on %s:%d (models: %s; workers: %d)"
+        % (host, port, ", ".join(registry.names()), args.workers),
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        print("repro.serve shutting down", flush=True)
+        await service.close()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(run(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

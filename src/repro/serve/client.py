@@ -1,0 +1,257 @@
+"""Clients for the inference service (stdlib only, used by tests/benchmarks).
+
+:class:`AsyncServeClient` is the real implementation: a small HTTP/1.1
+client over ``asyncio.open_connection`` that knows how to
+
+* issue one query and await its response (:meth:`query`),
+* fire a stream of queries **concurrently** over a pool of pipelined
+  keep-alive connections (:meth:`query_many`) -- the shape that lets the
+  server's micro-batcher coalesce them, and
+* replay the same stream **sequentially and unbatched**
+  (:meth:`query_seq`) -- one request on the wire at a time, each flagged
+  ``no_batch`` -- which is the baseline the throughput benchmark compares
+  against.
+
+:class:`ServeClient` is a blocking facade over the async client for
+scripts and examples (each call runs its own short event loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Sequence
+
+from . import wire
+
+
+class ServeClientError(RuntimeError):
+    """Transport-level failure talking to the service."""
+
+
+class _Connection:
+    """One keep-alive HTTP/1.1 connection."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "_Connection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def send_request(self, method: str, path: str, body: bytes = b"") -> None:
+        head = (
+            "%s %s HTTP/1.1\r\n"
+            "Host: repro-serve\r\n"
+            "Content-Length: %d\r\n"
+            "\r\n" % (method, path, len(body))
+        )
+        self.writer.write(head.encode("ascii") + body)
+
+    async def read_response(self) -> bytes:
+        """Read one response; returns the body (raises on non-200)."""
+        try:
+            head = await self.reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            raise ServeClientError("Connection closed mid-response.") from error
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            status = int(lines[0].split(" ", 2)[1])
+        except (IndexError, ValueError) as error:
+            raise ServeClientError("Malformed status line %r." % (lines[0],)) from error
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await self.reader.readexactly(length) if length else b""
+        if status != 200:
+            raise ServeClientError("HTTP %d: %s" % (status, body.decode("utf-8", "replace")))
+        return body
+
+    async def round_trip(self, method: str, path: str, body: bytes = b"") -> bytes:
+        self.send_request(method, path, body)
+        await self.writer.drain()
+        return await self.read_response()
+
+
+def _encode_query(request: Dict) -> bytes:
+    return json.dumps(request, separators=(",", ":")).encode("utf-8")
+
+
+def _decode_query_body(body: bytes) -> List[Dict]:
+    return [
+        wire.decode_response_line(line)
+        for line in body.split(b"\n")
+        if line.strip()
+    ]
+
+
+class AsyncServeClient:
+    """Asyncio client speaking the service's NDJSON-over-HTTP protocol."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    # -- Single query ---------------------------------------------------------
+
+    async def query(self, request: Dict, connection: Optional[_Connection] = None) -> Dict:
+        """One request, one response object (``{"ok": ..., "value": ...}``)."""
+        owned = connection is None
+        if owned:
+            connection = await _Connection.open(self.host, self.port)
+        try:
+            body = await connection.round_trip(
+                "POST", "/v1/query", _encode_query(request) + b"\n"
+            )
+            responses = _decode_query_body(body)
+            if len(responses) != 1:
+                raise ServeClientError(
+                    "Expected one response line, got %d." % (len(responses),)
+                )
+            return responses[0]
+        finally:
+            if owned:
+                await connection.close()
+
+    # -- Streams --------------------------------------------------------------
+
+    async def query_many(
+        self, requests: Sequence[Dict], connections: int = 16
+    ) -> List[Dict]:
+        """Fire all requests concurrently; responses in request order.
+
+        The stream is split across ``connections`` keep-alive connections;
+        each connection pipelines its share (every request is a separate
+        HTTP request on the wire, all in flight at once), which is what
+        allows the server to coalesce them into micro-batches.
+        """
+        if not requests:
+            return []
+        connections = max(1, min(connections, len(requests)))
+        chunks: List[List[int]] = [[] for _ in range(connections)]
+        for index in range(len(requests)):
+            chunks[index % connections].append(index)
+        results: List[Optional[Dict]] = [None] * len(requests)
+
+        async def run_chunk(indices: List[int]) -> None:
+            connection = await _Connection.open(self.host, self.port)
+            try:
+                for index in indices:
+                    connection.send_request(
+                        "POST", "/v1/query", _encode_query(requests[index]) + b"\n"
+                    )
+                await connection.writer.drain()
+                for index in indices:
+                    body = await connection.read_response()
+                    (response,) = _decode_query_body(body)
+                    results[index] = response
+            finally:
+                await connection.close()
+
+        await asyncio.gather(*[run_chunk(chunk) for chunk in chunks if chunk])
+        return results  # type: ignore[return-value]
+
+    async def query_seq(
+        self, requests: Sequence[Dict], no_batch: bool = False
+    ) -> List[Dict]:
+        """Replay requests one at a time (the sequential baseline).
+
+        A single connection, strict request -> response -> next request
+        discipline: each request is alone in the service, so it is
+        evaluated in a batch of one after the coalescing window elapses.
+        ``no_batch=True`` additionally flags every request to bypass the
+        window (immediate single evaluation), isolating the pure wire
+        cost from the batching latency trade-off.
+        """
+        connection = await _Connection.open(self.host, self.port)
+        results = []
+        try:
+            for request in requests:
+                if no_batch:
+                    request = dict(request, no_batch=True)
+                results.append(await self.query(request, connection=connection))
+        finally:
+            await connection.close()
+        return results
+
+    # -- Service endpoints ----------------------------------------------------
+
+    async def _get_json(self, path: str, method: str = "GET") -> Dict:
+        connection = await _Connection.open(self.host, self.port)
+        try:
+            body = await connection.round_trip(method, path)
+            return json.loads(body)
+        finally:
+            await connection.close()
+
+    async def models(self) -> Dict:
+        return await self._get_json("/v1/models")
+
+    async def stats(self) -> Dict:
+        return await self._get_json("/v1/stats")
+
+    async def health(self) -> Dict:
+        return await self._get_json("/healthz")
+
+    async def clear_cache(self) -> Dict:
+        return await self._get_json("/v1/clear_cache", method="POST")
+
+
+def value_of(response: Dict):
+    """Extract (and wire-decode) the value of a successful response."""
+    if not response.get("ok"):
+        raise ServeClientError(
+            "%s: %s" % (response.get("error_kind"), response.get("error"))
+        )
+    return wire.decode_value(response["value"])
+
+
+class ServeClient:
+    """Blocking facade over :class:`AsyncServeClient` for scripts/examples."""
+
+    def __init__(self, host: str, port: int):
+        self._async = AsyncServeClient(host, port)
+
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def query(self, request: Dict) -> Dict:
+        return self._run(self._async.query(request))
+
+    def query_many(self, requests: Sequence[Dict], connections: int = 16) -> List[Dict]:
+        return self._run(self._async.query_many(requests, connections=connections))
+
+    def query_seq(self, requests: Sequence[Dict], no_batch: bool = False) -> List[Dict]:
+        return self._run(self._async.query_seq(requests, no_batch=no_batch))
+
+    def logprob(self, model: str, event: str, condition: Optional[str] = None) -> float:
+        request = {"model": model, "kind": "logprob", "event": event}
+        if condition is not None:
+            request["condition"] = condition
+        return value_of(self.query(request))
+
+    def models(self) -> Dict:
+        return self._run(self._async.models())
+
+    def stats(self) -> Dict:
+        return self._run(self._async.stats())
+
+    def health(self) -> Dict:
+        return self._run(self._async.health())
+
+    def clear_cache(self) -> Dict:
+        return self._run(self._async.clear_cache())

@@ -1,0 +1,280 @@
+"""Asyncio HTTP front-end of the inference service (stdlib only).
+
+A deliberately small HTTP/1.1 server (``asyncio.start_server``; no
+third-party web framework) exposing:
+
+* ``POST /v1/query``  -- newline-delimited JSON requests (one or many per
+  body); the response body carries one NDJSON line per request, in
+  request order.  See :mod:`repro.serve.wire` for the line format.
+* ``GET /v1/models``  -- registry description (variables, node counts,
+  structural digests, cache budgets).
+* ``GET /v1/stats``   -- scheduler coalescing counters plus per-model
+  (or per-shard) exact cache hit/miss/eviction statistics.
+* ``POST /v1/clear_cache`` -- drop cached traversal results everywhere
+  (all shards); used by benchmarks to measure cold-cache behavior.
+* ``GET /healthz``    -- liveness.
+
+Connections are **pipelined**: the reader keeps accepting requests while
+earlier ones are still being evaluated, and a writer task sends the
+responses back in request order.  This matters for micro-batching -- a
+client that writes many requests back-to-back on one connection gets them
+coalesced into one batched evaluation, without needing one socket per
+in-flight request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Dict
+from typing import Optional
+from typing import Tuple
+
+from . import wire
+from .registry import ModelRegistry
+from .registry import RegistryError
+from .scheduler import InProcessBackend
+from .scheduler import MicroBatcher
+from .sharding import WorkerPool
+from .sharding import WorkerPoolBackend
+
+#: Largest accepted request head (request line + headers) and body.
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}
+
+
+def _response(status: int, body: bytes, content_type: str = "application/x-ndjson") -> bytes:
+    head = (
+        "HTTP/1.1 %d %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %d\r\n"
+        "\r\n" % (status, _REASONS.get(status, "OK"), content_type, len(body))
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: Dict) -> bytes:
+    return _response(
+        status,
+        (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8"),
+        content_type="application/json",
+    )
+
+
+class InferenceService:
+    """The long-running service: registry + micro-batcher + HTTP front-end.
+
+    ``workers=0`` evaluates in-process (one shard, shared live models);
+    ``workers=N`` starts ``N`` worker processes, each holding a
+    deserialized copy of every registered model and a private query cache
+    (see :mod:`repro.serve.sharding`).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        workers: int = 0,
+        window: float = 0.002,
+        max_batch: int = 256,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self._pool: Optional[WorkerPool] = None
+        if workers > 0:
+            self._pool = WorkerPool(workers)
+            self.backend = WorkerPoolBackend(self._pool)
+        else:
+            self.backend = InProcessBackend(registry)
+        self.scheduler = MicroBatcher(self.backend, window=window, max_batch=max_batch)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    def worker_specs(self) -> Dict[str, Dict]:
+        """Per-model payloads/digests/budgets handed to worker processes."""
+        return {
+            name: {
+                "payload": registered.payload,
+                "digest": registered.digest,
+                "cache_size": registered.cache_size,
+            }
+            for name, registered in (
+                (name, self.registry.get(name)) for name in self.registry.names()
+            )
+        }
+
+    # -- Lifecycle ------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Start workers (if any) and the HTTP listener; returns (host, port)."""
+        if self._pool is not None:
+            specs = self.worker_specs()
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._pool.start, specs)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting, close connections, flush batches, stop workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.scheduler.drain()
+        await self.backend.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- Connection handling --------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._connections.add(asyncio.current_task())
+        queue: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.ensure_future(self._write_responses(queue, writer))
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    break
+                except asyncio.LimitOverrunError:
+                    await queue.put(_json_response(400, {"error": "Request head too large."}))
+                    break
+                method, path, headers, bad = self._parse_head(head)
+                if bad is not None:
+                    await queue.put(_json_response(400, {"error": bad}))
+                    break
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if not 0 <= length <= MAX_BODY_BYTES:
+                    await queue.put(
+                        _json_response(400, {"error": "Bad Content-Length."})
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                # Dispatch without awaiting the result: the next pipelined
+                # request is read (and can join the same micro-batch) while
+                # this one is evaluated.
+                await queue.put(asyncio.ensure_future(self._dispatch(method, path, body)))
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Service shutdown with the connection still open: close it
+            # quietly (ending cancelled would make asyncio's stream
+            # machinery log the cancellation as an error).
+            pass
+        finally:
+            self._connections.discard(asyncio.current_task())
+            queue.put_nowait(None)
+            try:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await writer_task
+            finally:
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError, asyncio.CancelledError):
+                    await writer.wait_closed()
+
+    @staticmethod
+    def _parse_head(head: bytes):
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError:
+            return None, None, None, "Malformed request line."
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers, None
+
+    async def _write_responses(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            payload = await item if asyncio.isfuture(item) else item
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+
+    # -- Request dispatch -----------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+        try:
+            if path == "/v1/query":
+                if method != "POST":
+                    return _json_response(405, {"error": "POST required."})
+                return await self._handle_query(body)
+            if path == "/v1/models":
+                return _json_response(200, self.registry.describe())
+            if path == "/v1/stats":
+                return _json_response(200, await self._stats())
+            if path == "/v1/clear_cache":
+                if method != "POST":
+                    return _json_response(405, {"error": "POST required."})
+                await self.backend.clear_caches()
+                return _json_response(200, {"ok": True})
+            if path == "/healthz":
+                return _json_response(200, {"ok": True})
+            return _json_response(404, {"error": "Unknown path %s" % (path,)})
+        except Exception as error:  # never kill a connection on a handler bug
+            return _json_response(400, {"error": "%s: %s" % (type(error).__name__, error)})
+
+    async def _handle_query(self, body: bytes) -> bytes:
+        lines = [line for line in body.split(b"\n") if line.strip()]
+        if not lines:
+            return _json_response(400, {"error": "Empty query body."})
+        results = await asyncio.gather(
+            *[self._handle_query_line(line) for line in lines]
+        )
+        return _response(200, b"".join(line + b"\n" for line in results))
+
+    async def _handle_query_line(self, line: bytes) -> bytes:
+        try:
+            request = wire.parse_request_line(line)
+        except wire.WireError as error:
+            request_id = None
+            try:
+                decoded = json.loads(line)
+                if isinstance(decoded, dict):
+                    request_id = decoded.get("id")
+            except ValueError:
+                pass
+            return wire.encode_error_line(request_id, str(error))
+        try:
+            self.registry.get(request.model)
+        except RegistryError as error:
+            return wire.encode_error_line(request.id, str(error), kind="RegistryError")
+        result = await self.scheduler.submit(request)
+        return wire.encode_response(request.id, result)
+
+    async def _stats(self) -> Dict:
+        return {
+            "scheduler": self.scheduler.stats(),
+            "backend": await self.backend.stats(),
+            "models": self.registry.names(),
+        }

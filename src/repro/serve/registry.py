@@ -1,0 +1,187 @@
+"""Model registry: named models with per-model cache budgets.
+
+The registry is the service's source of truth for which models exist and
+how much query-cache memory each may use.  Models come from two places:
+
+* the **workloads catalog** -- every paper benchmark by name
+  (``hmm20`` for a 20-step hierarchical HMM, ``indian_gpa``, and the
+  Table 1 networks ``hiring``/``alarm``/``grass``/``noisy_or``/
+  ``clinical_trial``/``heart_disease``), or
+* a **serialized SPE file** written with
+  :meth:`repro.engine.SpplModel.save` (structural-key JSON).
+
+Each registered model keeps, besides the live :class:`SpplModel`:
+
+* ``payload`` -- its canonical serialized form (the exact bytes worker
+  processes deserialize, so every shard holds a bit-identical graph), and
+* ``digest`` -- the :func:`repro.spe.spe_digest` of that form, which
+  workers recompute after deserializing to prove round-trip fidelity.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+from typing import Dict
+from typing import List
+from typing import Optional
+
+from ..engine import SpplModel
+from ..spe import DEFAULT_CACHE_ENTRIES
+from ..spe import spe_digest
+from ..spe import spe_from_json
+
+
+class RegistryError(KeyError):
+    """Unknown model name or malformed catalog specification."""
+
+    def __str__(self) -> str:
+        # KeyError renders its message repr-quoted; these are user-facing.
+        return self.args[0] if self.args else ""
+
+
+class RegisteredModel:
+    """A served model plus the serialized payload its worker shards load."""
+
+    __slots__ = ("name", "model", "payload", "digest", "cache_size")
+
+    def __init__(self, name: str, model: SpplModel, cache_size: Optional[int]):
+        self.name = name
+        self.model = model
+        self.cache_size = cache_size
+        self.payload = model.to_json()
+        self.digest = spe_digest(model.spe)
+
+    def describe(self) -> Dict:
+        """Static description for the ``/v1/models`` endpoint."""
+        return {
+            "variables": self.model.variables,
+            "nodes": self.model.size(),
+            "digest": self.digest,
+            "cache_max_entries": self.cache_size,
+        }
+
+
+def _catalog_builders() -> Dict[str, Callable[[], SpplModel]]:
+    from ..compiler import compile_command
+    from ..workloads import indian_gpa
+    from ..workloads import table1_models
+
+    def from_command(builder):
+        return lambda: SpplModel(compile_command(builder()))
+
+    return {
+        "indian_gpa": indian_gpa.model,
+        "hiring": from_command(table1_models.hiring),
+        "alarm": from_command(table1_models.alarm),
+        "grass": from_command(table1_models.grass),
+        "noisy_or": from_command(table1_models.noisy_or),
+        "clinical_trial": from_command(table1_models.clinical_trial_table1),
+        "heart_disease": from_command(table1_models.heart_disease),
+    }
+
+
+#: ``hmm<N>`` catalog names, e.g. ``hmm20`` = 20-step hierarchical HMM.
+_HMM_PATTERN = re.compile(r"^hmm(\d{1,3})$")
+
+
+class ModelRegistry:
+    """Named models, each with its own query-cache budget.
+
+    ``default_cache_size`` bounds the :class:`~repro.spe.QueryCache` of
+    models registered without an explicit budget (default: the library's
+    :data:`~repro.spe.DEFAULT_CACHE_ENTRIES`).  Budgets are per model;
+    the service's total cache memory is the sum over registered models
+    (and, with a worker pool, each shard holds its own caches with the
+    same per-model budgets).
+    """
+
+    def __init__(self, default_cache_size: Optional[int] = None):
+        self.default_cache_size = (
+            DEFAULT_CACHE_ENTRIES if default_cache_size is None else default_cache_size
+        )
+        self._models: Dict[str, RegisteredModel] = {}
+
+    # -- Registration ---------------------------------------------------------
+
+    def register(
+        self, name: str, model: SpplModel, cache_size: Optional[int] = None
+    ) -> RegisteredModel:
+        """Register a live model under ``name`` with a cache budget.
+
+        The model is re-wrapped so its cache bound matches the budget
+        (an already-adopted cache is never resized behind its owner's
+        back)."""
+        if name in self._models:
+            raise RegistryError("Model %r is already registered." % (name,))
+        if not isinstance(model, SpplModel):
+            raise TypeError("register() needs an SpplModel, got %r." % (model,))
+        budget = self.default_cache_size if cache_size is None else cache_size
+        model = SpplModel(model.spe, cache_size=budget)
+        registered = RegisteredModel(name, model, budget)
+        self._models[name] = registered
+        return registered
+
+    def register_catalog(
+        self, spec: str, cache_size: Optional[int] = None
+    ) -> RegisteredModel:
+        """Register a workloads-catalog model by name (e.g. ``hmm20``)."""
+        return self.register(spec, self._build_catalog(spec), cache_size=cache_size)
+
+    def register_file(
+        self, path, name: Optional[str] = None, cache_size: Optional[int] = None
+    ) -> RegisteredModel:
+        """Register a model from a serialized SPE file (``SpplModel.save``)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            spe = spe_from_json(handle.read())
+        if name is None:
+            name = re.sub(r"\.(json|spe)$", "", str(path).rsplit("/", 1)[-1])
+        return self.register(name, SpplModel(spe), cache_size=cache_size)
+
+    def _build_catalog(self, spec: str) -> SpplModel:
+        match = _HMM_PATTERN.match(spec)
+        if match:
+            from ..workloads import hmm
+
+            return hmm.model(int(match.group(1)))
+        builders = _catalog_builders()
+        if spec not in builders:
+            raise RegistryError(
+                "Unknown catalog model %r (expected hmm<N>, %s)."
+                % (spec, ", ".join(sorted(builders)))
+            )
+        return builders[spec]()
+
+    # -- Lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> RegisteredModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise RegistryError(
+                "Unknown model %r (registered: %s)."
+                % (name, ", ".join(sorted(self._models)) or "<none>")
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def describe(self) -> Dict[str, Dict]:
+        """Static description of every model (``/v1/models``)."""
+        return {name: reg.describe() for name, reg in sorted(self._models.items())}
+
+    def clear_caches(self) -> None:
+        """Drop every registered model's cached traversal results.
+
+        Uses ``everything=True``: each registered model owns its cache
+        exclusively, and scoped clearing would keep entries keyed on
+        posterior-subgraph uids (not reachable from the prior) alive.
+        """
+        for registered in self._models.values():
+            registered.model.clear_cache(everything=True)

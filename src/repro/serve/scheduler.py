@@ -1,0 +1,344 @@
+"""Micro-batching scheduler: coalesce concurrent requests into batched calls.
+
+Single-event requests that arrive concurrently are grouped per **batch
+key** ``(model, kind, condition, shard)`` and evaluated with one
+:meth:`~repro.engine.SpplModel.logprob_batch` /
+:meth:`~repro.engine.SpplModel.logpdf_batch` call per group, inside one
+:meth:`~repro.engine.SpplModel.query_scope` so the cache bound cannot
+evict entries mid-batch.  A group flushes when either
+
+* the **window** elapses (default 2 ms, measured from the group's first
+  request; ``window=0`` still coalesces every request submitted in the
+  same event-loop iteration), or
+* the group reaches **max_batch** requests (default 256), or
+* a request carries ``no_batch`` (it forms an immediate batch of one --
+  the "sequential unbatched" baseline path used by benchmarks).
+
+The scheduler never blocks the event loop on inference: batches run on a
+backend (in-process thread executor, or a sharded worker pool), so
+request intake overlaps evaluation, which is where the coalescing
+throughput win comes from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Sequence
+
+import threading
+from collections import OrderedDict
+
+from ..engine import SpplModel
+from . import wire
+from .wire import Result
+
+#: Bound of a per-model :class:`ResultCache` (completed query results).
+DEFAULT_RESULT_ENTRIES = 65536
+
+
+class ResultCache:
+    """Bounded LRU of completed query results, keyed on the wire payload.
+
+    Exact inference is deterministic: the same (kind, condition, event
+    text / assignment) against the same model always yields the same
+    float, so completed responses can be replayed from a dict without
+    touching the engine at all.  Each serving process (and each worker
+    shard) owns one per model; ``sample`` queries are never cached.
+    Thread-safe -- evaluation runs on executor threads.
+    """
+
+    __slots__ = ("_data", "_lock", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = DEFAULT_RESULT_ENTRIES):
+        self._data: "OrderedDict[tuple, Result]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(kind: str, condition: Optional[str], payload) -> Optional[tuple]:
+        if kind in ("logprob", "prob"):
+            return (kind, condition, payload)
+        if kind == "logpdf":
+            try:
+                return (kind, condition, frozenset(payload.items()))
+            except (AttributeError, TypeError):
+                return None  # malformed assignment: let evaluation report it
+        return None  # sample (and unknown kinds) are never cached
+
+    def get(self, key: tuple) -> Optional[Result]:
+        with self._lock:
+            result = self._data.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: tuple, result: Result) -> None:
+        with self._lock:
+            self._data[key] = result
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "max_entries": self.max_entries,
+            }
+
+
+def evaluate_batch(
+    model: SpplModel, kind: str, condition: Optional[str], payloads: Sequence,
+    result_cache: Optional[ResultCache] = None,
+) -> List[Result]:
+    """Evaluate one coalesced batch against a model (pure, process-agnostic).
+
+    This is the single evaluation routine shared by the in-process
+    backend and the worker processes, so sharded and unsharded
+    deployments are bit-identical by construction.  The whole batch runs
+    inside one :meth:`~repro.engine.SpplModel.query_scope`, pinning every
+    cache entry it touches against eviction until the batch completes.
+
+    With a :class:`ResultCache`, previously answered (deterministic)
+    queries are filled from it and only the misses reach the engine;
+    successful fresh results are written back.
+
+    A failing ``condition`` fails the whole batch (all its requests share
+    the condition); a failing individual event falls back to per-item
+    evaluation so one bad request cannot poison its batch-mates.
+    """
+    if result_cache is None:
+        return _evaluate_uncached(model, kind, condition, payloads)
+    keys = [ResultCache.key(kind, condition, payload) for payload in payloads]
+    results: List[Optional[Result]] = [
+        result_cache.get(key) if key is not None else None for key in keys
+    ]
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:
+        fresh = _evaluate_uncached(
+            model, kind, condition, [payloads[index] for index in missing]
+        )
+        for index, result in zip(missing, fresh):
+            results[index] = result
+            if result[0] == "ok" and keys[index] is not None:
+                result_cache.put(keys[index], result)
+    return results  # type: ignore[return-value]
+
+
+def _evaluate_uncached(
+    model: SpplModel, kind: str, condition: Optional[str], payloads: Sequence
+) -> List[Result]:
+    try:
+        target = model.condition(condition) if condition is not None else model
+    except Exception as error:  # ZeroProbabilityError, parse errors, scope errors
+        return wire.error_results(error, len(payloads))
+    with target.query_scope():
+        if kind in ("logprob", "prob"):
+            results = _batch_or_itemwise(target.logprob_batch, target.logprob, payloads)
+            if kind == "prob":
+                results = [
+                    ("ok", math.exp(r[1])) if r[0] == "ok" else r for r in results
+                ]
+            return results
+        if kind == "logpdf":
+            return _batch_or_itemwise(target.logpdf_batch, target.logpdf, payloads)
+        if kind == "sample":
+            results = []
+            for spec in payloads:
+                try:
+                    value = target.sample(n=spec.get("n"), seed=spec.get("seed"))
+                    results.append(wire.ok(value))
+                except Exception as error:
+                    results.append(wire.error(error))
+            return results
+    return wire.error_results(ValueError("Unknown query kind %r." % (kind,)), len(payloads))
+
+
+def _batch_or_itemwise(batch_fn, item_fn, payloads: Sequence) -> List[Result]:
+    """One batched call; on failure, per-item calls to isolate the culprit."""
+    try:
+        return [wire.ok(value) for value in batch_fn(list(payloads))]
+    except Exception:
+        results = []
+        for payload in payloads:
+            try:
+                results.append(wire.ok(item_fn(payload)))
+            except Exception as error:
+                results.append(wire.error(error))
+        return results
+
+
+class InProcessBackend:
+    """Evaluate batches on a thread of the serving process.
+
+    A single shard (``n_shards == 1``): every batch shares the one live
+    model and its :class:`~repro.spe.QueryCache`.  Evaluation runs in an
+    executor thread so the event loop keeps accepting and coalescing
+    requests while a batch computes (the cache is thread-safe).
+    """
+
+    n_shards = 1
+
+    def __init__(self, registry, max_threads: int = 2):
+        self.registry = registry
+        self._semaphore = asyncio.Semaphore(max_threads)
+        self._result_caches: Dict[str, ResultCache] = {}
+
+    def _result_cache(self, model: str) -> ResultCache:
+        cache = self._result_caches.get(model)
+        if cache is None:
+            cache = self._result_caches[model] = ResultCache()
+        return cache
+
+    def route(self, model: str, condition: Optional[str]) -> int:
+        return 0
+
+    async def run_batch(
+        self, model: str, kind: str, condition: Optional[str], shard: int,
+        payloads: Sequence,
+    ) -> List[Result]:
+        registered = self.registry.get(model)
+        loop = asyncio.get_running_loop()
+        async with self._semaphore:
+            return await loop.run_in_executor(
+                None, evaluate_batch, registered.model, kind, condition, payloads,
+                self._result_cache(model),
+            )
+
+    async def stats(self) -> Dict:
+        stats = {}
+        for name in self.registry.names():
+            stats[name] = self.registry.get(name).model.cache_stats()
+            stats[name]["results"] = self._result_cache(name).stats()
+        return {"mode": "in-process", "models": stats}
+
+    async def clear_caches(self) -> None:
+        self.registry.clear_caches()
+        for cache in self._result_caches.values():
+            cache.clear()
+
+    async def close(self) -> None:
+        pass
+
+
+class _PendingBatch:
+    __slots__ = ("requests", "futures", "timer", "flushed")
+
+    def __init__(self):
+        self.requests: List = []
+        self.futures: List[asyncio.Future] = []
+        self.timer = None
+        self.flushed = False
+
+
+class MicroBatcher:
+    """Group concurrent requests by batch key and dispatch to a backend."""
+
+    def __init__(self, backend, window: float = 0.002, max_batch: int = 256):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive.")
+        if window < 0:
+            raise ValueError("window must be non-negative.")
+        self.backend = backend
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: Dict[tuple, _PendingBatch] = {}
+        # Counters (single-threaded: only touched on the event loop).
+        self.requests = 0
+        self.batches = 0
+        self.largest_batch = 0
+        self.no_batch_requests = 0
+
+    async def submit(self, request: "wire.Request") -> Result:
+        """Submit one request; resolves with its backend result."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self.requests += 1
+        shard = self.backend.route(request.model, request.condition)
+        key = (request.model, request.kind, request.condition, shard)
+        if request.no_batch:
+            self.no_batch_requests += 1
+            pending = _PendingBatch()
+            pending.requests.append(request)
+            pending.futures.append(future)
+            self._launch(key, pending)
+            return await future
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = _PendingBatch()
+            self._pending[key] = pending
+            pending.timer = loop.call_later(self.window, self._flush, key, pending)
+        pending.requests.append(request)
+        pending.futures.append(future)
+        if len(pending.requests) >= self.max_batch:
+            self._flush(key, pending)
+        return await future
+
+    def _flush(self, key: tuple, pending: _PendingBatch) -> None:
+        if pending.flushed:
+            return
+        pending.flushed = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if self._pending.get(key) is pending:
+            del self._pending[key]
+        self._launch(key, pending)
+
+    def _launch(self, key: tuple, pending: _PendingBatch) -> None:
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, len(pending.requests))
+        asyncio.ensure_future(self._run(key, pending))
+
+    async def _run(self, key: tuple, pending: _PendingBatch) -> None:
+        model, kind, condition, shard = key
+        payloads = [request.payload for request in pending.requests]
+        try:
+            results = await self.backend.run_batch(
+                model, kind, condition, shard, payloads
+            )
+            if len(results) != len(payloads):
+                raise RuntimeError(
+                    "Backend returned %d results for a %d-request batch."
+                    % (len(results), len(payloads))
+                )
+        except Exception as error:
+            results = wire.error_results(error, len(payloads))
+        for future, result in zip(pending.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush every pending group immediately (used at shutdown)."""
+        for key, pending in list(self._pending.items()):
+            self._flush(key, pending)
+
+    def stats(self) -> Dict:
+        """Coalescing statistics for the stats endpoint."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "no_batch_requests": self.no_batch_requests,
+            "mean_batch_size": round(self.requests / self.batches, 2)
+            if self.batches
+            else 0.0,
+            "window_s": self.window,
+            "max_batch": self.max_batch,
+        }

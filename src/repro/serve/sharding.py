@@ -1,0 +1,313 @@
+"""Sharded worker pool: N processes, each with its own SPE copy and cache.
+
+Each worker process deserializes every registered model from the
+registry's canonical JSON payload (the structural-key serializer of
+:mod:`repro.spe.serialize`) and verifies **round-trip fidelity** by
+recomputing :func:`repro.spe.spe_digest` over the rebuilt graph -- a
+worker whose copy is not bit-identical to the parent's refuses to start.
+Every shard then owns a private :class:`~repro.spe.QueryCache` with the
+model's budget.
+
+Routing:
+
+* **conditioned** queries are routed by a consistent hash of
+  ``model|condition``, so a chain of queries against one posterior always
+  lands on the shard whose cache already holds that posterior's traversal
+  results (cache-warm posterior chains), and adding/removing shards only
+  remaps ``1/n`` of the key space;
+* **unconditioned** queries have no cache affinity and are spread
+  round-robin so one hot model saturates every shard.
+
+The parent talks to each worker over a ``multiprocessing`` pipe with a
+strict request/response discipline (one in-flight batch per shard,
+enforced by an asyncio lock), so no message-id matching is needed;
+blocking pipe reads run on executor threads, keeping the event loop free.
+Workers use the ``spawn`` start method: no forked locks, no inherited
+asyncio state, and the child imports :mod:`repro` fresh -- exactly what a
+cross-machine deployment would do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Sequence
+
+from . import wire
+from .wire import Result
+
+
+class WorkerError(RuntimeError):
+    """A worker failed to start, verify its models, or answer a batch."""
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring.
+# ---------------------------------------------------------------------------
+
+class HashRing:
+    """Consistent hashing of string keys onto shard indices.
+
+    Each shard contributes ``replicas`` virtual points on a 64-bit ring
+    (SHA-1 positions), and a key routes to the first point clockwise from
+    its own hash.  With the default 64 replicas the load split across a
+    handful of shards is within a few percent of uniform, and removing a
+    shard remaps only the keys that pointed at it.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64):
+        if n_shards < 1:
+            raise ValueError("HashRing needs at least one shard.")
+        self.n_shards = n_shards
+        points = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((self._position("shard-%d/%d" % (shard, replica)), shard))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    @staticmethod
+    def _position(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def route(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_right(self._positions, self._position(key))
+        if index == len(self._positions):
+            index = 0
+        return self._shards[index]
+
+
+# ---------------------------------------------------------------------------
+# Worker process.
+# ---------------------------------------------------------------------------
+
+def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
+    """Entry point of one worker process (spawn-safe, module level).
+
+    Deserializes every model, proves round-trip fidelity via the
+    structural digest, then answers batch/stats/clear messages until told
+    to stop.  All replies are plain picklable values.
+    """
+    from ..engine import SpplModel
+    from ..spe import spe_digest
+    from ..spe import spe_from_json
+    from .scheduler import ResultCache
+    from .scheduler import evaluate_batch
+
+    models: Dict[str, SpplModel] = {}
+    result_caches: Dict[str, ResultCache] = {}
+    try:
+        for name, spec in model_specs.items():
+            spe = spe_from_json(spec["payload"])
+            digest = spe_digest(spe)
+            if digest != spec["digest"]:
+                raise WorkerError(
+                    "Round-trip digest mismatch for model %r: parent %s, "
+                    "worker %s." % (name, spec["digest"], digest)
+                )
+            models[name] = SpplModel(spe, cache_size=spec["cache_size"])
+            result_caches[name] = ResultCache()
+    except BaseException as error:
+        conn.send(("init_error", "%s: %s" % (type(error).__name__, error)))
+        conn.close()
+        return
+    conn.send(("ready", {name: spec["digest"] for name, spec in model_specs.items()}))
+
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        if op == "stop":
+            conn.send(("stopped", worker_id))
+            break
+        if op == "batch":
+            _, name, kind, condition, payloads = message
+            model = models.get(name)
+            if model is None:
+                results = wire.error_results(
+                    WorkerError("Worker %d has no model %r." % (worker_id, name)),
+                    len(payloads),
+                )
+            else:
+                results = evaluate_batch(
+                    model, kind, condition, payloads, result_caches.get(name)
+                )
+            conn.send(("results", results))
+        elif op == "stats":
+            stats = {}
+            for name, model in sorted(models.items()):
+                stats[name] = model.cache_stats()
+                stats[name]["results"] = result_caches[name].stats()
+            conn.send(("stats", stats))
+        elif op == "clear":
+            for name, model in models.items():
+                # everything=True: scoped clearing would keep entries
+                # keyed on posterior-subgraph uids alive, and each worker
+                # owns its caches exclusively.
+                model.clear_cache(everything=True)
+                result_caches[name].clear()
+            conn.send(("cleared", worker_id))
+        else:
+            conn.send(("error", "Unknown worker op %r." % (op,)))
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.lock = asyncio.Lock()
+
+
+class WorkerPool:
+    """N worker processes, each holding deserialized copies of every model."""
+
+    def __init__(self, n_workers: int, start_method: str = "spawn"):
+        if n_workers < 1:
+            raise ValueError("WorkerPool needs at least one worker.")
+        self.n_workers = n_workers
+        self._context = multiprocessing.get_context(start_method)
+        self._workers: List[_Worker] = []
+        # One thread per worker: a blocking pipe read never starves
+        # another shard's reply.
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="repro-serve-worker-io"
+        )
+
+    def start(self, model_specs: Dict[str, Dict], timeout: float = 120.0) -> None:
+        """Spawn the workers and wait until every one verified its models.
+
+        ``model_specs`` maps model name to ``{"payload": json_str,
+        "digest": str, "cache_size": int|None}`` (see
+        :meth:`InferenceService.worker_specs`).  Blocking -- call before
+        serving (or from an executor thread).
+        """
+        for worker_id in range(self.n_workers):
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(worker_id, model_specs, child_conn),
+                name="repro-serve-worker-%d" % (worker_id,),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process, parent_conn))
+        for worker_id, worker in enumerate(self._workers):
+            if not worker.conn.poll(timeout):
+                self.terminate()
+                raise WorkerError("Worker %d did not start in time." % (worker_id,))
+            try:
+                reply = worker.conn.recv()
+            except EOFError:
+                # Worker died before reporting (e.g. OOM-killed while
+                # deserializing): don't leave its siblings running.
+                self.terminate()
+                raise WorkerError(
+                    "Worker %d died before reporting ready." % (worker_id,)
+                ) from None
+            if reply[0] != "ready":
+                self.terminate()
+                raise WorkerError(
+                    "Worker %d failed to start: %s" % (worker_id, reply[1])
+                )
+
+    async def _call(self, shard: int, message: tuple):
+        """One request/response round trip with a shard (serialized per shard)."""
+        worker = self._workers[shard]
+        loop = asyncio.get_running_loop()
+        async with worker.lock:
+            worker.conn.send(message)
+            reply = await loop.run_in_executor(self._executor, worker.conn.recv)
+        if reply[0] == "error":
+            raise WorkerError(reply[1])
+        return reply[1]
+
+    async def run_batch(
+        self, shard: int, model: str, kind: str, condition: Optional[str],
+        payloads: Sequence,
+    ) -> List[Result]:
+        return await self._call(shard, ("batch", model, kind, condition, list(payloads)))
+
+    async def shard_stats(self) -> List[Dict]:
+        return [
+            await self._call(shard, ("stats",)) for shard in range(self.n_workers)
+        ]
+
+    async def clear_caches(self) -> None:
+        for shard in range(self.n_workers):
+            await self._call(shard, ("clear",))
+
+    def terminate(self) -> None:
+        """Hard-kill every worker (used on failed startup and as a fallback)."""
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.conn.close()
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+        self._executor.shutdown(wait=False)
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop message, join, then terminate stragglers."""
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            try:
+                async with worker.lock:
+                    worker.conn.send(("stop",))
+                    await loop.run_in_executor(self._executor, worker.conn.recv)
+            except (OSError, EOFError, WorkerError):
+                pass
+        for worker in self._workers:
+            await loop.run_in_executor(None, worker.process.join, 10)
+        self.terminate()
+
+
+class WorkerPoolBackend:
+    """Scheduler backend dispatching batches to a :class:`WorkerPool`."""
+
+    def __init__(self, pool: WorkerPool):
+        self.pool = pool
+        self.n_shards = pool.n_workers
+        self._ring = HashRing(pool.n_workers)
+        self._round_robin = 0
+
+    def route(self, model: str, condition: Optional[str]) -> int:
+        if condition is not None:
+            # Cache affinity: one posterior chain -> one shard.
+            return self._ring.route("%s|%s" % (model, condition))
+        self._round_robin = (self._round_robin + 1) % self.n_shards
+        return self._round_robin
+
+    async def run_batch(
+        self, model: str, kind: str, condition: Optional[str], shard: int,
+        payloads: Sequence,
+    ) -> List[Result]:
+        return await self.pool.run_batch(shard, model, kind, condition, payloads)
+
+    async def stats(self) -> Dict:
+        return {
+            "mode": "sharded",
+            "workers": self.n_shards,
+            "shards": await self.pool.shard_stats(),
+        }
+
+    async def clear_caches(self) -> None:
+        await self.pool.clear_caches()
+
+    async def close(self) -> None:
+        await self.pool.close()

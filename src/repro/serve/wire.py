@@ -1,0 +1,196 @@
+"""Newline-delimited JSON wire format of the inference service.
+
+One request (and one response) per line, plain JSON, no pickling::
+
+    {"id": 7, "model": "hmm20", "kind": "logprob", "event": "X_0 < 0.5"}
+    {"id": 7, "ok": true, "value": -0.6931471805599453}
+
+Request fields:
+
+* ``id``        -- opaque, echoed verbatim on the response (optional),
+* ``model``     -- registry name of the target model,
+* ``kind``      -- ``logprob`` | ``prob`` | ``logpdf`` | ``sample``,
+* ``event``     -- textual event for ``logprob``/``prob``, parsed at the
+  boundary with the compiler's :func:`repro.compiler.parse_event` grammar
+  (the same strings :meth:`repro.engine.SpplModel.logprob` accepts),
+* ``assignment``-- ``{variable: value}`` dict for ``logpdf``,
+* ``condition`` -- optional textual event; the query runs against the
+  posterior ``model.condition(condition)``.  The condition string is also
+  the consistent-hash routing key, so a chain of queries against one
+  posterior lands on one cache-warm worker shard,
+* ``n``/``seed``-- for ``sample`` (``n`` omitted = one assignment),
+* ``no_batch``  -- bypass the micro-batching window (the request is
+  evaluated immediately in a batch of one).  Used by benchmarks as the
+  "sequential unbatched" baseline and by latency-critical callers.
+
+Response fields: ``id`` (echoed), ``ok``; ``value`` on success, ``error``
+(message) and ``error_kind`` (exception class name, e.g.
+``ZeroProbabilityError``) on failure.
+
+Floats cross the wire bit-exactly: JSON round-trips finite floats through
+shortest-repr, and the non-finite values JSON cannot express are encoded
+as the strings ``"inf"``/``"-inf"``/``"nan"`` (``logprob`` of an
+impossible event is exactly ``-inf``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+#: Query kinds the service understands (``prob`` batches with ``logprob``
+#: evaluation and exponentiates at the boundary).
+KINDS = ("logprob", "prob", "logpdf", "sample")
+
+
+class WireError(ValueError):
+    """A request line that cannot be parsed into a valid request."""
+
+
+class Request:
+    """One parsed wire request (validated shape, unresolved model/event)."""
+
+    __slots__ = ("id", "model", "kind", "payload", "condition", "no_batch")
+
+    def __init__(self, id, model: str, kind: str, payload, condition: Optional[str],
+                 no_batch: bool):
+        self.id = id
+        self.model = model
+        self.kind = kind
+        self.payload = payload
+        self.condition = condition
+        self.no_batch = no_batch
+
+
+def parse_request(data: Dict) -> Request:
+    """Validate a decoded request object into a :class:`Request`."""
+    if not isinstance(data, dict):
+        raise WireError("Request must be a JSON object, got %s." % type(data).__name__)
+    model = data.get("model")
+    if not isinstance(model, str) or not model:
+        raise WireError("Request needs a non-empty string 'model' field.")
+    kind = data.get("kind")
+    if kind not in KINDS:
+        raise WireError(
+            "Unknown query kind %r (expected one of %s)." % (kind, ", ".join(KINDS))
+        )
+    condition = data.get("condition")
+    if condition is not None and not isinstance(condition, str):
+        raise WireError("'condition' must be a textual event.")
+    if kind in ("logprob", "prob"):
+        payload = data.get("event")
+        if not isinstance(payload, str) or not payload:
+            raise WireError("%r query needs a textual 'event' field." % (kind,))
+    elif kind == "logpdf":
+        payload = data.get("assignment")
+        if not isinstance(payload, dict) or not payload:
+            raise WireError("'logpdf' query needs a non-empty 'assignment' object.")
+    else:  # sample
+        n = data.get("n")
+        if n is not None and (not isinstance(n, int) or isinstance(n, bool) or n < 1):
+            raise WireError("'sample' field 'n' must be a positive integer.")
+        seed = data.get("seed")
+        if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+            raise WireError("'sample' field 'seed' must be an integer.")
+        payload = {"n": n, "seed": seed}
+    return Request(
+        data.get("id"), model, kind, payload, condition, bool(data.get("no_batch"))
+    )
+
+
+def parse_request_line(line: bytes) -> Request:
+    """Decode one NDJSON request line."""
+    try:
+        data = json.loads(line)
+    except ValueError as error:
+        raise WireError("Request line is not valid JSON: %s" % (error,)) from error
+    return parse_request(data)
+
+
+# ---------------------------------------------------------------------------
+# Values and responses.
+# ---------------------------------------------------------------------------
+
+def encode_value(value):
+    """JSON-safe encoding of a query result (bit-exact for floats)."""
+    if isinstance(value, float):
+        if value == math.inf:
+            return "inf"
+        if value == -math.inf:
+            return "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, (str, bool, int)) or value is None:
+        return value
+    # numpy scalars (np.float64 subclasses float and is handled above;
+    # np.int64/np.bool_ are not JSON-serializable): fall back on item().
+    item = getattr(value, "item", None)
+    if callable(item):
+        return encode_value(item())
+    raise WireError("Cannot encode result value %r." % (value,))
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value` for scalar results."""
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value == "nan":
+        return math.nan
+    return value
+
+
+#: A backend result: ``("ok", value)`` or ``("error", kind, message)``.
+Result = Tuple
+
+
+def ok(value) -> Result:
+    return ("ok", value)
+
+
+def error(exception: BaseException) -> Result:
+    return ("error", type(exception).__name__, str(exception))
+
+
+def error_results(exception: BaseException, count: int) -> List[Result]:
+    """The same failure for every request of a batch (e.g. a zero-probability
+    condition shared by the whole batch)."""
+    return [error(exception)] * count
+
+
+def encode_response(request_id, result: Result) -> bytes:
+    """Encode one response line for a request's result."""
+    if result[0] == "ok":
+        body = {"id": request_id, "ok": True, "value": encode_value(result[1])}
+    else:
+        body = {
+            "id": request_id,
+            "ok": False,
+            "error_kind": result[1],
+            "error": result[2],
+        }
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+def encode_error_line(request_id, message: str, kind: str = "WireError") -> bytes:
+    """Encode a response line for a request that never reached a backend."""
+    return encode_response(request_id, ("error", kind, message))
+
+
+def decode_response_line(line: bytes) -> Dict:
+    """Decode one NDJSON response line (values stay wire-encoded; use
+    :func:`decode_value` on scalar ``value`` fields)."""
+    data = json.loads(line)
+    if not isinstance(data, dict) or "ok" not in data:
+        raise WireError("Malformed response line %r." % (line,))
+    return data

@@ -29,6 +29,7 @@ from .leaf import Leaf
 from .leaf import spe_leaf
 from .product_node import ProductSPE
 from .product_node import spe_product
+from .serialize import spe_digest
 from .serialize import spe_from_dict
 from .serialize import spe_from_json
 from .serialize import spe_to_dict
@@ -64,6 +65,7 @@ __all__ = [
     "mutual_information",
     "no_interning",
     "probability_table",
+    "spe_digest",
     "spe_from_dict",
     "spe_from_json",
     "spe_leaf",

@@ -120,6 +120,14 @@ class Memo:
         """Bracket one public query (no-op for a scratch memo)."""
         yield
 
+    def record_hit(self) -> None:
+        """Count one top-level cache hit (exact; overridden to lock)."""
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        """Count one top-level cache miss (exact; overridden to lock)."""
+        self.misses += 1
+
     def stats(self) -> Dict[str, int]:
         """Return the number of cached entries per cache (for diagnostics)."""
         return {name: len(section) for name, section in self._sections().items()}
@@ -233,10 +241,11 @@ class QueryCache(Memo):
     more than ``max_entries`` entries may therefore temporarily exceed the
     bound; the overshoot is reclaimed as soon as the query finishes.
 
-    All section operations, eviction, and :meth:`clear` hold one reentrant
-    lock, so a cache may be shared by models queried from multiple threads
-    (the ``hits``/``misses`` counters are updated without the lock and are
-    best-effort diagnostics).
+    All section operations, eviction, :meth:`clear`, and the
+    ``hits``/``misses`` counters hold one reentrant lock, so a cache may
+    be shared by models queried from multiple threads and the counters
+    stay **exact** under concurrency (the serve stats endpoint reports
+    them, and autoscaling decisions may consume them).
 
     Cached ``condition``/``constrain`` entries hold references to posterior
     sub-expressions, keeping them alive; the entry bound therefore also
@@ -257,13 +266,41 @@ class QueryCache(Memo):
         self._generation = 0
         self._active: Dict[int, int] = {}
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
         self.evictions = 0
         self.logprob = _CacheSection(self)
         self.condition = _CacheSection(self)
         self.logpdf = _CacheSection(self)
         self.constrain = _CacheSection(self)
+
+    # -- Exact hit/miss counters (locked; Memo's are plain attributes) -------
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        with self._lock:
+            self._hits = int(value)
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        with self._lock:
+            self._misses = int(value)
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self._misses += 1
 
     @contextlib.contextmanager
     def query_scope(self):

@@ -33,9 +33,9 @@ pass are guarded by one reentrant lock, and uid allocation is a single
 GIL-atomic counter increment, so structurally-equal expressions built
 concurrently from several threads still resolve to exactly one
 representative with one uid (no torn table state, no duplicate canonical
-nodes).  The :class:`no_interning` switch is the exception: it toggles
-process-global state and is meant for single-threaded
-measurement/ablation code only.
+nodes).  The :class:`no_interning` switch is **thread-local**: disabling
+interning to build an ablation baseline on one thread leaves every other
+thread (e.g. serve workers answering queries) interning normally.
 """
 
 from __future__ import annotations
@@ -59,9 +59,23 @@ _TABLE = weakref.WeakValueDictionary()
 #: construction hot path (360ns/call with a lock vs ~40ns without).
 _UIDS = itertools.count(1)
 
-#: When False, the canonicalizing constructors stop interning (used by the
-#: ablation configurations with ``TranslationOptions(dedup=False)``).
-_ENABLED = [True]
+class _InterningState(threading.local):
+    """Per-thread interning switch (class attribute = per-thread default).
+
+    Thread-local so one thread can build an ablation baseline under
+    :class:`no_interning` while serve workers (or any other threads) keep
+    interning: toggling the switch can never leak into a concurrently
+    running translation on another thread.  Fresh threads always start
+    with interning enabled.
+    """
+
+    enabled = True
+
+
+#: When ``enabled`` is False *in the current thread*, the canonicalizing
+#: constructors stop interning (used by the ablation configurations with
+#: ``TranslationOptions(dedup=False)``).
+_ENABLED = _InterningState()
 
 #: Cumulative table statistics (for diagnostics and tests).
 _STATS = {"hits": 0, "misses": 0}
@@ -73,24 +87,27 @@ def next_uid() -> int:
 
 
 def interning_enabled() -> bool:
-    """Whether the canonicalizing constructors currently intern."""
-    return _ENABLED[0]
+    """Whether the canonicalizing constructors currently intern (this thread)."""
+    return _ENABLED.enabled
 
 
 class no_interning:
-    """Context manager disabling constructor-time interning.
+    """Context manager disabling constructor-time interning in this thread.
 
     Used to build deliberately-unshared expressions, e.g. the unoptimized
-    baselines of Table 1 and the ablation study.
+    baselines of Table 1 and the ablation study.  The switch is
+    thread-local: other threads (serve workers, concurrent queries) keep
+    interning while the scope is active, so the manager is safe to use in
+    a multi-threaded process.
     """
 
     def __enter__(self):
-        self._previous = _ENABLED[0]
-        _ENABLED[0] = False
+        self._previous = _ENABLED.enabled
+        _ENABLED.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _ENABLED[0] = self._previous
+        _ENABLED.enabled = self._previous
         return False
 
 
@@ -179,7 +196,7 @@ def _intern_locked(root) -> "SPE":
 
 def maybe_intern(node) -> "SPE":
     """Intern ``node`` when constructor-time interning is enabled."""
-    if _ENABLED[0]:
+    if _ENABLED.enabled:
         return intern(node)
     return node
 

@@ -15,6 +15,7 @@ the recursion limit.  The encoding is plain JSON with no pickling of code.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from typing import Dict
@@ -330,6 +331,24 @@ def spe_from_dict(data: Dict) -> SPE:
 def spe_to_json(spe: SPE, indent: int = None) -> str:
     """Encode an expression as a JSON string."""
     return json.dumps(spe_to_dict(spe), indent=indent)
+
+
+def spe_digest(spe: SPE) -> str:
+    """Content digest of an expression's canonical serialized form.
+
+    Two expressions have equal digests iff their structural encodings are
+    identical — same graph shape, same parameters bit-for-bit (floats are
+    encoded with ``repr``-exact round-tripping).  Because the encoder
+    names nodes deterministically (children-first traversal order) and
+    the digest serializes with sorted keys, the digest is stable across
+    processes; serve worker processes use it to verify at startup that
+    their deserialized copy of a model is bit-identical to the parent's
+    (a serializer round-trip fidelity check, not just a smoke test).
+    """
+    payload = json.dumps(
+        spe_to_dict(spe), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def spe_from_json(text: str) -> SPE:

@@ -79,9 +79,9 @@ def logprob_clause(root: SPE, clause: Clause, memo: Memo) -> float:
     _, key0 = _entry(root, clause, clause_key)
     cached = logs.get(key0, _MISSING)
     if cached is not _MISSING:
-        memo.hits += 1
+        memo.record_hit()
         return cached
-    memo.misses += 1
+    memo.record_miss()
     stack = [(root, clause)]
     while stack:
         node, incoming = stack[-1]
@@ -140,9 +140,9 @@ def condition_clause(root: SPE, clause: Clause, memo: Memo) -> Optional[SPE]:
     _, key0 = _entry(root, clause, clause_key)
     cached = conds.get(key0, _MISSING)
     if cached is not _MISSING:
-        memo.hits += 1
+        memo.record_hit()
         return cached
-    memo.misses += 1
+    memo.record_miss()
     stack = [(root, clause)]
     while stack:
         node, incoming = stack[-1]
@@ -237,9 +237,9 @@ def logpdf_pair(root: SPE, assignment: Dict[str, object], memo: Memo) -> Density
     _, key0 = _entry(root, assignment, assignment_key)
     cached = dens.get(key0, _MISSING)
     if cached is not _MISSING:
-        memo.hits += 1
+        memo.record_hit()
         return cached
-    memo.misses += 1
+    memo.record_miss()
     stack = [(root, assignment)]
     while stack:
         node, incoming = stack[-1]
@@ -315,9 +315,9 @@ def constrain_clause(
     _, key0 = _entry(root, assignment, assignment_key)
     cached = cons.get(key0, _MISSING)
     if cached is not _MISSING:
-        memo.hits += 1
+        memo.record_hit()
         return cached
-    memo.misses += 1
+    memo.record_miss()
     stack = [(root, assignment)]
     while stack:
         node, incoming = stack[-1]

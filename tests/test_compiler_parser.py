@@ -234,6 +234,37 @@ X[0.5] ~ normal(0, 1)
             parse_sppl(source)
 
 
+class TestParseEventScope:
+    def test_indexed_scope_names_enable_subscript_syntax(self):
+        # Serving boundary: scope names like "X[0]" (loop-translated
+        # arrays) make "X" resolvable as an array in query strings.
+        from repro.compiler import SpplParser
+
+        parser = SpplParser()
+        event = parser.parse_event("X[1] < 0.5", scope=["X[0]", "X[1]", "Y"])
+        assert event.get_symbols() == {"X[1]"}
+
+    def test_subscript_and_plain_names_combine(self):
+        from repro.compiler import SpplParser
+
+        event = SpplParser().parse_event(
+            "X[0] < 0.5 and Y == 1", scope=["X[0]", "Y"]
+        )
+        assert event.get_symbols() == {"X[0]", "Y"}
+
+    def test_model_level_textual_query_on_indexed_variables(self):
+        from repro.workloads import hmm
+
+        model = hmm.model(2)
+        assert model.logprob("X[0] < 0.5") == model.logprob(Id("X[0]") < 0.5)
+
+    def test_unknown_subscript_base_still_rejected(self):
+        from repro.compiler import SpplParser
+
+        with pytest.raises(SpplParseError):
+            SpplParser().parse_event("W[0] < 1", scope=["X[0]"])
+
+
 class TestFlippedComparisons:
     def test_constant_on_left(self):
         model = compile_sppl("X ~ uniform(0, 10)\ncondition(3 > X)")

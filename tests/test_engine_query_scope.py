@@ -1,0 +1,92 @@
+"""Tests for the public ``SpplModel.query_scope`` pinning context manager."""
+
+import threading
+
+from repro.engine import SpplModel
+from repro.spe import QueryCache
+from repro.workloads import hmm
+from repro.workloads import indian_gpa
+
+
+def small_model(bound):
+    return SpplModel(indian_gpa.model().spe, cache_size=bound)
+
+
+class TestQueryScope:
+    def test_batch_entries_pinned_until_scope_exits(self):
+        bound = 20
+        model = small_model(bound)
+        with model.query_scope():
+            for i in range(200):
+                model.logprob("GPA > %r" % (0.01 * i))
+            # The open scope pins everything the batch touched: the cache
+            # may overshoot its bound rather than evict mid-batch.
+            assert model.cache.total_entries() > bound
+        # On exit the overshoot is reclaimed.
+        assert model.cache.total_entries() <= bound
+
+    def test_eviction_happens_without_scope(self):
+        bound = 20
+        model = small_model(bound)
+        for i in range(200):
+            model.logprob("GPA > %r" % (0.01 * i))
+        assert model.cache.total_entries() <= bound
+        assert model.cache.evictions > 0
+
+    def test_results_identical_inside_and_outside_scope(self):
+        model = indian_gpa.model()
+        events = ["GPA > %r" % (0.3 * i) for i in range(10)]
+        with model.query_scope():
+            inside = [model.logprob(event) for event in events]
+        fresh = SpplModel(indian_gpa.model().spe, cache=False)
+        assert inside == [fresh.logprob(event) for event in events]
+
+    def test_scope_covers_posterior_chains(self):
+        bound = 30
+        model = SpplModel(hmm.model(2).spe, cache_size=bound)
+        with model.query_scope():
+            posterior = model.condition("X[0] < 0.5")
+            for i in range(100):
+                posterior.logprob("Z[1] == %d" % (i % 2))
+                model.logprob("X[1] < %r" % (0.01 * i))
+        assert model.cache.total_entries() <= bound
+
+    def test_scopes_nest(self):
+        model = small_model(10)
+        with model.query_scope():
+            with model.query_scope():
+                model.logprob("GPA > 3")
+            model.logprob("GPA > 2")
+        assert model.cache.total_entries() <= 10
+
+    def test_noop_with_disabled_cache(self):
+        model = SpplModel(indian_gpa.model().spe, cache=False)
+        with model.query_scope() as scoped:
+            assert scoped is model
+            assert model.logprob("GPA > 3") == indian_gpa.model().logprob("GPA > 3")
+
+    def test_yields_model_for_with_as(self):
+        model = small_model(50)
+        with model.query_scope() as scoped:
+            assert scoped is model
+
+    def test_concurrent_scopes_from_threads(self):
+        cache = QueryCache(max_entries=40)
+        model = SpplModel(indian_gpa.model().spe, cache=cache)
+        errors = []
+
+        def worker(offset):
+            try:
+                with model.query_scope():
+                    for i in range(50):
+                        model.logprob("GPA > %r" % (0.01 * (offset + i)))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(100 * t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert model.cache.total_entries() <= 40

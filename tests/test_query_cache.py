@@ -267,6 +267,54 @@ class TestConcurrentCache:
         assert model.cache.total_entries() <= 32
 
 
+class TestExactCounters:
+    def test_hits_misses_exact_under_contention(self):
+        # 8 threads x 200 repeats of the same top-level queries: every
+        # top-level lookup is either a hit or a miss, and with the
+        # counters incremented under the section lock the totals are
+        # exact, not best-effort (the serve stats endpoint reports them).
+        model = _model()
+        events = [X < t for t in np.linspace(-1, 6, 10)]
+        model.logprob_batch(events)  # 10 misses, all entries present
+        repeats, n_threads = 200, 8
+        barrier = threading.Barrier(n_threads)
+        base_hits = model.cache.hits
+        base_misses = model.cache.misses
+
+        def worker():
+            barrier.wait()
+            for _ in range(repeats):
+                for event in events:
+                    model.logprob(event)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every one of the n_threads * repeats * len(events) queries was a
+        # top-level hit; an approximate (racy) counter would drop some.
+        assert model.cache.hits - base_hits == n_threads * repeats * len(events)
+        assert model.cache.misses == base_misses
+
+    def test_record_hit_miss_locked_on_query_cache(self):
+        cache = QueryCache()
+        cache.record_hit()
+        cache.record_miss()
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.hits = 0
+        cache.misses = 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_plain_memo_counters_still_work(self):
+        memo = Memo()
+        memo.record_hit()
+        memo.record_miss()
+        assert (memo.hits, memo.misses) == (1, 1)
+        memo.clear()
+        assert (memo.hits, memo.misses) == (0, 0)
+
+
 class TestMemoCompatibility:
     def test_scratch_memo_unaffected_by_bounds(self):
         model = _model()

@@ -1,0 +1,268 @@
+"""Micro-batching scheduler tests: coalescing, windows, pinning, fallback."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.serve import MicroBatcher
+from repro.serve import wire
+from repro.serve.scheduler import ResultCache
+from repro.serve.scheduler import evaluate_batch
+from repro.serve.wire import Request
+from repro.spe import ZeroProbabilityError
+from repro.workloads import indian_gpa
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def logprob_request(event, model="m", condition=None, no_batch=False):
+    return Request(None, model, "logprob", event, condition, no_batch)
+
+
+class FakeBackend:
+    """Records batches; answers each payload with its own text."""
+
+    def __init__(self, n_shards=1, fail=False):
+        self.n_shards = n_shards
+        self.batches = []
+        self.fail = fail
+        self._rr = 0
+
+    def route(self, model, condition):
+        if condition is not None:
+            return hash((model, condition)) % self.n_shards
+        self._rr = (self._rr + 1) % self.n_shards
+        return self._rr
+
+    async def run_batch(self, model, kind, condition, shard, payloads):
+        self.batches.append((model, kind, condition, shard, list(payloads)))
+        if self.fail:
+            raise RuntimeError("backend down")
+        return [wire.ok(payload) for payload in payloads]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        backend = FakeBackend()
+        batcher = MicroBatcher(backend, window=0.005, max_batch=64)
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(logprob_request("e%d" % i)) for i in range(10)]
+            )
+
+        results = run(main())
+        assert [result[1] for result in results] == ["e%d" % i for i in range(10)]
+        assert len(backend.batches) == 1
+        assert batcher.stats()["largest_batch"] == 10
+
+    def test_distinct_keys_get_distinct_batches(self):
+        backend = FakeBackend()
+        batcher = MicroBatcher(backend, window=0.005)
+
+        async def main():
+            return await asyncio.gather(
+                batcher.submit(logprob_request("a", model="m1")),
+                batcher.submit(logprob_request("b", model="m2")),
+                batcher.submit(logprob_request("c", model="m1", condition="C")),
+            )
+
+        run(main())
+        keys = {(model, condition) for model, _, condition, _, _ in backend.batches}
+        assert keys == {("m1", None), ("m2", None), ("m1", "C")}
+
+    def test_max_batch_flushes_early(self):
+        backend = FakeBackend()
+        batcher = MicroBatcher(backend, window=10.0, max_batch=4)
+
+        async def main():
+            # A 10-second window would stall the test if max_batch did
+            # not force the flush.
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    *[batcher.submit(logprob_request("e%d" % i)) for i in range(8)]
+                ),
+                timeout=5,
+            )
+
+        results = run(main())
+        assert len(results) == 8
+        assert len(backend.batches) == 2
+        assert all(len(payloads) == 4 for *_, payloads in backend.batches)
+
+    def test_no_batch_bypasses_window(self):
+        backend = FakeBackend()
+        batcher = MicroBatcher(backend, window=10.0)
+
+        async def main():
+            return await asyncio.wait_for(
+                batcher.submit(logprob_request("solo", no_batch=True)), timeout=5
+            )
+
+        assert run(main()) == ("ok", "solo")
+        assert batcher.stats()["no_batch_requests"] == 1
+
+    def test_zero_window_still_coalesces_same_iteration(self):
+        backend = FakeBackend()
+        batcher = MicroBatcher(backend, window=0.0)
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(logprob_request("e%d" % i)) for i in range(5)]
+            )
+
+        run(main())
+        assert len(backend.batches) == 1
+
+    def test_backend_failure_errors_every_request(self):
+        backend = FakeBackend(fail=True)
+        batcher = MicroBatcher(backend, window=0.0)
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(logprob_request("e%d" % i)) for i in range(3)]
+            )
+
+        results = run(main())
+        assert all(result[0] == "error" for result in results)
+        assert all(result[1] == "RuntimeError" for result in results)
+
+    def test_sharded_conditions_stick_round_robin_spreads(self):
+        backend = FakeBackend(n_shards=4)
+        batcher = MicroBatcher(backend, window=0.0)
+
+        async def main():
+            conditioned = [
+                batcher.submit(logprob_request("e%d" % i, condition="C"))
+                for i in range(8)
+            ]
+            plain = [batcher.submit(logprob_request("p%d" % i)) for i in range(8)]
+            await asyncio.gather(*conditioned, *plain)
+
+        run(main())
+        conditioned_shards = {
+            shard for _, _, condition, shard, _ in backend.batches if condition
+        }
+        plain_shards = {
+            shard for _, _, condition, shard, _ in backend.batches if not condition
+        }
+        assert len(conditioned_shards) == 1  # cache affinity
+        assert len(plain_shards) == 4  # load spreading
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(FakeBackend(), max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(FakeBackend(), window=-1)
+
+
+class TestEvaluateBatch:
+    def setup_method(self):
+        self.model = indian_gpa.model()
+
+    def test_logprob_batch_matches_direct(self):
+        events = ["GPA > %r" % (0.5 * i) for i in range(8)]
+        results = evaluate_batch(self.model, "logprob", None, events)
+        assert [r[1] for r in results] == [self.model.logprob(e) for e in events]
+
+    def test_prob_exponentiates(self):
+        (result,) = evaluate_batch(self.model, "prob", None, ["GPA > 3"])
+        assert result == ("ok", self.model.prob("GPA > 3"))
+
+    def test_logpdf(self):
+        (result,) = evaluate_batch(self.model, "logpdf", None, [{"GPA": 2.5}])
+        assert result == ("ok", self.model.logpdf({"GPA": 2.5}))
+
+    def test_conditioned_batch(self):
+        (result,) = evaluate_batch(
+            self.model, "logprob", "Nationality == 'India'", ["GPA > 9"]
+        )
+        posterior = self.model.condition("Nationality == 'India'")
+        assert result == ("ok", posterior.logprob("GPA > 9"))
+
+    def test_zero_probability_condition_fails_whole_batch(self):
+        results = evaluate_batch(
+            self.model, "logprob", "GPA > 99", ["GPA > 1", "GPA > 2"]
+        )
+        assert [r[:2] for r in results] == [("error", "ZeroProbabilityError")] * 2
+
+    def test_bad_event_isolated_from_batch_mates(self):
+        results = evaluate_batch(
+            self.model, "logprob", None, ["GPA > 1", "NoSuchVar > 0", "GPA > 2"]
+        )
+        assert results[0] == ("ok", self.model.logprob("GPA > 1"))
+        assert results[1][0] == "error"
+        assert results[2] == ("ok", self.model.logprob("GPA > 2"))
+
+    def test_sample_respects_seed(self):
+        results = evaluate_batch(
+            self.model, "sample", None, [{"n": 3, "seed": 7}, {"n": 3, "seed": 7}]
+        )
+        assert results[0] == results[1]
+        assert len(results[0][1]) == 3
+
+    def test_unknown_kind(self):
+        (result,) = evaluate_batch(self.model, "wat", None, ["x"])
+        assert result[0] == "error"
+
+
+class TestResultCache:
+    def test_fills_and_replays(self):
+        model = indian_gpa.model()
+        cache = ResultCache()
+        events = ["GPA > 1", "GPA > 2"]
+        first = evaluate_batch(model, "logprob", None, events, cache)
+        again = evaluate_batch(model, "logprob", None, events, cache)
+        assert first == again
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["hits"] == 2
+        assert stats["misses"] == 2
+
+    def test_hit_miss_counts(self):
+        model = indian_gpa.model()
+        cache = ResultCache()
+        evaluate_batch(model, "logprob", None, ["GPA > 1"], cache)
+        evaluate_batch(model, "logprob", None, ["GPA > 1"], cache)
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_errors_not_cached(self):
+        model = indian_gpa.model()
+        cache = ResultCache()
+        evaluate_batch(model, "logprob", None, ["NoVar > 1"], cache)
+        assert cache.stats()["entries"] == 0
+
+    def test_sample_never_cached(self):
+        model = indian_gpa.model()
+        cache = ResultCache()
+        evaluate_batch(model, "sample", None, [{"n": 2, "seed": None}], cache)
+        assert cache.stats()["entries"] == 0
+
+    def test_bound_evicts_lru(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(4):
+            cache.put(("logprob", None, "e%d" % i), wire.ok(float(i)))
+        assert cache.stats()["entries"] == 2
+        assert cache.get(("logprob", None, "e3")) == ("ok", 3.0)
+        assert cache.get(("logprob", None, "e0")) is None
+
+    def test_condition_part_of_key(self):
+        cache = ResultCache()
+        cache.put(ResultCache.key("logprob", "C", "e"), wire.ok(1.0))
+        assert cache.get(ResultCache.key("logprob", None, "e")) is None
+
+    def test_non_finite_values_survive_the_cache(self):
+        model = indian_gpa.model()
+        cache = ResultCache()
+        (first,) = evaluate_batch(model, "logprob", None, ["GPA > 99"], cache)
+        (again,) = evaluate_batch(model, "logprob", None, ["GPA > 99"], cache)
+        assert first == again == ("ok", -math.inf)
+
+
+class TestZeroProbabilityErrorType:
+    def test_is_value_error(self):
+        assert issubclass(ZeroProbabilityError, ValueError)

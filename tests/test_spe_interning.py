@@ -139,6 +139,41 @@ class TestNoInterning:
     def test_raw_constructors_never_intern(self):
         assert Leaf("X", normal(0, 1)) is not Leaf("X", normal(0, 1))
 
+    def test_switch_is_thread_local(self):
+        import threading
+
+        inside = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def other_thread():
+            # A fresh thread interns even while another thread holds an
+            # open no_interning scope.
+            inside.wait(timeout=30)
+            observed["enabled"] = interning_enabled()
+            observed["shared"] = (
+                spe_leaf("TLS_X", normal(0, 1)) is spe_leaf("TLS_X", normal(0, 1))
+            )
+            release.set()
+
+        thread = threading.Thread(target=other_thread)
+        thread.start()
+        with no_interning():
+            inside.set()
+            assert release.wait(timeout=30)
+            # This thread is still inside the scope.
+            assert not interning_enabled()
+        thread.join(timeout=30)
+        assert observed["enabled"] is True
+        assert observed["shared"] is True
+
+    def test_nested_scopes_restore_per_thread(self):
+        with no_interning():
+            with no_interning():
+                assert not interning_enabled()
+            assert not interning_enabled()
+        assert interning_enabled()
+
     def test_serialization_preserves_unshared_baselines(self):
         from repro.spe import spe_from_json
         from repro.spe import spe_to_json
