@@ -4,8 +4,9 @@ Runs a fixed battery of probes covering the system's hot paths --
 translation, compression (Table 1), vectorized bulk sampling (Fig. 3),
 vectorized derived-variable (transform) evaluation, the bounded query
 cache, cached repeated queries, the ``constrain -> query`` posterior
-chain, and the ``repro.serve`` micro-batching service (coalesced
-queries/sec over the real wire) -- and writes wall times plus node counts
+chain, the ``repro.serve`` micro-batching service (coalesced queries/sec
+over the real wire), and the service's backpressure behavior under 4x
+overload (shed rate + p99) -- and writes wall times plus node counts
 to a ``BENCH_*.json``
 file, so successive PRs have a trajectory to compare against::
 
@@ -289,6 +290,62 @@ def bench_serve_throughput() -> dict:
     return asyncio.run(run())
 
 
+def bench_serve_overload() -> dict:
+    """Backpressure under 4x overload: shed rate and p99 tail latency.
+
+    Starts an in-process service with a deliberately small per-key queue
+    bound and fires four times that many concurrent single-key requests.
+    The service must answer every request — a mix of correct results and
+    429-style sheds carrying ``retry_after_ms`` — without queues growing
+    past the bound.  Records the shed rate, the served/shed split, and
+    the server-side p99 latency of the admitted requests (from the
+    log-bucketed histograms on ``/v1/stats``).
+    """
+    import asyncio
+
+    from repro.serve import AsyncServeClient
+    from repro.serve import InferenceService
+    from repro.serve import ModelRegistry
+
+    bound = 64
+
+    async def run():
+        registry = ModelRegistry()
+        registry.register_catalog("indian_gpa")
+        service = InferenceService(
+            registry, workers=0, window=0.001, max_batch=16,
+            max_queued_per_key=bound,
+        )
+        host, port = await service.start()
+        client = AsyncServeClient(host, port)
+        requests = [
+            {"id": i, "model": "indian_gpa", "kind": "logprob",
+             "event": "GPA > %r" % (0.001 * i)}
+            for i in range(4 * bound)
+        ]
+        start = time.perf_counter()
+        responses = await client.query_many(requests, connections=32)
+        elapsed = time.perf_counter() - start
+        stats = await client.stats()
+        await service.close()
+        served = sum(1 for r in responses if r["ok"])
+        shed = sum(1 for r in responses if r.get("error_kind") == "Overloaded")
+        latency = stats["scheduler"]["latency"].get("logprob", {})
+        return {
+            "requests": len(requests),
+            "queue_bound": bound,
+            "served": served,
+            "shed": shed,
+            "errors": len(responses) - served - shed,
+            "shed_rate": round(shed / len(requests), 3),
+            "total_s": round(elapsed, 4),
+            "p50_ms": latency.get("p50_ms", 0.0),
+            "p99_ms": latency.get("p99_ms", 0.0),
+        }
+
+    return asyncio.run(run())
+
+
 #: Fail the gate when a model's translate_s grows by more than this factor
 #: relative to the fleet-median ratio ...
 GATE_SLOWDOWN_FACTOR = 1.25
@@ -389,6 +446,7 @@ def main() -> int:
         "repeated_queries": bench_repeated_queries(),
         "posterior_chain": bench_posterior_chain(),
         "serve_throughput": bench_serve_throughput(),
+        "serve_overload": bench_serve_overload(),
         "intern_table": intern_stats(),
     }
 

@@ -8,7 +8,10 @@ Demonstrates the ``repro.serve`` subsystem end to end:
 3. fire a burst of concurrent single-event queries — the scheduler
    coalesces them into a handful of batched ``logprob_batch`` calls,
 4. run posterior-chain queries (a ``condition`` field on the wire),
-5. read the stats endpoint (coalescing counters, exact cache hit/miss).
+5. read the stats endpoint (coalescing counters, exact cache hit/miss,
+   per-kind latency percentiles),
+6. register a new model on the **live** service (no restart), query it,
+   and unregister it again.
 
 The same service runs standalone with worker-process sharding::
 
@@ -89,6 +92,26 @@ async def main() -> None:
             "hmm20 cache: %d hits / %d misses (exact counters)"
             % (hmm_cache["hits"], hmm_cache["misses"])
         )
+        latency = scheduler["latency"]["logprob"]
+        print(
+            "logprob latency: p50 %.2f ms / p95 %.2f ms / p99 %.2f ms over %d requests"
+            % (latency["p50_ms"], latency["p95_ms"], latency["p99_ms"], latency["count"])
+        )
+
+        # -- 6. Dynamic model lifecycle: register on the live service --------
+        # No restart needed: the serialized payload is shipped to every
+        # worker shard, each shard acks the round-trip digest, and only
+        # then does the name become queryable.
+        from repro.workloads import hmm
+
+        reply = await client.register_model("hmm3", payload=hmm.model(3).to_json())
+        print("registered %r live (digest %s...)" % (reply["model"], reply["digest"][:12]))
+        response = await client.query(
+            {"model": "hmm3", "kind": "logprob", "event": "X[0] < 0.5"}
+        )
+        print("  logprob(X[0] < 0.5 | hmm3) = %.4f" % value_of(response))
+        await client.unregister_model("hmm3")
+        print("unregistered hmm3; serving: %s" % ", ".join(await client.models()))
         await service.close()
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict
 from typing import Iterable
@@ -124,6 +125,10 @@ class SpplModel:
             )
         self._event_cache: "OrderedDict[str, Event]" = OrderedDict()
         self._event_cache_lock = threading.Lock()
+        # (monotonic time, eviction count) at the previous cache_stats()
+        # call; the pair turns the monotone eviction counter into an
+        # evictions/sec pressure signal without touching the query path.
+        self._eviction_mark = (None, 0)
 
     # -- Construction ---------------------------------------------------------
 
@@ -145,14 +150,39 @@ class SpplModel:
         return self._cache
 
     def cache_stats(self) -> Dict[str, int]:
-        """Entry counts plus hit/miss/eviction counters of the cache."""
+        """Entry counts plus hit/miss/eviction counters of the cache.
+
+        Also reports ``evictions_per_s`` — the eviction rate since the
+        previous ``cache_stats()`` call on this model (0.0 on the first
+        call).  A sustained positive rate means the working set exceeds
+        the cache budget (eviction pressure); the serve stats endpoint
+        surfaces it per model so operators can resize budgets.
+        """
         if self._cache is None:
             return {"enabled": 0}
         stats = dict(self._cache.stats())
         stats["enabled"] = 1
         stats["hits"] = self._cache.hits
         stats["misses"] = self._cache.misses
+        stats["evictions_per_s"] = self._eviction_rate(stats.get("evictions", 0))
+        with self._event_cache_lock:
+            stats["event_cache_entries"] = len(self._event_cache)
         return stats
+
+    def _eviction_rate(self, evictions: int) -> float:
+        now = time.monotonic()
+        last_time, last_evictions = self._eviction_mark
+        self._eviction_mark = (now, evictions)
+        if last_time is None or now <= last_time:
+            return 0.0
+        # max(0, ...): clear() resets the counter, which must not read as
+        # a negative rate.
+        return round(max(0, evictions - last_evictions) / (now - last_time), 3)
+
+    def clear_event_cache(self) -> None:
+        """Drop the parsed-event LRU (textual queries re-parse on next use)."""
+        with self._event_cache_lock:
+            self._event_cache.clear()
 
     def clear_cache(self, everything: bool = False) -> None:
         """Drop cached traversal results for this model (releases posteriors).

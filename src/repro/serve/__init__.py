@@ -12,7 +12,8 @@ into the "heavy traffic" deployment shape the ROADMAP targets:
   private :class:`~repro.spe.QueryCache`,
 * :mod:`repro.serve.wire`      -- the newline-delimited JSON protocol,
 * :mod:`repro.serve.http`      -- the stdlib asyncio HTTP front-end
-  (pipelined connections, stats/model/health endpoints),
+  (pipelined connections, backpressure with 429-style shedding, dynamic
+  model register/unregister, latency-percentile stats endpoints),
 * :mod:`repro.serve.client`    -- async + blocking clients used by tests,
   benchmarks, and examples.
 
@@ -39,6 +40,7 @@ embed one in-process::
 from .client import AsyncServeClient
 from .client import ServeClient
 from .client import ServeClientError
+from .client import ServeOverloadedError
 from .client import value_of
 from .http import InferenceService
 from .registry import ModelRegistry
@@ -46,11 +48,13 @@ from .registry import RegisteredModel
 from .registry import RegistryError
 from .scheduler import InProcessBackend
 from .scheduler import MicroBatcher
+from .scheduler import OverloadedError
 from .scheduler import evaluate_batch
 from .sharding import HashRing
 from .sharding import WorkerError
 from .sharding import WorkerPool
 from .sharding import WorkerPoolBackend
+from .wire import LatencyHistogram
 from .wire import Request
 from .wire import WireError
 from .wire import parse_request
@@ -61,13 +65,16 @@ __all__ = [
     "HashRing",
     "InProcessBackend",
     "InferenceService",
+    "LatencyHistogram",
     "MicroBatcher",
     "ModelRegistry",
+    "OverloadedError",
     "RegisteredModel",
     "RegistryError",
     "Request",
     "ServeClient",
     "ServeClientError",
+    "ServeOverloadedError",
     "WireError",
     "WorkerError",
     "WorkerPool",

@@ -4,7 +4,11 @@ Starts the inference service on ``--host``/``--port`` (port 0 = pick a
 free port, printed on startup) serving every ``--model`` (workloads
 catalog name) and ``--spe`` (``[name=]path`` to a serialized SPE file).
 ``--workers N`` shards evaluation across N worker processes; ``0``
-(default) evaluates in-process.  Shuts down cleanly on SIGINT/SIGTERM.
+evaluates in-process; ``auto`` (the default) resolves from
+``os.cpu_count()`` so multi-core hosts shard by default instead of
+serving GIL-bound.  Shuts down gracefully on SIGINT/SIGTERM: in-flight
+micro-batches are drained and their responses flushed before the worker
+pool stops.
 """
 
 from __future__ import annotations
@@ -12,11 +16,37 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 
 from .http import InferenceService
 from .registry import ModelRegistry
+
+#: ``--workers auto`` never spawns more than this many shards: past a
+#: handful of workers the pipe fan-out and per-shard cache duplication
+#: cost more than the extra cores buy for typical catalogs.
+AUTO_WORKERS_CAP = 8
+
+
+def resolve_workers(spec) -> int:
+    """Resolve a ``--workers`` value (int or ``"auto"``) to a shard count.
+
+    ``auto`` maps to ``os.cpu_count()`` capped at
+    :data:`AUTO_WORKERS_CAP`; a single-core host resolves to ``0``
+    (in-process) because one worker process only adds serialization
+    overhead over the in-process backend.
+    """
+    if spec == "auto":
+        cores = os.cpu_count() or 1
+        return 0 if cores <= 1 else min(cores, AUTO_WORKERS_CAP)
+    try:
+        workers = int(spec)
+    except (TypeError, ValueError):
+        raise SystemExit("--workers must be an integer or 'auto', got %r." % (spec,))
+    if workers < 0:
+        raise SystemExit("--workers must be non-negative.")
+    return workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,7 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="[NAME=]PATH",
         help="serialized SPE file (SpplModel.save) to serve; repeatable",
     )
-    parser.add_argument("--workers", type=int, default=0, help="worker processes (0 = in-process)")
+    parser.add_argument(
+        "--workers",
+        default="auto",
+        help="worker processes: an integer (0 = in-process) or 'auto' "
+        "(default; cpu_count-based sharding, in-process on single-core hosts)",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8144, help="0 picks a free port")
     parser.add_argument(
@@ -47,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batch", type=int, default=256, help="max requests per batch")
     parser.add_argument(
         "--cache-size", type=int, default=None, help="per-model query-cache entry budget"
+    )
+    parser.add_argument(
+        "--max-queued-per-key",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed (429) past N queued requests per batch key "
+        "(default: the scheduler's bound; 0 disables shedding)",
+    )
+    parser.add_argument(
+        "--max-inflight-per-conn",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed (HTTP 429) past N in-flight pipelined queries per connection",
     )
     return parser
 
@@ -68,18 +118,29 @@ def build_registry(args: argparse.Namespace) -> ModelRegistry:
 
 async def run(args: argparse.Namespace) -> int:
     registry = build_registry(args)
+    workers = resolve_workers(args.workers)
+    service_kwargs = {}
+    if args.max_queued_per_key is not None:
+        if args.max_queued_per_key < 0:
+            raise SystemExit("--max-queued-per-key must be >= 0 (0 disables).")
+        service_kwargs["max_queued_per_key"] = args.max_queued_per_key or None
+    if args.max_inflight_per_conn is not None:
+        if args.max_inflight_per_conn < 1:
+            raise SystemExit("--max-inflight-per-conn must be >= 1.")
+        service_kwargs["max_inflight_per_connection"] = args.max_inflight_per_conn
     service = InferenceService(
         registry,
-        workers=args.workers,
+        workers=workers,
         window=args.window_ms / 1000.0,
         max_batch=args.max_batch,
         host=args.host,
         port=args.port,
+        **service_kwargs,
     )
     host, port = await service.start()
     print(
         "repro.serve listening on %s:%d (models: %s; workers: %d)"
-        % (host, port, ", ".join(registry.names()), args.workers),
+        % (host, port, ", ".join(registry.names()), workers),
         flush=True,
     )
     stop = asyncio.Event()

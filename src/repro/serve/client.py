@@ -32,6 +32,24 @@ class ServeClientError(RuntimeError):
     """Transport-level failure talking to the service."""
 
 
+class ServeOverloadedError(ServeClientError):
+    """The service shed a request with an HTTP 429 (connection bound).
+
+    Carries ``retry_after_ms`` so callers can back off.  The response was
+    fully read off the wire, so the connection remains usable —
+    :meth:`AsyncServeClient.query_many` converts these into per-request
+    ``Overloaded`` response objects instead of failing the stream.
+    """
+
+    def __init__(self, payload: Dict):
+        super().__init__(payload.get("error", "overloaded"))
+        self.retry_after_ms = payload.get("retry_after_ms", 0)
+
+    def response(self, request_id=None) -> Dict:
+        """The shed as a wire-shaped response object (canonical shape)."""
+        return wire.overloaded_response(request_id, self.retry_after_ms)
+
+
 class _Connection:
     """One keep-alive HTTP/1.1 connection."""
 
@@ -77,6 +95,14 @@ class _Connection:
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         body = await self.reader.readexactly(length) if length else b""
+        if status == 429:
+            # Backpressure shed: the body is fully consumed, the
+            # connection stays framed and usable.
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                payload = {}
+            raise ServeOverloadedError(payload if isinstance(payload, dict) else {})
         if status != 200:
             raise ServeClientError("HTTP %d: %s" % (status, body.decode("utf-8", "replace")))
         return body
@@ -156,7 +182,13 @@ class AsyncServeClient:
                     )
                 await connection.writer.drain()
                 for index in indices:
-                    body = await connection.read_response()
+                    try:
+                        body = await connection.read_response()
+                    except ServeOverloadedError as shed:
+                        # A connection-level 429 sheds one request; the
+                        # rest of the pipeline is unaffected.
+                        results[index] = shed.response(requests[index].get("id"))
+                        continue
                     (response,) = _decode_query_body(body)
                     results[index] = response
             finally:
@@ -190,11 +222,11 @@ class AsyncServeClient:
 
     # -- Service endpoints ----------------------------------------------------
 
-    async def _get_json(self, path: str, method: str = "GET") -> Dict:
+    async def _get_json(self, path: str, method: str = "GET", body: bytes = b"") -> Dict:
         connection = await _Connection.open(self.host, self.port)
         try:
-            body = await connection.round_trip(method, path)
-            return json.loads(body)
+            response = await connection.round_trip(method, path, body)
+            return json.loads(response)
         finally:
             await connection.close()
 
@@ -209,6 +241,38 @@ class AsyncServeClient:
 
     async def clear_cache(self) -> Dict:
         return await self._get_json("/v1/clear_cache", method="POST")
+
+    async def register_model(
+        self,
+        name: str,
+        catalog: Optional[str] = None,
+        payload: Optional[str] = None,
+        cache_size: Optional[int] = None,
+    ) -> Dict:
+        """Register a model on the running service (catalog name or a
+        serialized ``SpplModel.to_json()`` payload); raises
+        :class:`ServeClientError` if the service refuses."""
+        body: Dict = {"name": name}
+        if catalog is not None:
+            body["catalog"] = catalog
+        if payload is not None:
+            body["payload"] = payload
+        if cache_size is not None:
+            body["cache_size"] = cache_size
+        return await self._get_json(
+            "/v1/models/register",
+            method="POST",
+            body=json.dumps(body).encode("utf-8"),
+        )
+
+    async def unregister_model(self, name: str) -> Dict:
+        """Unregister a model from the running service (drains in-flight
+        queries against it before worker teardown)."""
+        return await self._get_json(
+            "/v1/models/unregister",
+            method="POST",
+            body=json.dumps({"name": name}).encode("utf-8"),
+        )
 
 
 def value_of(response: Dict):
@@ -255,3 +319,19 @@ class ServeClient:
 
     def clear_cache(self) -> Dict:
         return self._run(self._async.clear_cache())
+
+    def register_model(
+        self,
+        name: str,
+        catalog: Optional[str] = None,
+        payload: Optional[str] = None,
+        cache_size: Optional[int] = None,
+    ) -> Dict:
+        return self._run(
+            self._async.register_model(
+                name, catalog=catalog, payload=payload, cache_size=cache_size
+            )
+        )
+
+    def unregister_model(self, name: str) -> Dict:
+        return self._run(self._async.unregister_model(name))

@@ -8,10 +8,18 @@ third-party web framework) exposing:
   request order.  See :mod:`repro.serve.wire` for the line format.
 * ``GET /v1/models``  -- registry description (variables, node counts,
   structural digests, cache budgets).
-* ``GET /v1/stats``   -- scheduler coalescing counters plus per-model
-  (or per-shard) exact cache hit/miss/eviction statistics.
+* ``POST /v1/models/register`` / ``POST /v1/models/unregister`` --
+  dynamic model lifecycle on a *running* service: registration ships the
+  serialized model to every worker shard and publishes the name only
+  after all shards ack the round-trip digest; unregistration rejects new
+  queries immediately but drains in-flight ones before teardown.
+* ``GET /v1/stats``   -- scheduler coalescing/shed counters, per-kind
+  latency percentiles (p50/p95/p99 from log-bucketed histograms), plus
+  per-model (or per-shard) exact cache hit/miss/eviction statistics and
+  eviction pressure.
 * ``POST /v1/clear_cache`` -- drop cached traversal results everywhere
-  (all shards); used by benchmarks to measure cold-cache behavior.
+  (all shards, result caches, and parsed-event LRUs); used by benchmarks
+  to measure cold-cache behavior.
 * ``GET /healthz``    -- liveness.
 
 Connections are **pipelined**: the reader keeps accepting requests while
@@ -20,6 +28,14 @@ responses back in request order.  This matters for micro-batching -- a
 client that writes many requests back-to-back on one connection gets them
 coalesced into one batched evaluation, without needing one socket per
 in-flight request.
+
+Overload never grows queues without bound: the scheduler sheds requests
+past its per-key queue bound (a 429-style NDJSON line carrying
+``retry_after_ms``), and a single connection pipelining past
+``max_inflight_per_connection`` unwritten responses gets a real HTTP 429.
+Error handling is per-request wherever framing allows: a malformed NDJSON
+line or an oversized (but well-framed) body fails only itself; later
+pipelined requests on the same connection are still serviced.
 """
 
 from __future__ import annotations
@@ -34,8 +50,12 @@ from typing import Tuple
 from . import wire
 from .registry import ModelRegistry
 from .registry import RegistryError
+from .scheduler import DEFAULT_MAX_QUEUED_PER_KEY
 from .scheduler import InProcessBackend
 from .scheduler import MicroBatcher
+from .scheduler import OverloadedError
+from .scheduler import RETRY_AFTER_MS
+from .sharding import WorkerError
 from .sharding import WorkerPool
 from .sharding import WorkerPoolBackend
 
@@ -43,7 +63,31 @@ from .sharding import WorkerPoolBackend
 MAX_HEAD_BYTES = 64 * 1024
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}
+#: An oversized body up to this size is read and discarded so the
+#: connection stays framed (the request alone gets a 400); past it the
+#: connection closes rather than drain an unbounded stream.
+MAX_DRAIN_BYTES = 2 * MAX_BODY_BYTES
+
+#: Default bound on pipelined requests per connection whose responses
+#: have not been written yet; past it a request is shed with an HTTP 429
+#: instead of queueing.
+DEFAULT_MAX_INFLIGHT_PER_CONNECTION = 512
+
+#: A connection that accumulates this many 429 sheds is closed outright:
+#: a peer that keeps pipelining past the bound without reading responses
+#: (slow-loris) would otherwise grow the response queue one small shed
+#: line at a time.  This caps per-connection memory absolutely.
+MAX_SHEDS_PER_CONNECTION = 4096
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
 
 
 def _response(status: int, body: bytes, content_type: str = "application/x-ndjson") -> bytes:
@@ -81,20 +125,42 @@ class InferenceService:
         max_batch: int = 256,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_queued_per_key: Optional[int] = DEFAULT_MAX_QUEUED_PER_KEY,
+        max_inflight_per_connection: int = DEFAULT_MAX_INFLIGHT_PER_CONNECTION,
     ):
+        if max_inflight_per_connection < 1:
+            raise ValueError(
+                "max_inflight_per_connection must be positive (a 0 bound "
+                "would shed every request)."
+            )
         self.registry = registry
         self.workers = workers
         self.host = host
         self.port = port
+        self.max_inflight_per_connection = max_inflight_per_connection
         self._pool: Optional[WorkerPool] = None
         if workers > 0:
             self._pool = WorkerPool(workers)
             self.backend = WorkerPoolBackend(self._pool)
         else:
             self.backend = InProcessBackend(registry)
-        self.scheduler = MicroBatcher(self.backend, window=window, max_batch=max_batch)
+        self.scheduler = MicroBatcher(
+            self.backend,
+            window=window,
+            max_batch=max_batch,
+            max_queued_per_key=max_queued_per_key,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        #: Dispatch tasks not yet resolved / responses not yet written:
+        #: close() drains both before tearing the backend down, so a
+        #: SIGTERM mid-batch never drops an accepted request.
+        self._inflight: set = set()
+        self._pending_responses = 0
+        self.connection_sheds = 0
+        #: Serializes register/unregister so two concurrent lifecycle
+        #: calls cannot interleave their worker handshakes.
+        self._lifecycle_lock = asyncio.Lock()
 
     def worker_specs(self) -> Dict[str, Dict]:
         """Per-model payloads/digests/budgets handed to worker processes."""
@@ -123,12 +189,25 @@ class InferenceService:
         self.port = self._server.sockets[0].getsockname()[1]
         return self.host, self.port
 
-    async def close(self) -> None:
-        """Stop accepting, close connections, flush batches, stop workers."""
+    async def close(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain in-flight work, then close everything.
+
+        Ordering matters for the "no dropped answers" guarantee: stop
+        accepting, flush every pending micro-batch, wait (bounded by
+        ``drain_timeout``) until in-flight dispatches resolve and their
+        responses are written to the sockets, and only then cancel the
+        connection readers and stop the worker pool.  A request the
+        service accepted before SIGTERM gets its answer.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.scheduler.drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while (self._inflight or self._pending_responses) and loop.time() < deadline:
+            await asyncio.sleep(0.005)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -143,10 +222,32 @@ class InferenceService:
 
     # -- Connection handling --------------------------------------------------
 
+    def _enqueue(self, queue: asyncio.Queue, item) -> None:
+        """Queue one response (bytes or a dispatch future) for the writer.
+
+        Synchronous on purpose: the queue is unbounded (boundedness comes
+        from the per-connection and per-key backpressure bounds), so
+        ``put_nowait`` never blocks and the reader loop pays no extra
+        coroutine per pipelined request.
+        """
+        self._pending_responses += 1
+        queue.put_nowait(item)
+
     async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._connections.add(asyncio.current_task())
         queue: asyncio.Queue = asyncio.Queue()
-        writer_task = asyncio.ensure_future(self._write_responses(queue, writer))
+        # Dispatched responses accepted on *this* connection whose bytes
+        # have not been written yet (mutable cell shared with the writer).
+        # Counting until the *write* — not until the dispatch resolves —
+        # is what bounds the response queue of a slow-reading client: a
+        # peer that stops reading pins the counter at the bound and gets
+        # (small, fixed-size) 429 lines instead of queueing evaluated
+        # response payloads without limit.
+        inflight = [0]
+        sheds = 0
+        writer_task = asyncio.ensure_future(
+            self._write_responses(queue, writer, inflight)
+        )
         try:
             while True:
                 try:
@@ -154,35 +255,99 @@ class InferenceService:
                 except asyncio.IncompleteReadError:
                     break
                 except asyncio.LimitOverrunError:
-                    await queue.put(_json_response(400, {"error": "Request head too large."}))
+                    self._enqueue(
+                        queue, _json_response(400, {"error": "Request head too large."})
+                    )
                     break
                 method, path, headers, bad = self._parse_head(head)
                 if bad is not None:
-                    await queue.put(_json_response(400, {"error": bad}))
+                    self._enqueue(queue, _json_response(400, {"error": bad}))
                     break
+                close_requested = headers.get("connection", "").lower() == "close"
                 try:
                     length = int(headers.get("content-length", "0"))
                 except ValueError:
                     length = -1
-                if not 0 <= length <= MAX_BODY_BYTES:
-                    await queue.put(
-                        _json_response(400, {"error": "Bad Content-Length."})
+                if length < 0:
+                    # Unparseable or negative: the request framing is
+                    # unknowable, so this connection cannot be saved.
+                    self._enqueue(
+                        queue, _json_response(400, {"error": "Bad Content-Length."})
                     )
                     break
+                if length > MAX_BODY_BYTES:
+                    # Oversized but well-framed: discard the body so the
+                    # next pipelined request on this connection still
+                    # parses, and fail only this one.
+                    if length > MAX_DRAIN_BYTES:
+                        self._enqueue(
+                            queue, _json_response(400, {"error": "Body too large."})
+                        )
+                        break
+                    remaining = length
+                    while remaining:
+                        chunk = await reader.read(min(65536, remaining))
+                        if not chunk:
+                            raise ConnectionError("EOF inside oversized body")
+                        remaining -= len(chunk)
+                    self._enqueue(
+                        queue,
+                        _json_response(
+                            400,
+                            {"error": "Body too large (%d > %d bytes)."
+                             % (length, MAX_BODY_BYTES)},
+                        ),
+                    )
+                    # These 400 lines bypass dispatch, so they must spend
+                    # the same budget as sheds: a non-reading peer
+                    # pipelining oversized bodies cannot grow the queue.
+                    sheds += 1
+                    if close_requested or sheds >= MAX_SHEDS_PER_CONNECTION:
+                        break
+                    continue
                 body = await reader.readexactly(length) if length else b""
+                if inflight[0] >= self.max_inflight_per_connection:
+                    # Per-connection backpressure: the pipeline is full,
+                    # shed with a real 429 instead of queueing responses
+                    # without bound.  Applies to every dispatched path:
+                    # any pipelined request holds response-queue memory
+                    # until its reply is written.
+                    self.connection_sheds += 1
+                    sheds += 1
+                    self._enqueue(
+                        queue,
+                        _json_response(
+                            429, wire.overloaded_response(None, RETRY_AFTER_MS)
+                        ),
+                    )
+                    if close_requested or sheds >= MAX_SHEDS_PER_CONNECTION:
+                        # A peer accumulating thousands of sheds is not
+                        # backing off (and may not be reading at all):
+                        # even the small shed lines must not grow the
+                        # queue forever, so close the connection.
+                        break
+                    continue
                 # Dispatch without awaiting the result: the next pipelined
                 # request is read (and can join the same micro-batch) while
                 # this one is evaluated.
-                await queue.put(asyncio.ensure_future(self._dispatch(method, path, body)))
-                if headers.get("connection", "").lower() == "close":
+                task = asyncio.ensure_future(self._dispatch(method, path, body))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+                inflight[0] += 1  # released by the writer after the write
+                self._enqueue(queue, task)
+                if close_requested:
                     break
         except (ConnectionError, OSError):
             pass
         except asyncio.CancelledError:
             # Service shutdown with the connection still open: close it
             # quietly (ending cancelled would make asyncio's stream
-            # machinery log the cancellation as an error).
-            pass
+            # machinery log the cancellation as an error).  Close the
+            # transport *now* — a writer blocked in drain() on a peer
+            # that stopped reading can only be unblocked by the close
+            # (its pending write fails), and close() already waited out
+            # its drain timeout before cancelling us.
+            writer.close()
         finally:
             self._connections.discard(asyncio.current_task())
             queue.put_nowait(None)
@@ -190,6 +355,11 @@ class InferenceService:
                 with contextlib.suppress(asyncio.CancelledError):
                     await writer_task
             finally:
+                # Items enqueued after the writer died early can never be
+                # written; account for them so shutdown does not stall.
+                while not queue.empty():
+                    if queue.get_nowait() is not None:
+                        self._pending_responses -= 1
                 writer.close()
                 with contextlib.suppress(ConnectionError, OSError, asyncio.CancelledError):
                     await writer.wait_closed()
@@ -209,17 +379,34 @@ class InferenceService:
             headers[name.strip().lower()] = value.strip()
         return method.upper(), path, headers, None
 
-    async def _write_responses(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
-        while True:
-            item = await queue.get()
-            if item is None:
-                return
-            payload = await item if asyncio.isfuture(item) else item
-            try:
-                writer.write(payload)
-                await writer.drain()
-            except (ConnectionError, OSError):
-                return
+    async def _write_responses(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter, inflight
+    ) -> None:
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                try:
+                    payload = await item if asyncio.isfuture(item) else item
+                    writer.write(payload)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+                finally:
+                    self._pending_responses -= 1
+                    if asyncio.isfuture(item):
+                        inflight[0] -= 1
+        finally:
+            # On early exit (peer vanished) account for the responses
+            # still queued, so a shutdown drain does not wait for writes
+            # that can never happen.
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is not None:
+                    self._pending_responses -= 1
+                    if asyncio.isfuture(item):
+                        inflight[0] -= 1
 
     # -- Request dispatch -----------------------------------------------------
 
@@ -231,6 +418,14 @@ class InferenceService:
                 return await self._handle_query(body)
             if path == "/v1/models":
                 return _json_response(200, self.registry.describe())
+            if path == "/v1/models/register":
+                if method != "POST":
+                    return _json_response(405, {"error": "POST required."})
+                return await self._handle_register(body)
+            if path == "/v1/models/unregister":
+                if method != "POST":
+                    return _json_response(405, {"error": "POST required."})
+                return await self._handle_unregister(body)
             if path == "/v1/stats":
                 return _json_response(200, await self._stats())
             if path == "/v1/clear_cache":
@@ -269,12 +464,137 @@ class InferenceService:
             self.registry.get(request.model)
         except RegistryError as error:
             return wire.encode_error_line(request.id, str(error), kind="RegistryError")
-        result = await self.scheduler.submit(request)
+        try:
+            result = await self.scheduler.submit(request)
+        except OverloadedError as error:
+            return wire.encode_overloaded_line(request.id, error.retry_after_ms)
         return wire.encode_response(request.id, result)
+
+    # -- Dynamic model lifecycle ----------------------------------------------
+
+    async def _handle_register(self, body: bytes) -> bytes:
+        """Register a model on the running service (catalog name or payload).
+
+        Body: ``{"name": ..., "catalog": "hmm20"}`` or ``{"name": ...,
+        "payload": "<SpplModel.to_json()>"}``, plus an optional
+        ``cache_size``.  The model is built off the event loop, shipped to
+        every worker shard, and published to the registry only after all
+        shards acked the round-trip digest — a failed handshake leaves the
+        service exactly as it was.
+        """
+        try:
+            data = json.loads(body)
+        except ValueError as error:
+            return _json_response(400, {"error": "Bad JSON body: %s" % (error,)})
+        if not isinstance(data, dict) or not isinstance(data.get("name"), str) or not data["name"]:
+            return _json_response(400, {"error": "Register needs a non-empty 'name'."})
+        name = data["name"]
+        catalog = data.get("catalog")
+        payload = data.get("payload")
+        cache_size = data.get("cache_size")
+        if cache_size is not None and (not isinstance(cache_size, int) or cache_size < 1):
+            return _json_response(400, {"error": "'cache_size' must be a positive integer."})
+        if (catalog is None) == (payload is None):
+            return _json_response(
+                400, {"error": "Register needs exactly one of 'catalog' or 'payload'."}
+            )
+        async with self._lifecycle_lock:
+            if name in self.registry:
+                return _json_response(
+                    409, {"error": "Model %r is already registered." % (name,)}
+                )
+            loop = asyncio.get_running_loop()
+            try:
+                if catalog is not None:
+                    if not isinstance(catalog, str):
+                        return _json_response(400, {"error": "'catalog' must be a string."})
+                    model = await loop.run_in_executor(
+                        None, self.registry.build_catalog, catalog
+                    )
+                else:
+                    if not isinstance(payload, str):
+                        return _json_response(400, {"error": "'payload' must be a string."})
+                    from ..engine import SpplModel
+
+                    model = await loop.run_in_executor(None, SpplModel.from_json, payload)
+            except (RegistryError, ValueError, KeyError, TypeError) as error:
+                return _json_response(
+                    400, {"error": "Cannot build model: %s" % (error,)}
+                )
+            # prepare() serializes the graph and digests it — off-loop,
+            # like the build above, so a large model cannot stall
+            # in-flight queries while the lifecycle lock is held.
+            registered = await loop.run_in_executor(
+                None,
+                lambda: self.registry.prepare(name, model, cache_size=cache_size),
+            )
+            try:
+                await self.backend.register_model(name, registered)
+            except (WorkerError, OSError, EOFError) as error:
+                # WorkerError covers refusals; OSError/EOFError cover a
+                # worker dying mid-handshake — both are server-side 5xx,
+                # not client errors.
+                return _json_response(
+                    500, {"error": "Worker handshake failed: %s: %s"
+                          % (type(error).__name__, error)}
+                )
+            self.registry.publish(registered)
+        return _json_response(
+            200,
+            {
+                "ok": True,
+                "model": name,
+                "digest": registered.digest,
+                "shards_acked": self.backend.n_shards,
+            },
+        )
+
+    async def _handle_unregister(self, body: bytes, drain_timeout: float = 10.0) -> bytes:
+        """Unregister a model: reject new queries, drain in-flight, tear down.
+
+        The registry entry is removed first (new requests fail with
+        ``RegistryError`` immediately); worker copies and caches are only
+        dropped once every in-flight query against the model has
+        completed, so unregistration never turns accepted requests into
+        errors.
+        """
+        try:
+            data = json.loads(body)
+        except ValueError as error:
+            return _json_response(400, {"error": "Bad JSON body: %s" % (error,)})
+        if not isinstance(data, dict) or not isinstance(data.get("name"), str):
+            return _json_response(400, {"error": "Unregister needs a 'name'."})
+        name = data["name"]
+        async with self._lifecycle_lock:
+            try:
+                self.registry.unregister(name)
+            except RegistryError as error:
+                return _json_response(404, {"error": str(error)})
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + drain_timeout
+            while self.scheduler.inflight(name) and loop.time() < deadline:
+                await asyncio.sleep(0.005)
+            drained = self.scheduler.inflight(name) == 0
+            try:
+                await self.backend.unregister_model(name)
+            except (WorkerError, OSError, EOFError) as error:
+                # A shard died during teardown.  The registry entry stays
+                # removed — the name already rejects queries, and
+                # re-publishing would resurrect a model other shards have
+                # dropped; the dead shard's copy is unreachable by name.
+                return _json_response(
+                    500, {"error": "Worker teardown failed: %s: %s"
+                          % (type(error).__name__, error), "model": name}
+                )
+        return _json_response(200, {"ok": True, "model": name, "drained": drained})
 
     async def _stats(self) -> Dict:
         return {
             "scheduler": self.scheduler.stats(),
+            "http": {
+                "connection_sheds": self.connection_sheds,
+                "max_inflight_per_connection": self.max_inflight_per_connection,
+            },
             "backend": await self.backend.stats(),
             "models": self.registry.names(),
         }

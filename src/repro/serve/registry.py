@@ -112,15 +112,50 @@ class ModelRegistry:
         The model is re-wrapped so its cache bound matches the budget
         (an already-adopted cache is never resized behind its owner's
         back)."""
+        return self.publish(self.prepare(name, model, cache_size=cache_size))
+
+    def prepare(
+        self, name: str, model: SpplModel, cache_size: Optional[int] = None
+    ) -> RegisteredModel:
+        """Build a :class:`RegisteredModel` without publishing it.
+
+        The two-step ``prepare`` / :meth:`publish` split lets a running
+        service ship the prepared payload to every worker shard and
+        collect digest acks *before* the name becomes queryable, so a
+        failed registration is never observable through ``/v1/query``.
+        """
+        if not isinstance(name, str) or not name:
+            raise RegistryError("Model name must be a non-empty string.")
         if name in self._models:
             raise RegistryError("Model %r is already registered." % (name,))
         if not isinstance(model, SpplModel):
             raise TypeError("register() needs an SpplModel, got %r." % (model,))
         budget = self.default_cache_size if cache_size is None else cache_size
         model = SpplModel(model.spe, cache_size=budget)
-        registered = RegisteredModel(name, model, budget)
-        self._models[name] = registered
+        return RegisteredModel(name, model, budget)
+
+    def publish(self, registered: RegisteredModel) -> RegisteredModel:
+        """Make a prepared model visible to lookups."""
+        if registered.name in self._models:
+            raise RegistryError(
+                "Model %r is already registered." % (registered.name,)
+            )
+        self._models[registered.name] = registered
         return registered
+
+    def unregister(self, name: str) -> RegisteredModel:
+        """Remove a model from the registry (new lookups fail immediately).
+
+        Returns the removed entry so the caller can finish in-flight work
+        against the live model before tearing down worker copies.
+        """
+        try:
+            return self._models.pop(name)
+        except KeyError:
+            raise RegistryError(
+                "Unknown model %r (registered: %s)."
+                % (name, ", ".join(sorted(self._models)) or "<none>")
+            ) from None
 
     def register_catalog(
         self, spec: str, cache_size: Optional[int] = None
@@ -137,6 +172,14 @@ class ModelRegistry:
         if name is None:
             name = re.sub(r"\.(json|spe)$", "", str(path).rsplit("/", 1)[-1])
         return self.register(name, SpplModel(spe), cache_size=cache_size)
+
+    def build_catalog(self, spec: str) -> SpplModel:
+        """Build (without registering) a workloads-catalog model by name.
+
+        Used by the live-registration endpoint, which must prepare the
+        model and collect worker acks before publishing the name.
+        """
+        return self._build_catalog(spec)
 
     def _build_catalog(self, spec: str) -> SpplModel:
         match = _HMM_PATTERN.match(spec)
@@ -182,6 +225,9 @@ class ModelRegistry:
         Uses ``everything=True``: each registered model owns its cache
         exclusively, and scoped clearing would keep entries keyed on
         posterior-subgraph uids (not reachable from the prior) alive.
+        The parsed-event LRU is dropped too — a clear must force full
+        recomputation, including re-parsing query strings.
         """
         for registered in self._models.values():
             registered.model.clear_cache(everything=True)
+            registered.model.clear_event_cache()

@@ -34,10 +34,30 @@ from collections import OrderedDict
 
 from ..engine import SpplModel
 from . import wire
+from .wire import LatencyHistogram
 from .wire import Result
 
 #: Bound of a per-model :class:`ResultCache` (completed query results).
 DEFAULT_RESULT_ENTRIES = 65536
+
+#: Default bound on requests queued (admitted but unanswered) per batch
+#: key; past it the scheduler sheds instead of growing the queue.
+DEFAULT_MAX_QUEUED_PER_KEY = 1024
+
+#: Advisory back-off carried on 429-style shed responses.
+RETRY_AFTER_MS = 25
+
+
+class OverloadedError(RuntimeError):
+    """A request shed by backpressure (per-key queue bound reached).
+
+    Carries ``retry_after_ms``, the advisory back-off the wire layer
+    forwards to the client on the 429-style shed response.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = RETRY_AFTER_MS):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class ResultCache:
@@ -192,6 +212,12 @@ class InProcessBackend:
     model and its :class:`~repro.spe.QueryCache`.  Evaluation runs in an
     executor thread so the event loop keeps accepting and coalescing
     requests while a batch computes (the cache is thread-safe).
+
+    The backend keeps its own live-model map, updated through
+    :meth:`register_model` / :meth:`unregister_model`: during an
+    unregistration the registry entry is removed *first* (rejecting new
+    requests) while in-flight batches keep resolving against the map
+    until the service has drained them.
     """
 
     n_shards = 1
@@ -199,6 +225,9 @@ class InProcessBackend:
     def __init__(self, registry, max_threads: int = 2):
         self.registry = registry
         self._semaphore = asyncio.Semaphore(max_threads)
+        self._models: Dict[str, SpplModel] = {
+            name: registry.get(name).model for name in registry.names()
+        }
         self._result_caches: Dict[str, ResultCache] = {}
 
     def _result_cache(self, model: str) -> ResultCache:
@@ -207,30 +236,66 @@ class InProcessBackend:
             cache = self._result_caches[model] = ResultCache()
         return cache
 
+    def _model(self, name: str) -> Optional[SpplModel]:
+        model = self._models.get(name)
+        if model is None and name in self.registry:
+            # Registered directly on the registry after construction
+            # (embedding code); adopt it.
+            model = self._models[name] = self.registry.get(name).model
+        return model
+
+    def _live_models(self) -> Dict[str, SpplModel]:
+        """The served map, first adopting any direct registry additions
+        (so stats/clear cover models registered after construction even
+        before their first query)."""
+        for name in self.registry.names():
+            if name not in self._models:
+                self._models[name] = self.registry.get(name).model
+        return self._models
+
     def route(self, model: str, condition: Optional[str]) -> int:
         return 0
+
+    async def register_model(self, name: str, registered) -> None:
+        """Install a live model (shares the registry's object; no round trip)."""
+        self._models[name] = registered.model
+        self._result_caches[name] = ResultCache()
+
+    async def unregister_model(self, name: str) -> None:
+        self._models.pop(name, None)
+        self._result_caches.pop(name, None)
 
     async def run_batch(
         self, model: str, kind: str, condition: Optional[str], shard: int,
         payloads: Sequence,
     ) -> List[Result]:
-        registered = self.registry.get(model)
+        live = self._model(model)
+        if live is None:
+            from .registry import RegistryError
+
+            return wire.error_results(
+                RegistryError("Model %r is not being served." % (model,)),
+                len(payloads),
+            )
         loop = asyncio.get_running_loop()
         async with self._semaphore:
             return await loop.run_in_executor(
-                None, evaluate_batch, registered.model, kind, condition, payloads,
+                None, evaluate_batch, live, kind, condition, payloads,
                 self._result_cache(model),
             )
 
     async def stats(self) -> Dict:
         stats = {}
-        for name in self.registry.names():
-            stats[name] = self.registry.get(name).model.cache_stats()
+        live = self._live_models()
+        for name in sorted(live):
+            stats[name] = live[name].cache_stats()
             stats[name]["results"] = self._result_cache(name).stats()
         return {"mode": "in-process", "models": stats}
 
     async def clear_caches(self) -> None:
-        self.registry.clear_caches()
+        for model in self._live_models().values():
+            model.clear_cache(everything=True)
+            model.clear_event_cache()
         for cache in self._result_caches.values():
             cache.clear()
 
@@ -249,47 +314,112 @@ class _PendingBatch:
 
 
 class MicroBatcher:
-    """Group concurrent requests by batch key and dispatch to a backend."""
+    """Group concurrent requests by batch key and dispatch to a backend.
 
-    def __init__(self, backend, window: float = 0.002, max_batch: int = 256):
+    ``max_queued_per_key`` bounds the number of **admitted but
+    unanswered** requests per batch key (pending in a group or in a
+    batch the backend is evaluating).  A request arriving at a full key
+    is shed immediately with :class:`OverloadedError` — queues stay
+    bounded under overload instead of growing without limit — and
+    counted in ``shed_requests``.  ``None`` disables the bound.
+
+    Per-request latency (submit to response, including queue wait) is
+    recorded into one :class:`~repro.serve.wire.LatencyHistogram` per
+    query kind: two ``loop.time()`` reads and an integer bucket bump per
+    request, so observability costs next to nothing on the hot path.
+    """
+
+    def __init__(
+        self,
+        backend,
+        window: float = 0.002,
+        max_batch: int = 256,
+        max_queued_per_key: Optional[int] = DEFAULT_MAX_QUEUED_PER_KEY,
+    ):
         if max_batch < 1:
             raise ValueError("max_batch must be positive.")
         if window < 0:
             raise ValueError("window must be non-negative.")
+        if max_queued_per_key is not None and max_queued_per_key < 1:
+            raise ValueError("max_queued_per_key must be positive or None.")
         self.backend = backend
         self.window = window
         self.max_batch = max_batch
+        self.max_queued_per_key = max_queued_per_key
         self._pending: Dict[tuple, _PendingBatch] = {}
         # Counters (single-threaded: only touched on the event loop).
         self.requests = 0
         self.batches = 0
         self.largest_batch = 0
         self.no_batch_requests = 0
+        self.shed_requests = 0
+        self._queued: Dict[tuple, int] = {}
+        self._inflight_models: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    def inflight(self, model: str) -> int:
+        """Admitted-but-unanswered request count against one model."""
+        return self._inflight_models.get(model, 0)
 
     async def submit(self, request: "wire.Request") -> Result:
-        """Submit one request; resolves with its backend result."""
+        """Submit one request; resolves with its backend result.
+
+        Raises :class:`OverloadedError` (without queueing the request)
+        when the target batch key is at ``max_queued_per_key``.
+        """
         loop = asyncio.get_running_loop()
-        future = loop.create_future()
-        self.requests += 1
         shard = self.backend.route(request.model, request.condition)
         key = (request.model, request.kind, request.condition, shard)
-        if request.no_batch:
-            self.no_batch_requests += 1
-            pending = _PendingBatch()
-            pending.requests.append(request)
-            pending.futures.append(future)
-            self._launch(key, pending)
-            return await future
-        pending = self._pending.get(key)
-        if pending is None:
-            pending = _PendingBatch()
-            self._pending[key] = pending
-            pending.timer = loop.call_later(self.window, self._flush, key, pending)
-        pending.requests.append(request)
-        pending.futures.append(future)
-        if len(pending.requests) >= self.max_batch:
-            self._flush(key, pending)
-        return await future
+        queued = self._queued.get(key, 0)
+        if self.max_queued_per_key is not None and queued >= self.max_queued_per_key:
+            self.shed_requests += 1
+            raise OverloadedError(
+                "Batch key %r is at its queue bound (%d queued)."
+                % (key[:3], queued)
+            )
+        future = loop.create_future()
+        self.requests += 1
+        self._queued[key] = queued + 1
+        self._inflight_models[request.model] = (
+            self._inflight_models.get(request.model, 0) + 1
+        )
+        start = loop.time()
+        try:
+            if request.no_batch:
+                self.no_batch_requests += 1
+                pending = _PendingBatch()
+                pending.requests.append(request)
+                pending.futures.append(future)
+                self._launch(key, pending)
+            else:
+                pending = self._pending.get(key)
+                if pending is None:
+                    pending = _PendingBatch()
+                    self._pending[key] = pending
+                    pending.timer = loop.call_later(
+                        self.window, self._flush, key, pending
+                    )
+                pending.requests.append(request)
+                pending.futures.append(future)
+                if len(pending.requests) >= self.max_batch:
+                    self._flush(key, pending)
+            result = await future
+        finally:
+            self._decrement(self._queued, key)
+            self._decrement(self._inflight_models, request.model)
+        histogram = self._latency.get(request.kind)
+        if histogram is None:
+            histogram = self._latency[request.kind] = LatencyHistogram()
+        histogram.record(loop.time() - start)
+        return result
+
+    @staticmethod
+    def _decrement(counts: Dict, key) -> None:
+        remaining = counts.get(key, 0) - 1
+        if remaining > 0:
+            counts[key] = remaining
+        else:
+            counts.pop(key, None)
 
     def _flush(self, key: tuple, pending: _PendingBatch) -> None:
         if pending.flushed:
@@ -330,15 +460,22 @@ class MicroBatcher:
             self._flush(key, pending)
 
     def stats(self) -> Dict:
-        """Coalescing statistics for the stats endpoint."""
+        """Coalescing, shedding, and latency statistics for the stats endpoint."""
         return {
             "requests": self.requests,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "no_batch_requests": self.no_batch_requests,
+            "shed": self.shed_requests,
+            "queued": sum(self._queued.values()),
             "mean_batch_size": round(self.requests / self.batches, 2)
             if self.batches
             else 0.0,
             "window_s": self.window,
             "max_batch": self.max_batch,
+            "max_queued_per_key": self.max_queued_per_key,
+            "latency": {
+                kind: histogram.summary()
+                for kind, histogram in sorted(self._latency.items())
+            },
         }

@@ -155,10 +155,41 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
             for name, model in models.items():
                 # everything=True: scoped clearing would keep entries
                 # keyed on posterior-subgraph uids alive, and each worker
-                # owns its caches exclusively.
+                # owns its caches exclusively.  The parsed-event LRU goes
+                # too: a clear forces full recomputation.
                 model.clear_cache(everything=True)
+                model.clear_event_cache()
                 result_caches[name].clear()
             conn.send(("cleared", worker_id))
+        elif op == "register":
+            # Live model reload: deserialize the shipped payload, prove
+            # round-trip fidelity, and ack with the recomputed digest (the
+            # parent refuses the registration unless every shard's ack
+            # matches).
+            _, name, spec = message
+            try:
+                if name in models:
+                    raise WorkerError(
+                        "Worker %d already has model %r." % (worker_id, name)
+                    )
+                spe = spe_from_json(spec["payload"])
+                digest = spe_digest(spe)
+                if digest != spec["digest"]:
+                    raise WorkerError(
+                        "Round-trip digest mismatch for model %r: parent %s, "
+                        "worker %s." % (name, spec["digest"], digest)
+                    )
+                models[name] = SpplModel(spe, cache_size=spec["cache_size"])
+                result_caches[name] = ResultCache()
+            except Exception as error:
+                conn.send(("error", "%s: %s" % (type(error).__name__, error)))
+            else:
+                conn.send(("registered", digest))
+        elif op == "unregister":
+            _, name = message
+            models.pop(name, None)
+            result_caches.pop(name, None)
+            conn.send(("unregistered", name))
         else:
             conn.send(("error", "Unknown worker op %r." % (op,)))
     conn.close()
@@ -248,6 +279,47 @@ class WorkerPool:
             await self._call(shard, ("stats",)) for shard in range(self.n_workers)
         ]
 
+    async def register_model(self, name: str, spec: Dict) -> None:
+        """Ship a serialized model to every shard; all-or-nothing.
+
+        Each shard deserializes the payload and acks with the digest it
+        recomputed over the rebuilt graph.  Any failed shard — or any ack
+        that does not match the parent's digest — rolls the registration
+        back on the shards that already acked and raises
+        :class:`WorkerError`: either every shard holds a bit-identical
+        copy, or none does.  The handshake is deliberately sequential
+        (registration is rare and rollback of a strict prefix is
+        deterministic); parallelizing it would shorten the lifecycle
+        lock's hold time on wide pools at the cost of a racier rollback.
+        """
+        acked: List[int] = []
+        try:
+            for shard in range(self.n_workers):
+                digest = await self._call(shard, ("register", name, spec))
+                # The worker stored the model before replying, so count it
+                # as acked *before* the defensive digest comparison: if the
+                # comparison ever fires, the rollback must cover this shard
+                # too (a worker-side mismatch raises before storing, so
+                # this parent-side check is defense in depth).
+                acked.append(shard)
+                if digest != spec["digest"]:
+                    raise WorkerError(
+                        "Shard %d acked digest %s for model %r, expected %s."
+                        % (shard, digest, name, spec["digest"])
+                    )
+        except Exception:
+            for shard in acked:
+                try:
+                    await self._call(shard, ("unregister", name))
+                except (WorkerError, OSError, EOFError):
+                    pass  # roll back best-effort; the original error wins
+            raise
+
+    async def unregister_model(self, name: str) -> None:
+        """Drop a model (and its caches) from every shard."""
+        for shard in range(self.n_workers):
+            await self._call(shard, ("unregister", name))
+
     async def clear_caches(self) -> None:
         for shard in range(self.n_workers):
             await self._call(shard, ("clear",))
@@ -305,6 +377,20 @@ class WorkerPoolBackend:
             "workers": self.n_shards,
             "shards": await self.pool.shard_stats(),
         }
+
+    async def register_model(self, name: str, registered) -> None:
+        """All-shard digest-ack registration (see :meth:`WorkerPool.register_model`)."""
+        await self.pool.register_model(
+            name,
+            {
+                "payload": registered.payload,
+                "digest": registered.digest,
+                "cache_size": registered.cache_size,
+            },
+        )
+
+    async def unregister_model(self, name: str) -> None:
+        await self.pool.unregister_model(name)
 
     async def clear_caches(self) -> None:
         await self.pool.clear_caches()

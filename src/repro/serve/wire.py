@@ -187,6 +187,91 @@ def encode_error_line(request_id, message: str, kind: str = "WireError") -> byte
     return encode_response(request_id, ("error", kind, message))
 
 
+def overloaded_response(request_id, retry_after_ms: int) -> Dict:
+    """The canonical shed-response object (single definition of the shape).
+
+    Used both by the server when encoding per-key shed lines and by the
+    client when synthesizing a response object for a connection-level
+    HTTP 429, so the two kinds of shed are indistinguishable to callers.
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "error_kind": "Overloaded",
+        "error": "overloaded",
+        "retry_after_ms": int(retry_after_ms),
+    }
+
+
+def encode_overloaded_line(request_id, retry_after_ms: int) -> bytes:
+    """Encode the 429-style shed line for a request refused by backpressure.
+
+    The line keeps the normal error shape (``ok: false`` with
+    ``error_kind: "Overloaded"``) so existing clients fail it cleanly, and
+    adds ``retry_after_ms`` so well-behaved callers can back off.
+    """
+    body = overloaded_response(request_id, retry_after_ms)
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Latency observability.
+# ---------------------------------------------------------------------------
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with server-side percentiles.
+
+    Bucket ``i`` counts latencies whose whole-microsecond value has bit
+    length ``i`` — geometric buckets doubling from 1 µs, with bucket 63
+    open-ended (every realistic service latency lands well inside the
+    range; sub-second requests use only the first ~20 buckets).
+    Recording is two integer ops and a
+    list increment, cheap enough for the scheduler's per-request hot
+    path, and the fixed 64-bucket layout needs no locking discipline
+    beyond the event loop's single-threadedness.
+
+    ``quantile(q)`` returns the **upper bound** of the bucket holding the
+    q-th ranked observation (a ≤ one-bucket overestimate, never an
+    underestimate), so p50/p95/p99 derived from it are conservative.
+    """
+
+    __slots__ = ("counts", "count")
+
+    BUCKETS = 64
+
+    def __init__(self):
+        self.counts = [0] * self.BUCKETS
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        index = int(seconds * 1e6).bit_length()
+        if index >= self.BUCKETS:
+            index = self.BUCKETS - 1
+        self.counts[index] += 1
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound latency (seconds) of the q-th quantile (0 < q <= 1)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return (1 << index) / 1e6
+        return (1 << (self.BUCKETS - 1)) / 1e6
+
+    def summary(self) -> Dict[str, float]:
+        """Count plus p50/p95/p99 in milliseconds (the stats-endpoint shape)."""
+        return {
+            "count": self.count,
+            "p50_ms": round(self.quantile(0.50) * 1e3, 3),
+            "p95_ms": round(self.quantile(0.95) * 1e3, 3),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 3),
+        }
+
+
 def decode_response_line(line: bytes) -> Dict:
     """Decode one NDJSON response line (values stay wire-encoded; use
     :func:`decode_value` on scalar ``value`` fields)."""

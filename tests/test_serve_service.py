@@ -289,7 +289,7 @@ class TestCli:
     def test_cli_serves_and_shuts_down_cleanly(self):
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.serve", "--model", "indian_gpa",
-             "--port", "0", "--window-ms", "1"],
+             "--port", "0", "--window-ms", "1", "--workers", "0"],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -340,7 +340,7 @@ class TestCli:
         indian_gpa.model().save(path)
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.serve", "--spe", "mygpa=%s" % path,
-             "--port", "0"],
+             "--port", "0", "--workers", "0"],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
