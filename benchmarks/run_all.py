@@ -5,8 +5,9 @@ translation, compression (Table 1), vectorized bulk sampling (Fig. 3),
 vectorized derived-variable (transform) evaluation, the bounded query
 cache, cached repeated queries, the ``constrain -> query`` posterior
 chain, the ``repro.serve`` micro-batching service (coalesced queries/sec
-over the real wire), and the service's backpressure behavior under 4x
-overload (shed rate + p99) -- and writes wall times plus node counts
+over the real wire), the service's backpressure behavior under 4x
+overload (shed rate + p99), and its fault tolerance (recovery time after
+a worker SIGKILL) -- and writes wall times plus node counts
 to a ``BENCH_*.json``
 file, so successive PRs have a trajectory to compare against::
 
@@ -346,6 +347,67 @@ def bench_serve_overload() -> dict:
     return asyncio.run(run())
 
 
+def bench_serve_chaos() -> dict:
+    """Fault tolerance: recovery after a worker shard is SIGKILLed.
+
+    Starts a 2-worker sharded service, times one warm pass of 64 spread
+    requests as the healthy baseline, then SIGKILLs one worker process
+    and times the same pass again: the pool must detect the dead pipe,
+    respawn the shard (a fresh interpreter re-running the digest-ack
+    handshake for every model), requeue the batches that were in flight,
+    and answer everything correctly.  ``respawn_overhead_s`` -- the
+    difference between the two passes -- is dominated by the replacement
+    worker's interpreter start + model deserialization, i.e. the real
+    recovery cost a production pod restart would pay.
+    """
+    import asyncio
+    import os
+    import signal
+
+    from repro.serve import AsyncServeClient
+    from repro.serve import InferenceService
+    from repro.serve import ModelRegistry
+
+    n_requests = 64
+
+    async def run():
+        registry = ModelRegistry()
+        registry.register_catalog("indian_gpa")
+        service = InferenceService(registry, workers=2, window=0.001, max_batch=32)
+        host, port = await service.start()
+        client = AsyncServeClient(host, port)
+        requests = [
+            {"id": i, "model": "indian_gpa", "kind": "logprob",
+             "event": "GPA > %r" % (0.01 * i)}
+            for i in range(n_requests)
+        ]
+        warm = await client.query_many(requests, connections=8)
+        assert all(response["ok"] for response in warm)
+
+        start = time.perf_counter()
+        await client.query_many(requests, connections=8)
+        healthy_s = time.perf_counter() - start
+
+        os.kill(service.backend.pool.worker_pids()[0], signal.SIGKILL)
+        start = time.perf_counter()
+        responses = await client.query_many(requests, connections=8)
+        killed_s = time.perf_counter() - start
+        stats = await client.stats()
+        await service.close()
+        assert all(response["ok"] for response in responses)
+        return {
+            "workers": 2,
+            "requests": n_requests,
+            "healthy_pass_s": round(healthy_s, 4),
+            "killed_pass_s": round(killed_s, 4),
+            "respawn_overhead_s": round(killed_s - healthy_s, 4),
+            "respawns": stats["backend"]["respawns"],
+            "requeued_batches": stats["backend"]["requeued_batches"],
+        }
+
+    return asyncio.run(run())
+
+
 #: Fail the gate when a model's translate_s grows by more than this factor
 #: relative to the fleet-median ratio ...
 GATE_SLOWDOWN_FACTOR = 1.25
@@ -447,6 +509,7 @@ def main() -> int:
         "posterior_chain": bench_posterior_chain(),
         "serve_throughput": bench_serve_throughput(),
         "serve_overload": bench_serve_overload(),
+        "serve_chaos": bench_serve_chaos(),
         "intern_table": intern_stats(),
     }
 

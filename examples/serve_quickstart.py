@@ -11,11 +11,18 @@ Demonstrates the ``repro.serve`` subsystem end to end:
 5. read the stats endpoint (coalescing counters, exact cache hit/miss,
    per-kind latency percentiles),
 6. register a new model on the **live** service (no restart), query it,
-   and unregister it again.
+   and unregister it again — with a registry **journal** attached, so
+   the registration would survive a service restart.
 
-The same service runs standalone with worker-process sharding::
+The same service runs standalone with worker-process sharding (dead
+workers are respawned transparently) and a durable lifecycle journal::
 
-    python -m repro.serve --model hmm20 --workers 4
+    python -m repro.serve --model hmm20 --workers 4 \
+        --registry-journal /var/lib/repro/registry.journal
+
+On restart, the journal is replayed (digest-verified) before serving, so
+models registered through ``/v1/models/register`` come back without any
+``--model`` flag.
 
 Run with::
 
@@ -29,6 +36,7 @@ from pathlib import Path
 from repro.serve import AsyncServeClient
 from repro.serve import InferenceService
 from repro.serve import ModelRegistry
+from repro.serve import RegistryJournal
 from repro.serve import value_of
 from repro.workloads import indian_gpa
 
@@ -46,7 +54,11 @@ async def main() -> None:
         registry.register_file(path, name="gpa")
 
         # -- 2. Start the service --------------------------------------------
-        service = InferenceService(registry, workers=0, window=0.002)
+        # The journal makes live registrations durable: replayed on the
+        # next startup (the CLI equivalent is --registry-journal PATH).
+        journal = RegistryJournal(Path(tmp) / "registry.journal")
+        journal.restore(registry)
+        service = InferenceService(registry, workers=0, window=0.002, journal=journal)
         host, port = await service.start()
         client = AsyncServeClient(host, port)
         print("serving %s on %s:%d" % (", ".join(registry.names()), host, port))

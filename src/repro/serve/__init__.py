@@ -3,17 +3,21 @@
 The paper's engine answers one query at a time; this package turns it
 into the "heavy traffic" deployment shape the ROADMAP targets:
 
-* :mod:`repro.serve.registry`  -- named models with per-model cache budgets,
+* :mod:`repro.serve.registry`  -- named models with per-model cache
+  budgets, plus the durable lifecycle journal
+  (:class:`~repro.serve.registry.RegistryJournal`) that lets dynamically
+  registered models survive restarts,
 * :mod:`repro.serve.scheduler` -- asyncio micro-batcher coalescing
   concurrent single-event requests into batched
   ``logprob_batch``/``logpdf_batch`` calls under query-scope pinning,
 * :mod:`repro.serve.sharding`  -- consistent-hash-routed worker processes,
   each holding a digest-verified deserialized copy of every model and a
-  private :class:`~repro.spe.QueryCache`,
+  private :class:`~repro.spe.QueryCache`; dead shards are respawned and
+  their in-flight batches requeued,
 * :mod:`repro.serve.wire`      -- the newline-delimited JSON protocol,
 * :mod:`repro.serve.http`      -- the stdlib asyncio HTTP front-end
-  (pipelined connections, backpressure with 429-style shedding, dynamic
-  model register/unregister, latency-percentile stats endpoints),
+  (pipelined connections, backpressure with adaptive 429-style shedding,
+  dynamic model register/unregister, latency-percentile stats endpoints),
 * :mod:`repro.serve.client`    -- async + blocking clients used by tests,
   benchmarks, and examples.
 
@@ -43,9 +47,11 @@ from .client import ServeClientError
 from .client import ServeOverloadedError
 from .client import value_of
 from .http import InferenceService
+from .registry import JournalError
 from .registry import ModelRegistry
 from .registry import RegisteredModel
 from .registry import RegistryError
+from .registry import RegistryJournal
 from .scheduler import InProcessBackend
 from .scheduler import MicroBatcher
 from .scheduler import OverloadedError
@@ -65,12 +71,14 @@ __all__ = [
     "HashRing",
     "InProcessBackend",
     "InferenceService",
+    "JournalError",
     "LatencyHistogram",
     "MicroBatcher",
     "ModelRegistry",
     "OverloadedError",
     "RegisteredModel",
     "RegistryError",
+    "RegistryJournal",
     "Request",
     "ServeClient",
     "ServeClientError",

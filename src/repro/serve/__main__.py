@@ -6,9 +6,12 @@ catalog name) and ``--spe`` (``[name=]path`` to a serialized SPE file).
 ``--workers N`` shards evaluation across N worker processes; ``0``
 evaluates in-process; ``auto`` (the default) resolves from
 ``os.cpu_count()`` so multi-core hosts shard by default instead of
-serving GIL-bound.  Shuts down gracefully on SIGINT/SIGTERM: in-flight
-micro-batches are drained and their responses flushed before the worker
-pool stops.
+serving GIL-bound.  ``--registry-journal PATH`` makes the dynamic model
+lifecycle durable: live ``/v1/models/register``/``unregister`` calls are
+appended to an on-disk journal that is replayed (digest-verified) on the
+next startup, so dynamically registered models survive restarts.  Shuts
+down gracefully on SIGINT/SIGTERM: in-flight micro-batches are drained
+and their responses flushed before the worker pool stops.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import sys
 
 from .http import InferenceService
 from .registry import ModelRegistry
+from .registry import RegistryJournal
 
 #: ``--workers auto`` never spawns more than this many shards: past a
 #: handful of workers the pipe fan-out and per-shard cache duplication
@@ -98,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shed (HTTP 429) past N in-flight pipelined queries per connection",
     )
+    parser.add_argument(
+        "--registry-journal",
+        default=None,
+        metavar="PATH",
+        help="append-only journal of live register/unregister events, "
+        "replayed (digest-verified) on startup so dynamically registered "
+        "models survive restarts",
+    )
     return parser
 
 
@@ -111,13 +123,31 @@ def build_registry(args: argparse.Namespace) -> ModelRegistry:
             registry.register_file(path, name=name)
         else:
             registry.register_file(entry)
-    if not len(registry):
+    if not len(registry) and not args.registry_journal:
         raise SystemExit("No models: pass at least one --model or --spe.")
     return registry
 
 
 async def run(args: argparse.Namespace) -> int:
     registry = build_registry(args)
+    journal = None
+    if args.registry_journal:
+        # Replay before the workers start, so restored models are in the
+        # specs every shard digest-verifies on startup.
+        journal = RegistryJournal(args.registry_journal)
+        journal.replay()
+        restored = journal.restore(registry)
+        if restored:
+            print(
+                "repro.serve restored %d journaled model(s): %s"
+                % (len(restored), ", ".join(restored)),
+                flush=True,
+            )
+        if not len(registry):
+            raise SystemExit(
+                "No models: pass --model/--spe, or a --registry-journal "
+                "holding registered models."
+            )
     workers = resolve_workers(args.workers)
     service_kwargs = {}
     if args.max_queued_per_key is not None:
@@ -135,6 +165,7 @@ async def run(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         host=args.host,
         port=args.port,
+        journal=journal,
         **service_kwargs,
     )
     host, port = await service.start()

@@ -156,7 +156,10 @@ class AsyncServeClient:
     # -- Streams --------------------------------------------------------------
 
     async def query_many(
-        self, requests: Sequence[Dict], connections: int = 16
+        self,
+        requests: Sequence[Dict],
+        connections: int = 16,
+        retry_overloaded: int = 0,
     ) -> List[Dict]:
         """Fire all requests concurrently; responses in request order.
 
@@ -164,7 +167,40 @@ class AsyncServeClient:
         each connection pipelines its share (every request is a separate
         HTTP request on the wire, all in flight at once), which is what
         allows the server to coalesce them into micro-batches.
+
+        ``retry_overloaded=N`` re-issues requests the service shed with
+        backpressure (``error_kind == "Overloaded"``) up to ``N`` more
+        passes, sleeping the server-advised ``retry_after_ms`` between
+        passes -- the back-off loop a well-behaved client implements, and
+        meaningful now that the advice is derived from live latency.
+        Requests still shed after the last pass keep their ``Overloaded``
+        response.
         """
+        results = await self._query_many_pass(requests, connections)
+        for _ in range(retry_overloaded):
+            pending = [
+                index
+                for index, response in enumerate(results)
+                if response is not None
+                and response.get("error_kind") == "Overloaded"
+            ]
+            if not pending:
+                break
+            delay_ms = max(
+                results[index].get("retry_after_ms", 0) for index in pending
+            )
+            await asyncio.sleep(max(delay_ms, 1) / 1e3)
+            retried = await self._query_many_pass(
+                [requests[index] for index in pending], connections
+            )
+            for index, response in zip(pending, retried):
+                results[index] = response
+        return results
+
+    async def _query_many_pass(
+        self, requests: Sequence[Dict], connections: int
+    ) -> List[Dict]:
+        """One concurrent pass over ``requests`` (no retries)."""
         if not requests:
             return []
         connections = max(1, min(connections, len(requests)))
@@ -296,8 +332,19 @@ class ServeClient:
     def query(self, request: Dict) -> Dict:
         return self._run(self._async.query(request))
 
-    def query_many(self, requests: Sequence[Dict], connections: int = 16) -> List[Dict]:
-        return self._run(self._async.query_many(requests, connections=connections))
+    def query_many(
+        self,
+        requests: Sequence[Dict],
+        connections: int = 16,
+        retry_overloaded: int = 0,
+    ) -> List[Dict]:
+        return self._run(
+            self._async.query_many(
+                requests,
+                connections=connections,
+                retry_overloaded=retry_overloaded,
+            )
+        )
 
     def query_seq(self, requests: Sequence[Dict], no_batch: bool = False) -> List[Dict]:
         return self._run(self._async.query_seq(requests, no_batch=no_batch))

@@ -33,9 +33,19 @@ Overload never grows queues without bound: the scheduler sheds requests
 past its per-key queue bound (a 429-style NDJSON line carrying
 ``retry_after_ms``), and a single connection pipelining past
 ``max_inflight_per_connection`` unwritten responses gets a real HTTP 429.
-Error handling is per-request wherever framing allows: a malformed NDJSON
-line or an oversized (but well-framed) body fails only itself; later
-pipelined requests on the same connection are still serviced.
+``retry_after_ms`` is **adaptive**: derived from the live per-kind
+latency histograms and the current queue depth (see
+:meth:`~repro.serve.scheduler.MicroBatcher.retry_after_ms`), so client
+back-off tracks how loaded the service actually is.  Error handling is
+per-request wherever framing allows: a malformed NDJSON line or an
+oversized (but well-framed) body fails only itself; later pipelined
+requests on the same connection are still serviced.
+
+Fault tolerance: with a worker pool, a shard that dies is respawned and
+its in-flight batches requeued (see :mod:`repro.serve.sharding`); with a
+:class:`~repro.serve.registry.RegistryJournal`, live register/unregister
+events are journaled durably and replayed on startup, so dynamically
+registered models survive restarts.
 """
 
 from __future__ import annotations
@@ -50,11 +60,11 @@ from typing import Tuple
 from . import wire
 from .registry import ModelRegistry
 from .registry import RegistryError
+from .registry import RegistryJournal
 from .scheduler import DEFAULT_MAX_QUEUED_PER_KEY
 from .scheduler import InProcessBackend
 from .scheduler import MicroBatcher
 from .scheduler import OverloadedError
-from .scheduler import RETRY_AFTER_MS
 from .sharding import WorkerError
 from .sharding import WorkerPool
 from .sharding import WorkerPoolBackend
@@ -127,6 +137,7 @@ class InferenceService:
         port: int = 0,
         max_queued_per_key: Optional[int] = DEFAULT_MAX_QUEUED_PER_KEY,
         max_inflight_per_connection: int = DEFAULT_MAX_INFLIGHT_PER_CONNECTION,
+        journal: Optional[RegistryJournal] = None,
     ):
         if max_inflight_per_connection < 1:
             raise ValueError(
@@ -138,6 +149,12 @@ class InferenceService:
         self.host = host
         self.port = port
         self.max_inflight_per_connection = max_inflight_per_connection
+        #: Optional durable lifecycle journal: successful live
+        #: register/unregister calls are appended (flushed + fsynced)
+        #: before the HTTP response acks, so they survive a restart.
+        #: Replaying the journal into the registry happens *before*
+        #: service construction (see ``repro.serve.__main__``).
+        self.journal = journal
         self._pool: Optional[WorkerPool] = None
         if workers > 0:
             self._pool = WorkerPool(workers)
@@ -214,6 +231,8 @@ class InferenceService:
             await asyncio.gather(*self._connections, return_exceptions=True)
         await self.scheduler.drain()
         await self.backend.close()
+        if self.journal is not None:
+            self.journal.close()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -317,7 +336,10 @@ class InferenceService:
                     self._enqueue(
                         queue,
                         _json_response(
-                            429, wire.overloaded_response(None, RETRY_AFTER_MS)
+                            429,
+                            wire.overloaded_response(
+                                None, self.scheduler.retry_after_ms()
+                            ),
                         ),
                     )
                     if close_requested or sheds >= MAX_SHEDS_PER_CONNECTION:
@@ -539,6 +561,23 @@ class InferenceService:
                           % (type(error).__name__, error)}
                 )
             self.registry.publish(registered)
+            if self.journal is not None:
+                try:
+                    # Off-loop: the append fsyncs (and large payloads
+                    # serialize to disk); the lifecycle lock already
+                    # serializes journal writers.
+                    await loop.run_in_executor(
+                        None, self.journal.record_register, registered
+                    )
+                except OSError as error:
+                    # The model IS live, but the durability promise is
+                    # broken: report loudly rather than pretend.
+                    return _json_response(
+                        500,
+                        {"error": "Model %r registered but journal append "
+                                  "failed: %s" % (name, error),
+                         "model": name, "registered": True, "journaled": False},
+                    )
         return _json_response(
             200,
             {
@@ -546,6 +585,7 @@ class InferenceService:
                 "model": name,
                 "digest": registered.digest,
                 "shards_acked": self.backend.n_shards,
+                "journaled": self.journal is not None,
             },
         )
 
@@ -571,6 +611,23 @@ class InferenceService:
             except RegistryError as error:
                 return _json_response(404, {"error": str(error)})
             loop = asyncio.get_running_loop()
+            if self.journal is not None:
+                # The registry removal is the durable-intent point:
+                # journal the tombstone *before* worker teardown, so a
+                # model the live service stopped serving cannot
+                # resurrect on restart just because a shard later
+                # failed to tear down.
+                try:
+                    await loop.run_in_executor(
+                        None, self.journal.record_unregister, name
+                    )
+                except OSError as error:
+                    return _json_response(
+                        500,
+                        {"error": "Model %r unregistered but journal append "
+                                  "failed: %s" % (name, error),
+                         "model": name, "journaled": False},
+                    )
             deadline = loop.time() + drain_timeout
             while self.scheduler.inflight(name) and loop.time() < deadline:
                 await asyncio.sleep(0.005)
@@ -589,7 +646,7 @@ class InferenceService:
         return _json_response(200, {"ok": True, "model": name, "drained": drained})
 
     async def _stats(self) -> Dict:
-        return {
+        stats = {
             "scheduler": self.scheduler.stats(),
             "http": {
                 "connection_sheds": self.connection_sheds,
@@ -598,3 +655,6 @@ class InferenceService:
             "backend": await self.backend.stats(),
             "models": self.registry.names(),
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        return stats

@@ -16,11 +16,20 @@ Each registered model keeps, besides the live :class:`SpplModel`:
   processes deserialize, so every shard holds a bit-identical graph), and
 * ``digest`` -- the :func:`repro.spe.spe_digest` of that form, which
   workers recompute after deserializing to prove round-trip fidelity.
+
+:class:`RegistryJournal` makes the dynamic lifecycle **durable**: an
+append-only on-disk NDJSON journal of register/unregister events whose
+payloads are digest-verified on replay, so models registered on a live
+service survive a restart (``--registry-journal PATH``).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import re
+from collections import OrderedDict
+from pathlib import Path
 from typing import Callable
 from typing import Dict
 from typing import List
@@ -231,3 +240,254 @@ class ModelRegistry:
         for registered in self._models.values():
             registered.model.clear_cache(everything=True)
             registered.model.clear_event_cache()
+
+
+# ---------------------------------------------------------------------------
+# Durable registry: the on-disk lifecycle journal.
+# ---------------------------------------------------------------------------
+
+class JournalError(RuntimeError):
+    """A journal record whose payload cannot be trusted (digest mismatch)."""
+
+
+#: Compact once at least this many dead records accumulate *and* the dead
+#: outnumber the live entries (unregister-heavy churn would otherwise grow
+#: the file without bound while the live set stays small).
+JOURNAL_COMPACT_MIN_DEAD = 8
+
+
+class RegistryJournal:
+    """Append-only on-disk journal of dynamic register/unregister events.
+
+    One JSON record per line::
+
+        {"op": "register", "name": ..., "payload": ..., "digest": ..., "cache_size": ...}
+        {"op": "unregister", "name": ...}
+
+    Write-ahead-log discipline:
+
+    * **Appends are durable**: each record is flushed and fsynced before
+      the lifecycle endpoint acknowledges, so an acked registration
+      survives a crash.
+    * **Replay is torn-tail tolerant**: a crash mid-append leaves a
+      partial (or otherwise undecodable) last line; replay stops cleanly
+      at the last valid record and the tail is truncated away before the
+      next append, so the file always ends on a record boundary.
+      Anything *after* the first bad record is untrustworthy by WAL
+      convention and is discarded with it.
+    * **Restore is digest-verified**: every surviving payload is
+      deserialized and its :func:`repro.spe.spe_digest` recomputed; a
+      mismatch with the journaled digest raises :class:`JournalError`
+      rather than silently serving a corrupted model.
+    * **Replay is idempotent**: restoring twice (or restoring on top of
+      startup ``--model`` flags) skips names the registry already holds.
+    * **Compaction**: when dead records (unregisters and the registers
+      they cancel) dominate the live set, the journal is rewritten as
+      one register record per live model via an atomic ``os.replace``.
+    """
+
+    def __init__(self, path, compact_min_dead: int = JOURNAL_COMPACT_MIN_DEAD):
+        self.path = Path(path)
+        self.compact_min_dead = compact_min_dead
+        self.compactions = 0
+        self.truncated_bytes = 0
+        self._live: "OrderedDict[str, Dict]" = OrderedDict()
+        self._dead = 0
+        self._events = 0
+        self._valid_bytes = 0
+        self._replayed = False
+        self._needs_truncate = False
+        self._handle = None
+
+    # -- Replay / restore -----------------------------------------------------
+
+    def replay(self) -> Dict[str, Dict]:
+        """Read the journal; returns the net surviving register specs.
+
+        Read-only: the torn tail (if any) is measured here but only
+        physically truncated right before the next append.
+        """
+        self._live = OrderedDict()
+        self._dead = 0
+        self._events = 0
+        self._valid_bytes = 0
+        self.truncated_bytes = 0
+        if self.path.exists():
+            data = self.path.read_bytes()
+            offset = 0
+            while offset < len(data):
+                newline = data.find(b"\n", offset)
+                if newline < 0:
+                    break  # unterminated tail: a crash mid-append
+                entry = self._decode(data[offset:newline])
+                if entry is None:
+                    break  # undecodable record: stop at the last valid one
+                offset = newline + 1
+                self._valid_bytes = offset
+                self._apply(entry)
+            self.truncated_bytes = len(data) - self._valid_bytes
+        self._needs_truncate = self.truncated_bytes > 0
+        self._replayed = True
+        return {name: dict(spec) for name, spec in self._live.items()}
+
+    def restore(self, registry: ModelRegistry) -> List[str]:
+        """Rebuild the surviving journaled models into ``registry``.
+
+        Each payload is deserialized and digest-verified before it is
+        published.  Names the registry already holds (startup flags, or
+        an earlier restore) are skipped, which makes a double replay +
+        restore idempotent.  Returns the names actually restored.
+        """
+        if not self._replayed:
+            self.replay()
+        restored = []
+        for name, spec in self._live.items():
+            if name in registry:
+                continue
+            spe = spe_from_json(spec["payload"])
+            digest = spe_digest(spe)
+            if digest != spec["digest"]:
+                raise JournalError(
+                    "Journaled model %r fails digest verification: journal "
+                    "says %s, payload rebuilds to %s."
+                    % (name, spec["digest"], digest)
+                )
+            registry.publish(
+                registry.prepare(name, SpplModel(spe), cache_size=spec["cache_size"])
+            )
+            restored.append(name)
+        return restored
+
+    # -- Recording ------------------------------------------------------------
+
+    def record_register(self, registered: RegisteredModel) -> None:
+        """Journal one successful live registration (durable before ack)."""
+        self._append(
+            {
+                "op": "register",
+                "name": registered.name,
+                "payload": registered.payload,
+                "digest": registered.digest,
+                "cache_size": registered.cache_size,
+            }
+        )
+
+    def record_unregister(self, name: str) -> None:
+        """Journal one successful live unregistration (durable before ack)."""
+        self._append({"op": "unregister", "name": name})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def stats(self) -> Dict:
+        """Journal health for the ``/v1/stats`` endpoint."""
+        return {
+            "path": str(self.path),
+            "live": len(self._live),
+            "dead": self._dead,
+            "events": self._events,
+            "compactions": self.compactions,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+    # -- Internals ------------------------------------------------------------
+
+    @staticmethod
+    def _decode(line: bytes) -> Optional[Dict]:
+        """One record, or ``None`` for anything that cannot be trusted."""
+        try:
+            entry = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str) \
+                or not entry["name"]:
+            return None
+        if entry.get("op") == "unregister":
+            return entry
+        if entry.get("op") == "register":
+            cache_size = entry.get("cache_size")
+            if isinstance(entry.get("payload"), str) \
+                    and isinstance(entry.get("digest"), str) \
+                    and (cache_size is None or isinstance(cache_size, int)):
+                return entry
+        return None
+
+    def _apply(self, entry: Dict) -> None:
+        """Fold one record into the net live/dead state."""
+        self._events += 1
+        name = entry["name"]
+        if entry["op"] == "register":
+            if self._live.pop(name, None) is not None:
+                self._dead += 1  # the superseded register
+            self._live[name] = {
+                "payload": entry["payload"],
+                "digest": entry["digest"],
+                "cache_size": entry.get("cache_size"),
+            }
+        else:
+            if self._live.pop(name, None) is not None:
+                self._dead += 2  # the register it cancels, plus itself
+            else:
+                self._dead += 1  # an unregister with nothing to cancel
+
+    def _append(self, entry: Dict) -> None:
+        if not self._replayed:
+            self.replay()
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._needs_truncate and self.path.exists():
+                # Drop the torn tail so the new record starts on a
+                # record boundary (appending after a partial line would
+                # corrupt both records on the next replay).
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(self._valid_bytes)
+                self._needs_truncate = False
+                self.truncated_bytes = 0
+            self._handle = open(self.path, "ab")
+        line = (json.dumps(entry, separators=(",", ":")) + "\n").encode("utf-8")
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            # A failed append (ENOSPC, transient EIO) may have left part
+            # of the record on disk; un-truncated, the fragment would
+            # glue onto the next successful record and take it (and
+            # everything after) down on replay.  Close the handle and
+            # force a truncate back to the last durable record before
+            # any future append.
+            self.close()
+            self._needs_truncate = True
+            raise
+        self._valid_bytes = self._handle.tell()
+        self._apply(entry)
+        if self._dead >= self.compact_min_dead and self._dead > len(self._live):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal as one register record per live model.
+
+        Atomic: the replacement is fully written and fsynced to a
+        sibling temp file, then ``os.replace``d over the journal, so a
+        crash mid-compaction leaves either the old or the new file.
+        """
+        temp = self.path.with_name(self.path.name + ".compact")
+        with open(temp, "wb") as handle:
+            for name, spec in self._live.items():
+                entry = {"op": "register", "name": name, **spec}
+                handle.write(
+                    (json.dumps(entry, separators=(",", ":")) + "\n").encode("utf-8")
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.close()
+        os.replace(temp, self.path)
+        self._handle = open(self.path, "ab")
+        self._valid_bytes = self._handle.tell()
+        self._dead = 0
+        self._events = len(self._live)
+        self.truncated_bytes = 0
+        self._needs_truncate = False
+        self.compactions += 1

@@ -44,7 +44,9 @@ DEFAULT_RESULT_ENTRIES = 65536
 #: key; past it the scheduler sheds instead of growing the queue.
 DEFAULT_MAX_QUEUED_PER_KEY = 1024
 
-#: Advisory back-off carried on 429-style shed responses.
+#: Advisory back-off carried on 429-style shed responses before any
+#: latency has been observed; once the per-kind histograms have data the
+#: value is derived from them (:meth:`MicroBatcher.retry_after_ms`).
 RETRY_AFTER_MS = 25
 
 
@@ -290,7 +292,14 @@ class InProcessBackend:
         for name in sorted(live):
             stats[name] = live[name].cache_stats()
             stats[name]["results"] = self._result_cache(name).stats()
-        return {"mode": "in-process", "models": stats}
+        # respawns/requeued_batches keep the stats shape uniform with the
+        # sharded backend; an in-process backend has nothing to respawn.
+        return {
+            "mode": "in-process",
+            "respawns": 0,
+            "requeued_batches": 0,
+            "models": stats,
+        }
 
     async def clear_caches(self) -> None:
         for model in self._live_models().values():
@@ -361,6 +370,32 @@ class MicroBatcher:
         """Admitted-but-unanswered request count against one model."""
         return self._inflight_models.get(model, 0)
 
+    def retry_after_ms(self, kind: Optional[str] = None) -> int:
+        """Adaptive advisory back-off for a shed request of ``kind``.
+
+        Derived from the live latency histograms and the current queue
+        depth via :func:`~repro.serve.wire.compute_retry_after_ms`: a
+        loaded service advises roughly one p95 latency (stretched by how
+        full the queues are), so client retries land after the backlog
+        they would have joined has drained.  ``kind=None`` (or a kind
+        with no observations yet, e.g. a connection-level shed before the
+        request line was parsed) falls back on the slowest observed kind;
+        with no latency data at all the static :data:`RETRY_AFTER_MS`
+        floor applies.
+        """
+        histogram = self._latency.get(kind) if kind is not None else None
+        if histogram is None or not histogram.count:
+            observed = [h for h in self._latency.values() if h.count]
+            if not observed:
+                return RETRY_AFTER_MS
+            p95_s = max(h.quantile(0.95) for h in observed)
+        else:
+            p95_s = histogram.quantile(0.95)
+        utilization = 0.0
+        if self.max_queued_per_key:
+            utilization = sum(self._queued.values()) / float(self.max_queued_per_key)
+        return wire.compute_retry_after_ms(p95_s, utilization)
+
     async def submit(self, request: "wire.Request") -> Result:
         """Submit one request; resolves with its backend result.
 
@@ -375,7 +410,8 @@ class MicroBatcher:
             self.shed_requests += 1
             raise OverloadedError(
                 "Batch key %r is at its queue bound (%d queued)."
-                % (key[:3], queued)
+                % (key[:3], queued),
+                retry_after_ms=self.retry_after_ms(request.kind),
             )
         future = loop.create_future()
         self.requests += 1
@@ -478,4 +514,11 @@ class MicroBatcher:
                 kind: histogram.summary()
                 for kind, histogram in sorted(self._latency.items())
             },
+            # The back-off a request shed right now would be advised:
+            # per observed kind, plus the kind-agnostic value used for
+            # connection-level sheds.
+            "retry_after_ms": dict(
+                {"any": self.retry_after_ms()},
+                **{kind: self.retry_after_ms(kind) for kind in sorted(self._latency)},
+            ),
         }

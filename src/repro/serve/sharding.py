@@ -25,6 +25,18 @@ blocking pipe reads run on executor threads, keeping the event loop free.
 Workers use the ``spawn`` start method: no forked locks, no inherited
 asyncio state, and the child imports :mod:`repro` fresh -- exactly what a
 cross-machine deployment would do.
+
+Supervision: a shard that dies (process exit, OOM kill, pipe failure) is
+detected by the failing pipe operation, **respawned** from the pool's
+current model specs -- the fresh process re-runs the digest-ack handshake
+for every registered model before it is trusted -- and the message that
+was in flight on the dead shard is **resent** to the replacement.  Exact
+inference is deterministic and side-effect-free, so re-running a batch is
+always safe; callers observe extra latency (one interpreter start), never
+errors.  ``respawns`` and ``requeued_batches`` count the recoveries and
+surface on ``/v1/stats``.  A batch that kills its worker repeatedly
+(:data:`MAX_RESPAWNS_PER_CALL` times) is failed rather than retried
+forever -- a poison request must not wedge the shard in a crash loop.
 """
 
 from __future__ import annotations
@@ -106,6 +118,7 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
 
     models: Dict[str, SpplModel] = {}
     result_caches: Dict[str, ResultCache] = {}
+    digests: Dict[str, str] = {}
     try:
         for name, spec in model_specs.items():
             spe = spe_from_json(spec["payload"])
@@ -117,11 +130,12 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
                 )
             models[name] = SpplModel(spe, cache_size=spec["cache_size"])
             result_caches[name] = ResultCache()
+            digests[name] = digest
     except BaseException as error:
         conn.send(("init_error", "%s: %s" % (type(error).__name__, error)))
         conn.close()
         return
-    conn.send(("ready", {name: spec["digest"] for name, spec in model_specs.items()}))
+    conn.send(("ready", dict(digests)))
 
     while True:
         try:
@@ -169,8 +183,18 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
             _, name, spec = message
             try:
                 if name in models:
+                    # Idempotent re-register: a respawned worker is
+                    # re-seeded from the pool's current specs, so a
+                    # retried register handshake may find the model
+                    # already loaded.  Ack it when the digest matches;
+                    # a *different* digest under the same name is a
+                    # genuine conflict.
+                    if digests.get(name) == spec["digest"]:
+                        conn.send(("registered", digests[name]))
+                        continue
                     raise WorkerError(
-                        "Worker %d already has model %r." % (worker_id, name)
+                        "Worker %d already has model %r (digest %s != %s)."
+                        % (worker_id, name, digests.get(name), spec["digest"])
                     )
                 spe = spe_from_json(spec["payload"])
                 digest = spe_digest(spe)
@@ -181,6 +205,7 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
                     )
                 models[name] = SpplModel(spe, cache_size=spec["cache_size"])
                 result_caches[name] = ResultCache()
+                digests[name] = digest
             except Exception as error:
                 conn.send(("error", "%s: %s" % (type(error).__name__, error)))
             else:
@@ -189,6 +214,7 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
             _, name = message
             models.pop(name, None)
             result_caches.pop(name, None)
+            digests.pop(name, None)
             conn.send(("unregistered", name))
         else:
             conn.send(("error", "Unknown worker op %r." % (op,)))
@@ -204,8 +230,20 @@ class _Worker:
         self.lock = asyncio.Lock()
 
 
+#: How many times one message may trigger a respawn-and-resend before the
+#: pool gives up and fails it: a batch that crashes its worker every time
+#: it runs (a poison request) must not wedge the shard in a crash loop.
+MAX_RESPAWNS_PER_CALL = 2
+
+
 class WorkerPool:
-    """N worker processes, each holding deserialized copies of every model."""
+    """N worker processes, each holding deserialized copies of every model.
+
+    The pool supervises its workers: a shard whose process dies is
+    respawned from the current model specs (digest handshake included)
+    and the in-flight message is resent, so transient worker deaths cost
+    callers latency, not errors.
+    """
 
     def __init__(self, n_workers: int, start_method: str = "spawn"):
         if n_workers < 1:
@@ -218,6 +256,60 @@ class WorkerPool:
         self._executor = ThreadPoolExecutor(
             max_workers=n_workers, thread_name_prefix="repro-serve-worker-io"
         )
+        #: Current model specs (name -> payload/digest/cache_size); the
+        #: seed a respawned worker is rebuilt from.  Kept in sync by
+        #: :meth:`start`/:meth:`register_model`/:meth:`unregister_model`.
+        self._specs: Dict[str, Dict] = {}
+        self._start_timeout = 120.0
+        self._closing = False
+        #: Supervision counters (event-loop-only mutation), surfaced on
+        #: ``/v1/stats`` via :meth:`WorkerPoolBackend.stats`.
+        self.respawns = 0
+        self.requeued_batches = 0
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids (fault-injection hook for chaos tests)."""
+        return [worker.process.pid for worker in self._workers]
+
+    def _launch(self, worker_id: int, specs: Dict[str, Dict]):
+        """Spawn one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, specs, child_conn),
+            name="repro-serve-worker-%d" % (worker_id,),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    @staticmethod
+    def _await_ready(worker_id, process, conn, specs, timeout) -> None:
+        """Block until the worker acks readiness with the expected digests.
+
+        The ready reply carries the digest the worker recomputed over
+        every deserialized model; any mismatch with the parent's specs
+        (or a death/timeout before the ack) raises :class:`WorkerError`.
+        """
+        if not conn.poll(timeout):
+            raise WorkerError("Worker %d did not start in time." % (worker_id,))
+        try:
+            reply = conn.recv()
+        except EOFError:
+            raise WorkerError(
+                "Worker %d died before reporting ready." % (worker_id,)
+            ) from None
+        if reply[0] != "ready":
+            raise WorkerError(
+                "Worker %d failed to start: %s" % (worker_id, reply[1])
+            )
+        expected = {name: spec["digest"] for name, spec in specs.items()}
+        if reply[1] != expected:
+            raise WorkerError(
+                "Worker %d handshake digests %r do not match the parent's %r."
+                % (worker_id, reply[1], expected)
+            )
 
     def start(self, model_specs: Dict[str, Dict], timeout: float = 120.0) -> None:
         """Spawn the workers and wait until every one verified its models.
@@ -227,43 +319,89 @@ class WorkerPool:
         :meth:`InferenceService.worker_specs`).  Blocking -- call before
         serving (or from an executor thread).
         """
+        self._specs = {name: dict(spec) for name, spec in model_specs.items()}
+        self._start_timeout = timeout
         for worker_id in range(self.n_workers):
-            parent_conn, child_conn = self._context.Pipe()
-            process = self._context.Process(
-                target=_worker_main,
-                args=(worker_id, model_specs, child_conn),
-                name="repro-serve-worker-%d" % (worker_id,),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            process, parent_conn = self._launch(worker_id, self._specs)
             self._workers.append(_Worker(process, parent_conn))
         for worker_id, worker in enumerate(self._workers):
-            if not worker.conn.poll(timeout):
-                self.terminate()
-                raise WorkerError("Worker %d did not start in time." % (worker_id,))
             try:
-                reply = worker.conn.recv()
-            except EOFError:
-                # Worker died before reporting (e.g. OOM-killed while
-                # deserializing): don't leave its siblings running.
-                self.terminate()
-                raise WorkerError(
-                    "Worker %d died before reporting ready." % (worker_id,)
-                ) from None
-            if reply[0] != "ready":
-                self.terminate()
-                raise WorkerError(
-                    "Worker %d failed to start: %s" % (worker_id, reply[1])
+                self._await_ready(
+                    worker_id, worker.process, worker.conn, self._specs, timeout
                 )
+            except WorkerError:
+                # Don't leave the siblings running (e.g. one worker
+                # OOM-killed while deserializing).
+                self.terminate()
+                raise
+
+    async def _respawn(self, shard: int, worker: _Worker) -> None:
+        """Replace a dead shard's process (caller holds the shard lock).
+
+        The replacement is seeded from the pool's *current* specs and
+        must pass the same digest-ack handshake a startup worker does
+        before the shard is trusted again.
+        """
+        self.respawns += 1
+        specs = {name: dict(spec) for name, spec in self._specs.items()}
+        loop = asyncio.get_running_loop()
+
+        def blocking():
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(5)
+            process, conn = self._launch(shard, specs)
+            try:
+                self._await_ready(shard, process, conn, specs, self._start_timeout)
+            except BaseException:
+                if process.is_alive():
+                    process.terminate()
+                conn.close()
+                raise
+            return process, conn
+
+        worker.process, worker.conn = await loop.run_in_executor(
+            self._executor, blocking
+        )
 
     async def _call(self, shard: int, message: tuple):
-        """One request/response round trip with a shard (serialized per shard)."""
+        """One request/response round trip with a shard (serialized per shard).
+
+        A pipe failure (the worker died) triggers a respawn and a resend
+        of ``message`` -- safe because every worker op is deterministic
+        and idempotent -- bounded by :data:`MAX_RESPAWNS_PER_CALL`.
+        """
         worker = self._workers[shard]
         loop = asyncio.get_running_loop()
         async with worker.lock:
-            worker.conn.send(message)
-            reply = await loop.run_in_executor(self._executor, worker.conn.recv)
+            attempts = 0
+            while True:
+                try:
+                    worker.conn.send(message)
+                    reply = await loop.run_in_executor(
+                        self._executor, worker.conn.recv
+                    )
+                    break
+                except (OSError, EOFError) as error:
+                    if self._closing:
+                        raise WorkerError(
+                            "Shard %d unavailable during shutdown: %s"
+                            % (shard, error)
+                        ) from error
+                    attempts += 1
+                    if attempts > MAX_RESPAWNS_PER_CALL:
+                        raise WorkerError(
+                            "Shard %d died %d times answering one %r message; "
+                            "giving up on it (poison request?)."
+                            % (shard, attempts, message[0])
+                        ) from error
+                    if message[0] == "batch":
+                        self.requeued_batches += 1
+                    await self._respawn(shard, worker)
         if reply[0] == "error":
             raise WorkerError(reply[1])
         return reply[1]
@@ -285,30 +423,36 @@ class WorkerPool:
         Each shard deserializes the payload and acks with the digest it
         recomputed over the rebuilt graph.  Any failed shard — or any ack
         that does not match the parent's digest — rolls the registration
-        back on the shards that already acked and raises
-        :class:`WorkerError`: either every shard holds a bit-identical
-        copy, or none does.  The handshake is deliberately sequential
-        (registration is rare and rollback of a strict prefix is
-        deterministic); parallelizing it would shorten the lifecycle
-        lock's hold time on wide pools at the cost of a racier rollback.
+        back on every shard (idempotent for shards that never saw the
+        model) and raises :class:`WorkerError`: either every shard holds
+        a bit-identical copy, or none does.  The handshake is
+        deliberately sequential (registration is rare); parallelizing it
+        would shorten the lifecycle lock's hold time on wide pools at
+        the cost of a racier rollback.
         """
-        acked: List[int] = []
+        # Publish the spec to the supervisor *before* the handshake: a
+        # shard that dies mid-handshake respawns with the model already
+        # seeded, and the retried register op acks idempotently.
+        self._specs[name] = dict(spec)
         try:
             for shard in range(self.n_workers):
                 digest = await self._call(shard, ("register", name, spec))
-                # The worker stored the model before replying, so count it
-                # as acked *before* the defensive digest comparison: if the
-                # comparison ever fires, the rollback must cover this shard
-                # too (a worker-side mismatch raises before storing, so
-                # this parent-side check is defense in depth).
-                acked.append(shard)
+                # The worker stored the model before replying; a
+                # worker-side mismatch raises before storing, so this
+                # parent-side check is defense in depth.
                 if digest != spec["digest"]:
                     raise WorkerError(
                         "Shard %d acked digest %s for model %r, expected %s."
                         % (shard, digest, name, spec["digest"])
                     )
         except Exception:
-            for shard in acked:
+            self._specs.pop(name, None)
+            # Roll back over *every* shard, not just the acked prefix: a
+            # shard that was respawned mid-handshake (serving a batch)
+            # was seeded with the pending spec without ever acking, and
+            # worker-side unregister is an idempotent no-op for shards
+            # that never saw the model.
+            for shard in range(self.n_workers):
                 try:
                     await self._call(shard, ("unregister", name))
                 except (WorkerError, OSError, EOFError):
@@ -317,6 +461,9 @@ class WorkerPool:
 
     async def unregister_model(self, name: str) -> None:
         """Drop a model (and its caches) from every shard."""
+        # Out of the respawn seed first: a shard respawned mid-teardown
+        # must not resurrect the model.
+        self._specs.pop(name, None)
         for shard in range(self.n_workers):
             await self._call(shard, ("unregister", name))
 
@@ -326,6 +473,7 @@ class WorkerPool:
 
     def terminate(self) -> None:
         """Hard-kill every worker (used on failed startup and as a fallback)."""
+        self._closing = True
         for worker in self._workers:
             if worker.process.is_alive():
                 worker.process.terminate()
@@ -336,6 +484,7 @@ class WorkerPool:
 
     async def close(self) -> None:
         """Graceful shutdown: stop message, join, then terminate stragglers."""
+        self._closing = True
         loop = asyncio.get_running_loop()
         for worker in self._workers:
             try:
@@ -375,6 +524,8 @@ class WorkerPoolBackend:
         return {
             "mode": "sharded",
             "workers": self.n_shards,
+            "respawns": self.pool.respawns,
+            "requeued_batches": self.pool.requeued_batches,
             "shards": await self.pool.shard_stats(),
         }
 

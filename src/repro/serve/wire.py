@@ -187,6 +187,27 @@ def encode_error_line(request_id, message: str, kind: str = "WireError") -> byte
     return encode_response(request_id, ("error", kind, message))
 
 
+#: Clamp bounds of the adaptive ``retry_after_ms``: never advise a
+#: back-off shorter than the wire round trip, never park a client for
+#: more than a few seconds on one shed.
+RETRY_AFTER_MIN_MS = 5
+RETRY_AFTER_MAX_MS = 5000
+
+
+def compute_retry_after_ms(p95_seconds: float, utilization: float) -> int:
+    """Advisory back-off from live latency and queue depth (pure).
+
+    ``clamp(p95 x (1 + utilization))``: a client that waits about one
+    p95 service latency gives the queue time to drain one depth's worth
+    of work; the utilization factor (queued / queue bound, may exceed 1
+    when several batch keys are saturated) stretches the advice as the
+    backlog grows, so retries arrive after the congestion they would
+    have joined.
+    """
+    scaled_ms = p95_seconds * 1e3 * (1.0 + max(0.0, utilization))
+    return int(min(RETRY_AFTER_MAX_MS, max(RETRY_AFTER_MIN_MS, math.ceil(scaled_ms))))
+
+
 def overloaded_response(request_id, retry_after_ms: int) -> Dict:
     """The canonical shed-response object (single definition of the shape).
 

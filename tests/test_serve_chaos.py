@@ -1,0 +1,458 @@
+"""Fault-injection tests: worker kill -> respawn, and restart durability.
+
+The chaos CI lane runs this file.  The acceptance checks it pins:
+
+* SIGKILL a worker shard during a 4x-overload run: every client-visible
+  response is either a correct result or a 429-style ``Overloaded`` shed
+  -- never any other error -- the dead shard respawns (passing the
+  digest-ack handshake), and the sharded differential (sharded ==
+  in-process, no tolerance) still passes afterwards.
+* Register a model on a live journal-backed service, stop it, restart
+  against the same journal: the model is queryable with bit-identical
+  answers.
+
+Worker kills use real ``SIGKILL`` against :meth:`WorkerPool.worker_pids`
+(the fault-injection hook) -- no cooperation from the victim -- plus a
+wrapper that kills the worker immediately after a batch hits the pipe,
+which makes the "died with a batch in flight" path deterministic.
+"""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.serve import AsyncServeClient
+from repro.serve import InferenceService
+from repro.serve import ModelRegistry
+from repro.serve import RegistryJournal
+from repro.serve import value_of
+from repro.serve.sharding import WorkerPool
+from repro.workloads import indian_gpa
+
+
+def _spec(registered):
+    return {
+        "payload": registered.payload,
+        "digest": registered.digest,
+        "cache_size": None,
+    }
+
+
+def _gpa_pool(n_workers):
+    registry = ModelRegistry()
+    registered = registry.register_catalog("indian_gpa")
+    pool = WorkerPool(n_workers)
+    pool.start({"indian_gpa": _spec(registered)})
+    return pool
+
+
+class _KillAfterSend:
+    """Pipe wrapper that SIGKILLs the worker right after a send lands.
+
+    Deterministic mid-batch death: the worker is frozen with SIGSTOP
+    *before* the message hits the pipe (so it can never answer first --
+    without the freeze, a fast worker occasionally buffers its reply
+    before the SIGKILL lands and no crash is observed), then killed with
+    the batch in flight; the parent's blocking ``recv`` observes EOF.
+    The respawned worker gets a fresh, unwrapped pipe, so the resent
+    batch goes through.
+    """
+
+    def __init__(self, conn, process):
+        self._conn = conn
+        self._process = process
+
+    def send(self, message):
+        os.kill(self._process.pid, signal.SIGSTOP)
+        self._conn.send(message)
+        self._process.kill()
+        self._process.join(5)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestWorkerRespawn:
+    def test_kill_between_batches_respawns_and_answers(self):
+        pool = _gpa_pool(1)
+
+        async def main():
+            try:
+                (before,) = await pool.run_batch(
+                    0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                )
+                victim = pool.worker_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                (after,) = await pool.run_batch(
+                    0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                )
+                # Bit-identical across the respawn: the replacement
+                # deserialized the same payload and passed the same
+                # digest handshake.
+                assert after == before
+                assert after == ("ok", indian_gpa.model().logprob("GPA > 3"))
+                assert pool.respawns == 1
+                assert pool.requeued_batches == 1
+                assert pool.worker_pids()[0] != victim
+            finally:
+                await pool.close()
+
+        asyncio.run(main())
+
+    def test_kill_mid_batch_requeues_the_inflight_batch(self):
+        pool = _gpa_pool(1)
+
+        async def main():
+            try:
+                worker = pool._workers[0]
+                worker.conn = _KillAfterSend(worker.conn, worker.process)
+                events = ["GPA > 3", "GPA > 2", "Nationality == 'India'"]
+                results = await pool.run_batch(
+                    0, "indian_gpa", "logprob", None, events
+                )
+                model = indian_gpa.model()
+                assert results == [
+                    ("ok", model.logprob(event)) for event in events
+                ]
+                assert pool.respawns == 1
+                assert pool.requeued_batches == 1
+            finally:
+                await pool.close()
+
+        asyncio.run(main())
+
+    def test_stats_and_clear_survive_a_dead_worker(self):
+        pool = _gpa_pool(2)
+
+        async def main():
+            try:
+                await pool.run_batch(0, "indian_gpa", "logprob", None, ["GPA > 3"])
+                os.kill(pool.worker_pids()[1], signal.SIGKILL)
+                stats = await pool.shard_stats()
+                assert len(stats) == 2  # the dead shard answered post-respawn
+                await pool.clear_caches()
+                assert pool.respawns == 1
+                # Control ops are not batches: no batch was requeued.
+                assert pool.requeued_batches == 0
+            finally:
+                await pool.close()
+
+        asyncio.run(main())
+
+    def test_poison_crash_loop_gives_up_with_an_error(self):
+        """A shard that dies on every resend must not respawn forever."""
+        from repro.serve import WorkerError
+        from repro.serve.sharding import MAX_RESPAWNS_PER_CALL
+
+        pool = _gpa_pool(1)
+
+        async def main():
+            try:
+                def rewrap():
+                    # Re-arm the kill wrapper after every respawn, so the
+                    # batch murders each replacement too.
+                    current = pool._workers[0]
+                    if not isinstance(current.conn, _KillAfterSend):
+                        current.conn = _KillAfterSend(
+                            current.conn, current.process
+                        )
+
+                original_respawn = pool._respawn
+
+                async def respawn_and_rearm(shard, w):
+                    await original_respawn(shard, w)
+                    rewrap()
+
+                pool._respawn = respawn_and_rearm
+                rewrap()
+                with pytest.raises(WorkerError, match="died"):
+                    await pool.run_batch(
+                        0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                    )
+                assert pool.respawns == MAX_RESPAWNS_PER_CALL
+            finally:
+                await pool.close()
+
+        asyncio.run(main())
+
+
+def mixed_requests():
+    """The differential mix from the sharded tests (logprob/prob/logpdf,
+    conditioned and not)."""
+    requests = []
+    for i in range(24):
+        variant = i % 3
+        if variant == 0:
+            requests.append(
+                {"id": i, "model": "indian_gpa", "kind": "logprob",
+                 "event": "GPA > %r" % (0.3 * (i % 12))}
+            )
+        elif variant == 1:
+            requests.append(
+                {"id": i, "model": "indian_gpa", "kind": "logpdf",
+                 "assignment": {"GPA": 0.25 * (i % 16)}}
+            )
+        else:
+            requests.append(
+                {"id": i, "model": "indian_gpa", "kind": "logprob",
+                 "event": "GPA > %r" % (0.1 * i),
+                 "condition": "Nationality == 'India'"}
+            )
+    return requests
+
+
+class TestChaosUnderOverload:
+    def test_sigkill_during_4x_overload(self):
+        """The PR's acceptance check, end to end over the real wire."""
+        bound = 16
+
+        async def main():
+            registry = ModelRegistry()
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(
+                registry, workers=2, window=0.001, max_batch=8,
+                max_queued_per_key=bound,
+            )
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                overload = [
+                    {"id": i, "model": "indian_gpa", "kind": "logprob",
+                     "event": "GPA > %r" % (0.002 * i)}
+                    for i in range(4 * bound)
+                ]
+                pids = service.backend.pool.worker_pids()
+
+                async def kill_one_shard_midway():
+                    await asyncio.sleep(0.02)
+                    os.kill(pids[0], signal.SIGKILL)
+
+                killer = asyncio.ensure_future(kill_one_shard_midway())
+                responses = await client.query_many(overload, connections=16)
+                await killer
+                # Post-kill differential: every request eventually served
+                # (adaptive back-off retries), bit-identically, which
+                # requires the respawned shard to answer -- round-robin
+                # spreads unconditioned load over both shards.
+                differential = mixed_requests()
+                followup = await client.query_many(
+                    differential, connections=8, retry_overloaded=8
+                )
+                stats = await client.stats()
+                return overload, responses, differential, followup, stats
+            finally:
+                await service.close()
+
+        overload, responses, differential, followup, stats = asyncio.run(main())
+        model = indian_gpa.model()
+        served = shed = 0
+        for request, response in zip(overload, responses):
+            if response["ok"]:
+                served += 1
+                assert value_of(response) == model.logprob(request["event"])
+            else:
+                # Zero client-visible errors beyond 429-style sheds.
+                assert response["error_kind"] == "Overloaded", response
+                assert response["retry_after_ms"] >= 1
+                shed += 1
+        assert served + shed == len(overload)
+        assert served > 0
+        # The killed shard respawned (and its handshake passed, or the
+        # follow-up differential could not have been answered).
+        assert stats["backend"]["respawns"] >= 1
+        assert stats["backend"]["mode"] == "sharded"
+        posterior = model.condition("Nationality == 'India'")
+        for request, response in zip(differential, followup):
+            assert response["ok"], response
+            target = posterior if "condition" in request else model
+            if request["kind"] == "logprob":
+                expected = target.logprob(request["event"])
+            else:
+                expected = target.logpdf(request["assignment"])
+            assert value_of(response) == expected  # bit-identical
+
+    def test_adaptive_retry_after_tracks_latency(self):
+        """Shed advice grows out of the live histograms once they have
+        data, and is surfaced on /v1/stats."""
+
+        async def main():
+            registry = ModelRegistry()
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(
+                registry, workers=0, window=0.001, max_batch=8,
+                max_queued_per_key=4,
+            )
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                original = service.backend.run_batch
+
+                async def slowed(*args, **kwargs):
+                    await asyncio.sleep(0.05)
+                    return await original(*args, **kwargs)
+
+                service.backend.run_batch = slowed
+                requests = [
+                    {"id": i, "model": "indian_gpa", "kind": "logprob",
+                     "event": "GPA > %r" % (0.01 * i)}
+                    for i in range(32)
+                ]
+                responses = await client.query_many(requests, connections=8)
+                stats = await client.stats()
+                service.backend.run_batch = original
+                return responses, stats
+            finally:
+                await service.close()
+
+        responses, stats = asyncio.run(main())
+        shed = [r for r in responses if r.get("error_kind") == "Overloaded"]
+        assert shed, "expected backpressure sheds under a 4-entry bound"
+        advice = stats["scheduler"]["retry_after_ms"]
+        # Batches took >= 50ms, so the p95-derived advice must reflect
+        # that -- not the static 25ms floor of an idle service.
+        assert advice["logprob"] >= 50
+        assert advice["any"] >= 50
+        p95 = stats["scheduler"]["latency"]["logprob"]["p95_ms"]
+        assert p95 >= 50
+
+
+class TestJournalRestart:
+    def test_register_stop_restart_bit_identical(self, tmp_path):
+        """The durability acceptance check: a live registration survives
+        a full service restart via the journal, answering identically."""
+        journal_path = tmp_path / "registry.journal"
+        probe = {"model": "gpa_live", "kind": "logprob", "event": "GPA > 2.5"}
+
+        async def first_life():
+            registry = ModelRegistry()
+            journal = RegistryJournal(journal_path)
+            journal.restore(registry)
+            service = InferenceService(registry, workers=0, journal=journal)
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                reply = await client.register_model(
+                    "gpa_live", catalog="indian_gpa", cache_size=512
+                )
+                assert reply["ok"] and reply["journaled"], reply
+                return value_of(await client.query(probe))
+            finally:
+                await service.close()
+
+        async def second_life():
+            registry = ModelRegistry()
+            journal = RegistryJournal(journal_path)
+            restored = journal.restore(registry)
+            assert restored == ["gpa_live"]
+            service = InferenceService(registry, workers=0, journal=journal)
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                models = await client.models()
+                value = value_of(await client.query(probe))
+                stats = await client.stats()
+                return models, value, stats
+            finally:
+                await service.close()
+
+        first_value = asyncio.run(first_life())
+        models, second_value, stats = asyncio.run(second_life())
+        assert second_value == first_value  # bit-identical, no tolerance
+        assert models["gpa_live"]["cache_max_entries"] == 512
+        assert stats["journal"]["live"] == 1
+
+    def test_restart_on_a_sharded_service(self, tmp_path):
+        """Journal-restored models reach worker shards through the same
+        digest-verified startup handshake as static ones."""
+        journal_path = tmp_path / "registry.journal"
+
+        async def first_life():
+            registry = ModelRegistry()
+            journal = RegistryJournal(journal_path)
+            service = InferenceService(registry, workers=0, journal=journal)
+            await service.start()
+            client = AsyncServeClient(service.host, service.port)
+            try:
+                reply = await client.register_model(
+                    "gpa_live", catalog="indian_gpa"
+                )
+                assert reply["ok"], reply
+            finally:
+                await service.close()
+
+        async def sharded_life():
+            registry = ModelRegistry()
+            journal = RegistryJournal(journal_path)
+            journal.restore(registry)
+            service = InferenceService(registry, workers=2, journal=journal)
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                requests = [
+                    {"id": i, "model": "gpa_live", "kind": "logprob",
+                     "event": "GPA > %r" % (0.25 * i)}
+                    for i in range(12)
+                ]
+                return requests, await client.query_many(requests, connections=4)
+            finally:
+                await service.close()
+
+        asyncio.run(first_life())
+        requests, responses = asyncio.run(sharded_life())
+        model = indian_gpa.model()
+        for request, response in zip(requests, responses):
+            assert response["ok"], response
+            assert value_of(response) == model.logprob(request["event"])
+
+    def test_unregister_is_durable_too(self, tmp_path):
+        journal_path = tmp_path / "registry.journal"
+
+        async def live_cycle():
+            registry = ModelRegistry()
+            journal = RegistryJournal(journal_path)
+            service = InferenceService(registry, workers=0, journal=journal)
+            await service.start()
+            client = AsyncServeClient(service.host, service.port)
+            try:
+                await client.register_model("gpa_live", catalog="indian_gpa")
+                reply = await client.unregister_model("gpa_live")
+                assert reply["ok"], reply
+            finally:
+                await service.close()
+
+        asyncio.run(live_cycle())
+        registry = ModelRegistry()
+        assert RegistryJournal(journal_path).restore(registry) == []
+        assert len(registry) == 0
+
+    def test_unregister_tombstone_precedes_worker_teardown(self, tmp_path):
+        """Even when worker teardown fails (500), the tombstone is
+        durable: a model the live service stopped serving must not
+        resurrect on restart."""
+        from repro.serve import ServeClientError
+        from repro.serve import WorkerError
+
+        journal_path = tmp_path / "registry.journal"
+
+        async def live_cycle():
+            registry = ModelRegistry()
+            journal = RegistryJournal(journal_path)
+            service = InferenceService(registry, workers=0, journal=journal)
+            await service.start()
+            client = AsyncServeClient(service.host, service.port)
+            try:
+                await client.register_model("gpa_live", catalog="indian_gpa")
+
+                async def broken_teardown(name):
+                    raise WorkerError("shard exploded during teardown")
+
+                service.backend.unregister_model = broken_teardown
+                with pytest.raises(ServeClientError, match="teardown"):
+                    await client.unregister_model("gpa_live")
+            finally:
+                await service.close()
+
+        asyncio.run(live_cycle())
+        assert RegistryJournal(journal_path).replay() == {}
