@@ -16,8 +16,10 @@ file, so successive PRs have a trajectory to compare against::
 
 ``--gate BASELINE.json`` turns the run into a regression gate: after
 writing the snapshot it compares against the baseline and exits non-zero
-on a >25% slowdown of any ``translate_s`` (with a small absolute grace to
-ignore sub-millisecond jitter) or on any compression-ratio regression::
+on a >25% slowdown of any ``translate_s`` or compiled ``logprob_batch``
+probe (with a small absolute grace to ignore sub-millisecond jitter), on
+any compression-ratio regression, or on any compiled-vs-interpreted
+differential mismatch (``bit_identical: false``)::
 
     PYTHONPATH=src python benchmarks/run_all.py --output BENCH_ci.json \
         --gate BENCH_latest.json
@@ -146,6 +148,85 @@ def bench_transform_sampling() -> dict:
         "sample_batch_per_element_s": round(loop_s, 4),
         "speedup": round(loop_s / vectorized_s, 1),
     }
+
+
+def _logprob_battery(model, n_events):
+    """A deterministic mixed battery of textual logprob events for ``model``.
+
+    Cycles single-variable threshold events over the model's variables
+    plus compound ``or``/``and`` events every few requests, so both the
+    single-clause and the DNF paths of the evaluators are exercised.
+    """
+    variables = sorted(str(v) for v in model.variables)
+    rng = np.random.default_rng(11)
+    events = []
+    for i in range(n_events):
+        first = variables[i % len(variables)]
+        threshold = float(rng.uniform(-1.0, 3.0))
+        if i % 5 == 3 and len(variables) > 1:
+            second = variables[(i + 1) % len(variables)]
+            joiner = "or" if i % 2 else "and"
+            events.append(
+                "%s < %r %s %s < %r"
+                % (first, threshold, joiner, second, float(rng.uniform(-1.0, 3.0)))
+            )
+        else:
+            events.append("%s < %r" % (first, threshold))
+    return events
+
+
+def bench_compiled_logprob_batch() -> dict:
+    """Compiled columnar kernel vs the interpreted evaluator (logprob_batch).
+
+    For every Table-1 model plus the 20-step hierarchical HMM, replays the
+    same 256-event battery through a cold-cache interpreted model and
+    through the compiled :class:`repro.spe.CompiledSPE` kernel (best of 3
+    each), and records the per-model ``bit_identical`` differential --
+    the compiled kernel is only correct if every float matches the
+    interpreter exactly, NaNs included.  ``--gate`` fails on any
+    ``bit_identical: false`` and on a >25% compiled-throughput regression
+    (median-normalized, like ``translate_s``).
+    """
+    n_events = 256
+    benchmarks = [
+        ("hiring", table1_models.hiring),
+        ("alarm", table1_models.alarm),
+        ("grass", table1_models.grass),
+        ("noisy_or", table1_models.noisy_or),
+        ("clinical_trial", table1_models.clinical_trial_table1),
+        ("heart_disease", table1_models.heart_disease),
+    ]
+    loaded = {
+        name: SpplModel(compile_command(builder())) for name, builder in benchmarks
+    }
+    loaded["hierarchical_hmm_20"] = hmm.model(20)
+    rows = {}
+    for name, model in loaded.items():
+        events = _logprob_battery(model, n_events)
+        model.compile()
+        interpreted_s = compiled_s = float("inf")
+        want = got = None
+        for _ in range(3):
+            interpreted = SpplModel(model.spe, cache=False)
+            start = time.perf_counter()
+            want = interpreted.logprob_batch(events)
+            interpreted_s = min(interpreted_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            got = model.logprob_batch(events)
+            compiled_s = min(compiled_s, time.perf_counter() - start)
+        bit_identical = all(
+            g == w or (g != g and w != w) for g, w in zip(got, want)
+        )
+        rows[name] = {
+            "events": n_events,
+            "interpreted_s": round(interpreted_s, 4),
+            "compiled_s": round(compiled_s, 4),
+            "speedup": round(interpreted_s / compiled_s, 1),
+            "compiled_qps": round(n_events / compiled_s),
+            "bit_identical": bit_identical,
+        }
+        model.detach_compiled()
+    return rows
 
 
 def bench_cache_bound() -> dict:
@@ -437,8 +518,50 @@ def check_gate(snapshot: dict, baseline: dict) -> list:
       median (beyond a small absolute grace) fails.
     * per-model ``compression_ratio`` -- node counts are deterministic, so
       **any** regression fails.
+    * per-model ``compiled_logprob_batch`` -- ``bit_identical: false``
+      (the compiled kernel diverging from the interpreter) fails outright,
+      baseline or not; ``compiled_s`` regressions gate like ``translate_s``
+      (>25% beyond the fleet-median ratio, with the same absolute grace).
     """
     failures = []
+    for name, row in sorted(snapshot.get("compiled_logprob_batch", {}).items()):
+        if not row.get("bit_identical", True):
+            failures.append(
+                "compiled-vs-interpreted differential mismatch on %r: "
+                "CompiledSPE.logprob_batch is not bit-identical" % (name,)
+            )
+    old_compiled = baseline.get("compiled_logprob_batch", {})
+    new_compiled = snapshot.get("compiled_logprob_batch", {})
+    compiled_ratios = {}
+    for name, old in sorted(old_compiled.items()):
+        new = new_compiled.get(name)
+        if new is None:
+            failures.append(
+                "compiled_logprob_batch benchmark %r missing from snapshot" % name
+            )
+            continue
+        if old["compiled_s"] > 0:
+            compiled_ratios[name] = new["compiled_s"] / old["compiled_s"]
+    if compiled_ratios:
+        scale = float(np.median(list(compiled_ratios.values())))
+        for name, ratio in sorted(compiled_ratios.items()):
+            old_t = old_compiled[name]["compiled_s"]
+            new_t = new_compiled[name]["compiled_s"]
+            if (
+                ratio > scale * GATE_SLOWDOWN_FACTOR
+                and new_t - old_t * scale > GATE_ABSOLUTE_GRACE_S
+            ):
+                failures.append(
+                    "compiled logprob_batch regression on %r: %.4fs -> %.4fs "
+                    "(>%d%% slower than the fleet-median ratio %.2fx)"
+                    % (
+                        name,
+                        old_t,
+                        new_t,
+                        round((GATE_SLOWDOWN_FACTOR - 1) * 100),
+                        scale,
+                    )
+                )
     old_rows = baseline.get("compression", {})
     new_rows = snapshot.get("compression", {})
     ratios = {}
@@ -493,7 +616,9 @@ def main() -> int:
         default=None,
         metavar="BASELINE",
         help="compare against a committed BENCH_*.json and exit non-zero on "
-        "a >25%% translate_s slowdown or any compression-ratio regression",
+        "a >25%% translate_s or compiled-logprob_batch slowdown, any "
+        "compression-ratio regression, or a compiled-vs-interpreted "
+        "differential mismatch",
     )
     args = parser.parse_args()
 
@@ -504,6 +629,7 @@ def main() -> int:
         "compression": bench_compression(),
         "sampling": bench_sampling(),
         "transform_sampling": bench_transform_sampling(),
+        "compiled_logprob_batch": bench_compiled_logprob_batch(),
         "cache_bound": bench_cache_bound(),
         "repeated_queries": bench_repeated_queries(),
         "posterior_chain": bench_posterior_chain(),

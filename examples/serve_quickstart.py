@@ -12,16 +12,25 @@ Demonstrates the ``repro.serve`` subsystem end to end:
    per-kind latency percentiles),
 6. register a new model on the **live** service (no restart), query it,
    and unregister it again — with a registry **journal** attached, so
-   the registration would survive a service restart.
+   the registration would survive a service restart,
+7. register a model by the **path + digest** of a compiled ``.spz``
+   blob: the service mmaps the content-addressed file instead of
+   deserializing a payload, so every worker shard shares one physical
+   copy of the compiled tables.
 
 The same service runs standalone with worker-process sharding (dead
 workers are respawned transparently) and a durable lifecycle journal::
 
     python -m repro.serve --model hmm20 --workers 4 \
+        --blob-dir /var/lib/repro/blobs \
         --registry-journal /var/lib/repro/registry.journal
 
-On restart, the journal is replayed (digest-verified) before serving, so
-models registered through ``/v1/models/register`` come back without any
+With ``--blob-dir`` every model is compiled once into a
+``<digest>.spz`` blob and all worker shards mmap the same read-only
+file; live registrations journal the blob path (not the payload), so a
+restart re-maps the blob after re-verifying its digest.  On restart,
+the journal is replayed (digest-verified) before serving, so models
+registered through ``/v1/models/register`` come back without any
 ``--model`` flag.
 
 Run with::
@@ -124,6 +133,29 @@ async def main() -> None:
         print("  logprob(X[0] < 0.5 | hmm3) = %.4f" % value_of(response))
         await client.unregister_model("hmm3")
         print("unregistered hmm3; serving: %s" % ", ".join(await client.models()))
+
+        # -- 7. Register a compiled blob by path + digest --------------------
+        # Compile once into a content-addressed <digest>.spz blob, then
+        # register by path: the service verifies the embedded digest and
+        # mmaps the file — with worker shards, every shard maps the same
+        # physical pages instead of deserializing its own copy.
+        from repro.spe import spe_digest
+
+        blob_dir = Path(tmp) / "blobs"
+        blob_dir.mkdir()
+        model5 = hmm.model(5)
+        digest = spe_digest(model5.spe)
+        blob_path = blob_dir / (digest + ".spz")
+        model5.compile(path=str(blob_path))
+        reply = await client.register_model("hmm5", path=str(blob_path))
+        print(
+            "registered %r from blob %s... (digest-verified)"
+            % (reply["model"], blob_path.name[:12])
+        )
+        response = await client.query(
+            {"model": "hmm5", "kind": "logprob", "event": "X[0] < 0.5"}
+        )
+        print("  logprob(X[0] < 0.5 | hmm5) = %.4f" % value_of(response))
         await service.close()
 
 

@@ -19,6 +19,8 @@ from typing import List
 from typing import Optional
 from typing import Tuple
 
+import numpy as np
+
 from ..sets import OutcomeSet
 
 #: Log of zero probability.
@@ -26,7 +28,19 @@ NEG_INF = -math.inf
 
 
 def log_add(log_values) -> float:
-    """Numerically-stable log-sum-exp of an iterable of log values."""
+    """Numerically-stable log-sum-exp of an iterable of log values.
+
+    The transcendentals are evaluated with numpy's ``exp``/``log`` kernels
+    rather than ``math.exp``/``math.log``: the compiled columnar engine
+    (:mod:`repro.spe.compiled`) evaluates the same reduction with
+    vectorized numpy sweeps, and numpy's scalar and array kernels agree
+    bit-for-bit while ``math.*`` occasionally differs from them by one
+    ulp.  Keeping both execution paths on one kernel family is what makes
+    compiled results bit-identical to interpreted ones.  The accumulation
+    order (peak by first-maximal scan, then a sequential left-to-right
+    sum of the shifted exponentials) is likewise mirrored by the compiled
+    sweep, so associativity matches exactly.
+    """
     values = [v for v in log_values]
     if not values:
         return NEG_INF
@@ -35,8 +49,15 @@ def log_add(log_values) -> float:
         return NEG_INF
     if peak == math.inf:
         return math.inf
-    total = sum(math.exp(v - peak) for v in values)
-    return peak + math.log(total)
+    if len(values) == 1:
+        # exp(peak - peak) == 1.0 and log(1.0) == 0.0 exactly.
+        return peak + 0.0
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        shifted = np.exp(np.asarray(values, dtype=float) - peak)
+        total = 0.0
+        for term in shifted.tolist():
+            total += term
+        return peak + float(np.log(total))
 
 
 def log_subtract(log_a: float, log_b: float) -> float:

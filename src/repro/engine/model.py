@@ -125,6 +125,9 @@ class SpplModel:
             )
         self._event_cache: "OrderedDict[str, Event]" = OrderedDict()
         self._event_cache_lock = threading.Lock()
+        # Optional compiled columnar kernel (see repro.spe.compiled);
+        # batched queries route through it when attached.
+        self._compiled = None
         # (monotonic time, eviction count) at the previous cache_stats()
         # call; the pair turns the monotone eviction counter into an
         # evictions/sec pressure signal without touching the query path.
@@ -141,6 +144,116 @@ class SpplModel:
     def from_command(cls, command: Command) -> "SpplModel":
         """Translate a command-IR program into a model."""
         return cls(compile_command(command))
+
+    @classmethod
+    def from_spz(
+        cls,
+        path,
+        cache_size: Optional[int] = None,
+        expected_digest: Optional[str] = None,
+    ) -> "SpplModel":
+        """Load a model from a compiled ``.spz`` blob, mmap-backed.
+
+        The expression graph is rebuilt from the blob's embedded payload
+        (and verified against the stamped digest), while batched queries
+        run directly off the read-only mapped arrays — many processes
+        loading the same blob share one physical copy of the tables.
+        """
+        from ..spe import load_spz
+
+        handle = load_spz(path, expected_digest=expected_digest)
+        model = cls(handle.root, cache_size=cache_size)
+        model._compiled = handle
+        return model
+
+    # -- Compiled kernel ------------------------------------------------------
+
+    @property
+    def compiled(self):
+        """The attached :class:`~repro.spe.CompiledSPE`, or None."""
+        return self._compiled
+
+    def compiled_info(self) -> Optional[Dict[str, object]]:
+        """Describe the attached compiled kernel (None when not compiled)."""
+        if self._compiled is None or self._compiled.closed:
+            return None
+        return self._compiled.describe()
+
+    def compile(self, path=None, force: bool = False):
+        """Compile the model into the columnar kernel and attach it.
+
+        Without ``path`` the kernel lives on in-process arrays.  With
+        ``path`` the blob is written to disk (skipped when a file with
+        the same content already exists — blobs are content-addressed by
+        the expression digest — unless ``force``) and the attached kernel
+        is backed by a read-only mmap of that file, so other processes
+        compiling or loading the same model share the physical pages.
+        Returns the attached :class:`~repro.spe.CompiledSPE`.
+        """
+        from ..spe import compile_spe
+        from ..spe import load_spz
+
+        handle = compile_spe(self.spe)
+        if path is not None:
+            import os
+
+            if force or not os.path.exists(path):
+                handle.save(path)
+            digest = handle.digest
+            handle.close()
+            handle = load_spz(path, expected_digest=digest)
+        self.attach_compiled(handle)
+        return handle
+
+    def attach_compiled(self, handle) -> None:
+        """Adopt a compiled kernel; it must match this model's expression.
+
+        The previously attached kernel (if any) is closed.
+        """
+        from ..spe import spe_digest
+
+        if handle.closed:
+            raise ValueError("Cannot attach a closed CompiledSPE handle.")
+        if handle.digest != spe_digest(self.spe):
+            raise ValueError(
+                "Compiled kernel digest %s does not match this model."
+                % (handle.digest,)
+            )
+        previous, self._compiled = self._compiled, handle
+        if previous is not None and previous is not handle:
+            previous.close()
+
+    def detach_compiled(self) -> None:
+        """Close and drop the attached compiled kernel (if any)."""
+        previous, self._compiled = self._compiled, None
+        if previous is not None:
+            previous.close()
+
+    def _refresh_compiled(self) -> None:
+        """Rebuild the compiled kernel from current sources.
+
+        Blob-backed kernels are re-mapped from their file (re-verifying
+        the digest); in-memory kernels are recompiled.  Either way no
+        handle to the old mapping survives, so cache clearing cannot
+        leave a query running against stale pages.
+        """
+        previous, self._compiled = self._compiled, None
+        if previous is None:
+            return
+        path, digest = previous.source_path, previous.digest
+        previous.close()
+        from ..spe import compile_spe
+        from ..spe import load_spz
+
+        if path is not None:
+            try:
+                self._compiled = load_spz(path, expected_digest=digest)
+                return
+            except Exception:
+                # The blob vanished or was corrupted: fall back to an
+                # in-memory compile of the (verified) live expression.
+                pass
+        self._compiled = compile_spe(self.spe)
 
     # -- Cache management -----------------------------------------------------
 
@@ -196,6 +309,7 @@ class SpplModel:
         scoping is conservative, never stale.  Pass ``everything=True`` to
         wipe the shared cache entirely (the pre-bounded-cache behavior).
         """
+        self._refresh_compiled()
         if self._cache is None:
             return
         if everything or not isinstance(self._cache, QueryCache):
@@ -296,7 +410,17 @@ class SpplModel:
         return self.spe.prob(self._resolve_event(event), memo=self._memo(memo))
 
     def logprob_batch(self, events: Sequence[EventLike], memo: Memo = None) -> List[float]:
-        """Exact log probabilities of many events in one cached pass."""
+        """Exact log probabilities of many events in one pass.
+
+        With a compiled kernel attached (:meth:`compile`) and no explicit
+        memo, the batch runs as vectorized columnar sweeps — bit-identical
+        to the interpreted traversal, typically an order of magnitude
+        faster.  Otherwise the events share one cached traversal pass.
+        """
+        if memo is None and self._compiled is not None and not self._compiled.closed:
+            return self._compiled.logprob_batch(
+                [self._resolve_event(event) for event in events]
+            )
         memo = self._memo(memo)
         return [
             self.spe.logprob(self._resolve_event(event), memo=memo)
@@ -314,7 +438,17 @@ class SpplModel:
     def logpdf_batch(
         self, assignments: Sequence[Dict[str, object]], memo: Memo = None
     ) -> List[float]:
-        """Log densities of many point assignments in one cached pass."""
+        """Log densities of many point assignments in one pass.
+
+        Routed through the compiled kernel when one is attached and the
+        batch fits its columnar fast path (uniform keys, no transformed
+        variables); the kernel declines otherwise and the batch falls
+        back to the cached interpreted traversal.
+        """
+        if memo is None and self._compiled is not None and not self._compiled.closed:
+            routed = self._compiled.logpdf_batch(assignments)
+            if routed is not None:
+                return routed
         memo = self._memo(memo)
         return [self.spe.logpdf(assignment, memo=memo) for assignment in assignments]
 
@@ -367,6 +501,8 @@ class SpplModel:
         fastest bulk-sampling surface: no per-row dictionaries are built.
         """
         rng = self._rng(rng, seed)
+        if self._compiled is not None and not self._compiled.closed:
+            return self._compiled.sample_columns(rng, n)
         return self.spe.sample_bulk(rng, n)
 
     def sample_subset(self, symbols: Iterable[str], n: int = None, rng=None, seed: int = None):

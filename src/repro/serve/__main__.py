@@ -103,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed (HTTP 429) past N in-flight pipelined queries per connection",
     )
     parser.add_argument(
+        "--blob-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of content-addressed compiled model blobs "
+        "(<digest>.spz); every model is compiled once into DIR and all "
+        "worker shards mmap the same read-only file instead of "
+        "deserializing their own copies",
+    )
+    parser.add_argument(
         "--registry-journal",
         default=None,
         metavar="PATH",
@@ -114,7 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_registry(args: argparse.Namespace) -> ModelRegistry:
-    registry = ModelRegistry(default_cache_size=args.cache_size)
+    registry = ModelRegistry(
+        default_cache_size=args.cache_size, blob_dir=args.blob_dir
+    )
     for spec in args.model:
         registry.register_catalog(spec)
     for entry in args.spe:

@@ -283,16 +283,20 @@ class AsyncServeClient:
         name: str,
         catalog: Optional[str] = None,
         payload: Optional[str] = None,
+        path: Optional[str] = None,
         cache_size: Optional[int] = None,
     ) -> Dict:
-        """Register a model on the running service (catalog name or a
-        serialized ``SpplModel.to_json()`` payload); raises
+        """Register a model on the running service (catalog name, a
+        serialized ``SpplModel.to_json()`` payload, or the ``path`` of a
+        compiled ``.spz`` blob on the server's filesystem); raises
         :class:`ServeClientError` if the service refuses."""
         body: Dict = {"name": name}
         if catalog is not None:
             body["catalog"] = catalog
         if payload is not None:
             body["payload"] = payload
+        if path is not None:
+            body["path"] = path
         if cache_size is not None:
             body["cache_size"] = cache_size
         return await self._get_json(
@@ -372,11 +376,16 @@ class ServeClient:
         name: str,
         catalog: Optional[str] = None,
         payload: Optional[str] = None,
+        path: Optional[str] = None,
         cache_size: Optional[int] = None,
     ) -> Dict:
         return self._run(
             self._async.register_model(
-                name, catalog=catalog, payload=payload, cache_size=cache_size
+                name,
+                catalog=catalog,
+                payload=payload,
+                path=path,
+                cache_size=cache_size,
             )
         )
 

@@ -180,16 +180,15 @@ class InferenceService:
         self._lifecycle_lock = asyncio.Lock()
 
     def worker_specs(self) -> Dict[str, Dict]:
-        """Per-model payloads/digests/budgets handed to worker processes."""
+        """Per-model specs handed to worker processes.
+
+        Blob-backed models (registry with a ``blob_dir``) ship their
+        ``.spz`` path + digest so every shard mmaps one shared physical
+        copy; others ship the full serialized payload.
+        """
         return {
-            name: {
-                "payload": registered.payload,
-                "digest": registered.digest,
-                "cache_size": registered.cache_size,
-            }
-            for name, registered in (
-                (name, self.registry.get(name)) for name in self.registry.names()
-            )
+            name: wire.model_spec(self.registry.get(name))
+            for name in self.registry.names()
         }
 
     # -- Lifecycle ------------------------------------------------------------
@@ -454,6 +453,14 @@ class InferenceService:
                 if method != "POST":
                     return _json_response(405, {"error": "POST required."})
                 await self.backend.clear_caches()
+                if self._pool is not None:
+                    # Sharded mode: the registry's live copies are not on
+                    # the query path, but their compiled-blob handles must
+                    # be refreshed too (clear_cache re-maps the blob), so
+                    # no stale mmap survives anywhere in the parent.
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self.registry.clear_caches
+                    )
                 return _json_response(200, {"ok": True})
             if path == "/healthz":
                 return _json_response(200, {"ok": True})
@@ -497,12 +504,14 @@ class InferenceService:
     async def _handle_register(self, body: bytes) -> bytes:
         """Register a model on the running service (catalog name or payload).
 
-        Body: ``{"name": ..., "catalog": "hmm20"}`` or ``{"name": ...,
-        "payload": "<SpplModel.to_json()>"}``, plus an optional
-        ``cache_size``.  The model is built off the event loop, shipped to
-        every worker shard, and published to the registry only after all
-        shards acked the round-trip digest — a failed handshake leaves the
-        service exactly as it was.
+        Body: ``{"name": ..., "catalog": "hmm20"}``, ``{"name": ...,
+        "payload": "<SpplModel.to_json()>"}`` or ``{"name": ...,
+        "path": "<model>.spz"}`` (a compiled blob; the embedded payload
+        is hash-verified and the graph digest-checked on load), plus an
+        optional ``cache_size``.  The model is built off the event loop,
+        shipped to every worker shard, and published to the registry only
+        after all shards acked the round-trip digest — a failed handshake
+        leaves the service exactly as it was.
         """
         try:
             data = json.loads(body)
@@ -513,12 +522,15 @@ class InferenceService:
         name = data["name"]
         catalog = data.get("catalog")
         payload = data.get("payload")
+        blob = data.get("path")
         cache_size = data.get("cache_size")
         if cache_size is not None and (not isinstance(cache_size, int) or cache_size < 1):
             return _json_response(400, {"error": "'cache_size' must be a positive integer."})
-        if (catalog is None) == (payload is None):
+        if sum(source is not None for source in (catalog, payload, blob)) != 1:
             return _json_response(
-                400, {"error": "Register needs exactly one of 'catalog' or 'payload'."}
+                400,
+                {"error": "Register needs exactly one of 'catalog', "
+                          "'payload' or 'path'."},
             )
         async with self._lifecycle_lock:
             if name in self.registry:
@@ -533,13 +545,19 @@ class InferenceService:
                     model = await loop.run_in_executor(
                         None, self.registry.build_catalog, catalog
                     )
+                elif blob is not None:
+                    if not isinstance(blob, str):
+                        return _json_response(400, {"error": "'path' must be a string."})
+                    from ..engine import SpplModel
+
+                    model = await loop.run_in_executor(None, SpplModel.from_spz, blob)
                 else:
                     if not isinstance(payload, str):
                         return _json_response(400, {"error": "'payload' must be a string."})
                     from ..engine import SpplModel
 
                     model = await loop.run_in_executor(None, SpplModel.from_json, payload)
-            except (RegistryError, ValueError, KeyError, TypeError) as error:
+            except (RegistryError, ValueError, KeyError, TypeError, OSError) as error:
                 return _json_response(
                     400, {"error": "Cannot build model: %s" % (error,)}
                 )

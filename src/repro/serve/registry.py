@@ -50,9 +50,15 @@ class RegistryError(KeyError):
 
 
 class RegisteredModel:
-    """A served model plus the serialized payload its worker shards load."""
+    """A served model plus the serialized payload its worker shards load.
 
-    __slots__ = ("name", "model", "payload", "digest", "cache_size")
+    When the registry was given a ``blob_dir``, ``blob_path`` names the
+    content-addressed compiled ``.spz`` blob (``<digest>.spz``) every
+    worker shard mmaps instead of deserializing ``payload``; otherwise it
+    is ``None`` and shards ship the full payload.
+    """
+
+    __slots__ = ("name", "model", "payload", "digest", "cache_size", "blob_path")
 
     def __init__(self, name: str, model: SpplModel, cache_size: Optional[int]):
         self.name = name
@@ -60,15 +66,20 @@ class RegisteredModel:
         self.cache_size = cache_size
         self.payload = model.to_json()
         self.digest = spe_digest(model.spe)
+        self.blob_path = None
 
     def describe(self) -> Dict:
         """Static description for the ``/v1/models`` endpoint."""
-        return {
+        description = {
             "variables": self.model.variables,
             "nodes": self.model.size(),
             "digest": self.digest,
             "cache_max_entries": self.cache_size,
         }
+        if self.blob_path is not None:
+            description["blob_path"] = self.blob_path
+            description["compiled"] = self.model.compiled_info()
+        return description
 
 
 def _catalog_builders() -> Dict[str, Callable[[], SpplModel]]:
@@ -105,10 +116,21 @@ class ModelRegistry:
     same per-model budgets).
     """
 
-    def __init__(self, default_cache_size: Optional[int] = None):
+    def __init__(
+        self,
+        default_cache_size: Optional[int] = None,
+        blob_dir=None,
+    ):
         self.default_cache_size = (
             DEFAULT_CACHE_ENTRIES if default_cache_size is None else default_cache_size
         )
+        #: When set, every prepared model is compiled into a
+        #: content-addressed ``.spz`` blob (``<digest>.spz``) under this
+        #: directory and the live model queries through the mmap'd
+        #: kernel; worker shards are seeded with the blob path + digest
+        #: instead of the serialized payload, so all shards share one
+        #: physical copy of the compiled tables.
+        self.blob_dir = None if blob_dir is None else Path(blob_dir)
         self._models: Dict[str, RegisteredModel] = {}
 
     # -- Registration ---------------------------------------------------------
@@ -141,7 +163,23 @@ class ModelRegistry:
             raise TypeError("register() needs an SpplModel, got %r." % (model,))
         budget = self.default_cache_size if cache_size is None else cache_size
         model = SpplModel(model.spe, cache_size=budget)
-        return RegisteredModel(name, model, budget)
+        registered = RegisteredModel(name, model, budget)
+        if self.blob_dir is not None:
+            self._attach_blob(registered)
+        return registered
+
+    def _attach_blob(self, registered: RegisteredModel) -> None:
+        """Compile the model into a content-addressed ``.spz`` blob.
+
+        The blob is named by the expression digest, so re-registering a
+        structurally-equal model (or restarting the service) reuses the
+        existing file rather than rewriting it, and the attached kernel
+        is backed by a read-only mmap of that file.
+        """
+        self.blob_dir.mkdir(parents=True, exist_ok=True)
+        path = self.blob_dir / (registered.digest + ".spz")
+        registered.model.compile(path=str(path))
+        registered.blob_path = str(path)
 
     def publish(self, registered: RegisteredModel) -> RegisteredModel:
         """Make a prepared model visible to lookups."""
@@ -262,7 +300,17 @@ class RegistryJournal:
     One JSON record per line::
 
         {"op": "register", "name": ..., "payload": ..., "digest": ..., "cache_size": ...}
+        {"op": "register", "name": ..., "path": "<blob>.spz", "digest": ..., "cache_size": ...}
         {"op": "unregister", "name": ...}
+
+    Register records are **content-addressed** when the registry keeps
+    compiled blobs (``blob_dir``): instead of embedding the full
+    serialized payload, the record carries the path of the model's
+    ``<digest>.spz`` blob.  Restore re-reads the canonical payload out
+    of the blob (hash-verified against the journaled digest) and then
+    runs the same digest verification as payload records — a missing or
+    corrupted blob raises :class:`JournalError` rather than silently
+    serving the wrong model.
 
     Write-ahead-log discipline:
 
@@ -344,7 +392,23 @@ class RegistryJournal:
         for name, spec in self._live.items():
             if name in registry:
                 continue
-            spe = spe_from_json(spec["payload"])
+            payload = spec.get("payload")
+            if payload is None:
+                # Content-addressed record: the canonical payload lives
+                # inside the compiled blob, hash-verified on read.
+                from ..spe import read_spz_payload
+
+                try:
+                    payload = read_spz_payload(
+                        spec["path"], expected_digest=spec["digest"]
+                    )
+                except Exception as error:
+                    raise JournalError(
+                        "Journaled model %r cannot be restored from blob "
+                        "%s: %s: %s"
+                        % (name, spec["path"], type(error).__name__, error)
+                    ) from error
+            spe = spe_from_json(payload)
             digest = spe_digest(spe)
             if digest != spec["digest"]:
                 raise JournalError(
@@ -361,16 +425,23 @@ class RegistryJournal:
     # -- Recording ------------------------------------------------------------
 
     def record_register(self, registered: RegisteredModel) -> None:
-        """Journal one successful live registration (durable before ack)."""
-        self._append(
-            {
-                "op": "register",
-                "name": registered.name,
-                "payload": registered.payload,
-                "digest": registered.digest,
-                "cache_size": registered.cache_size,
-            }
-        )
+        """Journal one successful live registration (durable before ack).
+
+        Models with an attached compiled blob are recorded by blob path
+        (content-addressed, the blob embeds the canonical payload);
+        everything else embeds the payload in the record.
+        """
+        entry = {
+            "op": "register",
+            "name": registered.name,
+            "digest": registered.digest,
+            "cache_size": registered.cache_size,
+        }
+        if registered.blob_path is not None:
+            entry["path"] = registered.blob_path
+        else:
+            entry["payload"] = registered.payload
+        self._append(entry)
 
     def record_unregister(self, name: str) -> None:
         """Journal one successful live unregistration (durable before ack)."""
@@ -408,8 +479,9 @@ class RegistryJournal:
             return entry
         if entry.get("op") == "register":
             cache_size = entry.get("cache_size")
-            if isinstance(entry.get("payload"), str) \
-                    and isinstance(entry.get("digest"), str) \
+            source_ok = isinstance(entry.get("payload"), str) or \
+                isinstance(entry.get("path"), str)
+            if source_ok and isinstance(entry.get("digest"), str) \
                     and (cache_size is None or isinstance(cache_size, int)):
                 return entry
         return None
@@ -421,11 +493,15 @@ class RegistryJournal:
         if entry["op"] == "register":
             if self._live.pop(name, None) is not None:
                 self._dead += 1  # the superseded register
-            self._live[name] = {
-                "payload": entry["payload"],
+            spec = {
                 "digest": entry["digest"],
                 "cache_size": entry.get("cache_size"),
             }
+            if "payload" in entry:
+                spec["payload"] = entry["payload"]
+            else:
+                spec["path"] = entry["path"]
+            self._live[name] = spec
         else:
             if self._live.pop(name, None) is not None:
                 self._dead += 2  # the register it cancels, plus itself

@@ -292,6 +292,9 @@ class InProcessBackend:
         for name in sorted(live):
             stats[name] = live[name].cache_stats()
             stats[name]["results"] = self._result_cache(name).stats()
+            compiled = live[name].compiled_info()
+            if compiled is not None:
+                stats[name]["compiled"] = compiled
         # respawns/requeued_batches keep the stats shape uniform with the
         # sharded backend; an in-process backend has nothing to respawn.
         return {

@@ -103,16 +103,44 @@ class HashRing:
 # Worker process.
 # ---------------------------------------------------------------------------
 
-def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
-    """Entry point of one worker process (spawn-safe, module level).
+def _load_model_spec(name: str, spec: Dict):
+    """Build one worker-side model from its spec; returns (model, digest).
 
-    Deserializes every model, proves round-trip fidelity via the
-    structural digest, then answers batch/stats/clear messages until told
-    to stop.  All replies are plain picklable values.
+    ``path`` specs mmap the content-addressed compiled ``.spz`` blob
+    read-only — every shard on the host shares one physical copy of the
+    tables — and ``repro.spe.load_spz`` verifies both the payload hash
+    and the round-trip digest of the rebuilt graph before the model is
+    trusted.  ``payload`` specs deserialize the shipped JSON and prove
+    round-trip fidelity by recomputing the structural digest.
     """
     from ..engine import SpplModel
     from ..spe import spe_digest
     from ..spe import spe_from_json
+
+    path = spec.get("path")
+    if path is not None:
+        model = SpplModel.from_spz(
+            path, cache_size=spec["cache_size"], expected_digest=spec["digest"]
+        )
+        return model, spec["digest"]
+    spe = spe_from_json(spec["payload"])
+    digest = spe_digest(spe)
+    if digest != spec["digest"]:
+        raise WorkerError(
+            "Round-trip digest mismatch for model %r: parent %s, "
+            "worker %s." % (name, spec["digest"], digest)
+        )
+    return SpplModel(spe, cache_size=spec["cache_size"]), digest
+
+
+def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
+    """Entry point of one worker process (spawn-safe, module level).
+
+    Loads every model (mmap'd blob or deserialized payload, digest
+    verified either way), then answers batch/stats/clear messages until
+    told to stop.  All replies are plain picklable values.
+    """
+    from ..engine import SpplModel
     from .scheduler import ResultCache
     from .scheduler import evaluate_batch
 
@@ -121,14 +149,8 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
     digests: Dict[str, str] = {}
     try:
         for name, spec in model_specs.items():
-            spe = spe_from_json(spec["payload"])
-            digest = spe_digest(spe)
-            if digest != spec["digest"]:
-                raise WorkerError(
-                    "Round-trip digest mismatch for model %r: parent %s, "
-                    "worker %s." % (name, spec["digest"], digest)
-                )
-            models[name] = SpplModel(spe, cache_size=spec["cache_size"])
+            model, digest = _load_model_spec(name, spec)
+            models[name] = model
             result_caches[name] = ResultCache()
             digests[name] = digest
     except BaseException as error:
@@ -164,6 +186,9 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
             for name, model in sorted(models.items()):
                 stats[name] = model.cache_stats()
                 stats[name]["results"] = result_caches[name].stats()
+                compiled = model.compiled_info()
+                if compiled is not None:
+                    stats[name]["compiled"] = compiled
             conn.send(("stats", stats))
         elif op == "clear":
             for name, model in models.items():
@@ -196,14 +221,8 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
                         "Worker %d already has model %r (digest %s != %s)."
                         % (worker_id, name, digests.get(name), spec["digest"])
                     )
-                spe = spe_from_json(spec["payload"])
-                digest = spe_digest(spe)
-                if digest != spec["digest"]:
-                    raise WorkerError(
-                        "Round-trip digest mismatch for model %r: parent %s, "
-                        "worker %s." % (name, spec["digest"], digest)
-                    )
-                models[name] = SpplModel(spe, cache_size=spec["cache_size"])
+                model, digest = _load_model_spec(name, spec)
+                models[name] = model
                 result_caches[name] = ResultCache()
                 digests[name] = digest
             except Exception as error:
@@ -531,14 +550,7 @@ class WorkerPoolBackend:
 
     async def register_model(self, name: str, registered) -> None:
         """All-shard digest-ack registration (see :meth:`WorkerPool.register_model`)."""
-        await self.pool.register_model(
-            name,
-            {
-                "payload": registered.payload,
-                "digest": registered.digest,
-                "cache_size": registered.cache_size,
-            },
-        )
+        await self.pool.register_model(name, wire.model_spec(registered))
 
     async def unregister_model(self, name: str) -> None:
         await self.pool.unregister_model(name)

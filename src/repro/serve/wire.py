@@ -150,6 +150,24 @@ def decode_value(value):
     return value
 
 
+def model_spec(registered) -> Dict:
+    """The spec a worker shard loads a registered model from.
+
+    Content-addressed when the registry attached a compiled blob: the
+    spec ships the ``.spz`` path plus digest and every shard mmaps the
+    same physical file (one copy of the compiled tables across the whole
+    pool).  Otherwise the full serialized payload crosses the pipe and
+    the shard deserializes its own graph.
+    """
+    spec = {"digest": registered.digest, "cache_size": registered.cache_size}
+    blob_path = getattr(registered, "blob_path", None)
+    if blob_path is not None:
+        spec["path"] = blob_path
+    else:
+        spec["payload"] = registered.payload
+    return spec
+
+
 #: A backend result: ``("ok", value)`` or ``("error", kind, message)``.
 Result = Tuple
 

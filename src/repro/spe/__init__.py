@@ -17,6 +17,11 @@ from .base import assignment_key
 from .base import clause_key
 from .builders import factor_shared
 from .builders import factor_sum_of_products
+from .compiled import CompiledSPE
+from .compiled import SpzError
+from .compiled import compile_spe
+from .compiled import load_spz
+from .compiled import read_spz_payload
 from .dedup import deduplicate
 from .interning import clear_intern_table
 from .interning import intern
@@ -49,9 +54,14 @@ __all__ = [
     "SumSPE",
     "ZeroProbabilityError",
     "assignment_key",
+    "CompiledSPE",
+    "SpzError",
     "cdf_table",
     "clause_key",
     "clear_intern_table",
+    "compile_spe",
+    "load_spz",
+    "read_spz_payload",
     "deduplicate",
     "entropy",
     "expectation",

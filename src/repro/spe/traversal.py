@@ -515,7 +515,9 @@ def _topological_order(root: SPE) -> List[SPE]:
     return post
 
 
-def sample_bulk(root: SPE, rng, n: int) -> Dict[str, "np.ndarray"]:
+def sample_bulk(
+    root: SPE, rng, n: int, order: Optional[List[SPE]] = None
+) -> Dict[str, "np.ndarray"]:
     """Draw ``n`` joint samples as columns, ONE vectorized draw per leaf.
 
     Nodes are processed in topological order (parents first) with the
@@ -527,11 +529,15 @@ def sample_bulk(root: SPE, rng, n: int) -> Dict[str, "np.ndarray"]:
     from different parents are disjoint and can be concatenated.  Each
     node is therefore visited exactly once, and each visited leaf draws
     its entire batch with a single vectorized distribution call.
+
+    ``order`` may supply a precomputed :func:`_topological_order` of
+    ``root`` (the compiled engine caches it); the rng call sequence is
+    unchanged, so drawn values are identical either way.
     """
     n = int(n)
     collected: Dict[str, List] = {}
     incoming: Dict[int, List[np.ndarray]] = {root._uid: [np.arange(n)]}
-    for node in _topological_order(root):
+    for node in (_topological_order(root) if order is None else order):
         pieces = incoming.pop(node._uid, None)
         if not pieces:
             continue

@@ -88,3 +88,66 @@ class TestCheckGate:
         partial = _snapshot({k: t for k, t in BASE_TIMES.items() if k != "c"})
         failures = run_all.check_gate(partial, base)
         assert any("'c' missing" in f for f in failures)
+
+
+def _compiled_snapshot(times, identical=None):
+    identical = identical or {}
+    snapshot = _snapshot(BASE_TIMES)
+    snapshot["compiled_logprob_batch"] = {
+        name: {
+            "events": 256,
+            "compiled_s": t,
+            "interpreted_s": t * 10,
+            "speedup": 10.0,
+            "bit_identical": identical.get(name, True),
+        }
+        for name, t in times.items()
+    }
+    return snapshot
+
+
+COMPILED_TIMES = {"a": 0.01, "b": 0.02, "c": 0.04, "d": 0.08}
+
+
+class TestCompiledGate:
+    def test_identical_snapshot_passes(self):
+        base = _compiled_snapshot(COMPILED_TIMES)
+        assert run_all.check_gate(base, base) == []
+
+    def test_differential_mismatch_fails_even_without_baseline_rows(self):
+        # bit_identical: false is a correctness failure, not a perf one --
+        # it fails against any baseline, including one predating the probe.
+        bad = _compiled_snapshot(COMPILED_TIMES, identical={"b": False})
+        failures = run_all.check_gate(bad, _snapshot(BASE_TIMES))
+        assert any("differential mismatch on 'b'" in f for f in failures)
+
+    def test_uniform_machine_slowdown_passes(self):
+        base = _compiled_snapshot(COMPILED_TIMES)
+        slow = _compiled_snapshot({k: t * 2.0 for k, t in COMPILED_TIMES.items()})
+        assert run_all.check_gate(slow, base) == []
+
+    def test_single_model_regression_fails(self):
+        base = _compiled_snapshot(COMPILED_TIMES)
+        times = dict(COMPILED_TIMES)
+        times["d"] = COMPILED_TIMES["d"] * 2.0
+        failures = run_all.check_gate(_compiled_snapshot(times), base)
+        assert any(
+            "compiled logprob_batch regression on 'd'" in f for f in failures
+        )
+
+    def test_small_absolute_jitter_passes(self):
+        # 2x ratio but only +8ms: inside the absolute grace.
+        times = dict(COMPILED_TIMES)
+        times["a"] = 0.018
+        base = _compiled_snapshot(COMPILED_TIMES)
+        assert run_all.check_gate(_compiled_snapshot(times), base) == []
+
+    def test_missing_model_fails(self):
+        base = _compiled_snapshot(COMPILED_TIMES)
+        partial = _compiled_snapshot(
+            {k: t for k, t in COMPILED_TIMES.items() if k != "c"}
+        )
+        failures = run_all.check_gate(partial, base)
+        assert any(
+            "compiled_logprob_batch benchmark 'c' missing" in f for f in failures
+        )

@@ -178,6 +178,84 @@ class TestWorkerRespawn:
         asyncio.run(main())
 
 
+class TestBlobSeededRespawn:
+    def test_sigkill_worker_seeded_by_path_respawns_from_same_blob(self, tmp_path):
+        """A worker seeded with a path+digest spec dies; its replacement
+        re-maps the same content-addressed ``.spz`` blob (re-verifying the
+        digest in the handshake) and answers bit-identically."""
+        from repro.serve import wire
+
+        registry = ModelRegistry(blob_dir=tmp_path)
+        registered = registry.register_catalog("indian_gpa")
+        spec = wire.model_spec(registered)
+        assert "path" in spec and "payload" not in spec
+        pool = WorkerPool(1)
+        pool.start({"indian_gpa": spec})
+
+        async def main():
+            try:
+                (before,) = await pool.run_batch(
+                    0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                )
+                victim = pool.worker_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                (after,) = await pool.run_batch(
+                    0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                )
+                stats = await pool.shard_stats()
+                return before, after, victim, stats
+            finally:
+                await pool.close()
+
+        before, after, victim, stats = asyncio.run(main())
+        assert after == before
+        assert after == ("ok", indian_gpa.model().logprob("GPA > 3"))
+        assert pool.respawns == 1
+        assert pool.worker_pids()[0] != victim
+        # The replacement answered from the same mmap'd blob, not a
+        # deserialized payload copy.
+        compiled = stats[0]["indian_gpa"]["compiled"]
+        assert compiled["digest"] == registered.digest
+        assert compiled["mmap"] is True
+        assert compiled["path"] == spec["path"]
+
+    def test_blob_seeded_service_survives_kill_under_load(self, tmp_path):
+        """End to end over the wire: a 2-shard service whose workers mmap
+        one shared blob keeps the chaos acceptance bar (correct results or
+        explicit sheds, respawn, bit-identical differential)."""
+        async def main():
+            registry = ModelRegistry(blob_dir=tmp_path / "blobs")
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(
+                registry, workers=2, window=0.001, max_batch=8
+            )
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                os.kill(service.backend.pool.worker_pids()[0], signal.SIGKILL)
+                requests = mixed_requests()
+                responses = await client.query_many(
+                    requests, connections=8, retry_overloaded=8
+                )
+                stats = await client.stats()
+                return requests, responses, stats
+            finally:
+                await service.close()
+
+        requests, responses, stats = asyncio.run(main())
+        assert stats["backend"]["respawns"] >= 1
+        model = indian_gpa.model()
+        posterior = model.condition("Nationality == 'India'")
+        for request, response in zip(requests, responses):
+            assert response["ok"], response
+            target = posterior if "condition" in request else model
+            if request["kind"] == "logprob":
+                expected = target.logprob(request["event"])
+            else:
+                expected = target.logpdf(request["assignment"])
+            assert value_of(response) == expected  # bit-identical
+
+
 def mixed_requests():
     """The differential mix from the sharded tests (logprob/prob/logpdf,
     conditioned and not)."""

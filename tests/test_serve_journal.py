@@ -233,3 +233,79 @@ class TestPayloadRegistration:
         RegistryJournal(journal.path).restore(restored_registry)
         assert restored_registry.get("from_payload").payload == registered.payload
         assert restored_registry.get("from_payload").digest == registered.digest
+
+
+class TestBlobRegistration:
+    def test_blob_backed_register_journals_a_path_record(self, tmp_path):
+        """With a blob_dir, the journal records the content-addressed
+        ``.spz`` path instead of the serialized payload."""
+        registry = ModelRegistry(blob_dir=tmp_path / "blobs")
+        registered = registry.register_catalog("indian_gpa")
+        journal = journal_at(tmp_path)
+        journal.record_register(registered)
+        journal.close()
+
+        records = [
+            json.loads(line)
+            for line in journal.path.read_text().splitlines()
+            if line.strip()
+        ]
+        (record,) = [r for r in records if r.get("op") == "register"]
+        assert record["path"] == registered.blob_path
+        assert "payload" not in record
+        assert record["digest"] == registered.digest
+
+    def test_restore_from_blob_is_bit_identical(self, tmp_path):
+        registry = ModelRegistry(blob_dir=tmp_path / "blobs")
+        registered = registry.register_catalog("indian_gpa")
+        journal = journal_at(tmp_path)
+        journal.record_register(registered)
+        journal.close()
+
+        restored_registry = ModelRegistry()
+        restored = RegistryJournal(journal.path).restore(restored_registry)
+        assert restored == ["indian_gpa"]
+        assert restored_registry.get("indian_gpa").digest == registered.digest
+        assert restored_registry.get("indian_gpa").model.logprob("GPA > 3") == \
+            indian_gpa.model().logprob("GPA > 3")
+
+    def test_missing_blob_refuses_to_restore(self, tmp_path):
+        registry = ModelRegistry(blob_dir=tmp_path / "blobs")
+        registered = registry.register_catalog("indian_gpa")
+        journal = journal_at(tmp_path)
+        journal.record_register(registered)
+        journal.close()
+        (tmp_path / "blobs" / (registered.digest + ".spz")).unlink()
+
+        with pytest.raises(JournalError, match="cannot be restored from blob"):
+            RegistryJournal(journal.path).restore(ModelRegistry())
+
+    def test_tampered_blob_refuses_to_restore(self, tmp_path):
+        registry = ModelRegistry(blob_dir=tmp_path / "blobs")
+        registered = registry.register_catalog("indian_gpa")
+        journal = journal_at(tmp_path)
+        journal.record_register(registered)
+        journal.close()
+        blob_path = tmp_path / "blobs" / (registered.digest + ".spz")
+        blob = bytearray(blob_path.read_bytes())
+        # Flip a byte inside the canonical payload section (the part the
+        # restore path digest-verifies; it starts at the first aligned
+        # offset after the reserved header region).
+        blob[4096 + 16] ^= 0xFF
+        blob_path.write_bytes(bytes(blob))
+
+        with pytest.raises(JournalError, match="cannot be restored from blob"):
+            RegistryJournal(journal.path).restore(ModelRegistry())
+
+    def test_compaction_preserves_path_records(self, tmp_path):
+        registry = ModelRegistry(blob_dir=tmp_path / "blobs")
+        registered = registry.register_catalog("indian_gpa")
+        journal = journal_at(tmp_path)
+        journal.record_register(registered)
+        journal.compact()
+        journal.close()
+
+        restored_registry = ModelRegistry()
+        restored = RegistryJournal(journal.path).restore(restored_registry)
+        assert restored == ["indian_gpa"]
+        assert restored_registry.get("indian_gpa").digest == registered.digest
