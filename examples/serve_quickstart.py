@@ -9,7 +9,11 @@ Demonstrates the ``repro.serve`` subsystem end to end:
    coalesces them into a handful of batched ``logprob_batch`` calls,
 4. run posterior-chain queries (a ``condition`` field on the wire),
 5. read the stats endpoint (coalescing counters, exact cache hit/miss,
-   per-kind latency percentiles),
+   per-kind latency percentiles, and per-pass **query-planner**
+   counters — the registry plans every served model in ``validated``
+   mode by default, so corpus-proven bit-identical rewrites like
+   disjoint-scope factoring apply automatically and semantically equal
+   query spellings share one result-cache entry),
 6. register a new model on the **live** service (no restart), query it,
    and unregister it again — with a registry **journal** attached, so
    the registration would survive a service restart,
@@ -52,8 +56,9 @@ from repro.workloads import indian_gpa
 
 async def main() -> None:
     # -- 1. Register models ---------------------------------------------------
-    registry = ModelRegistry()
+    registry = ModelRegistry()  # plans in "validated" mode by default
     registry.register_catalog("hmm20")
+    registry.register_catalog("noisy_or")
 
     # Models serialized with SpplModel.save() are served too — this is
     # how a conditioned posterior, expensive to recompute, is deployed.
@@ -117,6 +122,36 @@ async def main() -> None:
         print(
             "logprob latency: p50 %.2f ms / p95 %.2f ms / p99 %.2f ms over %d requests"
             % (latency["p50_ms"], latency["p95_ms"], latency["p99_ms"], latency["count"])
+        )
+
+        # -- 5b. Query-planner statistics ------------------------------------
+        # The registry serves every model with plan="validated": rewrites
+        # from the committed benchmarks/REWRITE_PAIRS.json corpus (each
+        # proven bit-identical against the unplanned path) apply on the
+        # fly.  This conjunction touches disjoint children of noisy_or's
+        # product root, so the planner factors it into two cheaper
+        # single-scope queries — and because caches key on the semantic
+        # event digest, the reordered second spelling is a cache hit, not
+        # a re-evaluation.
+        for spelling in (
+            "disease_0 == 1 and disease_1 == 1",
+            "disease_1 == 1 and disease_0 == 1",
+        ):
+            response = await client.query(
+                {"model": "noisy_or", "kind": "logprob", "event": spelling}
+            )
+            print("  logprob(%s) = %.6f" % (spelling, value_of(response)))
+        stats = await client.stats()
+        noisy_or_stats = stats["backend"]["models"]["noisy_or"]
+        plan = noisy_or_stats["plan"]
+        factored = plan["passes"]["disjoint_factor"]
+        print(
+            "noisy_or planner: mode=%s corpus_pairs=%d disjoint_factor applied=%d"
+            % (plan["mode"], plan["corpus_pairs"], factored["applied"])
+        )
+        print(
+            "noisy_or result cache across spellings: %d hit / %d miss"
+            % (noisy_or_stats["results"]["hits"], noisy_or_stats["results"]["misses"])
         )
 
         # -- 6. Dynamic model lifecycle: register on the live service --------

@@ -31,6 +31,7 @@ traversal cache or a single vectorized sampling pass.
 from __future__ import annotations
 
 import contextlib
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -49,6 +50,10 @@ from ..compiler import compile_command
 from ..compiler import compile_sppl
 from ..compiler import render_spe
 from ..events import Event
+from ..events import event_digest
+from ..plan import QueryPlanner
+from ..plan import execute_condition_chain
+from ..plan import execute_logprob_plan
 from ..spe import Memo
 from ..spe import QueryCache
 from ..spe import SPE
@@ -89,6 +94,19 @@ class SpplModel:
     a deliberately-unshared graph as-is, e.g. when measuring the
     ``TranslationOptions(dedup=False)`` ablation baselines through the
     model layer.
+
+    ``plan`` routes queries through the validation-gated query planner
+    (:mod:`repro.plan`): ``"off"`` (default) evaluates every query as
+    written; ``"validated"`` applies only rewrites the persisted corpus
+    has proven bit-identical (plus the exact-by-construction batch
+    deduplication); ``"all"`` applies every exact-math rewrite without
+    consulting the corpus.  With planning enabled, the parsed-event LRU
+    additionally canonicalizes by :func:`~repro.events.event_digest`, so
+    textual variants of one predicate resolve to a single shared
+    :class:`~repro.events.Event`.  Posterior models returned by
+    :meth:`condition` / :meth:`constrain` share their parent's planner
+    (one set of per-pass counters per model family).  ``plan_corpus``
+    overrides the corpus the ``"validated"`` mode consults (tests).
     """
 
     def __init__(
@@ -97,6 +115,8 @@ class SpplModel:
         cache: Optional[QueryCache] = None,
         intern: bool = True,
         cache_size: Optional[int] = None,
+        plan: Optional[str] = None,
+        plan_corpus=None,
     ):
         if not isinstance(spe, SPE):
             raise TypeError("SpplModel requires a sum-product expression.")
@@ -123,8 +143,29 @@ class SpplModel:
             raise TypeError(
                 "cache must be a QueryCache/Memo, None, or False; got %r." % (cache,)
             )
+        if plan is None:
+            plan = "off"
+        if plan == "off":
+            if plan_corpus is not None:
+                raise ValueError("plan_corpus is meaningless with plan='off'.")
+            self._planner: Optional[QueryPlanner] = None
+        elif isinstance(plan, str):
+            self._planner = QueryPlanner(plan, corpus=plan_corpus)
+        else:
+            raise TypeError(
+                "plan must be 'off', 'validated', or 'all'; got %r." % (plan,)
+            )
         self._event_cache: "OrderedDict[str, Event]" = OrderedDict()
+        #: Digest-keyed canonical parsed events (planning only): textual
+        #: variants of one predicate resolve to a single Event object, so
+        #: every downstream cache shares one identity for them.
+        self._event_digests: "OrderedDict[str, Event]" = OrderedDict()
+        self._event_digest_hits = 0
         self._event_cache_lock = threading.Lock()
+        # Ragged logpdf batches dispatched through the kernel per
+        # scope-signature group (counters surfaced by cache_stats).
+        self._logpdf_grouped_batches = 0
+        self._logpdf_grouped_fallbacks = 0
         # Optional compiled columnar kernel (see repro.spe.compiled);
         # batched queries route through it when attached.
         self._compiled = None
@@ -151,6 +192,7 @@ class SpplModel:
         path,
         cache_size: Optional[int] = None,
         expected_digest: Optional[str] = None,
+        plan: Optional[str] = None,
     ) -> "SpplModel":
         """Load a model from a compiled ``.spz`` blob, mmap-backed.
 
@@ -162,7 +204,7 @@ class SpplModel:
         from ..spe import load_spz
 
         handle = load_spz(path, expected_digest=expected_digest)
-        model = cls(handle.root, cache_size=cache_size)
+        model = cls(handle.root, cache_size=cache_size, plan=plan)
         model._compiled = handle
         return model
 
@@ -262,6 +304,24 @@ class SpplModel:
         """The persistent query cache (None when caching is disabled)."""
         return self._cache
 
+    # -- Query planning -------------------------------------------------------
+
+    @property
+    def planner(self) -> Optional[QueryPlanner]:
+        """The attached :class:`~repro.plan.QueryPlanner` (None when off)."""
+        return self._planner
+
+    @property
+    def plan_mode(self) -> str:
+        """The active plan switch: ``"off"``, ``"validated"``, or ``"all"``."""
+        return "off" if self._planner is None else self._planner.mode
+
+    def plan_stats(self) -> Dict[str, object]:
+        """Per-pass applied/fallback counters (``{"mode": "off"}`` when off)."""
+        if self._planner is None:
+            return {"mode": "off"}
+        return self._planner.stats()
+
     def cache_stats(self) -> Dict[str, int]:
         """Entry counts plus hit/miss/eviction counters of the cache.
 
@@ -272,14 +332,22 @@ class SpplModel:
         surfaces it per model so operators can resize budgets.
         """
         if self._cache is None:
-            return {"enabled": 0}
-        stats = dict(self._cache.stats())
-        stats["enabled"] = 1
-        stats["hits"] = self._cache.hits
-        stats["misses"] = self._cache.misses
-        stats["evictions_per_s"] = self._eviction_rate(stats.get("evictions", 0))
+            stats: Dict[str, int] = {"enabled": 0}
+        else:
+            stats = dict(self._cache.stats())
+            stats["enabled"] = 1
+            stats["hits"] = self._cache.hits
+            stats["misses"] = self._cache.misses
+            stats["evictions_per_s"] = self._eviction_rate(stats.get("evictions", 0))
         with self._event_cache_lock:
             stats["event_cache_entries"] = len(self._event_cache)
+            stats["event_digest_entries"] = len(self._event_digests)
+            stats["event_digest_hits"] = self._event_digest_hits
+        if self._logpdf_grouped_batches:
+            stats["logpdf_grouped_batches"] = self._logpdf_grouped_batches
+            stats["logpdf_grouped_fallbacks"] = self._logpdf_grouped_fallbacks
+        if self._planner is not None:
+            stats["plan"] = self._planner.stats()
         return stats
 
     def _eviction_rate(self, evictions: int) -> float:
@@ -296,6 +364,7 @@ class SpplModel:
         """Drop the parsed-event LRU (textual queries re-parse on next use)."""
         with self._event_cache_lock:
             self._event_cache.clear()
+            self._event_digests.clear()
 
     def clear_cache(self, everything: bool = False) -> None:
         """Drop cached traversal results for this model (releases posteriors).
@@ -382,7 +451,13 @@ class SpplModel:
         Textual events are memoized in a small LRU (events are immutable,
         parsing is deterministic in the scope, and ``ast`` parsing costs
         more than a warm traversal, so services replaying query strings
-        skip it entirely on repeats).
+        skip it entirely on repeats).  With planning enabled the LRU is
+        additionally keyed by the normalized
+        :func:`~repro.events.event_digest`: textually different variants
+        of one predicate (``"X < 3 and Y > 1"`` vs ``"Y > 1 and X < 3"``)
+        resolve to one shared :class:`~repro.events.Event` object, so the
+        query cache and every downstream result cache see a single
+        identity instead of one per spelling.
         """
         if isinstance(event, Event):
             return event
@@ -393,7 +468,18 @@ class SpplModel:
                     self._event_cache.move_to_end(event)
                     return cached
             parsed = parse_event(event, self.spe.scope)
+            digest = event_digest(parsed) if self._planner is not None else None
             with self._event_cache_lock:
+                if digest is not None:
+                    canonical = self._event_digests.get(digest)
+                    if canonical is not None:
+                        self._event_digest_hits += 1
+                        parsed = canonical
+                        self._event_digests.move_to_end(digest)
+                    else:
+                        self._event_digests[digest] = parsed
+                        while len(self._event_digests) > EVENT_CACHE_ENTRIES:
+                            self._event_digests.popitem(last=False)
                 self._event_cache[event] = parsed
                 self._event_cache.move_to_end(event)
                 while len(self._event_cache) > EVENT_CACHE_ENTRIES:
@@ -401,12 +487,38 @@ class SpplModel:
             return parsed
         raise TypeError("Expected an Event or event string, got %r." % (event,))
 
+    def resolve_key(self, event: EventLike) -> Optional[str]:
+        """The canonical cache key of a textual/structured event, or None.
+
+        With planning enabled this is the normalized
+        :func:`~repro.events.event_digest` (shared by every textual
+        variant of the predicate); with planning off — or when the event
+        does not parse — it is ``None`` and callers should key on the raw
+        text.  Used by the serve ``ResultCache`` to collapse variant
+        spellings onto one entry.
+        """
+        if self._planner is None:
+            return None
+        try:
+            return event_digest(self._resolve_event(event))
+        except Exception:
+            return None
+
     def logprob(self, event: EventLike, memo: Memo = None) -> float:
         """Exact log probability of an event."""
-        return self.spe.logprob(self._resolve_event(event), memo=self._memo(memo))
+        resolved = self._resolve_event(event)
+        if self._planner is not None:
+            plan = self._planner.plan_logprob(self.spe, resolved)
+            return execute_logprob_plan(self.spe, plan, self._memo(memo))
+        return self.spe.logprob(resolved, memo=self._memo(memo))
 
     def prob(self, event: EventLike, memo: Memo = None) -> float:
         """Exact probability of an event."""
+        if self._planner is not None:
+            # spe.prob is exp(spe.logprob(...)); routing through
+            # self.logprob keeps the planned and unplanned paths
+            # bit-identical while letting the planner see the query.
+            return math.exp(self.logprob(event, memo=memo))
         return self.spe.prob(self._resolve_event(event), memo=self._memo(memo))
 
     def logprob_batch(self, events: Sequence[EventLike], memo: Memo = None) -> List[float]:
@@ -416,16 +528,50 @@ class SpplModel:
         memo, the batch runs as vectorized columnar sweeps — bit-identical
         to the interpreted traversal, typically an order of magnitude
         faster.  Otherwise the events share one cached traversal pass.
+        With planning enabled the batch is first deduplicated by event
+        digest (exact pass) and each unique event planned individually;
+        factored plans are flattened into the kernel call and their parts
+        recombined with the same running sum the interpreted path uses.
         """
-        if memo is None and self._compiled is not None and not self._compiled.closed:
-            return self._compiled.logprob_batch(
-                [self._resolve_event(event) for event in events]
-            )
-        memo = self._memo(memo)
-        return [
-            self.spe.logprob(self._resolve_event(event), memo=memo)
-            for event in events
-        ]
+        use_kernel = (
+            memo is None and self._compiled is not None and not self._compiled.closed
+        )
+        resolved = [self._resolve_event(event) for event in events]
+        if self._planner is None:
+            if use_kernel:
+                return self._compiled.logprob_batch(resolved)
+            memo = self._memo(memo)
+            return [self.spe.logprob(event, memo=memo) for event in resolved]
+        unique, back_refs = self._planner.dedup_batch(resolved)
+        plans = [self._planner.plan_logprob(self.spe, event) for event in unique]
+        if use_kernel:
+            # Flatten factored plans into one kernel batch, then fold the
+            # per-group columns back with the traversal's running sum.
+            flat: List[Event] = []
+            spans = []
+            for kind, payload in plans:
+                if kind == "event":
+                    spans.append(("event", len(flat)))
+                    flat.append(payload)
+                else:
+                    spans.append(("sum", (len(flat), len(flat) + len(payload))))
+                    flat.extend(payload)
+            values = self._compiled.logprob_batch(flat)
+            uvals: List[float] = []
+            for kind, span in spans:
+                if kind == "event":
+                    uvals.append(values[span])
+                else:
+                    total = 0.0
+                    for index in range(span[0], span[1]):
+                        total = total + values[index]
+                    uvals.append(total)
+        else:
+            memo = self._memo(memo)
+            uvals = [
+                execute_logprob_plan(self.spe, plan, memo) for plan in plans
+            ]
+        return [uvals[index] for index in back_refs]
 
     def prob_batch(self, events: Sequence[EventLike], memo: Memo = None) -> List[float]:
         """Exact probabilities of many events in one cached pass."""
@@ -449,22 +595,81 @@ class SpplModel:
             routed = self._compiled.logpdf_batch(assignments)
             if routed is not None:
                 return routed
+            grouped = self._logpdf_batch_grouped(assignments)
+            if grouped is not None:
+                return grouped
         memo = self._memo(memo)
         return [self.spe.logpdf(assignment, memo=memo) for assignment in assignments]
+
+    def _logpdf_batch_grouped(
+        self, assignments: Sequence[Dict[str, object]]
+    ) -> Optional[List[float]]:
+        """Ragged-batch kernel dispatch: group rows by scope signature.
+
+        The compiled kernel declines whole batches whose rows assign
+        different variable subsets.  Rows sharing a signature still form a
+        uniform sub-batch, so each group is dispatched to the kernel
+        separately and only groups the kernel itself declines (derived or
+        out-of-scope variables) fall back to the interpreter, row-aligned
+        with the original batch.  Returns ``None`` when grouping cannot
+        help (non-dict rows, or fewer than two distinct signatures).
+        """
+        signatures = []
+        for assignment in assignments:
+            if not isinstance(assignment, dict):
+                return None
+            signatures.append(frozenset(assignment))
+        if len(set(signatures)) < 2:
+            return None
+        groups: "OrderedDict[frozenset, List[int]]" = OrderedDict()
+        for index, signature in enumerate(signatures):
+            groups.setdefault(signature, []).append(index)
+        self._logpdf_grouped_batches += 1
+        out: List[Optional[float]] = [None] * len(assignments)
+        memo = None
+        for indices in groups.values():
+            sub = [assignments[index] for index in indices]
+            routed = self._compiled.logpdf_batch(sub)
+            if routed is None:
+                self._logpdf_grouped_fallbacks += 1
+                if memo is None:
+                    memo = self._memo(None)
+                routed = [self.spe.logpdf(a, memo=memo) for a in sub]
+            for index, value in zip(indices, routed):
+                out[index] = value
+        return out
+
+    def _spawn(self, posterior: SPE) -> "SpplModel":
+        """Wrap a posterior expression, inheriting cache and planner."""
+        child = SpplModel(
+            posterior, cache=self._cache if self._cache is not None else False
+        )
+        # Posteriors share the parent's planner (one family, one set of
+        # per-pass counters), not a freshly configured one.
+        child._planner = self._planner
+        return child
 
     def condition(self, event: EventLike) -> "SpplModel":
         """Return a new model for the posterior given a positive-probability event.
 
         The posterior model shares this model's query cache: traversal
         results for sub-expressions common to prior and posterior are
-        reused across the whole ``condition → query`` chain.
+        reused across the whole ``condition → query`` chain.  With
+        planning enabled, a validated multi-scope condition is split into
+        a cost-ordered chain of smaller conditions, each restricting only
+        the product children it touches.
 
         Raises :class:`~repro.spe.ZeroProbabilityError` (a ``ValueError``)
         when the event has probability zero; the shared cache is left
         uncorrupted (no partial entries) by the failure.
         """
-        posterior = self.spe.condition(self._resolve_event(event), memo=self._memo())
-        return SpplModel(posterior, cache=self._cache if self._cache is not None else False)
+        resolved = self._resolve_event(event)
+        if self._planner is not None:
+            chain = self._planner.plan_condition(self.spe, resolved)
+            posterior = execute_condition_chain(self.spe, chain, self._memo())
+        else:
+            posterior = self.spe.condition(resolved, memo=self._memo())
+        return self._spawn(posterior)
 
     def constrain(self, assignment: Dict[str, object]) -> "SpplModel":
         """Return a new model given equality observations (may be measure zero).
@@ -474,7 +679,7 @@ class SpplModel:
         density, leaving the shared cache uncorrupted.
         """
         posterior = self.spe.constrain(assignment, memo=self._memo())
-        return SpplModel(posterior, cache=self._cache if self._cache is not None else False)
+        return self._spawn(posterior)
 
     #: ``observe`` is an alias for :meth:`constrain`, matching common PPL APIs.
     observe = constrain

@@ -1,0 +1,286 @@
+"""The corpus-gated query planner and its execution helpers.
+
+:class:`QueryPlanner` turns a resolved event into a *plan* — either the
+event itself (possibly rewritten) or a sum/chain of smaller events — and
+counts, per pass, how often a rewrite applied and how often the corpus
+gate refused one.  The execution helpers
+(:func:`execute_logprob_plan`, :func:`execute_condition_chain`) are the
+**only** code that combines partial results, and they are shared between
+the engine (:class:`~repro.engine.SpplModel`) and the validation harness
+(:mod:`repro.plan.validate`), so what the corpus certifies is exactly
+what production queries run.
+
+Modes:
+
+* ``"off"`` — no planner is constructed; queries run as written.
+* ``"validated"`` (serve default) — a structural rewrite applies only if
+  the loaded corpus holds a bit-identical validated pair for exactly this
+  ``(pass, input digest)`` whose recorded output shape matches what the
+  pass produced now.  Exact-by-construction passes (batch deduplication
+  by event digest) always apply.
+* ``"all"`` — every pass applies unconditionally; answers are exact-math
+  equal to the unplanned path but may differ in the last ulp where the
+  corpus would have filtered the pair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Sequence
+from typing import Tuple
+
+from ..events import Event
+from ..events import chain_digest
+from ..events import event_digest
+from ..spe import SPE
+from .passes import chain_order
+from .passes import condition_pushdown
+from .passes import disjoint_factor
+from .passes import fuse_union
+from .passes import normalize_pass
+from .passes import structural_digest
+
+#: Recognized values of the ``plan=`` switch.
+PLAN_MODES = ("off", "validated", "all")
+
+#: Environment override for the corpus location (tests, deployments).
+CORPUS_ENV = "REPRO_PLAN_CORPUS"
+
+#: Repo-relative default corpus path (committed, CI-revalidated).
+CORPUS_RELPATH = os.path.join("benchmarks", "REWRITE_PAIRS.json")
+
+#: Passes that are bit-identical by construction: evaluating one event
+#: once and fanning the float out to duplicate batch slots cannot change
+#: any answer, so no corpus entry is required.
+EXACT_PASSES = frozenset({"dedup_batch"})
+
+
+class PlanCorpus:
+    """The validated rewrite corpus, indexed for the runtime gate.
+
+    A pair authorizes one rewrite: pass ``p`` may transform an input
+    whose digest is ``d`` only into the exact output shape recorded when
+    the pair was proven bit-identical.  Unknown inputs and drifted output
+    shapes fall back to the unplanned path.
+    """
+
+    def __init__(self, pairs: Sequence[Dict] = ()):
+        self.pairs = list(pairs)
+        self._index: Dict[Tuple[str, str], str] = {}
+        for pair in self.pairs:
+            key = (pair.get("pass"), pair.get("original_digest"))
+            if key[0] and key[1]:
+                self._index[key] = pair.get("rewritten_digest", "")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def allows(self, pass_name: str, original_digest: str,
+               rewritten_digest: str) -> bool:
+        return self._index.get((pass_name, original_digest)) == rewritten_digest
+
+    @classmethod
+    def load(cls, path) -> "PlanCorpus":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        pairs = data.get("pairs", []) if isinstance(data, dict) else []
+        return cls(pairs)
+
+
+_EMPTY_CORPUS = PlanCorpus()
+_default_corpus_cache: Dict[str, PlanCorpus] = {}
+
+
+def default_corpus() -> PlanCorpus:
+    """The committed corpus (``benchmarks/REWRITE_PAIRS.json``), cached.
+
+    Resolution order: the :data:`CORPUS_ENV` environment variable, then
+    the repository-relative default.  A missing or unreadable file yields
+    an empty corpus — ``"validated"`` mode then applies only the
+    exact-by-construction passes, never guesses.
+    """
+    path = os.environ.get(CORPUS_ENV)
+    if not path:
+        path = str(Path(__file__).resolve().parents[3] / CORPUS_RELPATH)
+    cached = _default_corpus_cache.get(path)
+    if cached is not None:
+        return cached
+    try:
+        corpus = PlanCorpus.load(path)
+    except (OSError, ValueError):
+        corpus = _EMPTY_CORPUS
+    _default_corpus_cache[path] = corpus
+    return corpus
+
+
+def clear_corpus_cache() -> None:
+    """Forget cached corpora (tests that swap the env var call this)."""
+    _default_corpus_cache.clear()
+
+
+#: A logprob plan: ``("event", event)`` or ``("sum", [event, ...])``.
+LogprobPlan = Tuple
+
+
+def execute_logprob_plan(spe: SPE, plan: LogprobPlan, memo) -> float:
+    """Evaluate a logprob plan against an expression (shared with validate).
+
+    The ``"sum"`` combination is a left-to-right running sum starting at
+    ``0.0`` — exactly the accumulation order of the product-node
+    traversal it replaces (``sum(logs)``), which is what makes factored
+    single-clause conjunctions bit-identical to the monolithic path.
+    """
+    kind, payload = plan
+    if kind == "event":
+        return spe.logprob(payload, memo=memo)
+    total = 0.0
+    for event in payload:
+        total = total + spe.logprob(event, memo=memo)
+    return total
+
+
+def execute_condition_chain(spe: SPE, chain: Sequence[Event], memo) -> SPE:
+    """Fold a chain of condition events (shared with validate)."""
+    for event in chain:
+        spe = spe.condition(event, memo=memo)
+    return spe
+
+
+class QueryPlanner:
+    """Plans queries for one (or a family of) models; counts per pass.
+
+    Thread-safe: serve evaluates batches on executor threads, and
+    posterior models share their parent's planner, so the counters are
+    guarded by a lock.  Counter shape per pass:
+    ``{"applied": n, "fallback": n}`` — ``applied`` counts rewrites that
+    fired, ``fallback`` counts candidates the corpus gate refused (the
+    query then ran unplanned).  ``hits`` on ``dedup_batch`` counts batch
+    slots served from a duplicate's single evaluation.
+    """
+
+    def __init__(self, mode: str = "validated",
+                 corpus: Optional[PlanCorpus] = None):
+        if mode not in PLAN_MODES or mode == "off":
+            raise ValueError(
+                "plan mode must be one of %s (planner is never built for "
+                "'off'); got %r." % (", ".join(PLAN_MODES), mode)
+            )
+        self.mode = mode
+        self._corpus = corpus
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[str, int]] = {}
+
+    @property
+    def corpus(self) -> PlanCorpus:
+        if self._corpus is None:
+            self._corpus = default_corpus()
+        return self._corpus
+
+    # -- Counters -------------------------------------------------------------
+
+    def _count(self, pass_name: str, outcome: str, n: int = 1) -> None:
+        with self._lock:
+            bucket = self._counters.setdefault(pass_name, {})
+            bucket[outcome] = bucket.get(outcome, 0) + n
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            passes = {
+                name: dict(bucket) for name, bucket in sorted(self._counters.items())
+            }
+        return {
+            "mode": self.mode,
+            "corpus_pairs": len(self.corpus),
+            "passes": passes,
+        }
+
+    # -- The gate -------------------------------------------------------------
+
+    def _admit(self, pass_name: str, original_digest: str, rewritten) -> bool:
+        """Apply the mode/corpus gate to one candidate rewrite."""
+        if self.mode == "all" or pass_name in EXACT_PASSES:
+            self._count(pass_name, "applied")
+            return True
+        if self.corpus.allows(
+            pass_name, original_digest, structural_digest(rewritten)
+        ):
+            self._count(pass_name, "applied")
+            return True
+        self._count(pass_name, "fallback")
+        return False
+
+    # -- Planning -------------------------------------------------------------
+
+    def plan_logprob(self, spe: SPE, event: Event) -> LogprobPlan:
+        """Plan one probability query: factor, then fuse/normalize."""
+        digest = event_digest(event)
+        groups = disjoint_factor(spe, event)
+        if groups is not None and self._admit("disjoint_factor", digest, groups):
+            return ("sum", [self._rewrite_event(g) for g in groups])
+        return ("event", self._rewrite_event(event, digest=digest))
+
+    def _rewrite_event(self, event: Event, digest: Optional[str] = None) -> Event:
+        """Event-level rewrites (fuse_union, then normalize).
+
+        All event-level passes preserve the semantic digest (they are
+        semantics-preserving and :func:`~repro.events.event_digest` is
+        canonical), so one digest keys every stage's corpus lookup.
+        """
+        if digest is None:
+            digest = event_digest(event)
+        fused = fuse_union(event)
+        if fused is not None and self._admit("fuse_union", digest, fused):
+            event = fused
+        normalized = normalize_pass(event)
+        if normalized is not None and self._admit("normalize", digest, normalized):
+            event = normalized
+        return event
+
+    def plan_condition(self, spe: SPE, event: Event) -> List[Event]:
+        """Plan one condition call: push down, then cost-order the chain."""
+        digest = event_digest(event)
+        chain = condition_pushdown(spe, event)
+        if chain is None or not self._admit("condition_pushdown", digest, chain):
+            return [event]
+        return self.order_chain(spe, chain)
+
+    def order_chain(self, spe: SPE, chain: Sequence[Event]) -> List[Event]:
+        """Cost-order an explicit chain of condition events."""
+        chain = list(chain)
+        reordered = chain_order(spe, chain)
+        if reordered is None:
+            return chain
+        digest = chain_digest([event_digest(event) for event in chain])
+        if self._admit("chain_order", digest, reordered):
+            return reordered
+        return chain
+
+    def dedup_batch(self, events: Sequence[Event]):
+        """Unique-ify a batch by event digest (exact pass; always admitted).
+
+        Returns ``(unique_events, back_refs)`` where ``back_refs[i]`` is
+        the index into ``unique_events`` answering batch slot ``i``.
+        Counts one ``dedup_batch`` hit per duplicate slot avoided.
+        """
+        unique: List[Event] = []
+        back_refs: List[int] = []
+        first_by_digest: Dict[str, int] = {}
+        for event in events:
+            digest = event_digest(event)
+            index = first_by_digest.get(digest)
+            if index is None:
+                index = len(unique)
+                first_by_digest[digest] = index
+                unique.append(event)
+            back_refs.append(index)
+        duplicates = len(events) - len(unique)
+        if duplicates:
+            self._count("dedup_batch", "applied")
+            self._count("dedup_batch", "hits", duplicates)
+        return unique, back_refs

@@ -1,0 +1,441 @@
+"""Differential validation harness for the query-planner rewrite corpus.
+
+Every candidate rewrite the passes of :mod:`repro.plan.passes` emit over
+the battery models (Table-1, the HMM workload, and a synthetic
+independent-variable program) is checked **bit for bit** against the
+unplanned path — on the interpreted traversal *and* on the compiled
+columnar kernel — using the exact combination code production queries run
+(:func:`~repro.plan.planner.execute_logprob_plan`,
+:func:`~repro.plan.planner.execute_condition_chain`).  Only pairs that
+reproduce every probe bit-identically are persisted to
+``benchmarks/REWRITE_PAIRS.json``; the default ``"validated"`` planner
+mode applies nothing else.
+
+Build (or refresh) the corpus::
+
+    PYTHONPATH=src python -m repro.plan.validate --out benchmarks/REWRITE_PAIRS.json
+
+Re-check a committed corpus (CI does this; exits non-zero on any pair
+that no longer validates or whose pass output drifted)::
+
+    PYTHONPATH=src python -m repro.plan.validate --check benchmarks/REWRITE_PAIRS.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Sequence
+from typing import Tuple
+
+from ..compiler import compile_command
+from ..compiler import compile_sppl
+from ..engine import parse_event
+from ..events import Event
+from ..events import chain_digest
+from ..events import event_digest
+from ..spe import Memo
+from ..spe import SPE
+from ..spe import compile_spe
+from ..spe import spe_digest
+from .passes import chain_order
+from .passes import condition_pushdown
+from .passes import disjoint_factor
+from .passes import fuse_union
+from .passes import normalize_pass
+from .passes import structural_digest
+from .planner import execute_condition_chain
+from .planner import execute_logprob_plan
+
+CORPUS_SCHEMA = "repro-rewrite-pairs/1"
+
+#: Synthetic product-root program: independent blocks of different sizes,
+#: so condition chains have genuinely different per-step costs (the
+#: mixture block is more expensive to traverse than the plain leaves).
+INDEPENDENT_SOURCE = """
+W ~ choice({'a': 0.4, 'b': 0.6})
+if W == 'a':
+    X ~ normal(0, 1)
+else:
+    X ~ normal(3, 1)
+Y ~ normal(0, 1)
+Z ~ normal(1, 2)
+U ~ uniform(0, 4)
+M ~ choice({'lo': 0.3, 'mid': 0.4, 'hi': 0.3})
+"""
+
+
+def _build_models() -> Dict[str, SPE]:
+    from ..workloads import hmm
+    from ..workloads import table1_models
+
+    return {
+        "independent": compile_sppl(INDEPENDENT_SOURCE),
+        "noisy_or": compile_command(table1_models.noisy_or()),
+        "hmm": hmm.model(6).spe,
+        "heart_disease": compile_command(table1_models.heart_disease()),
+    }
+
+
+#: Event batteries per model.  ``conjunctions`` feed the factoring and
+#: conditioning passes; ``events`` feed the event-level rewrites.
+BATTERIES: Dict[str, Dict[str, List[str]]] = {
+    "independent": {
+        "conjunctions": [
+            "X < 1 and Y > 0",
+            "Y > 0 and Z < 2",
+            "Y > 0 and Z < 2 and U < 3",
+            "X < 2 and Y > -1 and Z < 3 and U > 1",
+            "W == 'a' and Y < 1",
+            "M == 'lo' and Z > 0",
+            "X < 1 and M == 'hi'",
+            "U > 2 and Y < 0.5",
+        ],
+        "events": [
+            "X < 2 and X < 1",
+            "Y > 0 and Y > -1",
+            "Y > 0 and Y > 0",
+            "Z < 1 or Z < 2",
+            "X < -1 or X > 1",
+            "Y < 0 or Y > 2",
+            "U < 1 or U > 3",
+            "Z < -1 or Z > 2 or Y > 5",
+            "U < 1 or U > 3 or U > 3.5",
+        ],
+    },
+    "noisy_or": {
+        "conjunctions": [
+            "disease_0 == 1 and disease_1 == 1",
+            "symptom_0 == 1 and symptom_1 == 1",
+            "disease_0 == 1 and symptom_1 == 0",
+            "disease_2 == 0 and disease_3 == 0",
+            "symptom_2 == 1 and disease_1 == 0",
+        ],
+        "events": [
+            "disease_0 == 1 and disease_0 == 1",
+            "symptom_0 == 0 or symptom_0 == 1",
+            "disease_0 == 0 or disease_0 == 1 or disease_2 == 1",
+        ],
+    },
+    "hmm": {
+        "conjunctions": [],
+        "events": [
+            "X[0] < 1 or X[0] > 3",
+            "Y[0] < -1 or Y[0] > 1",
+            "Y[1] < 0 or Y[1] > 2",
+            "X[1] < 0 or X[1] > 2 or X[1] > 4",
+            "Y[2] > 1 and Y[2] > 0",
+            "X[2] < 2 and X[2] < 3",
+        ],
+    },
+    "heart_disease": {
+        "conjunctions": [],
+        "events": [
+            "smoker == 0 or smoker == 1",
+            "chest_pain == 1 and chest_pain == 1",
+            "blood_pressure < 120 or blood_pressure > 160",
+            "cholesterol < 180 or cholesterol > 260",
+        ],
+    },
+}
+
+#: Probe events queried against conditioned posteriors to certify that a
+#: rewritten condition chain leads to bit-identical downstream answers.
+POSTERIOR_PROBES: Dict[str, List[str]] = {
+    "independent": ["X < 1.5", "M == 'mid'", "Z > 0.5"],
+    "noisy_or": ["symptom_3 == 1", "disease_2 == 1"],
+}
+
+
+def _bit_equal(a: float, b: float) -> bool:
+    return a == b or (a != a and b != b)  # second clause: both NaN
+
+
+def _best_of(fn: Callable[[], object], repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class Candidate:
+    """One ``(original, rewritten, pass_name)`` record awaiting validation."""
+
+    def __init__(self, model: str, pass_name: str, kind: str, original,
+                 rewritten):
+        self.model = model
+        self.pass_name = pass_name
+        self.kind = kind  # "logprob" or "condition"
+        self.original = original  # Event, or list of Events for chains
+        self.rewritten = rewritten  # Event or list of Events
+
+    def original_digest(self) -> str:
+        if isinstance(self.original, Event):
+            return event_digest(self.original)
+        return chain_digest([event_digest(e) for e in self.original])
+
+    def describe(self) -> Dict[str, object]:
+        def render(x):
+            return repr(x) if isinstance(x, Event) else [repr(e) for e in x]
+
+        return {
+            "pass": self.pass_name,
+            "model": self.model,
+            "kind": self.kind,
+            "original": render(self.original),
+            "rewritten": render(self.rewritten),
+            "original_digest": self.original_digest(),
+            "rewritten_digest": structural_digest(self.rewritten),
+        }
+
+
+def generate_candidates(name: str, spe: SPE) -> List[Candidate]:
+    """Run every pass over the model's battery; collect candidate pairs."""
+    battery = BATTERIES.get(name, {})
+    candidates: List[Candidate] = []
+
+    def event_level(event: Event) -> None:
+        fused = fuse_union(event)
+        if fused is not None:
+            candidates.append(Candidate(name, "fuse_union", "logprob", event, fused))
+            normalized = normalize_pass(fused)
+        else:
+            normalized = normalize_pass(event)
+        if normalized is not None:
+            # The planner keys normalize by the *original* semantic digest
+            # (fuse_union preserves it), so the pair records the original.
+            candidates.append(
+                Candidate(name, "normalize", "logprob", event, normalized)
+            )
+
+    for text in battery.get("events", []):
+        event_level(parse_event(text, spe.scope))
+
+    for text in battery.get("conjunctions", []):
+        event = parse_event(text, spe.scope)
+        event_level(event)
+        groups = disjoint_factor(spe, event)
+        if groups is not None:
+            candidates.append(
+                Candidate(name, "disjoint_factor", "logprob", event, groups)
+            )
+            chain = condition_pushdown(spe, event)
+            candidates.append(
+                Candidate(name, "condition_pushdown", "condition", event, chain)
+            )
+            reordered = chain_order(spe, chain)
+            if reordered is not None:
+                candidates.append(
+                    Candidate(name, "chain_order", "condition", chain, reordered)
+                )
+            # Reversed chains exercise the orderer from the worst order.
+            reversed_chain = list(reversed(chain))
+            re2 = chain_order(spe, reversed_chain)
+            if re2 is not None:
+                candidates.append(
+                    Candidate(name, "chain_order", "condition", reversed_chain, re2)
+                )
+    return candidates
+
+
+def _validate_logprob(spe: SPE, kernel, candidate: Candidate,
+                      repetitions: int) -> Tuple[bool, float]:
+    """Bit-compare baseline vs rewritten on both execution paths."""
+    if isinstance(candidate.rewritten, Event):
+        plan = ("event", candidate.rewritten)
+        flat = [candidate.rewritten]
+    else:
+        plan = ("sum", list(candidate.rewritten))
+        flat = list(candidate.rewritten)
+
+    baseline = spe.logprob(candidate.original, memo=Memo())
+    planned = execute_logprob_plan(spe, plan, Memo())
+    if not _bit_equal(baseline, planned):
+        return False, 0.0
+
+    kernel_base = kernel.logprob_batch([candidate.original])[0]
+    values = kernel.logprob_batch(flat)
+    if plan[0] == "event":
+        kernel_planned = values[0]
+    else:
+        kernel_planned = 0.0
+        for value in values:
+            kernel_planned = kernel_planned + value
+    if not _bit_equal(kernel_base, kernel_planned):
+        return False, 0.0
+    if not _bit_equal(baseline, kernel_base):
+        return False, 0.0
+
+    base_s = _best_of(lambda: spe.logprob(candidate.original, memo=Memo()),
+                      repetitions)
+    plan_s = _best_of(lambda: execute_logprob_plan(spe, plan, Memo()),
+                      repetitions)
+    return True, (base_s / plan_s) if plan_s > 0 else 1.0
+
+
+def _validate_condition(spe: SPE, candidate: Candidate,
+                        repetitions: int) -> Tuple[bool, float]:
+    """The rewritten chain must land on a bit-identical posterior."""
+    if isinstance(candidate.original, Event):
+        base_chain: List[Event] = [candidate.original]
+    else:
+        base_chain = list(candidate.original)
+    plan_chain = list(candidate.rewritten)
+
+    base_post = execute_condition_chain(spe, base_chain, Memo())
+    plan_post = execute_condition_chain(spe, plan_chain, Memo())
+    if spe_digest(base_post) != spe_digest(plan_post):
+        return False, 0.0
+
+    probes = [
+        parse_event(text, spe.scope)
+        for text in POSTERIOR_PROBES.get(candidate.model, [])
+    ]
+    for probe in probes:
+        if not _bit_equal(
+            base_post.logprob(probe, memo=Memo()),
+            plan_post.logprob(probe, memo=Memo()),
+        ):
+            return False, 0.0
+    base_kernel = compile_spe(base_post)
+    plan_kernel = compile_spe(plan_post)
+    try:
+        if probes:
+            base_vals = base_kernel.logprob_batch(probes)
+            plan_vals = plan_kernel.logprob_batch(probes)
+            for a, b in zip(base_vals, plan_vals):
+                if not _bit_equal(a, b):
+                    return False, 0.0
+    finally:
+        base_kernel.close()
+        plan_kernel.close()
+
+    base_s = _best_of(
+        lambda: execute_condition_chain(spe, base_chain, Memo()), repetitions
+    )
+    plan_s = _best_of(
+        lambda: execute_condition_chain(spe, plan_chain, Memo()), repetitions
+    )
+    return True, (base_s / plan_s) if plan_s > 0 else 1.0
+
+
+def build_corpus(repetitions: int = 3,
+                 verbose: bool = False) -> Dict[str, object]:
+    """Generate, validate, and package every accepted pair."""
+    models = _build_models()
+    pairs: List[Dict[str, object]] = []
+    rejected = 0
+    for name, spe in models.items():
+        kernel = compile_spe(spe)
+        try:
+            for candidate in generate_candidates(name, spe):
+                if candidate.kind == "logprob":
+                    ok, speedup = _validate_logprob(
+                        spe, kernel, candidate, repetitions
+                    )
+                else:
+                    ok, speedup = _validate_condition(spe, candidate, repetitions)
+                if not ok:
+                    rejected += 1
+                    if verbose:
+                        print(
+                            "REJECTED %s/%s: %s"
+                            % (name, candidate.pass_name,
+                               candidate.describe()["original"]),
+                            file=sys.stderr,
+                        )
+                    continue
+                record = candidate.describe()
+                record["speedup"] = round(speedup, 3)
+                record["bit_identical"] = True
+                pairs.append(record)
+        finally:
+            kernel.close()
+    by_pass: Dict[str, int] = {}
+    for pair in pairs:
+        by_pass[pair["pass"]] = by_pass.get(pair["pass"], 0) + 1
+    return {
+        "schema": CORPUS_SCHEMA,
+        "pairs": pairs,
+        "summary": {
+            "validated": len(pairs),
+            "rejected": rejected,
+            "by_pass": by_pass,
+        },
+    }
+
+
+def revalidate_corpus(path) -> List[str]:
+    """Re-check a committed corpus against freshly validated candidates.
+
+    Every stored pair must still be producible by the current passes over
+    the current models *and* still validate bit-identically: the fresh
+    corpus is rebuilt in memory and each stored
+    ``(pass, original_digest, rewritten_digest)`` triple must appear in
+    it.  Returns a list of human-readable failures (empty = corpus good).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = json.load(handle)
+    fresh = build_corpus(repetitions=1)
+    fresh_index = {
+        (p["pass"], p["original_digest"], p["rewritten_digest"])
+        for p in fresh["pairs"]
+    }
+    failures = []
+    for pair in stored.get("pairs", []):
+        key = (pair.get("pass"), pair.get("original_digest"),
+               pair.get("rewritten_digest"))
+        if key not in fresh_index:
+            failures.append(
+                "%s pair for %r no longer validates bit-identical "
+                "(or its pass output drifted)." % (key[0], pair.get("original"))
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Build or re-check the validated rewrite-pair corpus."
+    )
+    parser.add_argument("--out", help="write a freshly validated corpus here")
+    parser.add_argument("--check", help="re-validate an existing corpus file")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--verbose", action="store_true")
+    options = parser.parse_args(argv)
+    if options.check:
+        failures = revalidate_corpus(options.check)
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        print(
+            "%s: %d pairs checked, %d failures"
+            % (options.check,
+               len(json.load(open(options.check))["pairs"]), len(failures))
+        )
+        return 1 if failures else 0
+    corpus = build_corpus(repetitions=options.repetitions,
+                          verbose=options.verbose)
+    text = json.dumps(corpus, indent=1, sort_keys=True)
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            "%s: %d validated pairs (%d rejected) across %s"
+            % (options.out, corpus["summary"]["validated"],
+               corpus["summary"]["rejected"],
+               json.dumps(corpus["summary"]["by_pass"], sort_keys=True))
+        )
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

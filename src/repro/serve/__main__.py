@@ -119,12 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
         "replayed (digest-verified) on startup so dynamically registered "
         "models survive restarts",
     )
+    parser.add_argument(
+        "--plan",
+        default="validated",
+        choices=["off", "validated", "all"],
+        help="query-planner mode for every served model (default "
+        "'validated': only corpus-proven bit-identical rewrites apply; "
+        "'off' restores unplanned evaluation; 'all' applies every "
+        "exact-math rewrite)",
+    )
     return parser
 
 
 def build_registry(args: argparse.Namespace) -> ModelRegistry:
     registry = ModelRegistry(
-        default_cache_size=args.cache_size, blob_dir=args.blob_dir
+        default_cache_size=args.cache_size, blob_dir=args.blob_dir,
+        plan=args.plan,
     )
     for spec in args.model:
         registry.register_catalog(spec)

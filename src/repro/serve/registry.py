@@ -58,7 +58,9 @@ class RegisteredModel:
     is ``None`` and shards ship the full payload.
     """
 
-    __slots__ = ("name", "model", "payload", "digest", "cache_size", "blob_path")
+    __slots__ = (
+        "name", "model", "payload", "digest", "cache_size", "blob_path", "plan",
+    )
 
     def __init__(self, name: str, model: SpplModel, cache_size: Optional[int]):
         self.name = name
@@ -67,6 +69,7 @@ class RegisteredModel:
         self.payload = model.to_json()
         self.digest = spe_digest(model.spe)
         self.blob_path = None
+        self.plan = model.plan_mode
 
     def describe(self) -> Dict:
         """Static description for the ``/v1/models`` endpoint."""
@@ -75,6 +78,7 @@ class RegisteredModel:
             "nodes": self.model.size(),
             "digest": self.digest,
             "cache_max_entries": self.cache_size,
+            "plan": self.plan,
         }
         if self.blob_path is not None:
             description["blob_path"] = self.blob_path
@@ -120,10 +124,24 @@ class ModelRegistry:
         self,
         default_cache_size: Optional[int] = None,
         blob_dir=None,
+        plan: str = "validated",
     ):
         self.default_cache_size = (
             DEFAULT_CACHE_ENTRIES if default_cache_size is None else default_cache_size
         )
+        from ..plan import PLAN_MODES
+
+        if plan not in PLAN_MODES:
+            raise ValueError(
+                "plan must be one of %s; got %r." % (", ".join(PLAN_MODES), plan)
+            )
+        #: Query-planner mode every registered model is wrapped with.  The
+        #: serving default is ``"validated"``: only corpus-proven
+        #: bit-identical rewrites apply, so a planned service answers bit
+        #: for bit what an unplanned one would.  ``"off"`` restores the
+        #: pre-planner behavior; ``"all"`` applies every exact-math
+        #: rewrite (benchmarking).
+        self.plan = plan
         #: When set, every prepared model is compiled into a
         #: content-addressed ``.spz`` blob (``<digest>.spz``) under this
         #: directory and the live model queries through the mmap'd
@@ -162,7 +180,7 @@ class ModelRegistry:
         if not isinstance(model, SpplModel):
             raise TypeError("register() needs an SpplModel, got %r." % (model,))
         budget = self.default_cache_size if cache_size is None else cache_size
-        model = SpplModel(model.spe, cache_size=budget)
+        model = SpplModel(model.spe, cache_size=budget, plan=self.plan)
         registered = RegisteredModel(name, model, budget)
         if self.blob_dir is not None:
             self._attach_blob(registered)

@@ -118,9 +118,11 @@ def _load_model_spec(name: str, spec: Dict):
     from ..spe import spe_from_json
 
     path = spec.get("path")
+    plan = spec.get("plan", "off")  # pre-planner specs default to off
     if path is not None:
         model = SpplModel.from_spz(
-            path, cache_size=spec["cache_size"], expected_digest=spec["digest"]
+            path, cache_size=spec["cache_size"], expected_digest=spec["digest"],
+            plan=plan,
         )
         return model, spec["digest"]
     spe = spe_from_json(spec["payload"])
@@ -130,7 +132,7 @@ def _load_model_spec(name: str, spec: Dict):
             "Round-trip digest mismatch for model %r: parent %s, "
             "worker %s." % (name, spec["digest"], digest)
         )
-    return SpplModel(spe, cache_size=spec["cache_size"]), digest
+    return SpplModel(spe, cache_size=spec["cache_size"], plan=plan), digest
 
 
 def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:

@@ -159,7 +159,11 @@ def model_spec(registered) -> Dict:
     pool).  Otherwise the full serialized payload crosses the pipe and
     the shard deserializes its own graph.
     """
-    spec = {"digest": registered.digest, "cache_size": registered.cache_size}
+    spec = {
+        "digest": registered.digest,
+        "cache_size": registered.cache_size,
+        "plan": getattr(registered, "plan", "off"),
+    }
     blob_path = getattr(registered, "blob_path", None)
     if blob_path is not None:
         spec["path"] = blob_path

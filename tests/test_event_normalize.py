@@ -1,0 +1,185 @@
+"""Property-based tests for event normalization and digests (hypothesis).
+
+Random nested and/or/not trees over interval, point, and nominal
+containments: the normalized event must evaluate identically to the
+original on sampled assignments, and :func:`repro.events.event_digest`
+must be invariant under clause reordering and double negation.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.engine import parse_event
+from repro.events import Conjunction
+from repro.events import Containment
+from repro.events import Disjunction
+from repro.events import EventNever
+from repro.events import canonical_key
+from repro.events import event_digest
+from repro.events import normalize_event
+from repro.events import outcome_set_key
+from repro.sets import FiniteNominal
+from repro.sets import FiniteReal
+from repro.sets import interval
+from repro.sets import union
+from repro.transforms import Identity
+
+_REAL_SYMBOLS = ["X", "Y", "Z"]
+_NOMINAL_SYMBOLS = ["N"]
+_TEST_POINTS = [-7.5, -2.0, -1.0, -0.5, 0.0, 0.25, 1.0, 1.5, 2.0, 3.5, 8.0]
+_TEST_STRINGS = ["a", "b", "c", "zzz"]
+
+_GRID = st.sampled_from([-5.0, -2.0, -1.0, 0.0, 0.5, 1.0, 2.0, 4.0])
+
+
+@st.composite
+def interval_literals(draw):
+    a, b = draw(_GRID), draw(_GRID)
+    lo, hi = min(a, b), max(a, b)
+    values = interval(lo, hi, draw(st.booleans()), draw(st.booleans()))
+    if values.is_empty:
+        values = interval(lo, hi)
+    return Containment(Identity(draw(st.sampled_from(_REAL_SYMBOLS))), values)
+
+
+@st.composite
+def point_literals(draw):
+    points = draw(st.lists(_GRID, min_size=1, max_size=3))
+    return Containment(
+        Identity(draw(st.sampled_from(_REAL_SYMBOLS))), FiniteReal(points)
+    )
+
+
+@st.composite
+def nominal_literals(draw):
+    values = draw(st.lists(st.sampled_from(_TEST_STRINGS), min_size=1, max_size=3))
+    return Containment(
+        Identity(draw(st.sampled_from(_NOMINAL_SYMBOLS))),
+        FiniteNominal(values, positive=draw(st.booleans())),
+    )
+
+
+def literals():
+    return st.one_of(interval_literals(), point_literals(), nominal_literals())
+
+
+@st.composite
+def event_trees(draw, depth=3):
+    if depth == 0:
+        return draw(literals())
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return draw(literals())
+    children = draw(
+        st.lists(event_trees(depth=depth - 1), min_size=1, max_size=3)
+    )
+    if kind == 1:
+        return Conjunction(children)
+    if kind == 2:
+        return Disjunction(children)
+    return Conjunction(children).negate()  # random "not" over a subtree
+
+
+def _assignments(seed, n=25):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        assignment = {s: rng.choice(_TEST_POINTS) for s in _REAL_SYMBOLS}
+        for s in _NOMINAL_SYMBOLS:
+            assignment[s] = rng.choice(_TEST_STRINGS)
+        out.append(assignment)
+    return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(event_trees(), st.integers(min_value=0, max_value=1 << 30))
+def test_normalized_evaluates_like_original(event, seed):
+    normalized = normalize_event(event)
+    for assignment in _assignments(seed):
+        assert normalized.evaluate(assignment) == event.evaluate(assignment)
+
+
+@settings(max_examples=200, deadline=None)
+@given(event_trees())
+def test_normalize_is_idempotent(event):
+    normalized = normalize_event(event)
+    assert canonical_key(normalized) == canonical_key(event)
+    assert event_digest(normalize_event(normalized)) == event_digest(event)
+
+
+@settings(max_examples=200, deadline=None)
+@given(event_trees(), st.integers(min_value=0, max_value=1 << 30))
+def test_digest_invariant_under_reordering(event, seed):
+    reordered = _shuffle(event, random.Random(seed))
+    assert event_digest(reordered) == event_digest(event)
+
+
+@settings(max_examples=150, deadline=None)
+@given(event_trees())
+def test_digest_invariant_under_double_negation(event):
+    try:
+        twice = event.negate().negate()
+    except ValueError:
+        return  # the tree collapsed to EventNever, which has no negation
+    assert event_digest(twice) == event_digest(event)
+
+
+def _shuffle(event, rng):
+    """Recursively permute the children of every connective."""
+    if isinstance(event, (Conjunction, Disjunction)):
+        children = [_shuffle(child, rng) for child in event.events]
+        rng.shuffle(children)
+        return type(event)(children)
+    return event
+
+
+def test_textual_variants_share_a_digest():
+    scope = ["X", "Y"]
+    a = parse_event("X < 3 and Y > 1", scope)
+    b = parse_event("Y > 1  and  X < 3", scope)
+    assert event_digest(a) == event_digest(b)
+    assert repr(normalize_event(a)) == repr(normalize_event(b))
+
+
+def test_transform_solving_unifies_digests():
+    scope = ["X"]
+    assert event_digest(parse_event("X**2 < 4", scope)) == event_digest(
+        parse_event("-2 < X < 2", scope)
+    )
+
+
+def test_same_symbol_fusion_in_conjunction():
+    scope = ["X"]
+    a = parse_event("X > 1 and X < 3", scope)
+    b = parse_event("1 < X < 3", scope)
+    assert event_digest(a) == event_digest(b)
+    assert repr(normalize_event(a)) == repr(normalize_event(b))
+
+
+def test_contradiction_collapses_to_never():
+    event = parse_event("X < 1 and X > 2", ["X"])
+    assert canonical_key(event) == ("never",)
+    assert isinstance(normalize_event(event), EventNever)
+
+
+def test_duplicate_clauses_are_deduplicated():
+    scope = ["X"]
+    a = parse_event("X < 1 or X < 1 or X < 1", scope)
+    b = parse_event("X < 1", scope)
+    assert event_digest(a) == event_digest(b)
+
+
+def test_outcome_set_key_roundtrips_union():
+    s = union(interval(0, 1), FiniteReal([5.0]), FiniteNominal(["a"]))
+    assert outcome_set_key(s) == outcome_set_key(
+        union(FiniteNominal(["a"]), interval(0, 1), FiniteReal([5.0]))
+    )
+
+
+def test_event_never_digest_is_stable():
+    assert event_digest(EventNever()) == event_digest(
+        parse_event("X < 0 and X > 1", ["X"])
+    )

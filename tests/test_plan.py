@@ -1,0 +1,373 @@
+"""The query planner: passes, the corpus gate, and engine/serve routing.
+
+Covers the planner's promise end to end: rewrites preserve answers (bit
+for bit in ``"validated"`` mode), the corpus gate refuses unknown or
+drifted rewrites, digest-keyed caches collapse textual variants of one
+predicate onto a single entry, and ragged ``logpdf_batch`` rows reach the
+compiled kernel per scope-signature group.
+"""
+
+import math
+
+import pytest
+
+from repro.compiler import compile_command
+from repro.compiler import compile_sppl
+from repro.engine import SpplModel
+from repro.engine import parse_event
+from repro.events import event_digest
+from repro.plan import PlanCorpus
+from repro.plan import QueryPlanner
+from repro.plan import chain_order
+from repro.plan import condition_pushdown
+from repro.plan import default_corpus
+from repro.plan import disjoint_factor
+from repro.plan import fuse_union
+from repro.plan import normalize_pass
+from repro.plan import structural_digest
+from repro.plan.validate import INDEPENDENT_SOURCE
+from repro.workloads import table1_models
+
+
+@pytest.fixture(scope="module")
+def independent_spe():
+    return compile_sppl(INDEPENDENT_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def noisy_or_spe():
+    return compile_command(table1_models.noisy_or())
+
+
+class TestPasses:
+    def test_fuse_union_merges_same_symbol_literals(self, independent_spe):
+        event = parse_event("X < -1 or X > 1", independent_spe.scope)
+        fused = fuse_union(event)
+        assert fused is not None
+        assert len(fused.get_symbols()) == 1
+        assert fuse_union(fused) is None  # idempotent: nothing left to fuse
+
+    def test_fuse_union_preserves_branch_order_and_semantics(self, independent_spe):
+        event = parse_event("Y > 2 or X < -1 or X > 1", independent_spe.scope)
+        fused = fuse_union(event)
+        # Y's literal survives untouched; the X literals fuse in place.
+        assert "Y" in {s for s in fused.get_symbols()}
+        assert event_digest(fused) == event_digest(event)
+
+    def test_normalize_pass_returns_none_when_canonical(self, independent_spe):
+        event = parse_event("X < 1", independent_spe.scope)
+        assert normalize_pass(event) is None
+
+    def test_disjoint_factor_splits_product_scopes(self, independent_spe):
+        event = parse_event("X < 1 and Y > 0 and Z < 2", independent_spe.scope)
+        groups = disjoint_factor(independent_spe, event)
+        assert groups is not None and len(groups) == 3
+        assert sorted("".join(sorted(g.get_symbols())) for g in groups) == [
+            "X", "Y", "Z",
+        ]
+
+    def test_disjoint_factor_keeps_dependent_scopes_together(self, independent_spe):
+        # W and X live in one mixture block: no split between them.
+        event = parse_event("W == 'a' and X < 1", independent_spe.scope)
+        assert disjoint_factor(independent_spe, event) is None
+
+    def test_disjoint_factor_declines_sum_roots(self):
+        spe = compile_command(table1_models.alarm())
+        event = parse_event(
+            "burglary == 1 and earthquake == 1", spe.scope
+        )
+        assert disjoint_factor(spe, event) is None
+
+    def test_condition_pushdown_chain_equals_monolithic(self, independent_spe):
+        event = parse_event("X < 1 and Y > 0", independent_spe.scope)
+        chain = condition_pushdown(independent_spe, event)
+        assert chain is not None and len(chain) == 2
+        monolithic = independent_spe.condition(event)
+        chained = independent_spe
+        for step in chain:
+            chained = chained.condition(step)
+        assert chained is monolithic  # the identical interned node
+
+    def test_chain_order_puts_cheap_scopes_first(self, independent_spe):
+        # The W/X mixture block is bigger than the Y leaf, so a chain
+        # that conditions it first gets reordered.
+        expensive = parse_event("X < 1", independent_spe.scope)
+        cheap = parse_event("Y > 0", independent_spe.scope)
+        reordered = chain_order(independent_spe, [expensive, cheap])
+        assert reordered == [cheap, expensive]
+        assert chain_order(independent_spe, [cheap, expensive]) is None
+
+    def test_factored_logprob_is_bit_identical(self, independent_spe):
+        from repro.plan import execute_logprob_plan
+        from repro.spe import Memo
+
+        event = parse_event(
+            "X < 2 and Y > -1 and Z < 3 and U > 1", independent_spe.scope
+        )
+        groups = disjoint_factor(independent_spe, event)
+        baseline = independent_spe.logprob(event, memo=Memo())
+        planned = execute_logprob_plan(
+            independent_spe, ("sum", groups), Memo()
+        )
+        assert planned == baseline
+
+
+class TestCorpusGate:
+    def test_validated_mode_requires_a_corpus_pair(self, independent_spe):
+        planner = QueryPlanner("validated", corpus=PlanCorpus())  # empty
+        event = parse_event("X < 1 and Y > 0", independent_spe.scope)
+        plan = planner.plan_logprob(independent_spe, event)
+        assert plan == ("event", event)  # nothing admitted, query as written
+        stats = planner.stats()
+        assert stats["passes"]["disjoint_factor"]["fallback"] == 1
+        assert "applied" not in stats["passes"]["disjoint_factor"]
+
+    def test_validated_mode_admits_a_matching_pair(self, independent_spe):
+        event = parse_event("X < 1 and Y > 0", independent_spe.scope)
+        groups = disjoint_factor(independent_spe, event)
+        corpus = PlanCorpus([{
+            "pass": "disjoint_factor",
+            "original_digest": event_digest(event),
+            "rewritten_digest": structural_digest(groups),
+        }])
+        planner = QueryPlanner("validated", corpus=corpus)
+        kind, payload = planner.plan_logprob(independent_spe, event)
+        assert kind == "sum" and len(payload) == 2
+        assert planner.stats()["passes"]["disjoint_factor"]["applied"] == 1
+
+    def test_drifted_output_shape_is_refused(self, independent_spe):
+        event = parse_event("X < 1 and Y > 0", independent_spe.scope)
+        corpus = PlanCorpus([{
+            "pass": "disjoint_factor",
+            "original_digest": event_digest(event),
+            "rewritten_digest": "0000000000000000",  # not what the pass makes
+        }])
+        planner = QueryPlanner("validated", corpus=corpus)
+        assert planner.plan_logprob(independent_spe, event) == ("event", event)
+
+    def test_all_mode_skips_the_corpus(self, independent_spe):
+        planner = QueryPlanner("all", corpus=PlanCorpus())
+        event = parse_event("X < 1 and Y > 0", independent_spe.scope)
+        kind, _ = planner.plan_logprob(independent_spe, event)
+        assert kind == "sum"
+
+    def test_dedup_batch_is_always_exact(self):
+        planner = QueryPlanner("validated", corpus=PlanCorpus())
+        a = parse_event("X < 1", {"X"})
+        b = parse_event("X  <  1", {"X"})  # same digest, different text
+        unique, back_refs = planner.dedup_batch([a, b, a])
+        assert len(unique) == 1 and back_refs == [0, 0, 0]
+        assert planner.stats()["passes"]["dedup_batch"]["hits"] == 2
+
+    def test_committed_corpus_loads_and_spans_pass_classes(self):
+        corpus = default_corpus()
+        assert len(corpus) >= 40
+        classes = {pair["pass"] for pair in corpus.pairs}
+        assert len(classes) >= 4
+        assert all(pair["bit_identical"] for pair in corpus.pairs)
+
+    def test_planner_rejects_off_and_unknown_modes(self):
+        with pytest.raises(ValueError):
+            QueryPlanner("off")
+        with pytest.raises(ValueError):
+            QueryPlanner("sometimes")
+
+
+class TestEngineRouting:
+    def test_validated_queries_bit_identical_to_unplanned(self, independent_spe):
+        plain = SpplModel(independent_spe, cache=False)
+        planned = SpplModel(independent_spe, cache=False, plan="validated")
+        queries = [
+            "X < 1 and Y > 0",
+            "Y > 0 and Z < 2 and U < 3",
+            "X < -1 or X > 1",
+            "X < 2 and X < 1",
+            "W == 'a' and Y < 1",
+        ]
+        for query in queries:
+            assert planned.logprob(query) == plain.logprob(query)
+            assert planned.prob(query) == plain.prob(query)
+        assert planned.logprob_batch(queries) == plain.logprob_batch(queries)
+
+    def test_condition_chain_lands_on_identical_posterior(self, independent_spe):
+        plain = SpplModel(independent_spe, cache=False)
+        planned = SpplModel(independent_spe, cache=False, plan="validated")
+        text = "X < 2 and Y > -1 and Z < 3 and U > 1"
+        a, b = plain.condition(text), planned.condition(text)
+        assert a.spe is b.spe  # the identical interned node
+        assert b.planner is planned.planner  # family shares one planner
+        assert b.logprob("M == 'mid'") == a.logprob("M == 'mid'")
+
+    def test_event_digest_lru_collapses_textual_variants(self, independent_spe):
+        """Satellite regression: reordered/whitespace variants of one
+        predicate hit a single parsed-event cache entry under planning."""
+        planned = SpplModel(independent_spe, cache=False, plan="validated")
+        first = planned._resolve_event("X < 3 and Y > 1")
+        for variant in (
+            "Y > 1 and X < 3",
+            "X  <  3 and Y > 1",
+            "Y>1 and X<3",
+        ):
+            assert planned._resolve_event(variant) is first
+        stats = planned.cache_stats()
+        assert stats["event_digest_hits"] == 3
+        assert stats["event_digest_entries"] == 1
+
+    def test_no_digest_canonicalization_without_planning(self, independent_spe):
+        plain = SpplModel(independent_spe, cache=False)
+        a = plain._resolve_event("X < 3 and Y > 1")
+        b = plain._resolve_event("Y > 1 and X < 3")
+        assert a is not b
+
+    def test_kernel_batch_with_planning_matches_interpreter(self, independent_spe):
+        planned = SpplModel(independent_spe, cache=False, plan="validated")
+        plain = SpplModel(independent_spe, cache=False)
+        queries = [
+            "X < 1 and Y > 0",
+            "X < 1 and Y > 0",  # duplicate: exercises dedup + fan-out
+            "Y > 0 and Z < 2 and U < 3",
+            "X < -1 or X > 1",
+        ]
+        expected = plain.logprob_batch(queries)
+        assert planned.logprob_batch(queries) == expected
+        planned.compile()
+        try:
+            assert planned.logprob_batch(queries) == expected
+        finally:
+            planned.detach_compiled()
+
+    def test_plan_off_rejects_corpus_argument(self, independent_spe):
+        with pytest.raises(ValueError):
+            SpplModel(independent_spe, plan="off", plan_corpus=PlanCorpus())
+
+    def test_zero_probability_condition_still_raises(self, independent_spe):
+        from repro.spe import ZeroProbabilityError
+
+        planned = SpplModel(independent_spe, cache=False, plan="validated")
+        with pytest.raises(ZeroProbabilityError):
+            planned.condition("Y > 0 and Y < -1")
+
+
+class TestRaggedLogpdfBatch:
+    def test_grouped_dispatch_matches_interpreter(self, independent_spe):
+        """Satellite differential: a ragged batch (mixed scope
+        signatures) groups per signature, each group through the compiled
+        kernel, bit-identical to the interpreter."""
+        model = SpplModel(independent_spe, cache=False)
+        model.compile()
+        try:
+            rows = [
+                {"X": 0.1, "Y": 0.2},
+                {"X": 0.3},
+                {"Y": -0.4, "Z": 1.0},
+                {"X": 0.5, "Y": -0.1},
+                {"Z": 0.0},
+                {"X": 0.3},
+            ]
+            expected = [independent_spe.logpdf(row) for row in rows]
+            assert model.logpdf_batch(rows) == expected
+            stats = model.cache_stats()
+            assert stats["logpdf_grouped_batches"] == 1
+            assert stats["logpdf_grouped_fallbacks"] == 0
+        finally:
+            model.detach_compiled()
+
+    def test_uniform_batches_skip_grouping(self, independent_spe):
+        model = SpplModel(independent_spe, cache=False)
+        model.compile()
+        try:
+            rows = [{"X": 0.1}, {"X": 0.2}]
+            model.logpdf_batch(rows)
+            assert "logpdf_grouped_batches" not in model.cache_stats()
+        finally:
+            model.detach_compiled()
+
+
+class TestServeDigestCache:
+    def test_result_cache_hits_across_textual_variants(self, noisy_or_spe):
+        """Satellite regression: the serve ResultCache keys by event
+        digest, so ``X < 3 and Y > 1`` and ``Y > 1 and X < 3`` share one
+        entry."""
+        from repro.serve.scheduler import ResultCache
+        from repro.serve.scheduler import evaluate_batch
+
+        model = SpplModel(noisy_or_spe, plan="validated")
+        cache = ResultCache()
+        first = evaluate_batch(
+            model, "logprob", None,
+            ["disease_0 == 1 and disease_1 == 1"], cache,
+        )
+        second = evaluate_batch(
+            model, "logprob", None,
+            ["disease_1 == 1  and  disease_0 == 1"], cache,
+        )
+        assert first == second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_duplicate_misses_evaluate_once(self, noisy_or_spe):
+        from repro.serve.scheduler import ResultCache
+        from repro.serve.scheduler import evaluate_batch
+
+        model = SpplModel(noisy_or_spe, plan="validated")
+        cache = ResultCache()
+        calls = []
+        original = model.logprob_batch
+
+        def counting(events, **kwargs):
+            calls.append(len(events))
+            return original(events, **kwargs)
+
+        model.logprob_batch = counting
+        results = evaluate_batch(
+            model, "logprob", None,
+            ["disease_0 == 1", "disease_0  ==  1", "disease_0 == 1"], cache,
+        )
+        assert results[0] == results[1] == results[2]
+        assert calls == [1]  # one representative reached the engine
+
+    def test_raw_text_keys_without_planning(self, noisy_or_spe):
+        from repro.serve.scheduler import ResultCache
+
+        model = SpplModel(noisy_or_spe)  # plan off
+        key_a = ResultCache.digest_key(model, "logprob", None, "disease_0 == 1")
+        key_b = ResultCache.digest_key(model, "logprob", None, "disease_0  == 1")
+        assert key_a != key_b
+        assert key_a == ResultCache.key("logprob", None, "disease_0 == 1")
+
+    def test_registry_default_plans_and_reports(self):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry()
+        registered = registry.register_catalog("noisy_or")
+        assert registered.plan == "validated"
+        assert registered.model.plan_mode == "validated"
+        assert registry.describe()["noisy_or"]["plan"] == "validated"
+        assert registered.model.cache_stats()["plan"]["mode"] == "validated"
+
+    def test_registry_plan_off_restores_unplanned_models(self):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(plan="off")
+        registered = registry.register_catalog("noisy_or")
+        assert registered.model.plan_mode == "off"
+        assert "plan" not in registered.model.cache_stats()
+
+
+class TestValidateHarness:
+    def test_rejected_rewrites_never_enter_the_corpus(self):
+        """The gate actually filters: the committed corpus must not claim
+        any pair whose answers differ today (spot-check one pair per
+        pass class, interpreted path)."""
+        from repro.plan.validate import build_corpus
+
+        corpus = build_corpus(repetitions=1)
+        assert corpus["summary"]["validated"] >= 40
+        assert corpus["summary"]["rejected"] >= 1
+        assert set(corpus["summary"]["by_pass"]) >= {
+            "normalize", "fuse_union", "disjoint_factor", "condition_pushdown",
+        }
+
+    def test_prob_routes_through_logprob_when_planned(self, independent_spe):
+        planned = SpplModel(independent_spe, cache=False, plan="validated")
+        lp = planned.logprob("X < 1 and Y > 0")
+        assert planned.prob("X < 1 and Y > 0") == math.exp(lp)

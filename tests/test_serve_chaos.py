@@ -281,6 +281,55 @@ def mixed_requests():
     return requests
 
 
+class TestPlannedRespawn:
+    def test_respawned_shard_plans_and_stays_bit_identical(self):
+        """A SIGKILLed shard serving with plan='validated' respawns, still
+        plans (its spec carries the mode), and answers a corpus-validated
+        factorable query bit-identically to an unplanned local model."""
+        from repro.compiler import compile_command
+        from repro.engine import SpplModel
+        from repro.serve import wire
+        from repro.workloads import table1_models
+
+        registry = ModelRegistry(plan="validated")
+        registered = registry.register_catalog("noisy_or")
+        spec = wire.model_spec(registered)
+        assert spec["plan"] == "validated"
+        pool = WorkerPool(1)
+        pool.start({"noisy_or": spec})
+        # A conjunction over both root-product children: the validated
+        # corpus holds its disjoint_factor pair, so the planned worker
+        # actually rewrites it.
+        event = "disease_0 == 1 and disease_1 == 1"
+
+        async def main():
+            try:
+                (before,) = await pool.run_batch(
+                    0, "noisy_or", "logprob", None, [event]
+                )
+                victim = pool.worker_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                (after,) = await pool.run_batch(
+                    0, "noisy_or", "logprob", None, [event]
+                )
+                stats = await pool.shard_stats()
+                return before, after, victim, stats
+            finally:
+                await pool.close()
+
+        before, after, victim, stats = asyncio.run(main())
+        assert after == before
+        unplanned = SpplModel(
+            compile_command(table1_models.noisy_or()), cache=False
+        )
+        assert after == ("ok", unplanned.logprob(event))  # bit-identical
+        assert pool.respawns == 1
+        assert pool.worker_pids()[0] != victim
+        plan_stats = stats[0]["noisy_or"]["plan"]
+        assert plan_stats["mode"] == "validated"
+        assert plan_stats["passes"]["disjoint_factor"]["applied"] >= 1
+
+
 class TestChaosUnderOverload:
     def test_sigkill_during_4x_overload(self):
         """The PR's acceptance check, end to end over the real wire."""
