@@ -588,6 +588,86 @@ def bench_serve_chaos() -> dict:
     return asyncio.run(run())
 
 
+def bench_obs_overhead() -> dict:
+    """Observability cost: serve throughput with tracing off / sampled / full.
+
+    Replays the ``bench_serve_throughput`` workload (hmm20, 256 distinct
+    single-event ``logprob`` requests over 32 pipelined connections,
+    caches warmed with an untimed pass) against three service
+    configurations:
+
+    * **off** -- ``trace_sample=0.0`` (the default): every response
+      still mints and echoes a trace id, but no span tree is built.
+      This is the hot path the regression gate budgets -- tracing must
+      be near-free when off.
+    * **sampled** -- ``trace_sample=0.1``: the production-style setting;
+      one request in ten builds a full span tree and lands in the
+      flight-recorder ring.
+    * **full** -- ``trace_sample=1.0``: every request traced, the
+      worst-case cost (span construction, worker span fragments on the
+      wire, recorder ring churn).
+
+    Each mode reports the best of five timed concurrent passes;
+    ``overhead_sampled_pct`` / ``overhead_full_pct`` are relative to the
+    off pass within the same run, so machine speed cancels out.
+    """
+    import asyncio
+
+    from repro.serve import AsyncServeClient
+    from repro.serve import InferenceService
+    from repro.serve import ModelRegistry
+
+    n_requests = 256
+    window_s = 0.002
+
+    async def measure(trace_sample: float) -> float:
+        registry = ModelRegistry()
+        registry.register_catalog("hmm20")
+        service = InferenceService(
+            registry, workers=0, window=window_s, max_batch=n_requests,
+            trace_sample=trace_sample,
+        )
+        host, port = await service.start()
+        client = AsyncServeClient(host, port)
+        requests = [
+            {
+                "id": i,
+                "model": "hmm20",
+                "kind": "logprob",
+                "event": "X[%d] < %r" % (i % 20, 0.05 + (i * 0.0037) % 1.0),
+            }
+            for i in range(n_requests)
+        ]
+        warm = await client.query_many(requests, connections=32)
+        assert all(response["ok"] for response in warm)
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            await client.query_many(requests, connections=32)
+            best = min(best, time.perf_counter() - start)
+        await service.close()
+        return best
+
+    async def run():
+        off_s = await measure(0.0)
+        sampled_s = await measure(0.1)
+        full_s = await measure(1.0)
+        return {
+            "requests": n_requests,
+            "window_ms": window_s * 1e3,
+            "workers": 0,
+            "off_s": round(off_s, 4),
+            "sampled_s": round(sampled_s, 4),
+            "full_s": round(full_s, 4),
+            "sample_rate": 0.1,
+            "overhead_sampled_pct": round((sampled_s / off_s - 1.0) * 100, 1),
+            "overhead_full_pct": round((full_s / off_s - 1.0) * 100, 1),
+            "off_qps": round(n_requests / off_s),
+        }
+
+    return asyncio.run(run())
+
+
 #: Fail the gate when a model's translate_s grows by more than this factor
 #: relative to the fleet-median ratio ...
 GATE_SLOWDOWN_FACTOR = 1.25
@@ -602,6 +682,12 @@ GATE_ABSOLUTE_GRACE_S = 0.01
 #: precise gate, this one only catches "everything got several times
 #: slower".
 GATE_FLEET_SLOWDOWN_FACTOR = 3.0
+#: Tracing-off budget: the observability layer may cost at most this
+#: much on the serve hot path when no trace is sampled, measured as the
+#: ``obs_overhead`` off-pass against the committed baseline (scaled by
+#: the fleet-median translate ratio so runner speed cancels out, with
+#: the usual absolute grace absorbing timer jitter on the ~30ms pass).
+GATE_OBS_OFF_OVERHEAD_FACTOR = 1.05
 
 
 def check_gate(snapshot: dict, baseline: dict) -> list:
@@ -621,6 +707,10 @@ def check_gate(snapshot: dict, baseline: dict) -> list:
       (the compiled kernel diverging from the interpreter) fails outright,
       baseline or not; ``compiled_s`` regressions gate like ``translate_s``
       (>25% beyond the fleet-median ratio, with the same absolute grace).
+    * ``obs_overhead`` tracing-off pass -- the serve hot path with
+      tracing disabled may regress at most 5% against the baseline
+      (fleet-median normalized, same absolute grace): observability
+      must stay near-free when off.
     """
     failures = []
     for name, row in sorted(snapshot.get("compiled_logprob_batch", {}).items()):
@@ -744,6 +834,27 @@ def check_gate(snapshot: dict, baseline: dict) -> list:
                         scale,
                     )
                 )
+    old_obs = baseline.get("obs_overhead", {})
+    new_obs = snapshot.get("obs_overhead", {})
+    if old_obs.get("off_s", 0) > 0 and new_obs:
+        machine_scale = float(np.median(list(ratios.values()))) if ratios else 1.0
+        expected_off = old_obs["off_s"] * machine_scale
+        new_off = new_obs["off_s"]
+        if (
+            new_off > expected_off * GATE_OBS_OFF_OVERHEAD_FACTOR
+            and new_off - expected_off > GATE_ABSOLUTE_GRACE_S
+        ):
+            failures.append(
+                "tracing-off overhead regression: obs_overhead off pass "
+                "%.4fs -> %.4fs (>%d%% over the fleet-scaled baseline "
+                "%.4fs; observability must stay near-free when off)"
+                % (
+                    old_obs["off_s"],
+                    new_off,
+                    round((GATE_OBS_OFF_OVERHEAD_FACTOR - 1) * 100),
+                    expected_off,
+                )
+            )
     return failures
 
 
@@ -760,8 +871,8 @@ def main() -> int:
         metavar="BASELINE",
         help="compare against a committed BENCH_*.json and exit non-zero on "
         "a >25%% translate_s or compiled-logprob_batch slowdown, any "
-        "compression-ratio regression, or a compiled-vs-interpreted "
-        "differential mismatch",
+        "compression-ratio regression, a compiled-vs-interpreted "
+        "differential mismatch, or a >5%% tracing-off overhead regression",
     )
     args = parser.parse_args()
 
@@ -780,6 +891,7 @@ def main() -> int:
         "serve_throughput": bench_serve_throughput(),
         "serve_overload": bench_serve_overload(),
         "serve_chaos": bench_serve_chaos(),
+        "obs_overhead": bench_obs_overhead(),
         "intern_table": intern_stats(),
     }
 

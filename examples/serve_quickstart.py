@@ -20,7 +20,11 @@ Demonstrates the ``repro.serve`` subsystem end to end:
 7. register a model by the **path + digest** of a compiled ``.spz``
    blob: the service mmaps the content-addressed file instead of
    deserializing a payload, so every worker shard shares one physical
-   copy of the compiled tables.
+   copy of the compiled tables,
+8. fetch the **execution trace** of one query (``"trace": true`` on the
+   wire, ``GET /v1/trace/<id>`` to retrieve) and print its span tree —
+   queue wait, coalesced batch, planner pass outcome, cache hit/miss,
+   and the compiled-vs-interpreted engine route, span by span.
 
 The same service runs standalone with worker-process sharding (dead
 workers are respawned transparently) and a durable lifecycle journal::
@@ -191,6 +195,42 @@ async def main() -> None:
             {"model": "hmm5", "kind": "logprob", "event": "X[0] < 0.5"}
         )
         print("  logprob(X[0] < 0.5 | hmm5) = %.4f" % value_of(response))
+
+        # -- 8. End-to-end query tracing -------------------------------------
+        # Every response line echoes a service-assigned trace id.  A
+        # request opting in with "trace": true (or sampled in via
+        # --trace-sample, or --slow-query-ms for outliers) additionally
+        # builds a span tree — queue wait, micro-batch coalescing,
+        # planner pass outcomes, cache hits, engine route — kept in the
+        # flight-recorder ring and retrievable at GET /v1/trace/<id>.
+        # This is the "why was this query slow?" artifact: here the cold
+        # conjunction pays for planning + evaluation, visible span by
+        # span.
+        response = await client.query(
+            {
+                "model": "hmm20",
+                "kind": "logprob",
+                "event": "X[7] < 0.25 and X[11] < 0.5",
+                "trace": True,
+            }
+        )
+        trace = await client.trace(response["trace"])
+
+        def show(span, depth=0):
+            tags = span.get("tags", {})
+            rendered = " ".join("%s=%s" % (key, tags[key]) for key in sorted(tags))
+            print(
+                "  %s%-28s %8.1f us  %s"
+                % ("  " * depth, span["name"], span["dur_us"], rendered)
+            )
+            for child in span.get("children", ()):
+                show(child, depth + 1)
+
+        print(
+            "trace %s (%s/%s, %.2f ms):"
+            % (trace["trace_id"], trace["model"], trace["kind"], trace["duration_ms"])
+        )
+        show(trace["spans"])
         await service.close()
 
 

@@ -44,6 +44,7 @@ from typing import Union
 
 import numpy as np
 
+from .. import obs
 from ..compiler import Command
 from ..compiler import SpplParser
 from ..compiler import compile_command
@@ -466,7 +467,9 @@ class SpplModel:
                 cached = self._event_cache.get(event)
                 if cached is not None:
                     self._event_cache.move_to_end(event)
+                    obs.bump("event_cache.hits")
                     return cached
+            obs.bump("event_cache.misses")
             parsed = parse_event(event, self.spe.scope)
             digest = event_digest(parsed) if self._planner is not None else None
             with self._event_cache_lock:
@@ -504,6 +507,25 @@ class SpplModel:
         except Exception:
             return None
 
+    @contextlib.contextmanager
+    def _traced_cache_deltas(self, tracer):
+        """Attribute query-cache hit/miss deltas to the current span.
+
+        Reads the cache's monotone counters directly (never
+        :meth:`cache_stats`, which advances the eviction-rate mark as a
+        side effect), so tracing observes without perturbing.
+        """
+        cache = self._cache
+        if cache is None:
+            yield
+            return
+        hits, misses = cache.hits, cache.misses
+        try:
+            yield
+        finally:
+            tracer.bump("query_cache.hits", cache.hits - hits)
+            tracer.bump("query_cache.misses", cache.misses - misses)
+
     def logprob(self, event: EventLike, memo: Memo = None) -> float:
         """Exact log probability of an event."""
         resolved = self._resolve_event(event)
@@ -536,6 +558,17 @@ class SpplModel:
         use_kernel = (
             memo is None and self._compiled is not None and not self._compiled.closed
         )
+        tracer = obs.current()
+        if tracer is not None:
+            route = "compiled" if use_kernel else "interpreted"
+            with tracer.span("engine.logprob_batch", route=route, n=len(events)):
+                with self._traced_cache_deltas(tracer):
+                    return self._logprob_batch_impl(events, memo, use_kernel)
+        return self._logprob_batch_impl(events, memo, use_kernel)
+
+    def _logprob_batch_impl(
+        self, events: Sequence[EventLike], memo: Memo, use_kernel: bool
+    ) -> List[float]:
         resolved = [self._resolve_event(event) for event in events]
         if self._planner is None:
             if use_kernel:
@@ -591,15 +624,36 @@ class SpplModel:
         variables); the kernel declines otherwise and the batch falls
         back to the cached interpreted traversal.
         """
+        tracer = obs.current()
+        if tracer is not None:
+            with tracer.span("engine.logpdf_batch", n=len(assignments)) as node:
+                with self._traced_cache_deltas(tracer):
+                    values, route = self._logpdf_batch_impl(assignments, memo)
+                node.annotate(route=route)
+                return values
+        return self._logpdf_batch_impl(assignments, memo)[0]
+
+    def _logpdf_batch_impl(
+        self, assignments: Sequence[Dict[str, object]], memo: Memo
+    ) -> "tuple":
+        """The routed evaluation; returns ``(values, route)`` for tracing."""
         if memo is None and self._compiled is not None and not self._compiled.closed:
             routed = self._compiled.logpdf_batch(assignments)
             if routed is not None:
-                return routed
+                return routed, "compiled"
+            fallbacks = self._logpdf_grouped_fallbacks
             grouped = self._logpdf_batch_grouped(assignments)
             if grouped is not None:
-                return grouped
+                obs.bump(
+                    "logpdf_grouped_fallbacks",
+                    self._logpdf_grouped_fallbacks - fallbacks,
+                )
+                return grouped, "compiled-grouped"
         memo = self._memo(memo)
-        return [self.spe.logpdf(assignment, memo=memo) for assignment in assignments]
+        return (
+            [self.spe.logpdf(assignment, memo=memo) for assignment in assignments],
+            "interpreted",
+        )
 
     def _logpdf_batch_grouped(
         self, assignments: Sequence[Dict[str, object]]

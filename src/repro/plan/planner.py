@@ -35,6 +35,7 @@ from typing import Optional
 from typing import Sequence
 from typing import Tuple
 
+from .. import obs
 from ..events import Event
 from ..events import chain_digest
 from ..events import event_digest
@@ -203,16 +204,28 @@ class QueryPlanner:
     # -- The gate -------------------------------------------------------------
 
     def _admit(self, pass_name: str, original_digest: str, rewritten) -> bool:
-        """Apply the mode/corpus gate to one candidate rewrite."""
+        """Apply the mode/corpus gate to one candidate rewrite.
+
+        Each decision is also recorded on the active trace (when one is
+        — the obs helpers are no-ops otherwise), so a retrieved span
+        tree shows exactly which passes fired and which the corpus gate
+        refused, keyed by the input's semantic digest.
+        """
         if self.mode == "all" or pass_name in EXACT_PASSES:
             self._count(pass_name, "applied")
+            obs.event("plan." + pass_name, outcome="applied",
+                      digest=original_digest[:12])
             return True
         if self.corpus.allows(
             pass_name, original_digest, structural_digest(rewritten)
         ):
             self._count(pass_name, "applied")
+            obs.event("plan." + pass_name, outcome="applied",
+                      digest=original_digest[:12])
             return True
         self._count(pass_name, "fallback")
+        obs.event("plan." + pass_name, outcome="fallback",
+                  digest=original_digest[:12])
         return False
 
     # -- Planning -------------------------------------------------------------
@@ -283,4 +296,6 @@ class QueryPlanner:
         if duplicates:
             self._count("dedup_batch", "applied")
             self._count("dedup_batch", "hits", duplicates)
+            obs.event("plan.dedup_batch", outcome="applied",
+                      unique=len(unique), duplicates=duplicates)
         return unique, back_refs

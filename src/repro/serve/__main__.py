@@ -120,6 +120,37 @@ def build_parser() -> argparse.ArgumentParser:
         "models survive restarts",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability in [0, 1] that a request gets a full span tree "
+        "(default 0; requests can always opt in per-request with "
+        "\"trace\": true, and every response line echoes a trace id)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a structured JSON line for every request slower than MS "
+        "milliseconds (implies --trace-sample 1.0 unless one was given, "
+        "so outliers carry their span trees)",
+    )
+    parser.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help="append slow-query lines to PATH instead of stderr",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="completed traces retained for GET /v1/trace/<id> (default 256)",
+    )
+    parser.add_argument(
         "--plan",
         default="validated",
         choices=["off", "validated", "all"],
@@ -179,6 +210,12 @@ async def run(args: argparse.Namespace) -> int:
         if args.max_inflight_per_conn < 1:
             raise SystemExit("--max-inflight-per-conn must be >= 1.")
         service_kwargs["max_inflight_per_connection"] = args.max_inflight_per_conn
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise SystemExit("--trace-sample must be in [0, 1].")
+    if args.slow_query_ms is not None and args.slow_query_ms < 0:
+        raise SystemExit("--slow-query-ms must be non-negative.")
+    if args.trace_capacity < 1:
+        raise SystemExit("--trace-capacity must be >= 1.")
     service = InferenceService(
         registry,
         workers=workers,
@@ -187,6 +224,10 @@ async def run(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         journal=journal,
+        trace_sample=args.trace_sample,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
+        trace_capacity=args.trace_capacity,
         **service_kwargs,
     )
     host, port = await service.start()

@@ -275,6 +275,24 @@ class AsyncServeClient:
     async def health(self) -> Dict:
         return await self._get_json("/healthz")
 
+    async def trace(self, trace_id: str) -> Dict:
+        """Fetch a recorded span tree by the trace id echoed on a response.
+
+        Only sampled (or per-request ``"trace": true``) requests have
+        span trees, and the flight recorder's ring is bounded — a
+        missing/evicted id raises :class:`ServeClientError` (HTTP 404).
+        """
+        return await self._get_json("/v1/trace/" + trace_id)
+
+    async def metrics(self) -> str:
+        """Fetch the Prometheus text exposition of ``GET /metrics``."""
+        connection = await _Connection.open(self.host, self.port)
+        try:
+            response = await connection.round_trip("GET", "/metrics")
+            return response.decode("utf-8")
+        finally:
+            await connection.close()
+
     async def clear_cache(self) -> Dict:
         return await self._get_json("/v1/clear_cache", method="POST")
 
@@ -367,6 +385,12 @@ class ServeClient:
 
     def health(self) -> Dict:
         return self._run(self._async.health())
+
+    def trace(self, trace_id: str) -> Dict:
+        return self._run(self._async.trace(trace_id))
+
+    def metrics(self) -> str:
+        return self._run(self._async.metrics())
 
     def clear_cache(self) -> Dict:
         return self._run(self._async.clear_cache())

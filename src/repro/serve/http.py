@@ -53,10 +53,16 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import random
 from typing import Dict
+from typing import List
 from typing import Optional
 from typing import Tuple
 
+from .. import obs
+from ..obs import FlightRecorder
+from ..obs import MetricsRegistry
+from ..obs import Trace
 from . import wire
 from .registry import ModelRegistry
 from .registry import RegistryError
@@ -138,12 +144,18 @@ class InferenceService:
         max_queued_per_key: Optional[int] = DEFAULT_MAX_QUEUED_PER_KEY,
         max_inflight_per_connection: int = DEFAULT_MAX_INFLIGHT_PER_CONNECTION,
         journal: Optional[RegistryJournal] = None,
+        trace_sample: float = 0.0,
+        slow_query_ms: Optional[float] = None,
+        slow_query_log: Optional[str] = None,
+        trace_capacity: int = 256,
     ):
         if max_inflight_per_connection < 1:
             raise ValueError(
                 "max_inflight_per_connection must be positive (a 0 bound "
                 "would shed every request)."
             )
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1].")
         self.registry = registry
         self.workers = workers
         self.host = host
@@ -155,9 +167,25 @@ class InferenceService:
         #: Replaying the journal into the registry happens *before*
         #: service construction (see ``repro.serve.__main__``).
         self.journal = journal
+        #: One registry for every instrument in this service: scheduler,
+        #: pool, HTTP layer, and flight recorder all register their
+        #: counters here, and ``GET /metrics`` renders it.
+        self.metrics = MetricsRegistry()
+        if slow_query_ms is not None and trace_sample == 0.0:
+            # A slow-query threshold without an explicit sample rate
+            # implies full sampling: an outlier's log line should carry
+            # the span tree that explains it.
+            trace_sample = 1.0
+        self.trace_sample = trace_sample
+        self.recorder = FlightRecorder(
+            capacity=trace_capacity,
+            slow_query_ms=slow_query_ms,
+            slow_query_log=slow_query_log,
+            metrics=self.metrics,
+        )
         self._pool: Optional[WorkerPool] = None
         if workers > 0:
-            self._pool = WorkerPool(workers)
+            self._pool = WorkerPool(workers, metrics=self.metrics)
             self.backend = WorkerPoolBackend(self._pool)
         else:
             self.backend = InProcessBackend(registry)
@@ -166,6 +194,7 @@ class InferenceService:
             window=window,
             max_batch=max_batch,
             max_queued_per_key=max_queued_per_key,
+            metrics=self.metrics,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
@@ -174,10 +203,20 @@ class InferenceService:
         #: SIGTERM mid-batch never drops an accepted request.
         self._inflight: set = set()
         self._pending_responses = 0
-        self.connection_sheds = 0
+        self._connection_sheds = self.metrics.counter(
+            "repro.http.connection_sheds"
+        )
+        self.metrics.gauge_fn(
+            "repro.http.pending_responses", lambda: self._pending_responses
+        )
         #: Serializes register/unregister so two concurrent lifecycle
         #: calls cannot interleave their worker handshakes.
         self._lifecycle_lock = asyncio.Lock()
+
+    @property
+    def connection_sheds(self) -> int:
+        """Back-compatible read of the migrated connection-shed counter."""
+        return self._connection_sheds.value
 
     def worker_specs(self) -> Dict[str, Dict]:
         """Per-model specs handed to worker processes.
@@ -230,6 +269,7 @@ class InferenceService:
             await asyncio.gather(*self._connections, return_exceptions=True)
         await self.scheduler.drain()
         await self.backend.close()
+        self.recorder.close()
         if self.journal is not None:
             self.journal.close()
 
@@ -330,7 +370,7 @@ class InferenceService:
                     # without bound.  Applies to every dispatched path:
                     # any pipelined request holds response-queue memory
                     # until its reply is written.
-                    self.connection_sheds += 1
+                    self._connection_sheds.inc()
                     sheds += 1
                     self._enqueue(
                         queue,
@@ -449,6 +489,22 @@ class InferenceService:
                 return await self._handle_unregister(body)
             if path == "/v1/stats":
                 return _json_response(200, await self._stats())
+            if path == "/metrics":
+                return _response(
+                    200,
+                    (await self._metrics_exposition()).encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            if path.startswith("/v1/trace/"):
+                trace_id = path[len("/v1/trace/"):]
+                entry = self.recorder.get(trace_id)
+                if entry is None:
+                    return _json_response(
+                        404,
+                        {"error": "No trace %r (unsampled, evicted, or "
+                                  "unknown)." % (trace_id,)},
+                    )
+                return _json_response(200, entry)
             if path == "/v1/clear_cache":
                 if method != "POST":
                     return _json_response(405, {"error": "POST required."})
@@ -478,6 +534,10 @@ class InferenceService:
         return _response(200, b"".join(line + b"\n" for line in results))
 
     async def _handle_query_line(self, line: bytes) -> bytes:
+        # Every request gets a trace id (echoed on its response line for
+        # correlation); only requests that opt in ("trace": true) or win
+        # the sampling draw pay for an actual span tree behind it.
+        trace_id = obs.new_trace_id()
         try:
             request = wire.parse_request_line(line)
         except wire.WireError as error:
@@ -488,16 +548,44 @@ class InferenceService:
                     request_id = decoded.get("id")
             except ValueError:
                 pass
-            return wire.encode_error_line(request_id, str(error))
+            return wire.encode_error_line(request_id, str(error), trace_id=trace_id)
         try:
             self.registry.get(request.model)
         except RegistryError as error:
-            return wire.encode_error_line(request.id, str(error), kind="RegistryError")
+            return wire.encode_error_line(
+                request.id, str(error), kind="RegistryError", trace_id=trace_id
+            )
+        trace = None
+        if request.trace or (
+            self.trace_sample and random.random() < self.trace_sample
+        ):
+            trace = Trace(
+                trace_id=trace_id,
+                name="request",
+                tags={"model": request.model, "kind": request.kind},
+            )
+        # The wire flag becomes the live tracer (or None): the scheduler
+        # attaches queue spans and batch fragments through this field.
+        request.trace = trace
+        loop = asyncio.get_running_loop()
+        start = loop.time()
         try:
             result = await self.scheduler.submit(request)
         except OverloadedError as error:
-            return wire.encode_overloaded_line(request.id, error.retry_after_ms)
-        return wire.encode_response(request.id, result)
+            if trace is not None:
+                trace.event("overloaded", retry_after_ms=error.retry_after_ms)
+            self.recorder.observe(
+                trace, trace_id, (loop.time() - start) * 1e3,
+                model=request.model, kind=request.kind,
+            )
+            return wire.encode_overloaded_line(
+                request.id, error.retry_after_ms, trace_id=trace_id
+            )
+        self.recorder.observe(
+            trace, trace_id, (loop.time() - start) * 1e3,
+            model=request.model, kind=request.kind,
+        )
+        return wire.encode_response(request.id, result, trace_id=trace_id)
 
     # -- Dynamic model lifecycle ----------------------------------------------
 
@@ -664,15 +752,77 @@ class InferenceService:
         return _json_response(200, {"ok": True, "model": name, "drained": drained})
 
     async def _stats(self) -> Dict:
+        """One consistent stats snapshot.
+
+        Every loop-owned counter (scheduler, HTTP, supervision, journal,
+        recorder) is collected in a single synchronous pass — no ``await``
+        between reads — so invariants that hold on the loop (e.g.
+        ``respawns >= requeued_batches``) also hold in every snapshot.
+        Only the worker shards' own statistics require pipe round trips;
+        they are awaited *after* the snapshot and merged in.
+        """
         stats = {
             "scheduler": self.scheduler.stats(),
             "http": {
                 "connection_sheds": self.connection_sheds,
                 "max_inflight_per_connection": self.max_inflight_per_connection,
             },
-            "backend": await self.backend.stats(),
+            "backend": self.backend.stats_sync(),
+            "trace": self.recorder.stats(),
             "models": self.registry.names(),
         }
         if self.journal is not None:
             stats["journal"] = self.journal.stats()
+        if self._pool is not None:
+            stats["backend"]["shards"] = await self._pool.shard_stats()
         return stats
+
+    async def _metrics_exposition(self) -> str:
+        """Render ``GET /metrics`` (Prometheus text format 0.0.4).
+
+        Registry-owned instruments render directly; per-model cache
+        counters, per-pass planner outcomes, and journal statistics live
+        in their owners (or in worker shards, reached over the pipe) and
+        are gathered here as labeled scrape-time samples.
+        """
+        counters: List[obs.metrics.Sample] = []
+        gauges: List[obs.metrics.Sample] = []
+        backend = await self.backend.stats()
+        per_model = backend.get("models")
+        if per_model is not None:
+            for name, model_stats in per_model.items():
+                self._model_samples({"model": name}, model_stats, counters, gauges)
+        for shard, shard_stats in enumerate(backend.get("shards", [])):
+            for name, model_stats in shard_stats.items():
+                self._model_samples(
+                    {"model": name, "shard": str(shard)},
+                    model_stats, counters, gauges,
+                )
+        if self.journal is not None:
+            journal_counters, journal_gauges = self.journal.metrics_samples()
+            counters.extend(journal_counters)
+            gauges.extend(journal_gauges)
+        return self.metrics.render(extra_counters=counters, extra_gauges=gauges)
+
+    @staticmethod
+    def _model_samples(labels: Dict[str, str], model_stats: Dict,
+                       counters: List, gauges: List) -> None:
+        """Labeled samples for one model's cache / planner statistics."""
+        results = model_stats.get("results", {})
+        for key in ("hits", "misses"):
+            if key in results:
+                counters.append(
+                    ("repro.result_cache." + key, labels, results[key])
+                )
+        for key in ("hits", "misses", "evictions"):
+            if key in model_stats:
+                counters.append(
+                    ("repro.query_cache." + key, labels, model_stats[key])
+                )
+        for name, bucket in model_stats.get("plan", {}).get("passes", {}).items():
+            for outcome, count in bucket.items():
+                counters.append((
+                    "repro.plan." + outcome,
+                    dict(labels, **{"pass": name}),
+                    count,
+                ))

@@ -481,6 +481,26 @@ class RegistryJournal:
             "truncated_bytes": self.truncated_bytes,
         }
 
+    def metrics_samples(self):
+        """Journal health as ``(counters, gauges)`` sample lists.
+
+        The same numbers :meth:`stats` reports, mapped to stable dotted
+        metric names with the correct Prometheus instrument type (the
+        cumulative event/compaction/truncation tallies are counters; the
+        live/dead record counts describe the file's current state and
+        are gauges).  Rendered by ``GET /metrics``.
+        """
+        counters = [
+            ("repro.journal.events", None, self._events),
+            ("repro.journal.compactions", None, self.compactions),
+            ("repro.journal.truncated_bytes", None, self.truncated_bytes),
+        ]
+        gauges = [
+            ("repro.journal.live_records", None, len(self._live)),
+            ("repro.journal.dead_records", None, self._dead),
+        ]
+        return counters, gauges
+
     # -- Internals ------------------------------------------------------------
 
     @staticmethod

@@ -32,7 +32,10 @@ from typing import Sequence
 import threading
 from collections import OrderedDict
 
+from .. import obs
 from ..engine import SpplModel
+from ..obs import MetricsRegistry
+from ..obs import Trace
 from . import wire
 from .wire import LatencyHistogram
 from .wire import Result
@@ -157,6 +160,7 @@ class ResultCache:
 def evaluate_batch(
     model: SpplModel, kind: str, condition: Optional[str], payloads: Sequence,
     result_cache: Optional[ResultCache] = None,
+    tracer=None,
 ) -> List[Result]:
     """Evaluate one coalesced batch against a model (pure, process-agnostic).
 
@@ -176,7 +180,24 @@ def evaluate_batch(
     A failing ``condition`` fails the whole batch (all its requests share
     the condition); a failing individual event falls back to per-item
     evaluation so one bad request cannot poison its batch-mates.
+
+    ``tracer`` carries the batch's :class:`repro.obs.Trace` across the
+    ``run_in_executor`` (or worker-pipe) boundary — context variables do
+    not cross threads or processes, so the scheduler captures the active
+    trace on the event loop and this function re-activates it here,
+    where the engine's instrumentation points can see it.
     """
+    if tracer is not None:
+        with obs.activate(tracer):
+            return _evaluate_batch_cached(model, kind, condition, payloads,
+                                          result_cache)
+    return _evaluate_batch_cached(model, kind, condition, payloads, result_cache)
+
+
+def _evaluate_batch_cached(
+    model: SpplModel, kind: str, condition: Optional[str], payloads: Sequence,
+    result_cache: Optional[ResultCache],
+) -> List[Result]:
     if result_cache is None:
         return _evaluate_uncached(model, kind, condition, payloads)
     keys = [
@@ -187,6 +208,15 @@ def evaluate_batch(
         result_cache.get(key) if key is not None else None for key in keys
     ]
     missing = [index for index, result in enumerate(results) if result is None]
+    tracer = obs.current()
+    if tracer is not None:
+        sample = next((key for key in keys if key is not None), None)
+        tracer.event(
+            "result_cache",
+            hits=len(payloads) - len(missing),
+            misses=len(missing),
+            key=None if sample is None else repr(sample)[:96],
+        )
     if missing:
         # One representative evaluation per distinct key; keyless rows
         # (uncacheable payloads) are always evaluated individually.
@@ -219,7 +249,11 @@ def _evaluate_uncached(
     model: SpplModel, kind: str, condition: Optional[str], payloads: Sequence
 ) -> List[Result]:
     try:
-        target = model.condition(condition) if condition is not None else model
+        if condition is not None:
+            with obs.span("condition", chars=len(condition)):
+                target = model.condition(condition)
+        else:
+            target = model
     except Exception as error:  # ZeroProbabilityError, parse errors, scope errors
         return wire.error_results(error, len(payloads))
     with target.query_scope():
@@ -331,13 +365,21 @@ class InProcessBackend:
                 len(payloads),
             )
         loop = asyncio.get_running_loop()
+        # Contextvars do not cross run_in_executor: capture the active
+        # trace here, on the loop, and hand it through explicitly.
+        tracer = obs.current()
         async with self._semaphore:
             return await loop.run_in_executor(
                 None, evaluate_batch, live, kind, condition, payloads,
-                self._result_cache(model),
+                self._result_cache(model), tracer,
             )
 
-    async def stats(self) -> Dict:
+    def stats_sync(self) -> Dict:
+        """Loop-owned stats, collected without awaiting (one atomic pass).
+
+        respawns/requeued_batches keep the stats shape uniform with the
+        sharded backend; an in-process backend has nothing to respawn.
+        """
         stats = {}
         live = self._live_models()
         for name in sorted(live):
@@ -346,14 +388,15 @@ class InProcessBackend:
             compiled = live[name].compiled_info()
             if compiled is not None:
                 stats[name]["compiled"] = compiled
-        # respawns/requeued_batches keep the stats shape uniform with the
-        # sharded backend; an in-process backend has nothing to respawn.
         return {
             "mode": "in-process",
             "respawns": 0,
             "requeued_batches": 0,
             "models": stats,
         }
+
+    async def stats(self) -> Dict:
+        return self.stats_sync()
 
     async def clear_caches(self) -> None:
         for model in self._live_models().values():
@@ -367,13 +410,17 @@ class InProcessBackend:
 
 
 class _PendingBatch:
-    __slots__ = ("requests", "futures", "timer", "flushed")
+    __slots__ = ("requests", "futures", "spans", "timer", "flushed", "batch_id")
 
-    def __init__(self):
+    def __init__(self, batch_id: int):
         self.requests: List = []
         self.futures: List[asyncio.Future] = []
+        # Per-request queue-wait spans (None for untraced requests),
+        # parallel to ``requests``; closed when the batch launches.
+        self.spans: List = []
         self.timer = None
         self.flushed = False
+        self.batch_id = batch_id
 
 
 class MicroBatcher:
@@ -398,6 +445,7 @@ class MicroBatcher:
         window: float = 0.002,
         max_batch: int = 256,
         max_queued_per_key: Optional[int] = DEFAULT_MAX_QUEUED_PER_KEY,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be positive.")
@@ -410,15 +458,46 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_queued_per_key = max_queued_per_key
         self._pending: Dict[tuple, _PendingBatch] = {}
-        # Counters (single-threaded: only touched on the event loop).
-        self.requests = 0
-        self.batches = 0
-        self.largest_batch = 0
-        self.no_batch_requests = 0
-        self.shed_requests = 0
+        # Counters are registry instruments (single-threaded: only
+        # touched on the event loop); the old plain-int attributes stay
+        # readable through the property shims below.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests = self.metrics.counter("repro.scheduler.requests")
+        self._batches = self.metrics.counter("repro.scheduler.batches")
+        self._no_batch = self.metrics.counter(
+            "repro.scheduler.no_batch_requests"
+        )
+        self._shed = self.metrics.counter("repro.scheduler.shed_requests")
+        self._largest = self.metrics.gauge("repro.scheduler.largest_batch")
+        self.metrics.gauge_fn(
+            "repro.scheduler.queued", lambda: sum(self._queued.values())
+        )
+        self._batch_seq = 0
         self._queued: Dict[tuple, int] = {}
         self._inflight_models: Dict[str, int] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
+
+    # Back-compatible attribute reads for the migrated counters.
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def largest_batch(self) -> int:
+        return self._largest.value
+
+    @property
+    def no_batch_requests(self) -> int:
+        return self._no_batch.value
+
+    @property
+    def shed_requests(self) -> int:
+        return self._shed.value
 
     def inflight(self, model: str) -> int:
         """Admitted-but-unanswered request count against one model."""
@@ -461,14 +540,14 @@ class MicroBatcher:
         key = (request.model, request.kind, request.condition, shard)
         queued = self._queued.get(key, 0)
         if self.max_queued_per_key is not None and queued >= self.max_queued_per_key:
-            self.shed_requests += 1
+            self._shed.inc()
             raise OverloadedError(
                 "Batch key %r is at its queue bound (%d queued)."
                 % (key[:3], queued),
                 retry_after_ms=self.retry_after_ms(request.kind),
             )
         future = loop.create_future()
-        self.requests += 1
+        self._requests.inc()
         self._queued[key] = queued + 1
         self._inflight_models[request.model] = (
             self._inflight_models.get(request.model, 0) + 1
@@ -476,21 +555,19 @@ class MicroBatcher:
         start = loop.time()
         try:
             if request.no_batch:
-                self.no_batch_requests += 1
-                pending = _PendingBatch()
-                pending.requests.append(request)
-                pending.futures.append(future)
+                self._no_batch.inc()
+                pending = self._new_pending()
+                self._enqueue(pending, request, future, shard)
                 self._launch(key, pending)
             else:
                 pending = self._pending.get(key)
                 if pending is None:
-                    pending = _PendingBatch()
+                    pending = self._new_pending()
                     self._pending[key] = pending
                     pending.timer = loop.call_later(
                         self.window, self._flush, key, pending
                     )
-                pending.requests.append(request)
-                pending.futures.append(future)
+                self._enqueue(pending, request, future, shard)
                 if len(pending.requests) >= self.max_batch:
                     self._flush(key, pending)
             result = await future
@@ -500,8 +577,31 @@ class MicroBatcher:
         histogram = self._latency.get(request.kind)
         if histogram is None:
             histogram = self._latency[request.kind] = LatencyHistogram()
+            self.metrics.histogram(
+                "repro.scheduler.latency." + request.kind, histogram
+            )
         histogram.record(loop.time() - start)
         return result
+
+    def _new_pending(self) -> _PendingBatch:
+        self._batch_seq += 1
+        return _PendingBatch(self._batch_seq)
+
+    @staticmethod
+    def _enqueue(pending: _PendingBatch, request, future, shard: int) -> None:
+        pending.requests.append(request)
+        pending.futures.append(future)
+        if isinstance(request.trace, Trace):
+            pending.spans.append(
+                request.trace.start_span(
+                    "scheduler.queue",
+                    model=request.model,
+                    kind=request.kind,
+                    shard=shard,
+                )
+            )
+        else:
+            pending.spans.append(None)
 
     @staticmethod
     def _decrement(counts: Dict, key) -> None:
@@ -522,24 +622,53 @@ class MicroBatcher:
         self._launch(key, pending)
 
     def _launch(self, key: tuple, pending: _PendingBatch) -> None:
-        self.batches += 1
-        self.largest_batch = max(self.largest_batch, len(pending.requests))
+        self._batches.inc()
+        self._largest.max(len(pending.requests))
         asyncio.ensure_future(self._run(key, pending))
 
     async def _run(self, key: tuple, pending: _PendingBatch) -> None:
         model, kind, condition, shard = key
         payloads = [request.payload for request in pending.requests]
-        try:
-            results = await self.backend.run_batch(
-                model, kind, condition, shard, payloads
+        # Queue wait ends when the batch launches; each traced member's
+        # queue span records which batch it was coalesced into.
+        for qspan in pending.spans:
+            if qspan is not None:
+                qspan.annotate(batch_id=pending.batch_id,
+                               batch_size=len(payloads))
+                qspan.finish()
+        batch_trace = None
+        if any(span is not None for span in pending.spans):
+            batch_trace = Trace(
+                name="batch",
+                tags={
+                    "batch_id": pending.batch_id,
+                    "model": model,
+                    "kind": kind,
+                    "shard": shard,
+                    "n": len(payloads),
+                },
             )
-            if len(results) != len(payloads):
-                raise RuntimeError(
-                    "Backend returned %d results for a %d-request batch."
-                    % (len(results), len(payloads))
+        # ALWAYS activate — even with None.  This task inherited the
+        # contextvars of whichever request scheduled the flush timer, so
+        # an untraced batch must clear that bystander's tracer rather
+        # than attach batch spans to an unrelated request.
+        with obs.activate(batch_trace):
+            try:
+                results = await self.backend.run_batch(
+                    model, kind, condition, shard, payloads
                 )
-        except Exception as error:
-            results = wire.error_results(error, len(payloads))
+                if len(results) != len(payloads):
+                    raise RuntimeError(
+                        "Backend returned %d results for a %d-request batch."
+                        % (len(results), len(payloads))
+                    )
+            except Exception as error:
+                results = wire.error_results(error, len(payloads))
+        if batch_trace is not None:
+            payload = batch_trace.to_payload()
+            for request, qspan in zip(pending.requests, pending.spans):
+                if qspan is not None:
+                    request.trace.graft(payload)
         for future, result in zip(pending.futures, results):
             if not future.done():
                 future.set_result(result)

@@ -51,6 +51,9 @@ from typing import List
 from typing import Optional
 from typing import Sequence
 
+from .. import obs
+from ..obs import MetricsRegistry
+from ..obs import Trace
 from . import wire
 from .wire import Result
 
@@ -171,7 +174,19 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
             conn.send(("stopped", worker_id))
             break
         if op == "batch":
-            _, name, kind, condition, payloads = message
+            # 5-tuple: the pre-tracing wire shape (and the zero-overhead
+            # path for untraced batches).  6-tuple: a trailing trace flag;
+            # the worker then builds its own span fragment — clocks and
+            # objects do not cross the pipe — and ships it back beside
+            # the results for the parent to graft under its dispatch
+            # span.
+            name, kind, condition, payloads = message[1:5]
+            traced = len(message) > 5 and bool(message[5])
+            tracer = (
+                Trace(name="worker.batch", tags={"worker": worker_id})
+                if traced
+                else None
+            )
             model = models.get(name)
             if model is None:
                 results = wire.error_results(
@@ -180,9 +195,13 @@ def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
                 )
             else:
                 results = evaluate_batch(
-                    model, kind, condition, payloads, result_caches.get(name)
+                    model, kind, condition, payloads, result_caches.get(name),
+                    tracer,
                 )
-            conn.send(("results", results))
+            if tracer is not None:
+                conn.send(("results", (results, tracer.to_payload())))
+            else:
+                conn.send(("results", results))
         elif op == "stats":
             stats = {}
             for name, model in sorted(models.items()):
@@ -266,7 +285,8 @@ class WorkerPool:
     callers latency, not errors.
     """
 
-    def __init__(self, n_workers: int, start_method: str = "spawn"):
+    def __init__(self, n_workers: int, start_method: str = "spawn",
+                 metrics: Optional[MetricsRegistry] = None):
         if n_workers < 1:
             raise ValueError("WorkerPool needs at least one worker.")
         self.n_workers = n_workers
@@ -283,10 +303,35 @@ class WorkerPool:
         self._specs: Dict[str, Dict] = {}
         self._start_timeout = 120.0
         self._closing = False
-        #: Supervision counters (event-loop-only mutation), surfaced on
-        #: ``/v1/stats`` via :meth:`WorkerPoolBackend.stats`.
-        self.respawns = 0
-        self.requeued_batches = 0
+        # Supervision counters (event-loop-only mutation), surfaced on
+        # ``/v1/stats`` via :meth:`WorkerPoolBackend.stats` and on
+        # ``/metrics``; the old plain-int attributes stay readable
+        # through the property shims below.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._respawns = self.metrics.counter("repro.pool.respawns")
+        self._requeued = self.metrics.counter("repro.pool.requeued_batches")
+
+    @property
+    def respawns(self) -> int:
+        return self._respawns.value
+
+    @property
+    def requeued_batches(self) -> int:
+        return self._requeued.value
+
+    def _note_respawn(self, shard: int, attempt: int, is_batch: bool) -> None:
+        """Count one respawn (and its requeue) in a single synchronous step.
+
+        Both counters move before the respawn's first ``await``, so no
+        stats snapshot — which reads loop-owned counters without awaiting
+        — can ever observe ``requeued_batches > respawns`` or a respawn
+        whose requeue has not landed yet.
+        """
+        self._respawns.inc()
+        obs.event("shard.respawn", shard=shard, attempt=attempt)
+        if is_batch:
+            self._requeued.inc()
+            obs.event("batch.requeue", shard=shard, attempt=attempt)
 
     def worker_pids(self) -> List[int]:
         """Live worker process ids (fault-injection hook for chaos tests)."""
@@ -361,9 +406,9 @@ class WorkerPool:
 
         The replacement is seeded from the pool's *current* specs and
         must pass the same digest-ack handshake a startup worker does
-        before the shard is trusted again.
+        before the shard is trusted again.  The caller has already
+        counted the respawn (:meth:`_note_respawn`).
         """
-        self.respawns += 1
         specs = {name: dict(spec) for name, spec in self._specs.items()}
         loop = asyncio.get_running_loop()
 
@@ -420,8 +465,7 @@ class WorkerPool:
                             "giving up on it (poison request?)."
                             % (shard, attempts, message[0])
                         ) from error
-                    if message[0] == "batch":
-                        self.requeued_batches += 1
+                    self._note_respawn(shard, attempts, message[0] == "batch")
                     await self._respawn(shard, worker)
         if reply[0] == "error":
             raise WorkerError(reply[1])
@@ -429,9 +473,18 @@ class WorkerPool:
 
     async def run_batch(
         self, shard: int, model: str, kind: str, condition: Optional[str],
-        payloads: Sequence,
-    ) -> List[Result]:
-        return await self._call(shard, ("batch", model, kind, condition, list(payloads)))
+        payloads: Sequence, trace: bool = False,
+    ):
+        """Run one batch on a shard.
+
+        Untraced calls keep the pre-tracing 5-tuple wire message and
+        return the result list; with ``trace=True`` a flag is appended
+        and the worker returns ``(results, span_payload)``.
+        """
+        message = ("batch", model, kind, condition, list(payloads))
+        if trace:
+            message = message + (True,)
+        return await self._call(shard, message)
 
     async def shard_stats(self) -> List[Dict]:
         return [
@@ -539,16 +592,30 @@ class WorkerPoolBackend:
         self, model: str, kind: str, condition: Optional[str], shard: int,
         payloads: Sequence,
     ) -> List[Result]:
-        return await self.pool.run_batch(shard, model, kind, condition, payloads)
+        tracer = obs.current()
+        if tracer is None:
+            return await self.pool.run_batch(shard, model, kind, condition, payloads)
+        with tracer.span("shard.dispatch", shard=shard):
+            results, spans = await self.pool.run_batch(
+                shard, model, kind, condition, payloads, trace=True
+            )
+            if spans:
+                tracer.graft(spans)
+        return results
 
-    async def stats(self) -> Dict:
+    def stats_sync(self) -> Dict:
+        """Loop-owned supervision counters, read without awaiting."""
         return {
             "mode": "sharded",
             "workers": self.n_shards,
             "respawns": self.pool.respawns,
             "requeued_batches": self.pool.requeued_batches,
-            "shards": await self.pool.shard_stats(),
         }
+
+    async def stats(self) -> Dict:
+        stats = self.stats_sync()
+        stats["shards"] = await self.pool.shard_stats()
+        return stats
 
     async def register_model(self, name: str, registered) -> None:
         """All-shard digest-ack registration (see :meth:`WorkerPool.register_model`)."""

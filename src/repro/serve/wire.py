@@ -21,11 +21,16 @@ Request fields:
 * ``n``/``seed``-- for ``sample`` (``n`` omitted = one assignment),
 * ``no_batch``  -- bypass the micro-batching window (the request is
   evaluated immediately in a batch of one).  Used by benchmarks as the
-  "sequential unbatched" baseline and by latency-critical callers.
+  "sequential unbatched" baseline and by latency-critical callers,
+* ``trace``     -- request an execution trace regardless of the service's
+  sampling rate; the completed span tree is retrievable from
+  ``GET /v1/trace/<trace_id>`` while it lives in the flight recorder.
 
 Response fields: ``id`` (echoed), ``ok``; ``value`` on success, ``error``
 (message) and ``error_kind`` (exception class name, e.g.
-``ZeroProbabilityError``) on failure.
+``ZeroProbabilityError``) on failure; every line additionally echoes the
+service-assigned ``trace`` id (sampled or not), so clients can always
+correlate a response with server-side telemetry.
 
 Floats cross the wire bit-exactly: JSON round-trips finite floats through
 shortest-repr, and the non-finite values JSON cannot express are encoded
@@ -54,16 +59,22 @@ class WireError(ValueError):
 class Request:
     """One parsed wire request (validated shape, unresolved model/event)."""
 
-    __slots__ = ("id", "model", "kind", "payload", "condition", "no_batch")
+    __slots__ = ("id", "model", "kind", "payload", "condition", "no_batch",
+                 "trace")
 
     def __init__(self, id, model: str, kind: str, payload, condition: Optional[str],
-                 no_batch: bool):
+                 no_batch: bool, trace: bool = False):
         self.id = id
         self.model = model
         self.kind = kind
         self.payload = payload
         self.condition = condition
         self.no_batch = no_batch
+        #: ``True`` when the wire request asked for a trace; the HTTP
+        #: layer replaces it with the live :class:`repro.obs.Trace` when
+        #: the request is sampled (explicitly or by rate), and the
+        #: scheduler only ever checks it for a Trace instance.
+        self.trace = trace
 
 
 def parse_request(data: Dict) -> Request:
@@ -98,7 +109,8 @@ def parse_request(data: Dict) -> Request:
             raise WireError("'sample' field 'seed' must be an integer.")
         payload = {"n": n, "seed": seed}
     return Request(
-        data.get("id"), model, kind, payload, condition, bool(data.get("no_batch"))
+        data.get("id"), model, kind, payload, condition,
+        bool(data.get("no_batch")), trace=bool(data.get("trace")),
     )
 
 
@@ -190,7 +202,7 @@ def error_results(exception: BaseException, count: int) -> List[Result]:
     return [error(exception)] * count
 
 
-def encode_response(request_id, result: Result) -> bytes:
+def encode_response(request_id, result: Result, trace_id: Optional[str] = None) -> bytes:
     """Encode one response line for a request's result."""
     if result[0] == "ok":
         body = {"id": request_id, "ok": True, "value": encode_value(result[1])}
@@ -201,12 +213,17 @@ def encode_response(request_id, result: Result) -> bytes:
             "error_kind": result[1],
             "error": result[2],
         }
+    if trace_id is not None:
+        body["trace"] = trace_id
     return json.dumps(body, separators=(",", ":")).encode("utf-8")
 
 
-def encode_error_line(request_id, message: str, kind: str = "WireError") -> bytes:
+def encode_error_line(
+    request_id, message: str, kind: str = "WireError",
+    trace_id: Optional[str] = None,
+) -> bytes:
     """Encode a response line for a request that never reached a backend."""
-    return encode_response(request_id, ("error", kind, message))
+    return encode_response(request_id, ("error", kind, message), trace_id=trace_id)
 
 
 #: Clamp bounds of the adaptive ``retry_after_ms``: never advise a
@@ -246,7 +263,9 @@ def overloaded_response(request_id, retry_after_ms: int) -> Dict:
     }
 
 
-def encode_overloaded_line(request_id, retry_after_ms: int) -> bytes:
+def encode_overloaded_line(
+    request_id, retry_after_ms: int, trace_id: Optional[str] = None
+) -> bytes:
     """Encode the 429-style shed line for a request refused by backpressure.
 
     The line keeps the normal error shape (``ok: false`` with
@@ -254,6 +273,8 @@ def encode_overloaded_line(request_id, retry_after_ms: int) -> bytes:
     adds ``retry_after_ms`` so well-behaved callers can back off.
     """
     body = overloaded_response(request_id, retry_after_ms)
+    if trace_id is not None:
+        body["trace"] = trace_id
     return json.dumps(body, separators=(",", ":")).encode("utf-8")
 
 
@@ -278,13 +299,16 @@ class LatencyHistogram:
     underestimate), so p50/p95/p99 derived from it are conservative.
     """
 
-    __slots__ = ("counts", "count")
+    __slots__ = ("counts", "count", "total")
 
     BUCKETS = 64
 
     def __init__(self):
         self.counts = [0] * self.BUCKETS
         self.count = 0
+        #: Sum of recorded seconds — the Prometheus ``_sum`` series, so
+        #: rate(sum)/rate(count) yields mean latency over any window.
+        self.total = 0.0
 
     def record(self, seconds: float) -> None:
         index = int(seconds * 1e6).bit_length()
@@ -292,6 +316,7 @@ class LatencyHistogram:
             index = self.BUCKETS - 1
         self.counts[index] += 1
         self.count += 1
+        self.total += seconds
 
     def quantile(self, q: float) -> float:
         """Upper-bound latency (seconds) of the q-th quantile (0 < q <= 1)."""

@@ -63,6 +63,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..distributions import NEG_INF
 from ..distributions import log_add
 from ..distributions import safe_log
@@ -389,7 +390,9 @@ class CompiledSPE:
             event_clauses = event_to_disjoint_clauses(event)
             spans.append((len(clauses), len(clauses) + len(event_clauses)))
             clauses.extend(event_clauses)
-        values = self._eval_clause_columns(clauses)
+        with obs.span("kernel.sweep", events=len(events), clauses=len(clauses),
+                      nodes=self._n_nodes):
+            values = self._eval_clause_columns(clauses)
         return [
             float(log_add([values[j] for j in range(lo, hi)]))
             for lo, hi in spans

@@ -445,6 +445,68 @@ class TestChaosUnderOverload:
         assert p95 >= 50
 
 
+class TestTracedRespawn:
+    def test_trace_records_respawn_and_requeue_of_a_killed_batch(self):
+        """A traced request whose worker is SIGKILLed mid-batch comes
+        back bit-identical AND its retrieved span tree records the
+        recovery: a ``shard.respawn`` and a ``batch.requeue`` event
+        under the dispatch span, followed by the resent batch's worker
+        fragment."""
+
+        async def main():
+            registry = ModelRegistry()
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(registry, workers=1, window=0.001)
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                # Arm the deterministic mid-batch kill: the worker dies
+                # with the (traced) batch on the pipe.
+                worker = service.backend.pool._workers[0]
+                worker.conn = _KillAfterSend(worker.conn, worker.process)
+                response = await client.query({
+                    "model": "indian_gpa", "kind": "logprob",
+                    "event": "GPA > 3", "trace": True,
+                })
+                entry = await client.trace(response["trace"])
+                stats = await client.stats()
+                return response, entry, stats
+            finally:
+                await service.close()
+
+        response, entry, stats = asyncio.run(main())
+        assert response["ok"], response
+        # Bit-identical despite the death: the respawned shard re-ran
+        # the exact same deterministic batch.
+        assert value_of(response) == indian_gpa.model().logprob("GPA > 3")
+        assert stats["backend"]["respawns"] == 1
+        assert stats["backend"]["requeued_batches"] == 1
+
+        def spans(node):
+            yield node
+            for child in node.get("children", []):
+                yield from spans(child)
+
+        tree = entry["spans"]
+        by_name = {}
+        for node in spans(tree):
+            by_name.setdefault(node["name"], []).append(node)
+        (dispatch,) = by_name["shard.dispatch"]
+        dispatch_children = [c["name"] for c in dispatch.get("children", [])]
+        # The recovery is recorded inside the dispatch span, and the
+        # resent batch's worker fragment follows the requeue.
+        assert "shard.respawn" in dispatch_children
+        assert "batch.requeue" in dispatch_children
+        assert "worker.batch" in dispatch_children
+        (respawn,) = by_name["shard.respawn"]
+        assert respawn["tags"] == {"shard": 0, "attempt": 1}
+        (requeue,) = by_name["batch.requeue"]
+        assert requeue["tags"] == {"shard": 0, "attempt": 1}
+        assert dispatch_children.index("batch.requeue") < dispatch_children.index(
+            "worker.batch"
+        )
+
+
 class TestJournalRestart:
     def test_register_stop_restart_bit_identical(self, tmp_path):
         """The durability acceptance check: a live registration survives
