@@ -6,8 +6,10 @@ vectorized derived-variable (transform) evaluation, the bounded query
 cache, cached repeated queries, the ``constrain -> query`` posterior
 chain, the ``repro.serve`` micro-batching service (coalesced queries/sec
 over the real wire), the service's backpressure behavior under 4x
-overload (shed rate + p99), and its fault tolerance (recovery time after
-a worker SIGKILL) -- and writes wall times plus node counts
+overload (shed rate + p99), its fault tolerance (recovery time after
+a worker SIGKILL), and the framed shard transports (pipe shard vs
+localhost-TCP node throughput and tail latency) -- and writes wall times
+plus node counts
 to a ``BENCH_*.json``
 file, so successive PRs have a trajectory to compare against::
 
@@ -588,6 +590,96 @@ def bench_serve_chaos() -> dict:
     return asyncio.run(run())
 
 
+def bench_node_transport() -> dict:
+    """Framed-transport overhead: a pipe shard vs a localhost-TCP node shard.
+
+    Starts the same single-shard worker pool twice -- once behind
+    :class:`~repro.serve.transport.PipeTransport` (local worker process,
+    the pre-multi-node configuration) and once behind
+    :class:`~repro.serve.transport.TcpTransport` talking to a real
+    ``python -m repro.serve.node`` subprocess on localhost -- and replays
+    256 single-event ``logprob`` calls through ``pool.run_batch`` on each.
+    A full untimed warm pass populates the shard's result cache first, so
+    the timed pass measures the channel (framing, syscalls, supervision
+    bookkeeping), not symbolic inference.
+
+    ``tcp_over_pipe`` is the relative cost of crossing a socket instead
+    of a pipe; the regression gate budgets the **pipe** pass -- the
+    Transport abstraction must not tax the local path the serve stack has
+    always had.
+    """
+    import asyncio
+    import os
+    import re
+    import subprocess
+
+    from repro.serve import ModelRegistry
+    from repro.serve.sharding import WorkerPool
+    from repro.serve.wire import model_spec
+
+    n_calls = 256
+    registry = ModelRegistry()
+    specs = {"indian_gpa": model_spec(registry.register_catalog("indian_gpa"))}
+    events = ["GPA > %r" % (0.05 + (i * 0.0037) % 3.8) for i in range(n_calls)]
+
+    def measure(pool) -> tuple:
+        async def run():
+            try:
+                for event in events:  # warm the shard's result cache
+                    await pool.run_batch(0, "indian_gpa", "logprob", None, [event])
+                times = []
+                start_all = time.perf_counter()
+                for event in events:
+                    start = time.perf_counter()
+                    (row,) = await pool.run_batch(
+                        0, "indian_gpa", "logprob", None, [event]
+                    )
+                    times.append(time.perf_counter() - start)
+                    assert row[0] == "ok"
+                return time.perf_counter() - start_all, times
+            finally:
+                await pool.close()
+
+        return asyncio.run(run())
+
+    def report(total_s, times) -> dict:
+        return {
+            "total_s": round(total_s, 4),
+            "qps": round(n_calls / total_s),
+            "p50_ms": round(float(np.percentile(times, 50)) * 1e3, 3),
+            "p99_ms": round(float(np.percentile(times, 99)) * 1e3, 3),
+        }
+
+    pipe_pool = WorkerPool(1)
+    pipe_pool.start(specs)
+    pipe_total, pipe_times = measure(pipe_pool)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    node = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.node", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        line = node.stdout.readline()
+        port = int(re.search(r"listening on .*:(\d+)", line).group(1))
+        tcp_pool = WorkerPool(0, nodes=["127.0.0.1:%d" % port])
+        tcp_pool.start(specs)
+        tcp_total, tcp_times = measure(tcp_pool)
+    finally:
+        node.terminate()
+        node.wait(10)
+
+    return {
+        "calls": n_calls,
+        "pipe": report(pipe_total, pipe_times),
+        "tcp": report(tcp_total, tcp_times),
+        "tcp_over_pipe": round(tcp_total / pipe_total, 2),
+    }
+
+
 def bench_obs_overhead() -> dict:
     """Observability cost: serve throughput with tracing off / sampled / full.
 
@@ -711,6 +803,10 @@ def check_gate(snapshot: dict, baseline: dict) -> list:
       tracing disabled may regress at most 5% against the baseline
       (fleet-median normalized, same absolute grace): observability
       must stay near-free when off.
+    * ``node_transport`` pipe pass -- the local pipe-shard path may
+      regress at most 25% against the baseline (fleet-median normalized,
+      same absolute grace): the Transport abstraction and multi-node
+      supervision must not tax the single-host configuration.
     """
     failures = []
     for name, row in sorted(snapshot.get("compiled_logprob_batch", {}).items()):
@@ -855,6 +951,28 @@ def check_gate(snapshot: dict, baseline: dict) -> list:
                     expected_off,
                 )
             )
+    old_node = baseline.get("node_transport", {}).get("pipe", {})
+    new_node = snapshot.get("node_transport", {}).get("pipe", {})
+    if old_node.get("total_s", 0) > 0 and new_node:
+        machine_scale = float(np.median(list(ratios.values()))) if ratios else 1.0
+        expected_pipe = old_node["total_s"] * machine_scale
+        new_pipe = new_node["total_s"]
+        if (
+            new_pipe > expected_pipe * GATE_SLOWDOWN_FACTOR
+            and new_pipe - expected_pipe > GATE_ABSOLUTE_GRACE_S
+        ):
+            failures.append(
+                "pipe-transport regression: node_transport pipe pass "
+                "%.4fs -> %.4fs (>%d%% over the fleet-scaled baseline "
+                "%.4fs; the framed Transport layer must stay free on the "
+                "local path)"
+                % (
+                    old_node["total_s"],
+                    new_pipe,
+                    round((GATE_SLOWDOWN_FACTOR - 1) * 100),
+                    expected_pipe,
+                )
+            )
     return failures
 
 
@@ -870,9 +988,10 @@ def main() -> int:
         default=None,
         metavar="BASELINE",
         help="compare against a committed BENCH_*.json and exit non-zero on "
-        "a >25%% translate_s or compiled-logprob_batch slowdown, any "
-        "compression-ratio regression, a compiled-vs-interpreted "
-        "differential mismatch, or a >5%% tracing-off overhead regression",
+        "a >25%% translate_s, compiled-logprob_batch, or pipe-transport "
+        "slowdown, any compression-ratio regression, a "
+        "compiled-vs-interpreted differential mismatch, or a >5%% "
+        "tracing-off overhead regression",
     )
     args = parser.parse_args()
 
@@ -891,6 +1010,7 @@ def main() -> int:
         "serve_throughput": bench_serve_throughput(),
         "serve_overload": bench_serve_overload(),
         "serve_chaos": bench_serve_chaos(),
+        "node_transport": bench_node_transport(),
         "obs_overhead": bench_obs_overhead(),
         "intern_table": intern_stats(),
     }

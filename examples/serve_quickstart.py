@@ -24,7 +24,13 @@ Demonstrates the ``repro.serve`` subsystem end to end:
 8. fetch the **execution trace** of one query (``"trace": true`` on the
    wire, ``GET /v1/trace/<id>`` to retrieve) and print its span tree —
    queue wait, coalesced batch, planner pass outcome, cache hit/miss,
-   and the compiled-vs-interpreted engine route, span by span.
+   and the compiled-vs-interpreted engine route, span by span,
+9. start a **remote inference node** (``python -m repro.serve.node``)
+   and join it into a second service's consistent-hash ring alongside a
+   local worker shard: same digest handshake, same bit-identical
+   answers, per-node health on ``/v1/stats`` — and if the node dies, its
+   shard is marked dead, traffic fails over to the survivors, and the
+   liveness probe re-admits it when it comes back.
 
 The same service runs standalone with worker-process sharding (dead
 workers are respawned transparently) and a durable lifecycle journal::
@@ -32,6 +38,22 @@ workers are respawned transparently) and a durable lifecycle journal::
     python -m repro.serve --model hmm20 --workers 4 \
         --blob-dir /var/lib/repro/blobs \
         --registry-journal /var/lib/repro/registry.journal
+
+To spread shards across hosts, run a node per machine and point the
+front-end at them::
+
+    python -m repro.serve.node --listen 0.0.0.0:9310 \
+        --blob-dir /var/lib/repro/blobs            # on each worker host
+    python -m repro.serve --model hmm20 --workers 2 \
+        --nodes host-a:9310,host-b:9310            # on the front-end
+
+Each node hosts one shard behind a framed TCP transport (length-prefixed
+JSON; floats cross bit-exactly).  Connecting *is* the handshake: the
+front-end ships its current model specs, the node loads them (fetching
+content-addressed ``.spz`` blobs from its own ``--blob-dir`` when the
+front-end's paths don't resolve locally) and answers with recomputed
+digests.  A node that was down during a live registration catches up
+from the same hello on reconnect.
 
 With ``--blob-dir`` every model is compiled once into a
 ``<digest>.spz`` blob and all worker shards mmap the same read-only
@@ -232,6 +254,46 @@ async def main() -> None:
         )
         show(trace["spans"])
         await service.close()
+
+        # -- 9. Multi-node serve: join a remote node into the ring -----------
+        # A node is a separate process (normally a separate host) that
+        # hosts shards over a framed TCP transport.  The front-end lists
+        # it in `nodes` and it becomes one more ring member: the connect
+        # handshake ships the model specs and verifies the digests the
+        # node recomputes, exactly like a local worker's startup.
+        import re
+        import subprocess
+        import sys
+
+        node = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.node", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        address = "127.0.0.1:%s" % (
+            re.search(r":(\d+)", node.stdout.readline()).group(1),
+        )
+        registry = ModelRegistry()
+        registry.register_catalog("hmm20")
+        service = InferenceService(
+            registry, workers=1, nodes=[address], window=0.002
+        )
+        host, port = await service.start()
+        client = AsyncServeClient(host, port)
+        responses = await client.query_many(burst, connections=8)
+        print(
+            "1 local shard + node %s answered %d queries (first three: %s)"
+            % (address, len(burst), [round(value_of(r), 4) for r in responses[:3]])
+        )
+        backend = (await client.stats())["backend"]
+        for entry in backend["nodes"]:
+            print(
+                "  node %s (%s): shards %s, live=%s"
+                % (entry["address"], entry["kind"],
+                   [shard["shard"] for shard in entry["shards"]], entry["live"])
+            )
+        await service.close()
+        node.terminate()
+        node.wait(10)
 
 
 if __name__ == "__main__":

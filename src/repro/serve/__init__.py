@@ -10,10 +10,16 @@ into the "heavy traffic" deployment shape the ROADMAP targets:
 * :mod:`repro.serve.scheduler` -- asyncio micro-batcher coalescing
   concurrent single-event requests into batched
   ``logprob_batch``/``logpdf_batch`` calls under query-scope pinning,
-* :mod:`repro.serve.sharding`  -- consistent-hash-routed worker processes,
-  each holding a digest-verified deserialized copy of every model and a
+* :mod:`repro.serve.sharding`  -- consistent-hash-routed shards behind
+  transports, each holding a digest-verified copy of every model and a
   private :class:`~repro.spe.QueryCache`; dead shards are respawned and
-  their in-flight batches requeued,
+  their in-flight batches requeued (and proactively probed),
+* :mod:`repro.serve.transport` -- the framed shard channels:
+  :class:`~repro.serve.transport.PipeTransport` (local worker process)
+  and :class:`~repro.serve.transport.TcpTransport` (remote
+  :mod:`repro.serve.node` over length-prefixed JSON frames),
+* :mod:`repro.serve.node`      -- ``python -m repro.serve.node --listen
+  HOST:PORT``, a remote node hosting shards for a front-end's pool,
 * :mod:`repro.serve.wire`      -- the newline-delimited JSON protocol,
 * :mod:`repro.serve.http`      -- the stdlib asyncio HTTP front-end
   (pipelined connections, backpressure with adaptive 429-style shedding,
@@ -70,6 +76,10 @@ from .sharding import HashRing
 from .sharding import WorkerError
 from .sharding import WorkerPool
 from .sharding import WorkerPoolBackend
+from .transport import PipeTransport
+from .transport import TcpTransport
+from .transport import Transport
+from .transport import TransportConnectError
 from .wire import LatencyHistogram
 from .wire import Request
 from .wire import WireError
@@ -93,6 +103,10 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServeOverloadedError",
+    "PipeTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportConnectError",
     "WireError",
     "WorkerError",
     "WorkerPool",

@@ -78,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes: an integer (0 = in-process) or 'auto' "
         "(default; cpu_count-based sharding, in-process on single-core hosts)",
     )
+    parser.add_argument(
+        "--nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated repro.serve.node addresses to join into the "
+        "consistent-hash ring as remote shards (each node entry hosts one "
+        "shard over TCP, digest-handshaked like a local worker)",
+    )
+    parser.add_argument(
+        "--probe-interval-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="liveness-probe period: idle shards are pinged every MS "
+        "milliseconds and dead ones respawned/reconnected before traffic "
+        "hits them (default 1000; 0 disables proactive probing)",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8144, help="0 picks a free port")
     parser.add_argument(
@@ -201,6 +218,13 @@ async def run(args: argparse.Namespace) -> int:
                 "holding registered models."
             )
     workers = resolve_workers(args.workers)
+    nodes = [
+        address.strip()
+        for address in (args.nodes or "").split(",")
+        if address.strip()
+    ]
+    if args.probe_interval_ms < 0:
+        raise SystemExit("--probe-interval-ms must be non-negative.")
     service_kwargs = {}
     if args.max_queued_per_key is not None:
         if args.max_queued_per_key < 0:
@@ -228,12 +252,15 @@ async def run(args: argparse.Namespace) -> int:
         slow_query_ms=args.slow_query_ms,
         slow_query_log=args.slow_query_log,
         trace_capacity=args.trace_capacity,
+        nodes=nodes,
+        probe_interval_ms=args.probe_interval_ms,
         **service_kwargs,
     )
     host, port = await service.start()
     print(
-        "repro.serve listening on %s:%d (models: %s; workers: %d)"
-        % (host, port, ", ".join(registry.names()), workers),
+        "repro.serve listening on %s:%d (models: %s; workers: %d%s)"
+        % (host, port, ", ".join(registry.names()), workers,
+           "; nodes: %s" % ",".join(nodes) if nodes else ""),
         flush=True,
     )
     stop = asyncio.Event()

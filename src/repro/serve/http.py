@@ -130,7 +130,10 @@ class InferenceService:
     ``workers=0`` evaluates in-process (one shard, shared live models);
     ``workers=N`` starts ``N`` worker processes, each holding a
     deserialized copy of every registered model and a private query cache
-    (see :mod:`repro.serve.sharding`).
+    (see :mod:`repro.serve.sharding`).  ``nodes=["host:port", ...]``
+    additionally joins remote :mod:`repro.serve.node` shards into the
+    same consistent-hash ring over TCP (see
+    :mod:`repro.serve.transport`); each node entry contributes one shard.
     """
 
     def __init__(
@@ -148,6 +151,8 @@ class InferenceService:
         slow_query_ms: Optional[float] = None,
         slow_query_log: Optional[str] = None,
         trace_capacity: int = 256,
+        nodes: Optional[List[str]] = None,
+        probe_interval_ms: float = 1000.0,
     ):
         if max_inflight_per_connection < 1:
             raise ValueError(
@@ -183,9 +188,13 @@ class InferenceService:
             slow_query_log=slow_query_log,
             metrics=self.metrics,
         )
+        self.nodes = list(nodes or [])
         self._pool: Optional[WorkerPool] = None
-        if workers > 0:
-            self._pool = WorkerPool(workers, metrics=self.metrics)
+        if workers > 0 or self.nodes:
+            self._pool = WorkerPool(
+                workers, metrics=self.metrics, nodes=self.nodes,
+                probe_interval_ms=probe_interval_ms,
+            )
             self.backend = WorkerPoolBackend(self._pool)
         else:
             self.backend = InProcessBackend(registry)
@@ -238,6 +247,9 @@ class InferenceService:
             specs = self.worker_specs()
             loop = asyncio.get_running_loop()
             await loop.run_in_executor(None, self._pool.start, specs)
+            # Proactive supervision: idle shards are pinged periodically
+            # and dead ones respawned before traffic finds them.
+            self._pool.start_probing()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )

@@ -1,0 +1,250 @@
+"""Remote inference node: shards over TCP for a front-end's worker pool.
+
+``python -m repro.serve.node --listen HOST:PORT`` hosts a set of shard
+contexts that a front-end's :class:`~repro.serve.sharding.WorkerPool`
+reaches through :class:`~repro.serve.transport.TcpTransport`.  One
+connection hosts one shard: the client's first frame must be the
+``hello`` handshake carrying its shard id and current model specs; the
+node loads (or re-verifies) every spec and acks with the recomputed
+digests -- the same digest-ack contract a spawned pipe worker answers,
+so the pool cannot tell the transports apart.
+
+Model "shipping" is a blob fetch-or-verify, not a byte copy: ``path``
+specs name a content-addressed compiled ``.spz`` blob (``<digest>.spz``)
+which the node mmaps and digest-verifies locally -- when the front-end's
+path does not exist here, ``--blob-dir`` resolves the blob by its digest
+(the content address *is* the name, so any replica of the store works).
+``payload`` specs carry the canonical JSON and are digest-verified on
+deserialization.
+
+Registry changes reach the node as **append-forwarding**: the pool
+forwards each journal record (``register`` / ``unregister``) as the same
+idempotent, digest-verified op it applies locally, and a *reconnecting*
+pool re-sends its full current spec set in the ``hello`` -- because
+application is idempotent (a model already held under the same digest is
+a no-op), a node that missed operations while partitioned catches up by
+replaying the tail, exactly like a journal restore.
+
+Shard state lives per *connection*: when the front-end drops (or its
+pool respawns the shard), the replacement connection re-handshakes and
+rebuilds from the specs it carries; nothing stale survives.  The process
+itself is shared-nothing across connections -- hosting several shards of
+one pool, or shards of several pools, works the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict
+from typing import Optional
+
+from .transport import ShardHost
+from .transport import decode_frame
+from .transport import encode_frame
+from .transport import frame_length
+from .transport import parse_address
+
+
+def resolve_blob_paths(specs: Dict[str, Dict], blob_dir: Optional[str]) -> Dict[str, Dict]:
+    """Re-root ``path`` specs onto the local content-addressed store.
+
+    A spec's ``path`` is the front-end's filesystem view; on a remote
+    host it may not exist.  The blob is content-addressed
+    (``<digest>.spz``), so the digest alone names it in any replica of
+    the store: when the shipped path is missing and ``--blob-dir`` holds
+    a blob of that digest, the spec is rewritten to the local copy
+    (``load_spz`` still re-verifies the content hash *and* the
+    round-trip digest before trusting it -- resolution never weakens
+    verification).  A path that resolves nowhere is left alone; the load
+    fails and the handshake reports ``init_error`` upstream.
+    """
+    resolved = {}
+    for name, spec in specs.items():
+        spec = dict(spec)
+        path = spec.get("path")
+        if path is not None and not os.path.exists(path) and blob_dir:
+            local = os.path.join(blob_dir, spec["digest"] + ".spz")
+            if os.path.exists(local):
+                spec["path"] = local
+        resolved[name] = spec
+    return resolved
+
+
+def encode_reply(reply: tuple) -> bytes:
+    """Frame one shard reply, tagging traced batch replies.
+
+    A traced batch reply is ``("results", (rows, span_payload))`` --
+    JSON cannot distinguish that 2-tuple from a plain row list once
+    flattened, so the frame carries an explicit ``"traced"`` flag for
+    :func:`~repro.serve.transport.decode_reply` to key on.
+    """
+    frame: Dict = {"reply": list(reply)}
+    if reply[0] == "results" and isinstance(reply[1], tuple):
+        frame["traced"] = True
+        frame["reply"] = ["results", [reply[1][0], reply[1][1]]]
+    return encode_frame(frame)
+
+
+class NodeServer:
+    """One listening node process (asyncio server, executor evaluation)."""
+
+    def __init__(self, host: str, port: int, blob_dir: Optional[str] = None,
+                 log=sys.stderr):
+        self.host = host
+        self.port = port
+        self.blob_dir = blob_dir
+        self._log = log
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Blocking work (model loads, batch evaluation) runs here so a
+        # long batch on one shard never starves another connection's
+        # frames.  Sized generously: connections are one per shard.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, os.cpu_count() or 4),
+            thread_name_prefix="repro-serve-node",
+        )
+        self.connections = 0
+
+    def _say(self, message: str) -> None:
+        if self._log is not None:
+            print(message, file=self._log, flush=True)
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        self._say(
+            "repro.serve.node listening on %s:%d (blob dir: %s)"
+            % (self.host, self.port, self.blob_dir or "none")
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> Optional[Dict]:
+        try:
+            header = await reader.readexactly(4)
+            payload = await reader.readexactly(frame_length(header))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        return decode_frame(payload)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """One shard context: hello handshake, then the op loop."""
+        loop = asyncio.get_running_loop()
+        self.connections += 1
+        host: Optional[ShardHost] = None
+        try:
+            frame = await self._read_frame(reader)
+            if frame is None:
+                return
+            message = frame.get("msg")
+            if not isinstance(message, list) or not message or message[0] != "hello":
+                writer.write(encode_reply(
+                    ("init_error", "Node expects a hello frame first.")
+                ))
+                await writer.drain()
+                return
+            _, shard_id, specs = message
+            host = ShardHost(int(shard_id))
+            specs = resolve_blob_paths(specs or {}, self.blob_dir)
+            try:
+                digests = await loop.run_in_executor(
+                    self._executor, host.load, specs
+                )
+            except BaseException as error:
+                writer.write(encode_reply(
+                    ("init_error", "%s: %s" % (type(error).__name__, error))
+                ))
+                await writer.drain()
+                return
+            writer.write(encode_reply(("ready", digests)))
+            await writer.drain()
+            self._say(
+                "node: shard %d attached (%d models)" % (host.shard_id, len(specs))
+            )
+
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                message = tuple(frame.get("msg") or ("",))
+                reply = await loop.run_in_executor(
+                    self._executor, host.handle, message
+                )
+                writer.write(encode_reply(reply))
+                await writer.drain()
+                if message[0] == "stop":
+                    # Stop ends this shard context, not the node: the
+                    # pool is shutting the shard down (or probing it
+                    # away); other connections keep serving.
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            self.connections -= 1
+            if host is not None:
+                self._say("node: shard %d detached" % (host.shard_id,))
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.node",
+        description="Remote inference node hosting worker shards over TCP.",
+    )
+    parser.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--blob-dir", default=None, metavar="DIR",
+        help="local content-addressed .spz store; path specs whose "
+        "front-end path does not exist here are resolved as "
+        "DIR/<digest>.spz (digest still re-verified on load)",
+    )
+    return parser
+
+
+async def run(args) -> None:
+    host, port = parse_address(args.listen)
+    node = NodeServer(host, port, blob_dir=args.blob_dir)
+    await node.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        await node.close()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(run(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,48 +1,70 @@
-"""Sharded worker pool: N processes, each with its own SPE copy and cache.
+"""Sharded worker pool: shards behind transports, local or remote.
 
-Each worker process deserializes every registered model from the
-registry's canonical JSON payload (the structural-key serializer of
-:mod:`repro.spe.serialize`) and verifies **round-trip fidelity** by
-recomputing :func:`repro.spe.spe_digest` over the rebuilt graph -- a
-worker whose copy is not bit-identical to the parent's refuses to start.
-Every shard then owns a private :class:`~repro.spe.QueryCache` with the
-model's budget.
+Each shard is a :class:`~repro.serve.transport.ShardHost` endpoint
+holding digest-verified copies of every registered model and a private
+:class:`~repro.spe.QueryCache` + result cache.  The pool talks to every
+shard through one :class:`~repro.serve.transport.Transport`:
+
+* **local shards** (:class:`~repro.serve.transport.PipeTransport`) are
+  spawned worker processes behind ``multiprocessing`` pipes -- no forked
+  locks, no inherited asyncio state, the child imports :mod:`repro`
+  fresh, exactly what a cross-machine deployment would do;
+* **remote shards** (:class:`~repro.serve.transport.TcpTransport`) live
+  on :mod:`repro.serve.node` processes reached over length-prefixed
+  JSON frames; the same messages, the same digest-ack handshake on
+  every (re)connect.
+
+Every endpoint verifies **round-trip fidelity** before it is trusted:
+it recomputes :func:`repro.spe.spe_digest` over each rebuilt graph (or
+the content hash of an mmap'd ``.spz`` blob) and the pool refuses any
+shard whose digests do not match its specs.
 
 Routing:
 
 * **conditioned** queries are routed by a consistent hash of
-  ``model|condition``, so a chain of queries against one posterior always
-  lands on the shard whose cache already holds that posterior's traversal
-  results (cache-warm posterior chains), and adding/removing shards only
-  remaps ``1/n`` of the key space;
+  ``model|condition`` over the *live* shards, so a chain of queries
+  against one posterior always lands on the shard whose cache already
+  holds that posterior's traversal results (cache-warm posterior
+  chains), and shard death/revival only remaps ``1/n`` of the key space;
 * **unconditioned** queries have no cache affinity and are spread
-  round-robin so one hot model saturates every shard.
+  round-robin over the live shards so one hot model saturates all of
+  them.
 
-The parent talks to each worker over a ``multiprocessing`` pipe with a
-strict request/response discipline (one in-flight batch per shard,
-enforced by an asyncio lock), so no message-id matching is needed;
-blocking pipe reads run on executor threads, keeping the event loop free.
-Workers use the ``spawn`` start method: no forked locks, no inherited
-asyncio state, and the child imports :mod:`repro` fresh -- exactly what a
-cross-machine deployment would do.
+The request/response discipline is strict -- one in-flight message per
+shard, enforced by an asyncio lock, so no message-id matching is needed;
+blocking transport reads run on executor threads, keeping the event
+loop free.
 
-Supervision: a shard that dies (process exit, OOM kill, pipe failure) is
-detected by the failing pipe operation, **respawned** from the pool's
-current model specs -- the fresh process re-runs the digest-ack handshake
-for every registered model before it is trusted -- and the message that
-was in flight on the dead shard is **resent** to the replacement.  Exact
-inference is deterministic and side-effect-free, so re-running a batch is
-always safe; callers observe extra latency (one interpreter start), never
-errors.  ``respawns`` and ``requeued_batches`` count the recoveries and
-surface on ``/v1/stats``.  A batch that kills its worker repeatedly
-(:data:`MAX_RESPAWNS_PER_CALL` times) is failed rather than retried
-forever -- a poison request must not wedge the shard in a crash loop.
+Supervision is transport-neutral: a shard whose channel fails (process
+exit, OOM kill, pipe failure, dropped socket) is **respawned** through
+``transport.restart`` -- a fresh worker process, or a bounded reconnect
+to the node -- with the digest-ack handshake re-run from the pool's
+current specs, and the in-flight message is **resent**.  Exact inference
+is deterministic and side-effect-free, so re-running a batch is always
+safe; callers observe extra latency, never errors.  ``respawns`` and
+``requeued_batches`` count the recoveries and surface on ``/v1/stats``.
+A batch that kills its shard repeatedly (:data:`MAX_RESPAWNS_PER_CALL`
+times) is failed rather than retried forever -- a poison request must
+not wedge the shard in a crash loop.
+
+Two failure modes the pipe-only pool never had:
+
+* a shard whose endpoint **cannot come back** (its node is down) is
+  marked **dead**: it leaves the routing ring (only its ``1/n`` of the
+  key space remaps), in-flight batches **fail over** to a live shard,
+  and the proactive probe loop keeps trying to revive it -- a returning
+  node re-handshakes from the current specs (idempotent, digest-checked
+  journal-replay semantics) and rejoins the ring;
+* the **probe loop** (:meth:`WorkerPool.start_probing`) pings idle
+  shards every ``probe_interval_ms`` and respawns dead ones *before*
+  traffic hits them; ``probe_failures`` counts the detections.
 """
 
 from __future__ import annotations
 
 import asyncio
 import bisect
+import contextlib
 import hashlib
 import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
@@ -53,13 +75,14 @@ from typing import Sequence
 
 from .. import obs
 from ..obs import MetricsRegistry
-from ..obs import Trace
 from . import wire
+from .transport import PipeTransport
+from .transport import ShardHost
+from .transport import TcpTransport
+from .transport import TransportConnectError
+from .transport import WorkerError
+from .transport import _load_model_spec  # noqa: F401  (back-compat re-export)
 from .wire import Result
-
-
-class WorkerError(RuntimeError):
-    """A worker failed to start, verify its models, or answer a batch."""
 
 
 # ---------------------------------------------------------------------------
@@ -74,14 +97,28 @@ class HashRing:
     its own hash.  With the default 64 replicas the load split across a
     handful of shards is within a few percent of uniform, and removing a
     shard remaps only the keys that pointed at it.
+
+    ``HashRing(n)`` rings shards ``0..n-1``; ``HashRing(shards=[0, 3])``
+    rings an explicit membership (the live-shard ring of a pool with
+    dead members) -- points are named by shard id either way, so a
+    shard's ring points are identical in every ring that contains it,
+    which is what keeps membership changes to a ``1/n`` remap.
     """
 
-    def __init__(self, n_shards: int, replicas: int = 64):
-        if n_shards < 1:
-            raise ValueError("HashRing needs at least one shard.")
-        self.n_shards = n_shards
+    def __init__(self, n_shards: Optional[int] = None, replicas: int = 64,
+                 shards: Optional[Sequence[int]] = None):
+        if shards is None:
+            if n_shards is None or n_shards < 1:
+                raise ValueError("HashRing needs at least one shard.")
+            shards = range(n_shards)
+            self.n_shards = n_shards
+        else:
+            shards = list(shards)
+            if not shards:
+                raise ValueError("HashRing needs at least one shard.")
+            self.n_shards = len(shards)
         points = []
-        for shard in range(n_shards):
+        for shard in shards:
             for replica in range(replicas):
                 points.append((self._position("shard-%d/%d" % (shard, replica)), shard))
         points.sort()
@@ -103,171 +140,63 @@ class HashRing:
 
 
 # ---------------------------------------------------------------------------
-# Worker process.
+# Worker process (the pipe transport's endpoint).
 # ---------------------------------------------------------------------------
-
-def _load_model_spec(name: str, spec: Dict):
-    """Build one worker-side model from its spec; returns (model, digest).
-
-    ``path`` specs mmap the content-addressed compiled ``.spz`` blob
-    read-only — every shard on the host shares one physical copy of the
-    tables — and ``repro.spe.load_spz`` verifies both the payload hash
-    and the round-trip digest of the rebuilt graph before the model is
-    trusted.  ``payload`` specs deserialize the shipped JSON and prove
-    round-trip fidelity by recomputing the structural digest.
-    """
-    from ..engine import SpplModel
-    from ..spe import spe_digest
-    from ..spe import spe_from_json
-
-    path = spec.get("path")
-    plan = spec.get("plan", "off")  # pre-planner specs default to off
-    if path is not None:
-        model = SpplModel.from_spz(
-            path, cache_size=spec["cache_size"], expected_digest=spec["digest"],
-            plan=plan,
-        )
-        return model, spec["digest"]
-    spe = spe_from_json(spec["payload"])
-    digest = spe_digest(spe)
-    if digest != spec["digest"]:
-        raise WorkerError(
-            "Round-trip digest mismatch for model %r: parent %s, "
-            "worker %s." % (name, spec["digest"], digest)
-        )
-    return SpplModel(spe, cache_size=spec["cache_size"], plan=plan), digest
-
 
 def _worker_main(worker_id: int, model_specs: Dict[str, Dict], conn) -> None:
     """Entry point of one worker process (spawn-safe, module level).
 
-    Loads every model (mmap'd blob or deserialized payload, digest
-    verified either way), then answers batch/stats/clear messages until
-    told to stop.  All replies are plain picklable values.
+    A thin pipe loop around the transport-neutral
+    :class:`~repro.serve.transport.ShardHost`: load every model (mmap'd
+    blob or deserialized payload, digest verified either way), ack
+    readiness, then answer messages until told to stop.  All replies are
+    plain picklable values.
     """
-    from ..engine import SpplModel
-    from .scheduler import ResultCache
-    from .scheduler import evaluate_batch
-
-    models: Dict[str, SpplModel] = {}
-    result_caches: Dict[str, ResultCache] = {}
-    digests: Dict[str, str] = {}
+    host = ShardHost(worker_id)
     try:
-        for name, spec in model_specs.items():
-            model, digest = _load_model_spec(name, spec)
-            models[name] = model
-            result_caches[name] = ResultCache()
-            digests[name] = digest
+        digests = host.load(model_specs)
     except BaseException as error:
         conn.send(("init_error", "%s: %s" % (type(error).__name__, error)))
         conn.close()
         return
-    conn.send(("ready", dict(digests)))
+    conn.send(("ready", digests))
 
     while True:
         try:
             message = conn.recv()
         except EOFError:
             break
-        op = message[0]
-        if op == "stop":
-            conn.send(("stopped", worker_id))
+        conn.send(host.handle(message))
+        if message[0] == "stop":
             break
-        if op == "batch":
-            # 5-tuple: the pre-tracing wire shape (and the zero-overhead
-            # path for untraced batches).  6-tuple: a trailing trace flag;
-            # the worker then builds its own span fragment — clocks and
-            # objects do not cross the pipe — and ships it back beside
-            # the results for the parent to graft under its dispatch
-            # span.
-            name, kind, condition, payloads = message[1:5]
-            traced = len(message) > 5 and bool(message[5])
-            tracer = (
-                Trace(name="worker.batch", tags={"worker": worker_id})
-                if traced
-                else None
-            )
-            model = models.get(name)
-            if model is None:
-                results = wire.error_results(
-                    WorkerError("Worker %d has no model %r." % (worker_id, name)),
-                    len(payloads),
-                )
-            else:
-                results = evaluate_batch(
-                    model, kind, condition, payloads, result_caches.get(name),
-                    tracer,
-                )
-            if tracer is not None:
-                conn.send(("results", (results, tracer.to_payload())))
-            else:
-                conn.send(("results", results))
-        elif op == "stats":
-            stats = {}
-            for name, model in sorted(models.items()):
-                stats[name] = model.cache_stats()
-                stats[name]["results"] = result_caches[name].stats()
-                compiled = model.compiled_info()
-                if compiled is not None:
-                    stats[name]["compiled"] = compiled
-            conn.send(("stats", stats))
-        elif op == "clear":
-            for name, model in models.items():
-                # everything=True: scoped clearing would keep entries
-                # keyed on posterior-subgraph uids alive, and each worker
-                # owns its caches exclusively.  The parsed-event LRU goes
-                # too: a clear forces full recomputation.
-                model.clear_cache(everything=True)
-                model.clear_event_cache()
-                result_caches[name].clear()
-            conn.send(("cleared", worker_id))
-        elif op == "register":
-            # Live model reload: deserialize the shipped payload, prove
-            # round-trip fidelity, and ack with the recomputed digest (the
-            # parent refuses the registration unless every shard's ack
-            # matches).
-            _, name, spec = message
-            try:
-                if name in models:
-                    # Idempotent re-register: a respawned worker is
-                    # re-seeded from the pool's current specs, so a
-                    # retried register handshake may find the model
-                    # already loaded.  Ack it when the digest matches;
-                    # a *different* digest under the same name is a
-                    # genuine conflict.
-                    if digests.get(name) == spec["digest"]:
-                        conn.send(("registered", digests[name]))
-                        continue
-                    raise WorkerError(
-                        "Worker %d already has model %r (digest %s != %s)."
-                        % (worker_id, name, digests.get(name), spec["digest"])
-                    )
-                model, digest = _load_model_spec(name, spec)
-                models[name] = model
-                result_caches[name] = ResultCache()
-                digests[name] = digest
-            except Exception as error:
-                conn.send(("error", "%s: %s" % (type(error).__name__, error)))
-            else:
-                conn.send(("registered", digest))
-        elif op == "unregister":
-            _, name = message
-            models.pop(name, None)
-            result_caches.pop(name, None)
-            digests.pop(name, None)
-            conn.send(("unregistered", name))
-        else:
-            conn.send(("error", "Unknown worker op %r." % (op,)))
     conn.close()
 
 
 class _Worker:
-    __slots__ = ("process", "conn", "lock")
+    """Supervision record of one shard: its transport plus the call lock.
 
-    def __init__(self, process, conn):
-        self.process = process
-        self.conn = conn
+    ``process`` and ``conn`` proxy into a pipe transport (settable, so
+    fault-injection tests can wrap the connection to kill the worker
+    mid-send exactly as they always have).
+    """
+
+    __slots__ = ("transport", "lock")
+
+    def __init__(self, transport):
+        self.transport = transport
         self.lock = asyncio.Lock()
+
+    @property
+    def process(self):
+        return self.transport.process
+
+    @property
+    def conn(self):
+        return self.transport.conn
+
+    @conn.setter
+    def conn(self, value):
+        self.transport.conn = value
 
 
 #: How many times one message may trigger a respawn-and-resend before the
@@ -277,25 +206,35 @@ MAX_RESPAWNS_PER_CALL = 2
 
 
 class WorkerPool:
-    """N worker processes, each holding deserialized copies of every model.
+    """Shards behind transports: local worker processes plus remote nodes.
 
-    The pool supervises its workers: a shard whose process dies is
-    respawned from the current model specs (digest handshake included)
-    and the in-flight message is resent, so transient worker deaths cost
-    callers latency, not errors.
+    The pool supervises its shards: a shard whose endpoint dies is
+    respawned (or reconnected) from the current model specs -- digest
+    handshake included -- and the in-flight message is resent, so
+    transient deaths cost callers latency, not errors.  A shard whose
+    endpoint cannot come back is marked dead, leaves the routing ring,
+    and is revived by the probe loop when its node returns.
     """
 
     def __init__(self, n_workers: int, start_method: str = "spawn",
-                 metrics: Optional[MetricsRegistry] = None):
-        if n_workers < 1:
+                 metrics: Optional[MetricsRegistry] = None,
+                 nodes: Optional[Sequence[str]] = None,
+                 probe_interval_ms: float = 1000.0):
+        self.nodes = list(nodes or [])
+        if n_workers < 1 and not self.nodes:
             raise ValueError("WorkerPool needs at least one worker.")
+        if n_workers < 0:
+            raise ValueError("WorkerPool needs a non-negative worker count.")
         self.n_workers = n_workers
+        self.probe_interval_ms = probe_interval_ms
         self._context = multiprocessing.get_context(start_method)
         self._workers: List[_Worker] = []
-        # One thread per worker: a blocking pipe read never starves
-        # another shard's reply.
+        # One thread per shard plus probe headroom: a blocking transport
+        # read never starves another shard's reply, and the probe loop
+        # never waits behind a full complement of in-flight reads.
         self._executor = ThreadPoolExecutor(
-            max_workers=n_workers, thread_name_prefix="repro-serve-worker-io"
+            max_workers=n_workers + len(self.nodes) + 1,
+            thread_name_prefix="repro-serve-worker-io",
         )
         #: Current model specs (name -> payload/digest/cache_size); the
         #: seed a respawned worker is rebuilt from.  Kept in sync by
@@ -303,6 +242,14 @@ class WorkerPool:
         self._specs: Dict[str, Dict] = {}
         self._start_timeout = 120.0
         self._closing = False
+        #: Shards whose endpoint could not be brought back; they are out
+        #: of the routing ring until the probe loop revives them.
+        self._dead: set = set()
+        #: Bumped on every death/revival; routing layers use it to know
+        #: when to rebuild their live-shard ring.
+        self.membership_version = 0
+        self._shard_respawns: Dict[int, int] = {}
+        self._probe_task: Optional[asyncio.Task] = None
         # Supervision counters (event-loop-only mutation), surfaced on
         # ``/v1/stats`` via :meth:`WorkerPoolBackend.stats` and on
         # ``/metrics``; the old plain-int attributes stay readable
@@ -310,6 +257,13 @@ class WorkerPool:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._respawns = self.metrics.counter("repro.pool.respawns")
         self._requeued = self.metrics.counter("repro.pool.requeued_batches")
+        self._probe_failures = self.metrics.counter("repro.pool.probe_failures")
+        self.metrics.gauge_fn("repro.pool.dead_shards", lambda: len(self._dead))
+
+    @property
+    def n_shards(self) -> int:
+        """Total shard count: local workers plus one per remote node entry."""
+        return self.n_workers + len(self.nodes)
 
     @property
     def respawns(self) -> int:
@@ -318,6 +272,14 @@ class WorkerPool:
     @property
     def requeued_batches(self) -> int:
         return self._requeued.value
+
+    @property
+    def probe_failures(self) -> int:
+        return self._probe_failures.value
+
+    def live_shards(self) -> List[int]:
+        """Shard ids currently in the routing ring."""
+        return [shard for shard in range(self.n_shards) if shard not in self._dead]
 
     def _note_respawn(self, shard: int, attempt: int, is_batch: bool) -> None:
         """Count one respawn (and its requeue) in a single synchronous step.
@@ -328,73 +290,76 @@ class WorkerPool:
         whose requeue has not landed yet.
         """
         self._respawns.inc()
+        per_shard = getattr(self, "_shard_respawns", None)
+        if per_shard is not None:
+            per_shard[shard] = per_shard.get(shard, 0) + 1
         obs.event("shard.respawn", shard=shard, attempt=attempt)
         if is_batch:
             self._requeued.inc()
             obs.event("batch.requeue", shard=shard, attempt=attempt)
 
+    def _mark_dead(self, shard: int, error: BaseException) -> None:
+        if shard not in self._dead:
+            self._dead.add(shard)
+            self.membership_version += 1
+            obs.event("shard.dead", shard=shard, error=str(error)[:200])
+
+    def _mark_live(self, shard: int) -> None:
+        if shard in self._dead:
+            self._dead.discard(shard)
+            self.membership_version += 1
+            obs.event("shard.revived", shard=shard)
+
     def worker_pids(self) -> List[int]:
-        """Live worker process ids (fault-injection hook for chaos tests)."""
-        return [worker.process.pid for worker in self._workers]
+        """Live local worker process ids (legacy fault-injection hook).
 
-    def _launch(self, worker_id: int, specs: Dict[str, Dict]):
-        """Spawn one worker process; returns ``(process, parent_conn)``."""
-        parent_conn, child_conn = self._context.Pipe()
-        process = self._context.Process(
-            target=_worker_main,
-            args=(worker_id, specs, child_conn),
-            name="repro-serve-worker-%d" % (worker_id,),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        return process, parent_conn
-
-    @staticmethod
-    def _await_ready(worker_id, process, conn, specs, timeout) -> None:
-        """Block until the worker acks readiness with the expected digests.
-
-        The ready reply carries the digest the worker recomputed over
-        every deserialized model; any mismatch with the parent's specs
-        (or a death/timeout before the ack) raises :class:`WorkerError`.
+        Superseded by :meth:`fault_points`, which covers remote shards
+        too; kept because chaos tooling SIGKILLs through it.
         """
-        if not conn.poll(timeout):
-            raise WorkerError("Worker %d did not start in time." % (worker_id,))
-        try:
-            reply = conn.recv()
-        except EOFError:
-            raise WorkerError(
-                "Worker %d died before reporting ready." % (worker_id,)
-            ) from None
-        if reply[0] != "ready":
-            raise WorkerError(
-                "Worker %d failed to start: %s" % (worker_id, reply[1])
-            )
-        expected = {name: spec["digest"] for name, spec in specs.items()}
-        if reply[1] != expected:
-            raise WorkerError(
-                "Worker %d handshake digests %r do not match the parent's %r."
-                % (worker_id, reply[1], expected)
-            )
+        return [
+            worker.transport.process.pid
+            for worker in self._workers
+            if worker.transport.kind == "pipe"
+        ]
+
+    def fault_points(self) -> List[tuple]:
+        """``(shard_id, kind, pid_or_address)`` per shard, for chaos tests.
+
+        ``kind == "pipe"`` shards are killable by pid; ``kind == "tcp"``
+        shards name the node address to take down.
+        """
+        return [worker.transport.fault_point() for worker in self._workers]
+
+    def shard_node(self, shard: int) -> Optional[str]:
+        """The node address hosting ``shard`` (``None`` for local shards)."""
+        transport = self._workers[shard].transport
+        return getattr(transport, "address", None)
 
     def start(self, model_specs: Dict[str, Dict], timeout: float = 120.0) -> None:
-        """Spawn the workers and wait until every one verified its models.
+        """Bring every shard up and wait until each verified its models.
 
         ``model_specs`` maps model name to ``{"payload": json_str,
         "digest": str, "cache_size": int|None}`` (see
-        :meth:`InferenceService.worker_specs`).  Blocking -- call before
-        serving (or from an executor thread).
+        :meth:`InferenceService.worker_specs`).  Local workers spawn
+        concurrently and handshake afterwards; remote shards connect and
+        handshake in the same pass.  Blocking -- call before serving (or
+        from an executor thread).
         """
         self._specs = {name: dict(spec) for name, spec in model_specs.items()}
         self._start_timeout = timeout
         for worker_id in range(self.n_workers):
-            process, parent_conn = self._launch(worker_id, self._specs)
-            self._workers.append(_Worker(process, parent_conn))
-        for worker_id, worker in enumerate(self._workers):
+            transport = PipeTransport(worker_id, self._context, _worker_main)
+            transport.launch(self._specs)
+            self._workers.append(_Worker(transport))
+        for offset, address in enumerate(self.nodes):
+            self._workers.append(
+                _Worker(TcpTransport(address, self.n_workers + offset))
+            )
+        for worker in self._workers:
             try:
-                self._await_ready(
-                    worker_id, worker.process, worker.conn, self._specs, timeout
-                )
+                if worker.transport.kind != "pipe":
+                    worker.transport.launch(self._specs)
+                worker.transport.handshake(self._specs, timeout)
             except WorkerError:
                 # Don't leave the siblings running (e.g. one worker
                 # OOM-killed while deserializing).
@@ -402,74 +367,94 @@ class WorkerPool:
                 raise
 
     async def _respawn(self, shard: int, worker: _Worker) -> None:
-        """Replace a dead shard's process (caller holds the shard lock).
+        """Replace a dead shard's endpoint (caller holds the shard lock).
 
         The replacement is seeded from the pool's *current* specs and
-        must pass the same digest-ack handshake a startup worker does
-        before the shard is trusted again.  The caller has already
-        counted the respawn (:meth:`_note_respawn`).
+        must pass the same digest-ack handshake a startup shard does
+        before it is trusted again.  For a remote shard this is a
+        bounded reconnect: :class:`TransportConnectError` means the node
+        is gone and the caller should mark the shard dead.  The caller
+        has already counted the respawn (:meth:`_note_respawn`).
         """
         specs = {name: dict(spec) for name, spec in self._specs.items()}
         loop = asyncio.get_running_loop()
-
-        def blocking():
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
-            if worker.process.is_alive():
-                worker.process.terminate()
-            worker.process.join(5)
-            process, conn = self._launch(shard, specs)
-            try:
-                self._await_ready(shard, process, conn, specs, self._start_timeout)
-            except BaseException:
-                if process.is_alive():
-                    process.terminate()
-                conn.close()
-                raise
-            return process, conn
-
-        worker.process, worker.conn = await loop.run_in_executor(
-            self._executor, blocking
+        await loop.run_in_executor(
+            self._executor, worker.transport.restart, specs, self._start_timeout
         )
 
     async def _call(self, shard: int, message: tuple):
         """One request/response round trip with a shard (serialized per shard).
 
-        A pipe failure (the worker died) triggers a respawn and a resend
-        of ``message`` -- safe because every worker op is deterministic
-        and idempotent -- bounded by :data:`MAX_RESPAWNS_PER_CALL`.
+        A transport failure (the endpoint died) triggers a respawn and a
+        resend of ``message`` -- safe because every shard op is
+        deterministic and idempotent -- bounded by
+        :data:`MAX_RESPAWNS_PER_CALL`.  A shard whose endpoint cannot
+        come back is marked dead and the message **fails over** to a
+        live shard (batches re-route; control ops raise, and their
+        callers skip dead shards up front).
         """
         worker = self._workers[shard]
         loop = asyncio.get_running_loop()
+        reply = None
         async with worker.lock:
-            attempts = 0
-            while True:
-                try:
-                    worker.conn.send(message)
-                    reply = await loop.run_in_executor(
-                        self._executor, worker.conn.recv
-                    )
-                    break
-                except (OSError, EOFError) as error:
-                    if self._closing:
-                        raise WorkerError(
-                            "Shard %d unavailable during shutdown: %s"
-                            % (shard, error)
-                        ) from error
-                    attempts += 1
-                    if attempts > MAX_RESPAWNS_PER_CALL:
-                        raise WorkerError(
-                            "Shard %d died %d times answering one %r message; "
-                            "giving up on it (poison request?)."
-                            % (shard, attempts, message[0])
-                        ) from error
-                    self._note_respawn(shard, attempts, message[0] == "batch")
-                    await self._respawn(shard, worker)
+            if shard not in self._dead:
+                attempts = 0
+                while True:
+                    try:
+                        worker.transport.send(message)
+                        reply = await loop.run_in_executor(
+                            self._executor, worker.transport.recv
+                        )
+                        break
+                    except (OSError, EOFError) as error:
+                        if self._closing:
+                            raise WorkerError(
+                                "Shard %d unavailable during shutdown: %s"
+                                % (shard, error)
+                            ) from error
+                        attempts += 1
+                        if attempts > MAX_RESPAWNS_PER_CALL:
+                            raise WorkerError(
+                                "Shard %d died %d times answering one %r message; "
+                                "giving up on it (poison request?)."
+                                % (shard, attempts, message[0])
+                            ) from error
+                        self._note_respawn(shard, attempts, message[0] == "batch")
+                        try:
+                            await self._respawn(shard, worker)
+                        except (TransportConnectError, OSError) as down:
+                            # The endpoint is not coming back within the
+                            # reconnect window: out of the ring, fail the
+                            # message over to a surviving shard.
+                            self._mark_dead(shard, down)
+                            break
+        if reply is None:
+            return await self._failover(shard, message)
         if reply[0] == "error":
             raise WorkerError(reply[1])
         return reply[1]
+
+    async def _failover(self, dead_shard: int, message: tuple):
+        """Re-route a message whose shard is dead to a surviving one."""
+        live = self.live_shards()
+        if not live:
+            raise WorkerError(
+                "Shard %d is down and no live shard remains to fail over to."
+                % (dead_shard,)
+            )
+        if message[0] != "batch":
+            # Control ops are shard-addressed; rerouting them would
+            # double-apply on the fallback.  Callers skip dead shards.
+            raise WorkerError(
+                "Shard %d is down (node unreachable)." % (dead_shard,)
+            )
+        # Deterministic fallback: the next live shard clockwise, so one
+        # dead shard's keys concentrate predictably instead of spraying.
+        fallback = min(
+            (shard for shard in live if shard > dead_shard), default=live[0]
+        )
+        obs.event("shard.failover", shard=dead_shard, fallback=fallback)
+        return await self._call(fallback, message)
 
     async def run_batch(
         self, shard: int, model: str, kind: str, condition: Optional[str],
@@ -479,7 +464,7 @@ class WorkerPool:
 
         Untraced calls keep the pre-tracing 5-tuple wire message and
         return the result list; with ``trace=True`` a flag is appended
-        and the worker returns ``(results, span_payload)``.
+        and the shard returns ``(results, span_payload)``.
         """
         message = ("batch", model, kind, condition, list(payloads))
         if trace:
@@ -487,29 +472,134 @@ class WorkerPool:
         return await self._call(shard, message)
 
     async def shard_stats(self) -> List[Dict]:
-        return [
-            await self._call(shard, ("stats",)) for shard in range(self.n_workers)
-        ]
+        """Per-shard model statistics; a dead shard reports ``{}``."""
+        stats: List[Dict] = []
+        for shard in range(self.n_shards):
+            if shard in self._dead:
+                stats.append({})
+                continue
+            try:
+                stats.append(await self._call(shard, ("stats",)))
+            except WorkerError:
+                # Died while answering and could not come back: stats
+                # must describe the outage, not fail the endpoint.
+                stats.append({})
+        return stats
+
+    def node_stats(self) -> List[Dict]:
+        """Per-node supervision summary (loop-owned; no awaits).
+
+        One entry for the local process plus one per distinct node
+        address: each lists its shards with liveness and respawn counts
+        -- the ``/v1/stats`` "nodes" section.
+        """
+        groups: Dict[str, Dict] = {}
+        order: List[str] = []
+        for shard, worker in enumerate(self._workers):
+            address = getattr(worker.transport, "address", None) or "local"
+            group = groups.get(address)
+            if group is None:
+                group = groups[address] = {
+                    "address": address,
+                    "kind": worker.transport.kind,
+                    "shards": [],
+                    "live": True,
+                }
+                order.append(address)
+            live = shard not in self._dead
+            group["shards"].append({
+                "shard": shard,
+                "live": live,
+                "respawns": self._shard_respawns.get(shard, 0),
+            })
+            group["live"] = group["live"] and live
+        return [groups[address] for address in order]
+
+    # -- Proactive liveness probing -----------------------------------------
+
+    def start_probing(self, interval_ms: Optional[float] = None) -> Optional[asyncio.Task]:
+        """Start the periodic liveness probe (requires a running loop).
+
+        Idle shards are pinged every ``interval_ms`` (default: the
+        pool's ``probe_interval_ms``); a dead endpoint is respawned
+        *before* traffic hits it, and a dead-marked shard is revived
+        when its node answers again.  ``interval_ms <= 0`` disables.
+        """
+        interval = (
+            self.probe_interval_ms if interval_ms is None else interval_ms
+        )
+        if not interval or interval <= 0:
+            return None
+        self._probe_task = asyncio.ensure_future(
+            self._probe_loop(interval / 1000.0)
+        )
+        return self._probe_task
+
+    async def _probe_loop(self, interval_s: float) -> None:
+        with contextlib.suppress(asyncio.CancelledError):
+            while not self._closing:
+                await asyncio.sleep(interval_s)
+                await self.probe_once()
+
+    async def probe_once(self) -> None:
+        """One probe sweep over every idle shard (busy shards skip:
+        their in-flight traffic is already the liveness signal)."""
+        loop = asyncio.get_running_loop()
+        for shard, worker in enumerate(self._workers):
+            if self._closing:
+                return
+            if worker.lock.locked():
+                continue
+            async with worker.lock:
+                if self._closing:
+                    return
+                was_dead = shard in self._dead
+                alive = False
+                if not was_dead:
+                    try:
+                        alive = await loop.run_in_executor(
+                            self._executor, worker.transport.probe
+                        )
+                    except (OSError, EOFError):
+                        alive = False
+                if alive:
+                    continue
+                if not was_dead:
+                    self._probe_failures.inc()
+                try:
+                    await self._respawn(shard, worker)
+                except (WorkerError, OSError) as down:
+                    self._mark_dead(shard, down)
+                    continue
+                self._mark_live(shard)
+                # Counted after the fact: a failed revival attempt of an
+                # already-dead shard is not a respawn, and the probe loop
+                # retries every sweep.
+                self._note_respawn(shard, 1, is_batch=False)
+
+    # -- Model lifecycle ----------------------------------------------------
 
     async def register_model(self, name: str, spec: Dict) -> None:
-        """Ship a serialized model to every shard; all-or-nothing.
+        """Ship a serialized model to every live shard; all-or-nothing.
 
         Each shard deserializes the payload and acks with the digest it
         recomputed over the rebuilt graph.  Any failed shard — or any ack
         that does not match the parent's digest — rolls the registration
         back on every shard (idempotent for shards that never saw the
-        model) and raises :class:`WorkerError`: either every shard holds
-        a bit-identical copy, or none does.  The handshake is
-        deliberately sequential (registration is rare); parallelizing it
-        would shorten the lifecycle lock's hold time on wide pools at
-        the cost of a racier rollback.
+        model) and raises :class:`WorkerError`: either every live shard
+        holds a bit-identical copy, or none does.  Dead shards catch up
+        on revival: the reconnect handshake re-ships the current spec
+        set (journal-replay semantics).  The handshake is deliberately
+        sequential (registration is rare); parallelizing it would
+        shorten the lifecycle lock's hold time on wide pools at the cost
+        of a racier rollback.
         """
         # Publish the spec to the supervisor *before* the handshake: a
         # shard that dies mid-handshake respawns with the model already
         # seeded, and the retried register op acks idempotently.
         self._specs[name] = dict(spec)
         try:
-            for shard in range(self.n_workers):
+            for shard in self.live_shards():
                 digest = await self._call(shard, ("register", name, spec))
                 # The worker stored the model before replying; a
                 # worker-side mismatch raises before storing, so this
@@ -521,12 +611,12 @@ class WorkerPool:
                     )
         except Exception:
             self._specs.pop(name, None)
-            # Roll back over *every* shard, not just the acked prefix: a
-            # shard that was respawned mid-handshake (serving a batch)
-            # was seeded with the pending spec without ever acking, and
-            # worker-side unregister is an idempotent no-op for shards
-            # that never saw the model.
-            for shard in range(self.n_workers):
+            # Roll back over *every* live shard, not just the acked
+            # prefix: a shard that was respawned mid-handshake (serving
+            # a batch) was seeded with the pending spec without ever
+            # acking, and shard-side unregister is an idempotent no-op
+            # for shards that never saw the model.
+            for shard in self.live_shards():
                 try:
                     await self._call(shard, ("unregister", name))
                 except (WorkerError, OSError, EOFError):
@@ -534,59 +624,90 @@ class WorkerPool:
             raise
 
     async def unregister_model(self, name: str) -> None:
-        """Drop a model (and its caches) from every shard."""
+        """Drop a model (and its caches) from every live shard."""
         # Out of the respawn seed first: a shard respawned mid-teardown
-        # must not resurrect the model.
+        # must not resurrect the model (and a dead shard revived later
+        # is re-seeded without it).
         self._specs.pop(name, None)
-        for shard in range(self.n_workers):
+        for shard in self.live_shards():
             await self._call(shard, ("unregister", name))
 
     async def clear_caches(self) -> None:
-        for shard in range(self.n_workers):
+        for shard in self.live_shards():
             await self._call(shard, ("clear",))
 
+    # -- Shutdown -----------------------------------------------------------
+
     def terminate(self) -> None:
-        """Hard-kill every worker (used on failed startup and as a fallback)."""
+        """Hard-stop every shard (used on failed startup and as a fallback)."""
         self._closing = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
         for worker in self._workers:
-            if worker.process.is_alive():
-                worker.process.terminate()
-            worker.conn.close()
+            worker.transport.terminate()
         for worker in self._workers:
-            worker.process.join(timeout=5)
+            worker.transport.join(5)
         self._executor.shutdown(wait=False)
 
     async def close(self) -> None:
         """Graceful shutdown: stop message, join, then terminate stragglers."""
         self._closing = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._probe_task
+            self._probe_task = None
         loop = asyncio.get_running_loop()
-        for worker in self._workers:
+        for shard, worker in enumerate(self._workers):
+            if shard in self._dead:
+                continue
             try:
                 async with worker.lock:
-                    worker.conn.send(("stop",))
-                    await loop.run_in_executor(self._executor, worker.conn.recv)
+                    worker.transport.send(("stop",))
+                    await loop.run_in_executor(
+                        self._executor, worker.transport.recv
+                    )
             except (OSError, EOFError, WorkerError):
                 pass
         for worker in self._workers:
-            await loop.run_in_executor(None, worker.process.join, 10)
+            await loop.run_in_executor(None, worker.transport.join, 10)
         self.terminate()
 
 
 class WorkerPoolBackend:
-    """Scheduler backend dispatching batches to a :class:`WorkerPool`."""
+    """Scheduler backend dispatching batches to a :class:`WorkerPool`.
+
+    Routes over the pool's **live** shards: when a shard dies or
+    revives (``membership_version`` moves), the consistent-hash ring is
+    rebuilt over the surviving membership, so only the affected shard's
+    share of the key space remaps.
+    """
 
     def __init__(self, pool: WorkerPool):
         self.pool = pool
-        self.n_shards = pool.n_workers
-        self._ring = HashRing(pool.n_workers)
+        self.n_shards = pool.n_shards
+        self._ring = HashRing(pool.n_shards)
+        self._live = list(range(pool.n_shards))
+        self._ring_version = pool.membership_version
         self._round_robin = 0
 
+    def _live_ring(self) -> Optional[HashRing]:
+        if self._ring_version != self.pool.membership_version:
+            self._live = self.pool.live_shards()
+            self._ring = HashRing(shards=self._live) if self._live else None
+            self._ring_version = self.pool.membership_version
+        return self._ring
+
     def route(self, model: str, condition: Optional[str]) -> int:
+        ring = self._live_ring()
+        if ring is None:
+            return 0  # nothing live: dispatch reports the outage
         if condition is not None:
             # Cache affinity: one posterior chain -> one shard.
-            return self._ring.route("%s|%s" % (model, condition))
-        self._round_robin = (self._round_robin + 1) % self.n_shards
-        return self._round_robin
+            return ring.route("%s|%s" % (model, condition))
+        self._round_robin = (self._round_robin + 1) % len(self._live)
+        return self._live[self._round_robin]
 
     async def run_batch(
         self, model: str, kind: str, condition: Optional[str], shard: int,
@@ -595,7 +716,8 @@ class WorkerPoolBackend:
         tracer = obs.current()
         if tracer is None:
             return await self.pool.run_batch(shard, model, kind, condition, payloads)
-        with tracer.span("shard.dispatch", shard=shard):
+        node = self.pool.shard_node(shard) or "local"
+        with tracer.span("shard.dispatch", shard=shard, node=node):
             results, spans = await self.pool.run_batch(
                 shard, model, kind, condition, payloads, trace=True
             )
@@ -608,8 +730,12 @@ class WorkerPoolBackend:
         return {
             "mode": "sharded",
             "workers": self.n_shards,
+            "local_shards": self.pool.n_workers,
             "respawns": self.pool.respawns,
             "requeued_batches": self.pool.requeued_batches,
+            "probe_failures": self.pool.probe_failures,
+            "live_shards": self.pool.live_shards(),
+            "nodes": self.pool.node_stats(),
         }
 
     async def stats(self) -> Dict:

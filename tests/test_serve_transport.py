@@ -1,0 +1,776 @@
+"""Transport-contract suite + multi-node serve tests.
+
+One parametrized contract run against both shard transports --
+:class:`PipeTransport` (spawned worker process) and
+:class:`TcpTransport` (remote ``repro.serve.node`` over length-prefixed
+JSON frames): digest-refused handshakes, bit-identical batch round
+trips, liveness probing, and kill/restart recovery must behave
+identically no matter which channel carries the messages.
+
+On top of the contract: worker-pool supervision over TCP (kill + resend
+through a reconnect, dead-node marking + batch failover, probe-loop
+revival with spec catch-up), the ``fault_points()`` chaos hook, the
+frame codec's float fidelity, and the node-kill chaos acceptance test
+(SIGKILL a TCP node under 4x overload -> only ok/429, ring rebalances,
+sharded differential bit-identical afterwards).
+"""
+
+import asyncio
+import math
+import multiprocessing
+import os
+import re
+import shutil
+import signal
+import struct
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.serve import AsyncServeClient
+from repro.serve import InferenceService
+from repro.serve import ModelRegistry
+from repro.serve import WorkerError
+from repro.serve import value_of
+from repro.serve import wire
+from repro.serve.sharding import HashRing
+from repro.serve.sharding import WorkerPool
+from repro.serve.sharding import WorkerPoolBackend
+from repro.serve.sharding import _worker_main
+from repro.serve.transport import PipeTransport
+from repro.serve.transport import TcpTransport
+from repro.serve.transport import TransportConnectError
+from repro.serve.transport import decode_frame
+from repro.serve.transport import decode_reply
+from repro.serve.transport import encode_frame
+from repro.serve.transport import frame_length
+from repro.serve.transport import parse_address
+from repro.workloads import indian_gpa
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _spec(registered):
+    return {
+        "payload": registered.payload,
+        "digest": registered.digest,
+        "cache_size": None,
+    }
+
+
+def _gpa_specs():
+    registry = ModelRegistry()
+    return {"indian_gpa": _spec(registry.register_catalog("indian_gpa"))}
+
+
+def start_node(listen="127.0.0.1:0", blob_dir=None):
+    """Launch a ``repro.serve.node`` subprocess; returns (proc, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "repro.serve.node", "--listen", listen]
+    if blob_dir is not None:
+        command += ["--blob-dir", str(blob_dir)]
+    proc = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on .*:(\d+)", line)
+    assert match, "node did not report its port: %r" % (line,)
+    return proc, int(match.group(1))
+
+
+class PipeHarness:
+    """Contract-suite driver for the pipe transport."""
+
+    kind = "pipe"
+
+    def __init__(self):
+        self._context = multiprocessing.get_context("spawn")
+
+    def make(self, shard_id=0):
+        return PipeTransport(shard_id, self._context, _worker_main)
+
+    def kill_endpoint(self, transport):
+        os.kill(transport.process.pid, signal.SIGKILL)
+        transport.process.join(5)
+
+    def revive_endpoint(self, transport):
+        pass  # restart() respawns the process itself
+
+    def cleanup(self):
+        pass
+
+
+class TcpHarness:
+    """Contract-suite driver for the TCP transport (real node processes)."""
+
+    kind = "tcp"
+
+    def __init__(self):
+        self.procs = {}
+
+    def make(self, shard_id=0):
+        proc, port = start_node()
+        transport = TcpTransport(
+            "127.0.0.1:%d" % port, shard_id, reconnect_timeout=30.0
+        )
+        self.procs[transport.address] = proc
+        return transport
+
+    def kill_endpoint(self, transport):
+        proc = self.procs[transport.address]
+        proc.kill()
+        proc.wait(10)
+
+    def revive_endpoint(self, transport):
+        # A fresh node on the same port: restart()'s reconnect window
+        # must find it and catch it up from the specs in the hello.
+        proc, _ = start_node(listen=transport.address)
+        self.procs[transport.address] = proc
+
+    def cleanup(self):
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+
+@pytest.fixture(params=["pipe", "tcp"])
+def harness(request):
+    instance = PipeHarness() if request.param == "pipe" else TcpHarness()
+    yield instance
+    instance.cleanup()
+
+
+class TestTransportContract:
+    """The same assertions against both transports."""
+
+    def test_handshake_refuses_digest_mismatch(self, harness):
+        specs = _gpa_specs()
+        specs["indian_gpa"]["digest"] = "0" * len(specs["indian_gpa"]["digest"])
+        transport = harness.make()
+        try:
+            with pytest.raises(WorkerError, match="failed to start") as excinfo:
+                transport.start(specs, timeout=60)
+            # The endpoint answered and *refused*; this must not look like
+            # a transient connect failure (which restart would retry).
+            assert not isinstance(excinfo.value, TransportConnectError)
+            assert "digest mismatch" in str(excinfo.value)
+        finally:
+            transport.terminate()
+            transport.join(5)
+
+    def test_roundtrip_ops_are_transport_blind(self, harness):
+        """ping/batch/stats/register/unregister answer with identical
+        shapes and bit-identical floats on both channels."""
+        specs = _gpa_specs()
+        transport = harness.make()
+        try:
+            transport.start(specs, timeout=60)
+            assert transport.probe() is True
+
+            reply = transport.request(("ping",))
+            assert reply == ("pong", 0)
+
+            events = ["GPA > 3", "GPA > 2", "Nationality == 'India'"]
+            reply = transport.request(
+                ("batch", "indian_gpa", "logprob", None, events)
+            )
+            model = indian_gpa.model()
+            assert reply == (
+                "results", [("ok", model.logprob(event)) for event in events]
+            )
+
+            # Conditioned + a -inf answer (impossible event) must cross
+            # the channel exactly, not as null or a string.
+            reply = transport.request(
+                ("batch", "indian_gpa", "logprob", "GPA > 1", ["GPA < 0"])
+            )
+            assert reply == ("results", [("ok", float("-inf"))])
+
+            # Traced batch: rows unchanged, plus the worker's span fragment.
+            reply = transport.request(
+                ("batch", "indian_gpa", "logprob", None, ["GPA > 3"], True)
+            )
+            assert reply[0] == "results"
+            rows, spans = reply[1]
+            assert rows == [("ok", model.logprob("GPA > 3"))]
+            assert isinstance(spans, dict) and spans
+
+            reply = transport.request(("stats",))
+            assert reply[0] == "stats" and "indian_gpa" in reply[1]
+
+            # Idempotent re-register (same digest) acks; a conflicting
+            # digest under the same name is refused as an error reply.
+            spec = specs["indian_gpa"]
+            reply = transport.request(("register", "indian_gpa", spec))
+            assert reply == ("registered", spec["digest"])
+            conflict = dict(spec, digest="0" * len(spec["digest"]))
+            reply = transport.request(("register", "indian_gpa", conflict))
+            assert reply[0] == "error" and "already has model" in reply[1]
+
+            reply = transport.request(("unregister", "indian_gpa"))
+            assert reply == ("unregistered", "indian_gpa")
+            reply = transport.request(("batch", "indian_gpa", "logprob", None, ["GPA > 3"]))
+            assert reply[1][0][0] == "error"
+
+            reply = transport.request(("stop",))
+            assert reply == ("stopped", 0)
+        finally:
+            transport.terminate()
+            transport.join(5)
+
+    def test_probe_detects_a_dead_endpoint(self, harness):
+        specs = _gpa_specs()
+        transport = harness.make()
+        try:
+            transport.start(specs, timeout=60)
+            assert transport.probe() is True
+            harness.kill_endpoint(transport)
+            deadline = time.monotonic() + 10
+            while transport.probe() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert transport.probe() is False
+        finally:
+            transport.terminate()
+            transport.join(5)
+
+    def test_restart_recovers_and_stays_bit_identical(self, harness):
+        """Kill the endpoint, restart through the transport, and the
+        re-handshaked replacement answers the same bits -- the respawn
+        path the pool's supervision drives, minus the pool."""
+        specs = _gpa_specs()
+        transport = harness.make()
+        try:
+            transport.start(specs, timeout=60)
+            before = transport.request(
+                ("batch", "indian_gpa", "logprob", None, ["GPA > 3"])
+            )
+            harness.kill_endpoint(transport)
+            harness.revive_endpoint(transport)
+            transport.restart(specs, 60)
+            after = transport.request(
+                ("batch", "indian_gpa", "logprob", None, ["GPA > 3"])
+            )
+            assert after == before
+            assert after == (
+                "results", [("ok", indian_gpa.model().logprob("GPA > 3"))]
+            )
+        finally:
+            transport.terminate()
+            transport.join(5)
+
+
+class TestFrameCodec:
+    def test_floats_round_trip_bit_exactly(self):
+        values = [
+            0.1, -1.5e-300, math.pi, float("inf"), float("-inf"),
+            5e-324, 1.7976931348623157e308,
+        ]
+        frame = encode_frame({"reply": ["results", [["ok", v] for v in values]]})
+        decoded = decode_reply(decode_frame(frame[4:]))
+        assert decoded == ("results", [("ok", v) for v in values])
+        nan_frame = encode_frame({"reply": ["results", [["ok", float("nan")]]]})
+        decoded = decode_reply(decode_frame(nan_frame[4:]))
+        assert math.isnan(decoded[1][0][1])
+
+    def test_traced_flag_restores_the_traced_shape(self):
+        frame = {"reply": ["results", [[["ok", 1.0]], {"name": "worker.batch"}]],
+                 "traced": True}
+        decoded = decode_reply(frame)
+        assert decoded == ("results", ([("ok", 1.0)], {"name": "worker.batch"}))
+
+    def test_frame_length_bounds_are_enforced(self):
+        assert frame_length(struct.pack(">I", 1024)) == 1024
+        with pytest.raises(WorkerError, match="over the"):
+            frame_length(struct.pack(">I", 2 ** 31))
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8144") == ("127.0.0.1", 8144)
+        with pytest.raises(ValueError):
+            parse_address("8144")
+        with pytest.raises(ValueError):
+            parse_address("host:http")
+
+
+class TestHashRingMembership:
+    def test_explicit_membership_routes_only_to_members(self):
+        ring = HashRing(shards=[0, 2])
+        routed = {ring.route("key-%d" % i) for i in range(200)}
+        assert routed == {0, 2}
+
+    def test_removing_a_shard_only_remaps_its_keys(self):
+        full = HashRing(3)
+        live = HashRing(shards=[0, 2])
+        keys = ["model|condition-%d" % i for i in range(500)]
+        for key in keys:
+            before = full.route(key)
+            after = live.route(key)
+            if before != 1:
+                # A surviving shard's keys stay put: its ring points are
+                # identical in both rings.
+                assert after == before
+            else:
+                assert after in (0, 2)
+
+
+class TestPoolOverTcp:
+    def test_node_kill_and_comeback_resends_the_batch(self):
+        """SIGKILL the node, bring a fresh one up on the same port: the
+        pool reconnects within the window, the hello re-ships the specs
+        (digest-verified catch-up), and the failed batch is resent --
+        respawn+requeue semantics identical to a killed pipe worker."""
+        proc, port = start_node()
+        pool = WorkerPool(0, nodes=["127.0.0.1:%d" % port])
+        try:
+            pool.start(_gpa_specs())
+            # Widen the reconnect window: a fresh interpreter takes ~1s.
+            pool._workers[0].transport.reconnect_timeout = 30.0
+
+            async def main():
+                nonlocal proc
+                try:
+                    (before,) = await pool.run_batch(
+                        0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                    )
+                    proc.kill()
+                    proc.wait(10)
+                    proc, _ = start_node(listen="127.0.0.1:%d" % port)
+                    (after,) = await pool.run_batch(
+                        0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                    )
+                    return before, after
+                finally:
+                    await pool.close()
+
+            before, after = asyncio.run(main())
+            assert after == before
+            assert after == ("ok", indian_gpa.model().logprob("GPA > 3"))
+            assert pool.respawns == 1
+            assert pool.requeued_batches == 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+    def test_unreachable_node_is_marked_dead_and_batches_fail_over(self):
+        """A node that never comes back leaves the ring: its shard is
+        marked dead, in-flight batches fail over to a live shard (still
+        bit-identical -- every shard holds the same models), and with no
+        live shard left the failure is an explicit WorkerError."""
+        proc, port = start_node()
+        pool = WorkerPool(1, nodes=["127.0.0.1:%d" % port])
+        try:
+            pool.start(_gpa_specs())
+
+            async def main():
+                try:
+                    proc.kill()
+                    proc.wait(10)
+                    # Routed at the dead TCP shard: reconnect fails within
+                    # the bounded window, the shard is marked dead, and
+                    # the batch reroutes to the live pipe shard.
+                    (result,) = await pool.run_batch(
+                        1, "indian_gpa", "logprob", None, ["GPA > 3"]
+                    )
+                    assert pool.live_shards() == [0]
+                    assert pool.membership_version == 1
+                    # Later batches skip the dead shard without paying the
+                    # reconnect window again.
+                    (again,) = await pool.run_batch(
+                        1, "indian_gpa", "logprob", None, ["GPA > 3"]
+                    )
+                    return result, again
+                finally:
+                    await pool.close()
+
+            result, again = asyncio.run(main())
+            assert result == again
+            assert result == ("ok", indian_gpa.model().logprob("GPA > 3"))
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+    def test_all_shards_dead_raises_worker_error(self):
+        proc, port = start_node()
+        pool = WorkerPool(0, nodes=["127.0.0.1:%d" % port])
+        try:
+            pool.start(_gpa_specs())
+
+            async def main():
+                try:
+                    proc.kill()
+                    proc.wait(10)
+                    with pytest.raises(WorkerError, match="no live shard"):
+                        await pool.run_batch(
+                            0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                        )
+                finally:
+                    await pool.close()
+
+            asyncio.run(main())
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+    def test_probe_revives_a_returned_node_with_spec_catchup(self):
+        """Registry append-forwarding across a partition: a model is
+        registered while the node is *down*; when the node returns, the
+        probe loop's reconnect hello carries the pool's current specs, so
+        the node catches up (journal-replay semantics) and serves the
+        model it never saw registered."""
+        proc, port = start_node()
+        pool = WorkerPool(1, nodes=["127.0.0.1:%d" % port])
+        registry = ModelRegistry()
+        pool.start({"indian_gpa": _spec(registry.register_catalog("indian_gpa"))})
+        grass_spec = wire.model_spec(registry.register_catalog("grass"))
+
+        async def main():
+            nonlocal proc
+            try:
+                proc.kill()
+                proc.wait(10)
+                # Mark the node dead (bounded reconnect fails).
+                await pool.run_batch(1, "indian_gpa", "logprob", None, ["GPA > 3"])
+                assert pool.live_shards() == [0]
+                # Register while partitioned: only live shards handshake.
+                await pool.register_model("grass", grass_spec)
+                # The node returns; the probe revives it and the hello
+                # re-ships the *current* specs -- including grass.
+                proc, _ = start_node(listen="127.0.0.1:%d" % port)
+                deadline = time.monotonic() + 30
+                while pool.live_shards() != [0, 1] and time.monotonic() < deadline:
+                    await pool.probe_once()
+                    await asyncio.sleep(0.1)
+                assert pool.live_shards() == [0, 1]
+                (result,) = await pool.run_batch(
+                    1, "grass", "logprob", None, ["wet_grass == 1"]
+                )
+                return result
+            finally:
+                await pool.close()
+
+        try:
+            result = asyncio.run(main())
+            expected = registry.build_catalog("grass").logprob("wet_grass == 1")
+            assert result == ("ok", expected)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+    def test_blob_specs_resolve_from_the_node_local_store(self, tmp_path):
+        """Model shipping is a blob fetch-or-verify: the front-end's
+        ``.spz`` path does not exist for the node, but the blob is
+        content-addressed, so ``--blob-dir`` resolves it by digest (and
+        the load still digest-verifies the local copy)."""
+        blob_registry = ModelRegistry(blob_dir=tmp_path / "frontend")
+        registered = blob_registry.register_catalog("indian_gpa")
+        spec = wire.model_spec(registered)
+        assert "path" in spec
+        # The node's replica of the content-addressed store.
+        node_store = tmp_path / "node"
+        node_store.mkdir()
+        shutil.copy(spec["path"], node_store / (registered.digest + ".spz"))
+        # Make the front-end path unresolvable, as it would be cross-host.
+        spec = dict(spec, path=str(tmp_path / "gone" / "model.spz"))
+
+        proc, port = start_node(blob_dir=node_store)
+        transport = TcpTransport("127.0.0.1:%d" % port, 0)
+        try:
+            transport.start({"indian_gpa": spec}, timeout=60)
+            reply = transport.request(
+                ("batch", "indian_gpa", "logprob", None, ["GPA > 3"])
+            )
+            assert reply == (
+                "results", [("ok", indian_gpa.model().logprob("GPA > 3"))]
+            )
+            reply = transport.request(("stats",))
+            compiled = reply[1]["indian_gpa"]["compiled"]
+            assert compiled["digest"] == registered.digest
+            assert compiled["path"] == str(node_store / (registered.digest + ".spz"))
+        finally:
+            transport.terminate()
+            proc.kill()
+            proc.wait(10)
+
+
+class TestProactiveProbe:
+    def test_probe_respawns_an_idle_dead_worker_before_traffic(self):
+        registry = ModelRegistry()
+        pool = WorkerPool(1)
+        pool.start({"indian_gpa": _spec(registry.register_catalog("indian_gpa"))})
+
+        async def main():
+            try:
+                victim = pool.worker_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                pool._workers[0].transport.process.join(5)
+                await pool.probe_once()
+                # Detected and respawned with no traffic involved.
+                assert pool.probe_failures == 1
+                assert pool.respawns == 1
+                assert pool.worker_pids()[0] != victim
+                (result,) = await pool.run_batch(
+                    0, "indian_gpa", "logprob", None, ["GPA > 3"]
+                )
+                assert result == ("ok", indian_gpa.model().logprob("GPA > 3"))
+                # No batch hit the dead pipe: nothing was requeued.
+                assert pool.requeued_batches == 0
+            finally:
+                await pool.close()
+
+        asyncio.run(main())
+
+    def test_probe_skips_busy_shards(self):
+        registry = ModelRegistry()
+        pool = WorkerPool(1)
+        pool.start({"indian_gpa": _spec(registry.register_catalog("indian_gpa"))})
+
+        async def main():
+            try:
+                async with pool._workers[0].lock:
+                    await pool.probe_once()  # must not deadlock or count
+                assert pool.probe_failures == 0
+                assert pool.respawns == 0
+            finally:
+                await pool.close()
+
+        asyncio.run(main())
+
+    def test_probe_failures_surface_on_metrics_exposition(self):
+        async def main():
+            registry = ModelRegistry()
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(registry, workers=1, window=0.001)
+            host, port = await service.start()
+            client = AsyncServeClient(host, port)
+            try:
+                os.kill(service.backend.pool.worker_pids()[0], signal.SIGKILL)
+                service.backend.pool._workers[0].transport.process.join(5)
+                await service.backend.pool.probe_once()
+                return await client.metrics()
+            finally:
+                await service.close()
+
+        body = asyncio.run(main())
+        assert "repro_pool_probe_failures_total 1" in body
+
+
+class TestFaultPoints:
+    def test_fault_points_cover_both_kinds_and_pids_shim_is_pipe_only(self):
+        proc, port = start_node()
+        pool = WorkerPool(1, nodes=["127.0.0.1:%d" % port])
+        try:
+            pool.start(_gpa_specs())
+            points = pool.fault_points()
+            assert len(points) == 2
+            shard0, kind0, pid = points[0]
+            assert (shard0, kind0) == (0, "pipe") and isinstance(pid, int)
+            assert points[1] == (1, "tcp", "127.0.0.1:%d" % port)
+            # The legacy shim lists exactly the killable local pids.
+            assert pool.worker_pids() == [pid]
+
+            async def main():
+                await pool.close()
+
+            asyncio.run(main())
+        finally:
+            proc.kill()
+            proc.wait(10)
+
+
+class TestMultiNodeService:
+    def test_two_node_service_matches_in_process_bit_identically(self):
+        """The acceptance differential: 1 local shard + 1 TCP node behind
+        one service answer the full mixed battery with exactly the bits
+        the in-process library produces, and /v1/stats carries the
+        per-node section."""
+        proc, port = start_node()
+
+        async def main():
+            registry = ModelRegistry()
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(
+                registry, workers=1, nodes=["127.0.0.1:%d" % port],
+                window=0.001,
+            )
+            host, sport = await service.start()
+            client = AsyncServeClient(host, sport)
+            try:
+                requests = _mixed_requests()
+                responses = await client.query_many(
+                    requests, connections=8, retry_overloaded=8
+                )
+                traced = await client.query({
+                    "model": "indian_gpa", "kind": "logprob",
+                    "event": "GPA > 3", "trace": True,
+                })
+                entry = await client.trace(traced["trace"])
+                stats = await client.stats()
+                return requests, responses, entry, stats
+            finally:
+                await service.close()
+
+        try:
+            requests, responses, entry, stats = asyncio.run(main())
+        finally:
+            proc.kill()
+            proc.wait(10)
+
+        model = indian_gpa.model()
+        posterior = model.condition("Nationality == 'India'")
+        for request, response in zip(requests, responses):
+            assert response["ok"], response
+            target = posterior if "condition" in request else model
+            if request["kind"] == "logprob":
+                expected = target.logprob(request["event"])
+            else:
+                expected = target.logpdf(request["assignment"])
+            assert value_of(response) == expected  # bit-identical
+
+        backend = stats["backend"]
+        assert backend["mode"] == "sharded"
+        assert backend["workers"] == 2 and backend["local_shards"] == 1
+        assert backend["live_shards"] == [0, 1]
+        nodes = {entry_["address"]: entry_ for entry_ in backend["nodes"]}
+        assert nodes["local"]["kind"] == "pipe" and nodes["local"]["live"]
+        remote = nodes["127.0.0.1:%d" % port]
+        assert remote["kind"] == "tcp" and remote["live"]
+        assert remote["shards"] == [{"shard": 1, "live": True, "respawns": 0}]
+        # Both shards hold stats (the TCP one answered the stats op too).
+        assert len(backend["shards"]) == 2
+        assert all("indian_gpa" in shard for shard in backend["shards"])
+
+        # The dispatch span records *where* the batch ran.
+        def spans(node):
+            yield node
+            for child in node.get("children", []):
+                yield from spans(child)
+
+        dispatches = [
+            node for node in spans(entry["spans"])
+            if node["name"] == "shard.dispatch"
+        ]
+        assert dispatches
+        for dispatch in dispatches:
+            assert dispatch["tags"]["node"] in ("local", "127.0.0.1:%d" % port)
+
+    def test_sigkill_node_during_4x_overload_only_ok_or_429(self):
+        """The node-kill chaos acceptance: SIGKILL the TCP node mid-run
+        under 4x overload; every response is a correct result or an
+        explicit 429-style shed, the ring rebalances onto the surviving
+        local shard, and the sharded differential is bit-identical
+        afterwards."""
+        bound = 16
+        proc, port = start_node()
+
+        async def main():
+            registry = ModelRegistry()
+            registry.register_catalog("indian_gpa")
+            service = InferenceService(
+                registry, workers=1, nodes=["127.0.0.1:%d" % port],
+                window=0.001, max_batch=8, max_queued_per_key=bound,
+                probe_interval_ms=200,
+            )
+            host, sport = await service.start()
+            client = AsyncServeClient(host, sport)
+            try:
+                points = service.backend.pool.fault_points()
+                assert (1, "tcp", "127.0.0.1:%d" % port) in points
+                overload = [
+                    {"id": i, "model": "indian_gpa", "kind": "logprob",
+                     "event": "GPA > %r" % (0.002 * i),
+                     # Half the load is conditioned so the consistent-hash
+                     # path (which can route at the doomed TCP shard) is
+                     # exercised under overload too.
+                     **({"condition": "Nationality == 'India'"} if i % 2 else {})}
+                    for i in range(4 * bound)
+                ]
+
+                async def kill_node_midway():
+                    await asyncio.sleep(0.02)
+                    proc.kill()
+
+                killer = asyncio.ensure_future(kill_node_midway())
+                responses = await client.query_many(overload, connections=16)
+                await killer
+                differential = _mixed_requests()
+                followup = await client.query_many(
+                    differential, connections=8, retry_overloaded=8
+                )
+                stats = await client.stats()
+                return overload, responses, differential, followup, stats
+            finally:
+                await service.close()
+
+        try:
+            overload, responses, differential, followup, stats = asyncio.run(main())
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(10)
+
+        model = indian_gpa.model()
+        posterior = model.condition("Nationality == 'India'")
+        served = shed = 0
+        for request, response in zip(overload, responses):
+            if response["ok"]:
+                served += 1
+                target = posterior if "condition" in request else model
+                assert value_of(response) == target.logprob(request["event"])
+            else:
+                # Zero client-visible errors beyond 429-style sheds: a
+                # batch caught on the dying node failed over, it did not
+                # error out.
+                assert response["error_kind"] == "Overloaded", response
+                assert response["retry_after_ms"] >= 1
+                shed += 1
+        assert served + shed == len(overload)
+        assert served > 0
+
+        # The ring rebalanced onto the surviving local shard...
+        backend = stats["backend"]
+        assert backend["live_shards"] == [0]
+        nodes = {entry["address"]: entry for entry in backend["nodes"]}
+        assert nodes["127.0.0.1:%d" % port]["live"] is False
+        assert nodes["local"]["live"] is True
+        # ...and the full differential still answers bit-identically.
+        for request, response in zip(differential, followup):
+            assert response["ok"], response
+            target = posterior if "condition" in request else model
+            if request["kind"] == "logprob":
+                expected = target.logprob(request["event"])
+            else:
+                expected = target.logpdf(request["assignment"])
+            assert value_of(response) == expected  # bit-identical
+
+
+def _mixed_requests():
+    """The differential mix of the sharded/chaos suites."""
+    requests = []
+    for i in range(24):
+        variant = i % 3
+        if variant == 0:
+            requests.append(
+                {"id": i, "model": "indian_gpa", "kind": "logprob",
+                 "event": "GPA > %r" % (0.3 * (i % 12))}
+            )
+        elif variant == 1:
+            requests.append(
+                {"id": i, "model": "indian_gpa", "kind": "logpdf",
+                 "assignment": {"GPA": 0.25 * (i % 16)}}
+            )
+        else:
+            requests.append(
+                {"id": i, "model": "indian_gpa", "kind": "logprob",
+                 "event": "GPA > %r" % (0.1 * i),
+                 "condition": "Nationality == 'India'"}
+            )
+    return requests
