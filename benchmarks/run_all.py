@@ -7,7 +7,9 @@ cache, cached repeated queries, the ``constrain -> query`` posterior
 chain, the ``repro.serve`` micro-batching service (coalesced queries/sec
 over the real wire), the service's backpressure behavior under 4x
 overload (shed rate + p99), its fault tolerance (recovery time after
-a worker SIGKILL), and the framed shard transports (pipe shard vs
+a worker SIGKILL), the streaming posterior-session tier (observe-step
+latency and warm-chain read throughput vs a scratch rebuild), and the
+framed shard transports (pipe shard vs
 localhost-TCP node throughput and tail latency) -- and writes wall times
 plus node counts
 to a ``BENCH_*.json``
@@ -20,8 +22,9 @@ file, so successive PRs have a trajectory to compare against::
 writing the snapshot it compares against the baseline and exits non-zero
 on a >25% slowdown of any ``translate_s`` or compiled ``logprob_batch``
 probe (with a small absolute grace to ignore sub-millisecond jitter), on
-any compression-ratio regression, or on any compiled-vs-interpreted
-differential mismatch (``bit_identical: false``)::
+any compression-ratio regression, or on any bit-identity differential
+mismatch (``bit_identical: false`` — compiled vs interpreted, planned vs
+unplanned, or wire session vs library chain)::
 
     PYTHONPATH=src python benchmarks/run_all.py --output BENCH_ci.json \
         --gate BENCH_latest.json
@@ -590,6 +593,90 @@ def bench_serve_chaos() -> dict:
     return asyncio.run(run())
 
 
+def bench_session_stream() -> dict:
+    """Streaming posterior sessions: observe latency and warm-chain reads.
+
+    Drives the HMM sensor-fusion scenario through the session endpoints
+    of an in-process service: one ``observe`` per evidence increment
+    (each an exact ``condition`` on the interned posterior, timed
+    per step), then the hidden-state queries three ways:
+
+    * **warm** -- repeated reads against the session's cache-warm chain
+      (every prefix posterior interned on the serving shard),
+    * **scratch** -- the same reads after ``POST /v1/clear_cache``, so
+      the full chain replays from the root model (the cost a stateless
+      one-shot client — or a failed-over shard — pays once),
+
+    and records the ``bit_identical`` differential of the wire session
+    against the in-process :class:`repro.engine.PosteriorChain`, which
+    the regression gate fails outright when false.
+    """
+    import asyncio
+
+    from repro.engine import PosteriorChain
+    from repro.serve import AsyncServeClient
+    from repro.serve import InferenceService
+    from repro.serve import ModelRegistry
+    from repro.workloads import scenarios
+
+    script = scenarios.hmm_sensor_fusion(5, seed=0)
+    warm_passes = 3
+
+    async def run():
+        registry = ModelRegistry()
+        registry.register_catalog("hmm5")
+        service = InferenceService(registry, workers=0)
+        host, port = await service.start()
+        client = AsyncServeClient(host, port, tenant="bench")
+        await client.create_session("stream", "hmm5")
+        observe_s = []
+        for event in script["observes"]:
+            start = time.perf_counter()
+            response = await client.observe("stream", event)
+            observe_s.append(time.perf_counter() - start)
+            assert response["ok"], response
+        # One untimed pass warms the chain's query caches, and its values
+        # are the wire side of the bit-identity differential.
+        wire_values = [
+            await client.session_logprob("stream", query)
+            for query in script["queries"]
+        ]
+        start = time.perf_counter()
+        for _ in range(warm_passes):
+            for query in script["queries"]:
+                await client.session_logprob("stream", query)
+        warm_s = time.perf_counter() - start
+        await client.clear_cache()
+        start = time.perf_counter()
+        for query in script["queries"]:
+            await client.session_logprob("stream", query)
+        scratch_s = time.perf_counter() - start
+        await service.close()
+        return observe_s, warm_s, scratch_s, wire_values
+
+    observe_s, warm_s, scratch_s, wire_values = asyncio.run(run())
+    with PosteriorChain(hmm.model(5), script["observes"]) as chain:
+        library_values = [
+            chain.current.logprob(query) for query in script["queries"]
+        ]
+    n_queries = len(script["queries"])
+    warm_per_query = warm_s / (warm_passes * n_queries)
+    scratch_per_query = scratch_s / n_queries
+    return {
+        "scenario": script["name"],
+        "observes": len(observe_s),
+        "queries": n_queries,
+        "observe_total_s": round(sum(observe_s), 4),
+        "mean_observe_ms": round(1e3 * sum(observe_s) / len(observe_s), 3),
+        "max_observe_ms": round(1e3 * max(observe_s), 3),
+        "warm_query_s": round(warm_s, 4),
+        "warm_qps": round(warm_passes * n_queries / warm_s),
+        "scratch_rebuild_s": round(scratch_s, 4),
+        "rebuild_speedup": round(scratch_per_query / warm_per_query, 1),
+        "bit_identical": wire_values == library_values,
+    }
+
+
 def bench_node_transport() -> dict:
     """Framed-transport overhead: a pipe shard vs a localhost-TCP node shard.
 
@@ -815,6 +902,13 @@ def check_gate(snapshot: dict, baseline: dict) -> list:
                 "compiled-vs-interpreted differential mismatch on %r: "
                 "CompiledSPE.logprob_batch is not bit-identical" % (name,)
             )
+    session = snapshot.get("session_stream", {})
+    if session and not session.get("bit_identical", True):
+        failures.append(
+            "session-vs-library differential mismatch: the streaming "
+            "session posterior is not bit-identical to the in-process "
+            "condition chain"
+        )
     query_plan = snapshot.get("query_plan", {})
     for name, row in sorted(query_plan.get("validated", {}).items()):
         if not row.get("bit_identical", True):
@@ -989,8 +1083,9 @@ def main() -> int:
         metavar="BASELINE",
         help="compare against a committed BENCH_*.json and exit non-zero on "
         "a >25%% translate_s, compiled-logprob_batch, or pipe-transport "
-        "slowdown, any compression-ratio regression, a "
-        "compiled-vs-interpreted differential mismatch, or a >5%% "
+        "slowdown, any compression-ratio regression, any bit-identity "
+        "differential mismatch (compiled vs interpreted, planned vs "
+        "unplanned, wire session vs library chain), or a >5%% "
         "tracing-off overhead regression",
     )
     args = parser.parse_args()
@@ -1010,6 +1105,7 @@ def main() -> int:
         "serve_throughput": bench_serve_throughput(),
         "serve_overload": bench_serve_overload(),
         "serve_chaos": bench_serve_chaos(),
+        "session_stream": bench_session_stream(),
         "node_transport": bench_node_transport(),
         "obs_overhead": bench_obs_overhead(),
         "intern_table": intern_stats(),

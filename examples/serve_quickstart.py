@@ -25,7 +25,16 @@ Demonstrates the ``repro.serve`` subsystem end to end:
    wire, ``GET /v1/trace/<id>`` to retrieve) and print its span tree —
    queue wait, coalesced batch, planner pass outcome, cache hit/miss,
    and the compiled-vs-interpreted engine route, span by span,
-9. start a **remote inference node** (``python -m repro.serve.node``)
+9. open a **streaming posterior session** (``POST /v1/sessions``): each
+   ``observe`` extends a named condition chain held only in the
+   front-end, routed by session affinity to a cache-warm shard, with
+   commit-on-success (rejected evidence leaves the chain untouched) —
+   the wire posterior stays bit-identical to an in-process
+   :class:`~repro.engine.PosteriorChain` over the same events, and
+   tenant namespaces/quotas (``--max-sessions``, ``--session-ttl-s``,
+   ``--max-sessions-per-tenant``, ``--max-queued-per-tenant``) bound
+   what any one caller can hold,
+10. start a **remote inference node** (``python -m repro.serve.node``)
    and join it into a second service's consistent-hash ring alongside a
    local worker shard: same digest handshake, same bit-identical
    answers, per-node health on ``/v1/stats`` — and if the node dies, its
@@ -253,9 +262,40 @@ async def main() -> None:
             % (trace["trace_id"], trace["model"], trace["kind"], trace["duration_ms"])
         )
         show(trace["spans"])
+
+        # -- 9. Streaming posterior sessions ---------------------------------
+        # A session is a named, tenant-scoped condition chain: observe
+        # extends it one event at a time (exact conditioning on the
+        # current interned posterior, routed to a cache-warm shard via
+        # session affinity), query verbs read the current posterior, and
+        # the chain itself lives only in the front-end — a respawned
+        # shard re-establishes it by deterministic replay, so answers
+        # stay bit-identical across worker death.
+        from repro.workloads import scenarios
+
+        script = scenarios.hmm_sensor_fusion(5, seed=0)
+        await client.create_session("fusion", "hmm5", tenant="acme")
+        for event in script["observes"]:
+            await client.observe("fusion", event, tenant="acme")
+        for query in script["queries"][:2]:
+            value = await client.session_logprob("fusion", query, tenant="acme")
+            print("  logprob(%s | %d observes) = %.4f"
+                  % (query, len(script["observes"]), value))
+        # Commit-on-success: contradictory evidence is refused with 400
+        # and the chain does not move — the session keeps answering.
+        try:
+            await client.observe("fusion", "X[0] > 1e9", tenant="acme")
+        except Exception as error:
+            print("  rejected observe (chain unchanged): %s" % error)
+        described = await client.describe_session("fusion", tenant="acme")
+        print(
+            "session %r: %d observes committed, %d queries served"
+            % (described["session"], described["observes"], described["queries"])
+        )
+        await client.delete_session("fusion", tenant="acme")
         await service.close()
 
-        # -- 9. Multi-node serve: join a remote node into the ring -----------
+        # -- 10. Multi-node serve: join a remote node into the ring ----------
         # A node is a separate process (normally a separate host) that
         # hosts shards over a framed TCP transport.  The front-end lists
         # it in `nodes` and it becomes one more ring member: the connect

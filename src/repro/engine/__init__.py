@@ -2,7 +2,16 @@
 
 from ..spe import QueryCache
 from ..spe import ZeroProbabilityError
+from .model import ChainBoundError
+from .model import PosteriorChain
 from .model import SpplModel
 from .model import parse_event
 
-__all__ = ["QueryCache", "SpplModel", "ZeroProbabilityError", "parse_event"]
+__all__ = [
+    "ChainBoundError",
+    "PosteriorChain",
+    "QueryCache",
+    "SpplModel",
+    "ZeroProbabilityError",
+    "parse_event",
+]

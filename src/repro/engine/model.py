@@ -855,3 +855,101 @@ class SpplModel:
         """Load a model previously written with :meth:`save`."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
+
+
+class ChainBoundError(ValueError):
+    """A :class:`PosteriorChain` refused an observe past ``max_steps``."""
+
+
+class PosteriorChain:
+    """A bounded handle over an incremental ``condition`` chain.
+
+    Streaming evidence is a sequence of exact conditions, each applied to
+    the *current* posterior::
+
+        chain = PosteriorChain(model)
+        chain.observe("X[0] > 4.0")          # filtering step
+        chain.observe("Y[0] == 6")
+        chain.current.logprob("Z[0] == 1")   # smoothing query
+
+    Semantically ``chain.current`` is exactly
+    ``model.condition(e_1).condition(e_2)...condition(e_k)`` — the same
+    interned posteriors, bit-identical answers — but the handle adds the
+    two properties a long-lived server-side session needs:
+
+    * **Pinning.** The chain holds one open
+      :meth:`~SpplModel.query_scope` for its whole lifetime, so the
+      cached traversal results its condition steps produced (which every
+      later step and query re-reads) cannot be evicted by the cache
+      bound mid-session.  :meth:`close` releases the pin; a closed chain
+      refuses further observes.
+    * **A step bound.** ``max_steps`` caps the chain length (each step
+      retains a posterior graph); past it :meth:`observe` raises
+      :class:`ChainBoundError` instead of growing without limit.
+
+    Deterministic replay: :attr:`events` records every accepted observe
+    in order, so an identical chain can be re-established anywhere
+    (e.g. on a respawned worker shard) by replaying the events — exact
+    conditioning has no hidden state.
+    """
+
+    #: Default bound on accepted observes per chain.
+    DEFAULT_MAX_STEPS = 256
+
+    __slots__ = ("root", "events", "max_steps", "_current", "_scope", "closed")
+
+    def __init__(self, model: "SpplModel", events: Iterable = (),
+                 max_steps: int = DEFAULT_MAX_STEPS):
+        if max_steps < 1:
+            raise ValueError("max_steps must be positive.")
+        self.root = model
+        self.events: List = []
+        self.max_steps = max_steps
+        self._current = model
+        self.closed = False
+        self._scope = model.query_scope()
+        self._scope.__enter__()
+        try:
+            for event in events:
+                self.observe(event)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def current(self) -> "SpplModel":
+        """The posterior after every accepted observe (the root if none)."""
+        return self._current
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def observe(self, event: EventLike) -> "SpplModel":
+        """Condition the current posterior on ``event``; returns the new one.
+
+        A failing condition (zero probability, parse error) leaves the
+        chain exactly as it was: the event is recorded only after the
+        posterior exists.
+        """
+        if self.closed:
+            raise ChainBoundError("Chain is closed.")
+        if len(self.events) >= self.max_steps:
+            raise ChainBoundError(
+                "Chain is at its step bound (%d observes)." % (self.max_steps,)
+            )
+        posterior = self._current.condition(event)
+        self.events.append(event)
+        self._current = posterior
+        return posterior
+
+    def close(self) -> None:
+        """Release the cache pin (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self._scope.__exit__(None, None, None)
+
+    def __enter__(self) -> "PosteriorChain":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

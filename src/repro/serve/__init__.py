@@ -24,6 +24,11 @@ into the "heavy traffic" deployment shape the ROADMAP targets:
 * :mod:`repro.serve.http`      -- the stdlib asyncio HTTP front-end
   (pipelined connections, backpressure with adaptive 429-style shedding,
   dynamic model register/unregister, latency-percentile stats endpoints),
+* :mod:`repro.serve.sessions`  -- named streaming posterior sessions:
+  per-tenant namespaces of condition chains extended one exact
+  ``observe`` at a time, bounded by TTL, LRU eviction, and per-tenant
+  quotas; chains ship with every batch so worker shards stay stateless
+  and failover replays them bit-identically,
 * :mod:`repro.serve.client`    -- async + blocking clients used by tests,
   benchmarks, and examples.
 
@@ -72,6 +77,12 @@ from .scheduler import InProcessBackend
 from .scheduler import MicroBatcher
 from .scheduler import OverloadedError
 from .scheduler import evaluate_batch
+from .sessions import Session
+from .sessions import SessionError
+from .sessions import SessionExists
+from .sessions import SessionNotFound
+from .sessions import SessionQuotaError
+from .sessions import SessionStore
 from .sharding import HashRing
 from .sharding import WorkerError
 from .sharding import WorkerPool
@@ -103,6 +114,12 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServeOverloadedError",
+    "Session",
+    "SessionError",
+    "SessionExists",
+    "SessionNotFound",
+    "SessionQuotaError",
+    "SessionStore",
     "PipeTransport",
     "TcpTransport",
     "Transport",

@@ -120,6 +120,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed (HTTP 429) past N in-flight pipelined queries per connection",
     )
     parser.add_argument(
+        "--max-queued-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fair-share admission: shed (429) a tenant's requests past N "
+        "queued across all its batch keys, leaving other tenants "
+        "unaffected (default: no per-tenant bound)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simultaneously open posterior sessions across all tenants; "
+        "past N the least-recently-used session is evicted (default 1024)",
+    )
+    parser.add_argument(
+        "--session-ttl-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="expire sessions idle for more than S seconds (default: no TTL)",
+    )
+    parser.add_argument(
+        "--max-sessions-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse (429) session creates past N open sessions per tenant "
+        "(default: no per-tenant session quota)",
+    )
+    parser.add_argument(
         "--blob-dir",
         default=None,
         metavar="DIR",
@@ -234,6 +266,22 @@ async def run(args: argparse.Namespace) -> int:
         if args.max_inflight_per_conn < 1:
             raise SystemExit("--max-inflight-per-conn must be >= 1.")
         service_kwargs["max_inflight_per_connection"] = args.max_inflight_per_conn
+    if args.max_queued_per_tenant is not None:
+        if args.max_queued_per_tenant < 1:
+            raise SystemExit("--max-queued-per-tenant must be >= 1.")
+        service_kwargs["max_queued_per_tenant"] = args.max_queued_per_tenant
+    if args.max_sessions is not None:
+        if args.max_sessions < 1:
+            raise SystemExit("--max-sessions must be >= 1.")
+        service_kwargs["max_sessions"] = args.max_sessions
+    if args.session_ttl_s is not None:
+        if args.session_ttl_s <= 0:
+            raise SystemExit("--session-ttl-s must be positive.")
+        service_kwargs["session_ttl_s"] = args.session_ttl_s
+    if args.max_sessions_per_tenant is not None:
+        if args.max_sessions_per_tenant < 1:
+            raise SystemExit("--max-sessions-per-tenant must be >= 1.")
+        service_kwargs["max_sessions_per_tenant"] = args.max_sessions_per_tenant
     if not 0.0 <= args.trace_sample <= 1.0:
         raise SystemExit("--trace-sample must be in [0, 1].")
     if args.slow_query_ms is not None and args.slow_query_ms < 0:

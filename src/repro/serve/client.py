@@ -69,12 +69,19 @@ class _Connection:
         except (ConnectionError, OSError):
             pass
 
-    def send_request(self, method: str, path: str, body: bytes = b"") -> None:
+    def send_request(
+        self, method: str, path: str, body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        extra = ""
+        for name, value in (headers or {}).items():
+            extra += "%s: %s\r\n" % (name, value)
         head = (
             "%s %s HTTP/1.1\r\n"
             "Host: repro-serve\r\n"
+            "%s"
             "Content-Length: %d\r\n"
-            "\r\n" % (method, path, len(body))
+            "\r\n" % (method, path, extra, len(body))
         )
         self.writer.write(head.encode("ascii") + body)
 
@@ -107,8 +114,11 @@ class _Connection:
             raise ServeClientError("HTTP %d: %s" % (status, body.decode("utf-8", "replace")))
         return body
 
-    async def round_trip(self, method: str, path: str, body: bytes = b"") -> bytes:
-        self.send_request(method, path, body)
+    async def round_trip(
+        self, method: str, path: str, body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> bytes:
+        self.send_request(method, path, body, headers=headers)
         await self.writer.drain()
         return await self.read_response()
 
@@ -126,11 +136,21 @@ def _decode_query_body(body: bytes) -> List[Dict]:
 
 
 class AsyncServeClient:
-    """Asyncio client speaking the service's NDJSON-over-HTTP protocol."""
+    """Asyncio client speaking the service's NDJSON-over-HTTP protocol.
 
-    def __init__(self, host: str, port: int):
+    ``tenant`` (optional) is sent as the ``x-tenant`` header on every
+    request: the default tenant for ``/v1/query`` lines and the namespace
+    for every session call.
+    """
+
+    def __init__(self, host: str, port: int, tenant: Optional[str] = None):
         self.host = host
         self.port = port
+        self.tenant = tenant
+
+    def _headers(self, tenant: Optional[str] = None) -> Optional[Dict[str, str]]:
+        tenant = tenant if tenant is not None else self.tenant
+        return {"x-tenant": tenant} if tenant is not None else None
 
     # -- Single query ---------------------------------------------------------
 
@@ -141,7 +161,8 @@ class AsyncServeClient:
             connection = await _Connection.open(self.host, self.port)
         try:
             body = await connection.round_trip(
-                "POST", "/v1/query", _encode_query(request) + b"\n"
+                "POST", "/v1/query", _encode_query(request) + b"\n",
+                headers=self._headers(),
             )
             responses = _decode_query_body(body)
             if len(responses) != 1:
@@ -214,7 +235,9 @@ class AsyncServeClient:
             try:
                 for index in indices:
                     connection.send_request(
-                        "POST", "/v1/query", _encode_query(requests[index]) + b"\n"
+                        "POST", "/v1/query",
+                        _encode_query(requests[index]) + b"\n",
+                        headers=self._headers(),
                     )
                 await connection.writer.drain()
                 for index in indices:
@@ -258,10 +281,15 @@ class AsyncServeClient:
 
     # -- Service endpoints ----------------------------------------------------
 
-    async def _get_json(self, path: str, method: str = "GET", body: bytes = b"") -> Dict:
+    async def _get_json(
+        self, path: str, method: str = "GET", body: bytes = b"",
+        tenant: Optional[str] = None,
+    ) -> Dict:
         connection = await _Connection.open(self.host, self.port)
         try:
-            response = await connection.round_trip(method, path, body)
+            response = await connection.round_trip(
+                method, path, body, headers=self._headers(tenant)
+            )
             return json.loads(response)
         finally:
             await connection.close()
@@ -332,6 +360,69 @@ class AsyncServeClient:
             body=json.dumps({"name": name}).encode("utf-8"),
         )
 
+    # -- Streaming posterior sessions -----------------------------------------
+
+    async def create_session(
+        self, session: str, model: str, tenant: Optional[str] = None
+    ) -> Dict:
+        """Open a named posterior chain on ``model``."""
+        return await self._get_json(
+            "/v1/sessions", method="POST",
+            body=json.dumps({"session": session, "model": model}).encode("utf-8"),
+            tenant=tenant,
+        )
+
+    async def observe(
+        self, session: str, event: str, tenant: Optional[str] = None
+    ) -> Dict:
+        """Extend the session's chain by one exact conditioning step.
+
+        Raises :class:`ServeClientError` when the service rejects the
+        evidence (zero probability, parse error, chain bound) — the
+        session's chain is unchanged in that case — and
+        :class:`ServeOverloadedError` on a backpressure shed.
+        """
+        return await self._get_json(
+            "/v1/sessions/%s/observe" % (session,), method="POST",
+            body=json.dumps({"event": event}).encode("utf-8"),
+            tenant=tenant,
+        )
+
+    async def session_query(
+        self, session: str, verb: str, payload: Dict,
+        tenant: Optional[str] = None,
+    ) -> Dict:
+        """One read (``query`` | ``logprob`` | ``predict`` | ``logpdf``)
+        against the session's current posterior."""
+        return await self._get_json(
+            "/v1/sessions/%s/%s" % (session, verb), method="POST",
+            body=json.dumps(payload).encode("utf-8"),
+            tenant=tenant,
+        )
+
+    async def session_logprob(
+        self, session: str, event: str, tenant: Optional[str] = None
+    ) -> float:
+        response = await self.session_query(
+            session, "logprob", {"event": event}, tenant=tenant
+        )
+        return value_of(response)
+
+    async def list_sessions(self, tenant: Optional[str] = None) -> Dict:
+        return await self._get_json("/v1/sessions", tenant=tenant)
+
+    async def describe_session(
+        self, session: str, tenant: Optional[str] = None
+    ) -> Dict:
+        return await self._get_json("/v1/sessions/" + session, tenant=tenant)
+
+    async def delete_session(
+        self, session: str, tenant: Optional[str] = None
+    ) -> Dict:
+        return await self._get_json(
+            "/v1/sessions/" + session, method="DELETE", tenant=tenant
+        )
+
 
 def value_of(response: Dict):
     """Extract (and wire-decode) the value of a successful response."""
@@ -345,8 +436,8 @@ def value_of(response: Dict):
 class ServeClient:
     """Blocking facade over :class:`AsyncServeClient` for scripts/examples."""
 
-    def __init__(self, host: str, port: int):
-        self._async = AsyncServeClient(host, port)
+    def __init__(self, host: str, port: int, tenant: Optional[str] = None):
+        self._async = AsyncServeClient(host, port, tenant=tenant)
 
     def _run(self, coroutine):
         return asyncio.run(coroutine)
@@ -415,3 +506,41 @@ class ServeClient:
 
     def unregister_model(self, name: str) -> Dict:
         return self._run(self._async.unregister_model(name))
+
+    def create_session(
+        self, session: str, model: str, tenant: Optional[str] = None
+    ) -> Dict:
+        return self._run(
+            self._async.create_session(session, model, tenant=tenant)
+        )
+
+    def observe(
+        self, session: str, event: str, tenant: Optional[str] = None
+    ) -> Dict:
+        return self._run(self._async.observe(session, event, tenant=tenant))
+
+    def session_query(
+        self, session: str, verb: str, payload: Dict,
+        tenant: Optional[str] = None,
+    ) -> Dict:
+        return self._run(
+            self._async.session_query(session, verb, payload, tenant=tenant)
+        )
+
+    def session_logprob(
+        self, session: str, event: str, tenant: Optional[str] = None
+    ) -> float:
+        return self._run(
+            self._async.session_logprob(session, event, tenant=tenant)
+        )
+
+    def list_sessions(self, tenant: Optional[str] = None) -> Dict:
+        return self._run(self._async.list_sessions(tenant=tenant))
+
+    def describe_session(
+        self, session: str, tenant: Optional[str] = None
+    ) -> Dict:
+        return self._run(self._async.describe_session(session, tenant=tenant))
+
+    def delete_session(self, session: str, tenant: Optional[str] = None) -> Dict:
+        return self._run(self._async.delete_session(session, tenant=tenant))

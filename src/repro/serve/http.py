@@ -21,6 +21,18 @@ third-party web framework) exposing:
   (all shards, result caches, and parsed-event LRUs); used by benchmarks
   to measure cold-cache behavior.
 * ``GET /healthz``    -- liveness.
+* ``POST /v1/sessions`` / ``GET /v1/sessions`` /
+  ``POST /v1/sessions/<name>/observe`` /
+  ``POST /v1/sessions/<name>/{query,predict,logprob,logpdf}`` /
+  ``DELETE /v1/sessions/<name>`` -- named streaming posterior sessions:
+  each ``observe`` extends the session's condition chain by one exact
+  conditioning step (committed only when the backend acks it), queries
+  read the current posterior, and the whole chain routes to one
+  cache-warm shard via session-affinity keys.  Sessions are namespaced
+  per tenant (the ``x-tenant`` header; also the default tenant for
+  ``/v1/query`` lines without an explicit ``tenant`` field) and bounded
+  by TTL, LRU eviction, and per-tenant quotas — see
+  :mod:`repro.serve.sessions`.
 
 Connections are **pipelined**: the reader keeps accepting requests while
 earlier ones are still being evaluated, and a writer task sends the
@@ -71,6 +83,9 @@ from .scheduler import DEFAULT_MAX_QUEUED_PER_KEY
 from .scheduler import InProcessBackend
 from .scheduler import MicroBatcher
 from .scheduler import OverloadedError
+from .sessions import DEFAULT_MAX_SESSIONS
+from .sessions import SessionError
+from .sessions import SessionStore
 from .sharding import WorkerError
 from .sharding import WorkerPool
 from .sharding import WorkerPoolBackend
@@ -153,6 +168,10 @@ class InferenceService:
         trace_capacity: int = 256,
         nodes: Optional[List[str]] = None,
         probe_interval_ms: float = 1000.0,
+        max_queued_per_tenant: Optional[int] = None,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        session_ttl_s: Optional[float] = None,
+        max_sessions_per_tenant: Optional[int] = None,
     ):
         if max_inflight_per_connection < 1:
             raise ValueError(
@@ -203,8 +222,22 @@ class InferenceService:
             window=window,
             max_batch=max_batch,
             max_queued_per_key=max_queued_per_key,
+            max_queued_per_tenant=max_queued_per_tenant,
             metrics=self.metrics,
         )
+        #: Streaming posterior sessions (front-end state only: the chain
+        #: ships with every batch, so shards stay stateless and failover
+        #: replays it deterministically).
+        self.sessions = SessionStore(
+            max_sessions=max_sessions,
+            ttl_s=session_ttl_s,
+            max_sessions_per_tenant=max_sessions_per_tenant,
+            metrics=self.metrics,
+        )
+        #: Per-session asyncio locks serializing observes (one chain
+        #: extension at a time; queries run lock-free against whatever
+        #: chain is current).
+        self._session_locks: Dict[Tuple[str, str], asyncio.Lock] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         #: Dispatch tasks not yet resolved / responses not yet written:
@@ -403,7 +436,9 @@ class InferenceService:
                 # Dispatch without awaiting the result: the next pipelined
                 # request is read (and can join the same micro-batch) while
                 # this one is evaluated.
-                task = asyncio.ensure_future(self._dispatch(method, path, body))
+                task = asyncio.ensure_future(
+                    self._dispatch(method, path, headers, body)
+                )
                 self._inflight.add(task)
                 task.add_done_callback(self._inflight.discard)
                 inflight[0] += 1  # released by the writer after the write
@@ -483,12 +518,29 @@ class InferenceService:
 
     # -- Request dispatch -----------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> bytes:
         try:
+            tenant = headers.get("x-tenant", wire.DEFAULT_TENANT)
+            try:
+                tenant = wire.parse_session_name(tenant, field="x-tenant")
+            except wire.WireError as error:
+                return _json_response(400, {"error": str(error)})
             if path == "/v1/query":
                 if method != "POST":
                     return _json_response(405, {"error": "POST required."})
-                return await self._handle_query(body)
+                return await self._handle_query(body, tenant)
+            if path == "/v1/sessions":
+                if method == "GET":
+                    return self._handle_session_list(tenant)
+                if method != "POST":
+                    return _json_response(405, {"error": "GET or POST required."})
+                return await self._handle_session_create(tenant, body)
+            if path.startswith("/v1/sessions/"):
+                return await self._dispatch_session(
+                    method, path[len("/v1/sessions/"):], tenant, body
+                )
             if path == "/v1/models":
                 return _json_response(200, self.registry.describe())
             if path == "/v1/models/register":
@@ -536,16 +588,20 @@ class InferenceService:
         except Exception as error:  # never kill a connection on a handler bug
             return _json_response(400, {"error": "%s: %s" % (type(error).__name__, error)})
 
-    async def _handle_query(self, body: bytes) -> bytes:
+    async def _handle_query(
+        self, body: bytes, tenant: str = wire.DEFAULT_TENANT
+    ) -> bytes:
         lines = [line for line in body.split(b"\n") if line.strip()]
         if not lines:
             return _json_response(400, {"error": "Empty query body."})
         results = await asyncio.gather(
-            *[self._handle_query_line(line) for line in lines]
+            *[self._handle_query_line(line, tenant) for line in lines]
         )
         return _response(200, b"".join(line + b"\n" for line in results))
 
-    async def _handle_query_line(self, line: bytes) -> bytes:
+    async def _handle_query_line(
+        self, line: bytes, tenant: str = wire.DEFAULT_TENANT
+    ) -> bytes:
         # Every request gets a trace id (echoed on its response line for
         # correlation); only requests that opt in ("trace": true) or win
         # the sampling draw pay for an actual span tree behind it.
@@ -567,6 +623,26 @@ class InferenceService:
             return wire.encode_error_line(
                 request.id, str(error), kind="RegistryError", trace_id=trace_id
             )
+        if request.tenant == wire.DEFAULT_TENANT:
+            # The x-tenant header is the connection's default tenant; an
+            # explicit per-line 'tenant' field still wins.
+            request.tenant = tenant
+        try:
+            result = await self._submit_traced(request, trace_id)
+        except OverloadedError as error:
+            return wire.encode_overloaded_line(
+                request.id, error.retry_after_ms, trace_id=trace_id
+            )
+        return wire.encode_response(request.id, result, trace_id=trace_id)
+
+    async def _submit_traced(self, request: wire.Request, trace_id: str):
+        """Submit one request with the service's sampling/recording policy.
+
+        Shared by the NDJSON query path and the session endpoints: mints
+        the live tracer when sampled, records the flight-recorder entry
+        either way, and re-raises :class:`OverloadedError` for the caller
+        to encode in its own response shape.
+        """
         trace = None
         if request.trace or (
             self.trace_sample and random.random() < self.trace_sample
@@ -590,14 +666,236 @@ class InferenceService:
                 trace, trace_id, (loop.time() - start) * 1e3,
                 model=request.model, kind=request.kind,
             )
-            return wire.encode_overloaded_line(
-                request.id, error.retry_after_ms, trace_id=trace_id
-            )
+            raise
         self.recorder.observe(
             trace, trace_id, (loop.time() - start) * 1e3,
             model=request.model, kind=request.kind,
         )
-        return wire.encode_response(request.id, result, trace_id=trace_id)
+        return result
+
+    # -- Streaming posterior sessions -----------------------------------------
+
+    #: Session read verb -> wire query kind.  ``query`` answers event
+    #: probabilities under the current posterior; ``predict`` draws
+    #: posterior samples.
+    SESSION_KINDS = {
+        "query": "prob",
+        "logprob": "logprob",
+        "predict": "sample",
+        "logpdf": "logpdf",
+    }
+
+    @staticmethod
+    def _session_error(error: SessionError) -> bytes:
+        return _json_response(
+            error.status,
+            {"error": str(error), "error_kind": type(error).__name__},
+        )
+
+    def _session_lock(self, tenant: str, name: str) -> asyncio.Lock:
+        """The lock serializing chain extensions of one session."""
+        key = (tenant, name)
+        lock = self._session_locks.get(key)
+        if lock is None:
+            if len(self._session_locks) > 2 * self.sessions.max_sessions:
+                # Evicted/expired sessions leave locks behind; prune the
+                # ones no live session (and no in-flight observe) can
+                # contend on.
+                live = {(s.tenant, s.name) for s in self.sessions.list()}
+                for stale in [
+                    k for k, v in self._session_locks.items()
+                    if k not in live and not v.locked()
+                ]:
+                    del self._session_locks[stale]
+            lock = self._session_locks[key] = asyncio.Lock()
+        return lock
+
+    async def _dispatch_session(
+        self, method: str, rest: str, tenant: str, body: bytes
+    ) -> bytes:
+        name, _, verb = rest.partition("/")
+        try:
+            name = wire.parse_session_name(name)
+        except wire.WireError as error:
+            return _json_response(400, {"error": str(error)})
+        if verb == "":
+            if method == "DELETE":
+                return self._handle_session_delete(tenant, name)
+            if method == "GET":
+                return self._handle_session_describe(tenant, name)
+            return _json_response(405, {"error": "GET or DELETE required."})
+        if method != "POST":
+            return _json_response(405, {"error": "POST required."})
+        if verb == "delete":
+            return self._handle_session_delete(tenant, name)
+        if verb == "observe":
+            return await self._handle_session_observe(tenant, name, body)
+        kind = self.SESSION_KINDS.get(verb)
+        if kind is None:
+            return _json_response(
+                404, {"error": "Unknown session verb %r." % (verb,)}
+            )
+        return await self._handle_session_query(tenant, name, kind, body)
+
+    async def _handle_session_create(self, tenant: str, body: bytes) -> bytes:
+        try:
+            data = json.loads(body)
+        except ValueError as error:
+            return _json_response(400, {"error": "Bad JSON body: %s" % (error,)})
+        if not isinstance(data, dict):
+            return _json_response(400, {"error": "Create needs a JSON object body."})
+        try:
+            name = wire.parse_session_name(data.get("session"))
+            if "tenant" in data:
+                tenant = wire.parse_session_name(data["tenant"], field="tenant")
+        except wire.WireError as error:
+            return _json_response(400, {"error": str(error)})
+        model = data.get("model")
+        if not isinstance(model, str) or not model:
+            return _json_response(400, {"error": "Create needs a non-empty 'model'."})
+        try:
+            self.registry.get(model)
+        except RegistryError as error:
+            return _json_response(404, {"error": str(error)})
+        try:
+            session = self.sessions.create(tenant, name, model)
+        except SessionError as error:
+            response = {"error": str(error), "error_kind": type(error).__name__}
+            if error.status == 429:
+                # Quota sheds advise back-off like queue sheds do.
+                response["retry_after_ms"] = self.scheduler.retry_after_ms()
+            return _json_response(error.status, response)
+        return _json_response(200, dict(wire.session_response(session), ok=True))
+
+    async def _handle_session_observe(
+        self, tenant: str, name: str, body: bytes
+    ) -> bytes:
+        """Extend the session's chain by one exact conditioning step.
+
+        Commit-on-success: the candidate chain (current chain plus the
+        new evidence) is submitted as one ``observe`` request; only a
+        backend ack moves the session forward, so a zero-probability or
+        unparseable observation leaves the chain exactly as it was.
+        """
+        try:
+            data = json.loads(body)
+        except ValueError as error:
+            return _json_response(400, {"error": "Bad JSON body: %s" % (error,)})
+        event = data.get("event") if isinstance(data, dict) else None
+        if not isinstance(event, str) or not event:
+            return _json_response(
+                400, {"error": "Observe needs a textual 'event' field."}
+            )
+        trace_id = obs.new_trace_id()
+        async with self._session_lock(tenant, name):
+            try:
+                session = self.sessions.get(tenant, name)
+                chain = session.candidate_chain(event)
+            except SessionError as error:
+                return self._session_error(error)
+            request = wire.Request(
+                None, session.model, "observe", {"event": event},
+                condition=wire.normalize_condition(chain),
+                no_batch=bool(data.get("no_batch")),
+                trace=bool(data.get("trace")),
+                tenant=tenant, affinity=session.affinity,
+            )
+            try:
+                result = await self._submit_traced(request, trace_id)
+            except OverloadedError as error:
+                shed = wire.overloaded_response(None, error.retry_after_ms)
+                shed["trace"] = trace_id
+                return _json_response(429, shed)
+            if result[0] != "ok":
+                return _json_response(
+                    400,
+                    dict(
+                        wire.session_response(session), ok=False,
+                        error_kind=result[1], error=result[2], trace=trace_id,
+                    ),
+                )
+            self.sessions.commit_observe(session, chain)
+        return _json_response(
+            200, dict(wire.session_response(session), ok=True, trace=trace_id)
+        )
+
+    async def _handle_session_query(
+        self, tenant: str, name: str, kind: str, body: bytes
+    ) -> bytes:
+        """Read the session's current posterior (chain ships as condition)."""
+        try:
+            data = json.loads(body) if body.strip() else {}
+        except ValueError as error:
+            return _json_response(400, {"error": "Bad JSON body: %s" % (error,)})
+        if not isinstance(data, dict):
+            return _json_response(
+                400, {"error": "Session query body must be a JSON object."}
+            )
+        try:
+            session = self.sessions.get(tenant, name)
+        except SessionError as error:
+            return self._session_error(error)
+        shaped = dict(data, model=session.model, kind=kind)
+        shaped.pop("condition", None)  # the session's chain IS the condition
+        try:
+            request = wire.parse_request(shaped)
+        except wire.WireError as error:
+            return _json_response(400, {"error": str(error)})
+        request.condition = wire.normalize_condition(session.chain)
+        request.tenant = tenant
+        request.affinity = session.affinity
+        trace_id = obs.new_trace_id()
+        try:
+            result = await self._submit_traced(request, trace_id)
+        except OverloadedError as error:
+            shed = wire.overloaded_response(data.get("id"), error.retry_after_ms)
+            shed["trace"] = trace_id
+            return _json_response(429, shed)
+        self.sessions.count_query(session)
+        if result[0] == "ok":
+            status, response = 200, {
+                "id": data.get("id"), "ok": True,
+                "value": wire.encode_value(result[1]),
+            }
+        else:
+            status, response = 400, {
+                "id": data.get("id"), "ok": False,
+                "error_kind": result[1], "error": result[2],
+            }
+        response.update(
+            trace=trace_id, tenant=tenant, session=name,
+            observes=len(session.chain),
+        )
+        return _json_response(status, response)
+
+    def _handle_session_list(self, tenant: str) -> bytes:
+        return _json_response(
+            200,
+            {
+                "tenant": tenant,
+                "sessions": [
+                    wire.session_response(session)
+                    for session in self.sessions.list(tenant)
+                ],
+            },
+        )
+
+    def _handle_session_describe(self, tenant: str, name: str) -> bytes:
+        try:
+            session = self.sessions.get(tenant, name)
+        except SessionError as error:
+            return self._session_error(error)
+        return _json_response(200, wire.session_response(session))
+
+    def _handle_session_delete(self, tenant: str, name: str) -> bytes:
+        try:
+            session = self.sessions.delete(tenant, name)
+        except SessionError as error:
+            return self._session_error(error)
+        self._session_locks.pop((tenant, name), None)
+        return _json_response(
+            200, dict(wire.session_response(session), ok=True, deleted=True)
+        )
 
     # -- Dynamic model lifecycle ----------------------------------------------
 
@@ -780,6 +1078,7 @@ class InferenceService:
                 "max_inflight_per_connection": self.max_inflight_per_connection,
             },
             "backend": self.backend.stats_sync(),
+            "sessions": self.sessions.stats(),
             "trace": self.recorder.stats(),
             "models": self.registry.names(),
         }
@@ -814,6 +1113,18 @@ class InferenceService:
             journal_counters, journal_gauges = self.journal.metrics_samples()
             counters.extend(journal_counters)
             gauges.extend(journal_gauges)
+        # Per-tenant fairness series: who is shedding (counter) and who
+        # holds the open sessions (gauge) — the noisy-neighbor dashboards.
+        for tenant, count in sorted(self.scheduler.tenant_sheds.items()):
+            counters.append(
+                ("repro.scheduler.sheds_by_tenant", {"tenant": tenant}, count)
+            )
+        for tenant, count in sorted(
+            self.sessions.stats()["by_tenant"].items()
+        ):
+            gauges.append(
+                ("repro.sessions.open_by_tenant", {"tenant": tenant}, count)
+            )
         return self.metrics.render(extra_counters=counters, extra_gauges=gauges)
 
     @staticmethod

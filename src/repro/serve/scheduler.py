@@ -86,7 +86,7 @@ class ResultCache:
         self.misses = 0
 
     @staticmethod
-    def key(kind: str, condition: Optional[str], payload) -> Optional[tuple]:
+    def key(kind: str, condition, payload) -> Optional[tuple]:
         if kind in ("logprob", "prob"):
             return (kind, condition, payload)
         if kind == "logpdf":
@@ -94,7 +94,7 @@ class ResultCache:
                 return (kind, condition, frozenset(payload.items()))
             except (AttributeError, TypeError):
                 return None  # malformed assignment: let evaluation report it
-        return None  # sample (and unknown kinds) are never cached
+        return None  # sample, observe (and unknown kinds) are never cached
 
     @staticmethod
     def digest_key(
@@ -114,7 +114,14 @@ class ResultCache:
         if key is None or getattr(model, "plan_mode", "off") == "off":
             return key
         parts = list(key)
-        if condition is not None:
+        if isinstance(condition, tuple):
+            # A chain canonicalizes step-wise: successive conditions do
+            # not commute with each other textually, but each step's
+            # spelling does.
+            digests = tuple(model.resolve_key(step) for step in condition)
+            if all(digest is not None for digest in digests):
+                parts[1] = ("digest-chain", digests)
+        elif condition is not None:
             digest = model.resolve_key(condition)
             if digest is not None:
                 parts[1] = ("digest", digest)
@@ -246,16 +253,29 @@ def _evaluate_batch_cached(
 
 
 def _evaluate_uncached(
-    model: SpplModel, kind: str, condition: Optional[str], payloads: Sequence
+    model: SpplModel, kind: str, condition, payloads: Sequence
 ) -> List[Result]:
     try:
-        if condition is not None:
+        target = model
+        if isinstance(condition, tuple):
+            # A posterior chain: successive exact conditions, each on the
+            # previous step's interned posterior — the session tier's
+            # evaluation shape.  Bit-identical to the library's
+            # ``condition`` chain because it *is* that chain, and cheap
+            # when warm: every step shares the model's QueryCache.
+            for step in condition:
+                with obs.span("condition", chars=len(step), chain=True):
+                    target = target.condition(step)
+        elif condition is not None:
             with obs.span("condition", chars=len(condition)):
                 target = model.condition(condition)
-        else:
-            target = model
     except Exception as error:  # ZeroProbabilityError, parse errors, scope errors
         return wire.error_results(error, len(payloads))
+    if kind == "observe":
+        # Reaching here proves the shipped chain (whose last step is the
+        # newly observed evidence) conditions successfully; the posterior
+        # is now warm in this shard's caches.
+        return [wire.ok(True)] * len(payloads)
     with target.query_scope():
         if kind in ("logprob", "prob"):
             results = _batch_or_itemwise(target.logprob_batch, target.logprob, payloads)
@@ -433,6 +453,14 @@ class MicroBatcher:
     bounded under overload instead of growing without limit — and
     counted in ``shed_requests``.  ``None`` disables the bound.
 
+    ``max_queued_per_tenant`` adds **fair-share admission** across
+    tenants: every tenant gets the same queued-slot quota, accounted
+    across all of its batch keys, and a tenant at its quota sheds with
+    the same adaptive ``retry_after_ms`` while every other tenant's
+    admission is untouched — a noisy neighbor saturates only its own
+    share of the queue space, never the fleet.  Per-tenant sheds are
+    counted in ``tenant_sheds`` (exported as labeled metrics samples).
+
     Per-request latency (submit to response, including queue wait) is
     recorded into one :class:`~repro.serve.wire.LatencyHistogram` per
     query kind: two ``loop.time()`` reads and an integer bucket bump per
@@ -446,6 +474,7 @@ class MicroBatcher:
         max_batch: int = 256,
         max_queued_per_key: Optional[int] = DEFAULT_MAX_QUEUED_PER_KEY,
         metrics: Optional[MetricsRegistry] = None,
+        max_queued_per_tenant: Optional[int] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be positive.")
@@ -453,10 +482,13 @@ class MicroBatcher:
             raise ValueError("window must be non-negative.")
         if max_queued_per_key is not None and max_queued_per_key < 1:
             raise ValueError("max_queued_per_key must be positive or None.")
+        if max_queued_per_tenant is not None and max_queued_per_tenant < 1:
+            raise ValueError("max_queued_per_tenant must be positive or None.")
         self.backend = backend
         self.window = window
         self.max_batch = max_batch
         self.max_queued_per_key = max_queued_per_key
+        self.max_queued_per_tenant = max_queued_per_tenant
         self._pending: Dict[tuple, _PendingBatch] = {}
         # Counters are registry instruments (single-threaded: only
         # touched on the event loop); the old plain-int attributes stay
@@ -468,12 +500,23 @@ class MicroBatcher:
             "repro.scheduler.no_batch_requests"
         )
         self._shed = self.metrics.counter("repro.scheduler.shed_requests")
+        self._tenant_shed = self.metrics.counter(
+            "repro.scheduler.tenant_shed_requests"
+        )
         self._largest = self.metrics.gauge("repro.scheduler.largest_batch")
         self.metrics.gauge_fn(
             "repro.scheduler.queued", lambda: sum(self._queued.values())
         )
+        self.metrics.gauge_fn(
+            "repro.scheduler.tenants_queued", lambda: len(self._queued_tenants)
+        )
         self._batch_seq = 0
         self._queued: Dict[tuple, int] = {}
+        self._queued_tenants: Dict[str, int] = {}
+        #: Per-tenant quota-shed counts (tenant name -> sheds), the
+        #: noisy-neighbor audit trail; rendered as labeled samples on
+        #: ``GET /metrics`` and in the stats endpoint.
+        self.tenant_sheds: Dict[str, int] = {}
         self._inflight_models: Dict[str, int] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
 
@@ -498,6 +541,14 @@ class MicroBatcher:
     @property
     def shed_requests(self) -> int:
         return self._shed.value
+
+    @property
+    def tenant_shed_requests(self) -> int:
+        return self._tenant_shed.value
+
+    def queued_for_tenant(self, tenant: str) -> int:
+        """Admitted-but-unanswered request count against one tenant."""
+        return self._queued_tenants.get(tenant, 0)
 
     def inflight(self, model: str) -> int:
         """Admitted-but-unanswered request count against one model."""
@@ -536,8 +587,30 @@ class MicroBatcher:
         when the target batch key is at ``max_queued_per_key``.
         """
         loop = asyncio.get_running_loop()
-        shard = self.backend.route(request.model, request.condition)
+        # Sessions route on their affinity key (stable as the chain
+        # grows), everything else on the condition text — either way a
+        # posterior chain stays pinned to one cache-warm shard.
+        route_key = request.affinity
+        if route_key is None:
+            route_key = wire.condition_key(request.condition)
+        shard = self.backend.route(request.model, route_key)
         key = (request.model, request.kind, request.condition, shard)
+        tenant = request.tenant
+        tenant_queued = self._queued_tenants.get(tenant, 0)
+        if (
+            self.max_queued_per_tenant is not None
+            and tenant_queued >= self.max_queued_per_tenant
+        ):
+            # Fair-share admission: this tenant's slots are spoken for;
+            # other tenants' admission is untouched.
+            self._shed.inc()
+            self._tenant_shed.inc()
+            self.tenant_sheds[tenant] = self.tenant_sheds.get(tenant, 0) + 1
+            raise OverloadedError(
+                "Tenant %r is at its queue quota (%d queued)."
+                % (tenant, tenant_queued),
+                retry_after_ms=self.retry_after_ms(request.kind),
+            )
         queued = self._queued.get(key, 0)
         if self.max_queued_per_key is not None and queued >= self.max_queued_per_key:
             self._shed.inc()
@@ -549,6 +622,7 @@ class MicroBatcher:
         future = loop.create_future()
         self._requests.inc()
         self._queued[key] = queued + 1
+        self._queued_tenants[tenant] = tenant_queued + 1
         self._inflight_models[request.model] = (
             self._inflight_models.get(request.model, 0) + 1
         )
@@ -573,6 +647,7 @@ class MicroBatcher:
             result = await future
         finally:
             self._decrement(self._queued, key)
+            self._decrement(self._queued_tenants, tenant)
             self._decrement(self._inflight_models, request.model)
         histogram = self._latency.get(request.kind)
         if histogram is None:
@@ -686,7 +761,11 @@ class MicroBatcher:
             "largest_batch": self.largest_batch,
             "no_batch_requests": self.no_batch_requests,
             "shed": self.shed_requests,
+            "tenant_shed": self.tenant_shed_requests,
+            "tenant_sheds": dict(sorted(self.tenant_sheds.items())),
             "queued": sum(self._queued.values()),
+            "queued_by_tenant": dict(sorted(self._queued_tenants.items())),
+            "max_queued_per_tenant": self.max_queued_per_tenant,
             "mean_batch_size": round(self.requests / self.batches, 2)
             if self.batches
             else 0.0,

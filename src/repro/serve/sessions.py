@@ -1,0 +1,284 @@
+"""Named streaming posterior sessions with multi-tenant quotas.
+
+A **session** is a named posterior chain on a registered model: ``create``
+names it, each ``observe`` extends the chain by one exact ``condition``
+step, queries (``query`` / ``predict`` / ``logprob``) read the *current*
+posterior, and ``delete`` (or TTL expiry / LRU eviction under the session
+cap) tears it down.
+
+The store is deliberately **front-end state only**.  A session is nothing
+but its condition chain — a tuple of event texts — and every batch the
+scheduler dispatches for the session carries the full chain as its
+``condition``.  Worker shards therefore stay stateless: a shard that is
+SIGKILLed mid-session and respawned (or a failover re-route to a ring
+survivor) re-establishes the posterior by deterministically replaying the
+chain the next batch ships, with bit-identical results — the same replay
+argument that makes batch resend after a worker death safe.  What keeps
+this fast rather than merely correct is **affinity routing**: session
+requests route on the stable session identity (not the growing condition
+text), so the whole chain lands on one shard whose query cache already
+holds every prefix posterior.
+
+Multi-tenancy is quota-based.  Each tenant (from the ``x-tenant`` header,
+default :data:`repro.serve.wire.DEFAULT_TENANT`) owns a namespace of
+session names and is bounded two ways:
+
+* **session quota** (``max_sessions_per_tenant``): creates past the bound
+  fail with a 429-style :class:`SessionQuotaError` instead of letting one
+  tenant monopolize the store;
+* **queue quota** (``max_queued_per_tenant`` on the
+  :class:`~repro.serve.scheduler.MicroBatcher`): a tenant flooding the
+  scheduler sheds *its own* requests with adaptive ``retry_after_ms``
+  while other tenants' latency and success rate are unaffected.
+
+Chain state transitions are **commit-on-success**: the HTTP layer submits
+the candidate chain (current chain plus the new evidence) as an
+``observe`` request and only :meth:`SessionStore.commit_observe` after
+the backend acked it, so a zero-probability or unparseable observation
+leaves the session exactly as it was.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict
+from typing import List
+from typing import Optional
+from typing import Tuple
+
+from ..obs import MetricsRegistry
+from . import wire
+
+#: Default bound on simultaneously open sessions across all tenants.
+DEFAULT_MAX_SESSIONS = 1024
+
+#: Default per-session chain bound (mirrors the engine-side
+#: :data:`repro.engine.PosteriorChain.DEFAULT_MAX_STEPS`): a chain is a
+#: conjunction of exact conditions, and an unbounded one is a memory and
+#: replay-latency leak, not a modelling win.
+DEFAULT_MAX_OBSERVES = 256
+
+
+class SessionError(Exception):
+    """Base class of session-store failures (maps to an HTTP status)."""
+
+    status = 400
+
+
+class SessionNotFound(SessionError):
+    """No such session in this tenant's namespace (or it expired)."""
+
+    status = 404
+
+
+class SessionExists(SessionError):
+    """Create collided with a live session of the same tenant and name."""
+
+    status = 409
+
+
+class SessionQuotaError(SessionError):
+    """Tenant is at its session quota; shed the create, not the store."""
+
+    status = 429
+
+
+class Session:
+    """One named posterior chain (front-end state only; see module doc)."""
+
+    __slots__ = ("tenant", "name", "model", "chain", "queries",
+                 "max_observes", "created_at", "last_used", "_clock")
+
+    def __init__(self, tenant: str, name: str, model: str,
+                 max_observes: int, clock):
+        self.tenant = tenant
+        self.name = name
+        self.model = model
+        #: The session *is* this tuple of event texts (in observe order).
+        self.chain: Tuple[str, ...] = ()
+        self.queries = 0
+        self.max_observes = max_observes
+        self._clock = clock
+        self.created_at = clock()
+        self.last_used = self.created_at
+
+    @property
+    def idle_s(self) -> float:
+        """Seconds since the session was last touched (TTL input)."""
+        return max(0.0, self._clock() - self.last_used)
+
+    @property
+    def affinity(self) -> str:
+        """The stable routing key pinning this chain to one shard."""
+        return "session:%s:%s" % (self.tenant, self.name)
+
+    def candidate_chain(self, event: str) -> Tuple[str, ...]:
+        """The chain this session would hold if ``event`` is accepted."""
+        if len(self.chain) >= self.max_observes:
+            raise SessionError(
+                "Session %r is at its observe bound (%d)."
+                % (self.name, self.max_observes)
+            )
+        return self.chain + (event,)
+
+
+class SessionStore:
+    """Tenant-namespaced session table with TTL expiry and LRU eviction.
+
+    Single-threaded by construction (owned by the service's event loop);
+    per-session write serialization is the HTTP layer's job (it holds an
+    ``asyncio`` lock across the observe round trip).  ``clock`` is
+    injectable for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        ttl_s: Optional[float] = None,
+        max_sessions_per_tenant: Optional[int] = None,
+        max_observes: int = DEFAULT_MAX_OBSERVES,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive.")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None for no TTL).")
+        if max_sessions_per_tenant is not None and max_sessions_per_tenant < 1:
+            raise ValueError("max_sessions_per_tenant must be positive.")
+        if max_observes < 1:
+            raise ValueError("max_observes must be positive.")
+        self.max_sessions = max_sessions
+        self.ttl_s = ttl_s
+        self.max_sessions_per_tenant = max_sessions_per_tenant
+        self.max_observes = max_observes
+        self._clock = clock
+        #: LRU order: least-recently-used first (every touch moves the
+        #: session to the end).
+        self._sessions: "OrderedDict[Tuple[str, str], Session]" = OrderedDict()
+        self._per_tenant: Dict[str, int] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._created = self.metrics.counter("repro.sessions.created")
+        self._deleted = self.metrics.counter("repro.sessions.deleted")
+        self._evicted_ttl = self.metrics.counter("repro.sessions.evicted_ttl")
+        self._evicted_lru = self.metrics.counter("repro.sessions.evicted_lru")
+        self._observes = self.metrics.counter("repro.sessions.observes")
+        self._queries = self.metrics.counter("repro.sessions.queries")
+        self.metrics.gauge_fn("repro.sessions.open", lambda: len(self._sessions))
+        self.metrics.gauge_fn(
+            "repro.sessions.tenants", lambda: len(self._per_tenant)
+        )
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # -- Lifecycle ------------------------------------------------------------
+
+    def create(self, tenant: str, name: str, model: str) -> Session:
+        """Open a session; evicts the LRU session if the store is full."""
+        self.sweep()
+        key = (tenant, name)
+        if key in self._sessions:
+            raise SessionExists(
+                "Session %r already exists for tenant %r." % (name, tenant)
+            )
+        quota = self.max_sessions_per_tenant
+        if quota is not None and self._per_tenant.get(tenant, 0) >= quota:
+            raise SessionQuotaError(
+                "Tenant %r is at its session quota (%d open)."
+                % (tenant, quota)
+            )
+        while len(self._sessions) >= self.max_sessions:
+            evicted_key, _ = self._sessions.popitem(last=False)
+            self._forget(evicted_key[0])
+            self._evicted_lru.inc()
+        session = Session(tenant, name, model, self.max_observes, self._clock)
+        self._sessions[key] = session
+        self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+        self._created.inc()
+        return session
+
+    def get(self, tenant: str, name: str) -> Session:
+        """Look up a live session and mark it most-recently-used."""
+        self.sweep()
+        session = self._sessions.get((tenant, name))
+        if session is None:
+            raise SessionNotFound(
+                "No session %r for tenant %r (unknown, expired, or evicted)."
+                % (name, tenant)
+            )
+        session.last_used = self._clock()
+        self._sessions.move_to_end((tenant, name))
+        return session
+
+    def delete(self, tenant: str, name: str) -> Session:
+        """Tear a session down explicitly."""
+        session = self._sessions.pop((tenant, name), None)
+        if session is None:
+            raise SessionNotFound(
+                "No session %r for tenant %r." % (name, tenant)
+            )
+        self._forget(tenant)
+        self._deleted.inc()
+        return session
+
+    def list(self, tenant: Optional[str] = None) -> List[Session]:
+        """Live sessions, LRU-first; scoped to one tenant when given."""
+        self.sweep()
+        return [
+            session for session in self._sessions.values()
+            if tenant is None or session.tenant == tenant
+        ]
+
+    # -- Chain state transitions (commit-on-success) ---------------------------
+
+    def commit_observe(self, session: Session, chain: Tuple[str, ...]) -> None:
+        """Adopt the acked chain; called only after the backend said ok."""
+        session.chain = chain
+        session.last_used = self._clock()
+        self._observes.inc()
+
+    def count_query(self, session: Session) -> None:
+        session.queries += 1
+        self._queries.inc()
+
+    # -- Expiry ---------------------------------------------------------------
+
+    def sweep(self) -> int:
+        """Drop every TTL-expired session (lazy: runs on each public op)."""
+        if self.ttl_s is None:
+            return 0
+        expired = [
+            key for key, session in self._sessions.items()
+            if session.idle_s > self.ttl_s
+        ]
+        for key in expired:
+            del self._sessions[key]
+            self._forget(key[0])
+            self._evicted_ttl.inc()
+        return len(expired)
+
+    def _forget(self, tenant: str) -> None:
+        count = self._per_tenant.get(tenant, 0) - 1
+        if count <= 0:
+            self._per_tenant.pop(tenant, None)
+        else:
+            self._per_tenant[tenant] = count
+
+    # -- Introspection --------------------------------------------------------
+
+    def stats(self) -> Dict:
+        return {
+            "open": len(self._sessions),
+            "created": self._created.value,
+            "deleted": self._deleted.value,
+            "evicted_ttl": self._evicted_ttl.value,
+            "evicted_lru": self._evicted_lru.value,
+            "observes": self._observes.value,
+            "queries": self._queries.value,
+            "by_tenant": dict(sorted(self._per_tenant.items())),
+            "max_sessions": self.max_sessions,
+            "max_sessions_per_tenant": self.max_sessions_per_tenant,
+            "ttl_s": self.ttl_s,
+        }

@@ -700,6 +700,17 @@ class WorkerPoolBackend:
         return self._ring
 
     def route(self, model: str, condition: Optional[str]) -> int:
+        """Pick the shard for a routing key.
+
+        ``condition`` is the request's routing key: the condition text
+        for one-shot conditioned queries, or a **session affinity key**
+        (stable as the session's chain grows) for the session tier — so
+        a whole posterior chain lands on one cache-warm shard.  When
+        that shard dies, the ring rebuild remaps only its keyspace: the
+        next batch routes to a survivor, which re-establishes the chain
+        deterministically from the conditions shipped with the batch
+        (the same replay argument as respawn-and-resend).
+        """
         ring = self._live_ring()
         if ring is None:
             return 0  # nothing live: dispatch reports the outage

@@ -185,6 +185,9 @@ class ShardHost:
             # objects do not cross the channel — and ships it back beside
             # the results for the parent to graft under its dispatch span.
             name, kind, condition, payloads = message[1:5]
+            # JSON framing decodes chain tuples as lists; re-canonicalize
+            # so batch evaluation and cache keys see the hashable shape.
+            condition = wire.normalize_condition(condition)
             traced = len(message) > 5 and bool(message[5])
             tracer = (
                 Trace(name="worker.batch", tags={"worker": self.shard_id})

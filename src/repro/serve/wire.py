@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from typing import Dict
 from typing import List
 from typing import Optional
@@ -50,6 +51,12 @@ from typing import Tuple
 #: Query kinds the service understands (``prob`` batches with ``logprob``
 #: evaluation and exponentiates at the boundary).
 KINDS = ("logprob", "prob", "logpdf", "sample")
+
+#: Tenant every request without an explicit tenant belongs to.
+DEFAULT_TENANT = "public"
+
+#: Valid tenant and session names: short, URL- and metrics-label-safe.
+NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 class WireError(ValueError):
@@ -60,14 +67,18 @@ class Request:
     """One parsed wire request (validated shape, unresolved model/event)."""
 
     __slots__ = ("id", "model", "kind", "payload", "condition", "no_batch",
-                 "trace")
+                 "trace", "tenant", "affinity")
 
-    def __init__(self, id, model: str, kind: str, payload, condition: Optional[str],
-                 no_batch: bool, trace: bool = False):
+    def __init__(self, id, model: str, kind: str, payload, condition=None,
+                 no_batch: bool = False, trace: bool = False,
+                 tenant: str = DEFAULT_TENANT, affinity: Optional[str] = None):
         self.id = id
         self.model = model
         self.kind = kind
         self.payload = payload
+        #: ``None``, a textual event, or a **chain**: a tuple of textual
+        #: events applied as successive exact ``condition`` steps (the
+        #: session tier's posterior chains travel this way).
         self.condition = condition
         self.no_batch = no_batch
         #: ``True`` when the wire request asked for a trace; the HTTP
@@ -75,6 +86,13 @@ class Request:
         #: the request is sampled (explicitly or by rate), and the
         #: scheduler only ever checks it for a Trace instance.
         self.trace = trace
+        #: Tenant the request is accounted against (quotas, fair-share
+        #: admission, per-tenant shed counters).
+        self.tenant = tenant
+        #: Routing-key override: session requests pin their whole chain
+        #: to one shard by routing on the session identity instead of
+        #: the (growing) condition text.
+        self.affinity = affinity
 
 
 def parse_request(data: Dict) -> Request:
@@ -108,9 +126,15 @@ def parse_request(data: Dict) -> Request:
         if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
             raise WireError("'sample' field 'seed' must be an integer.")
         payload = {"n": n, "seed": seed}
+    tenant = data.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not NAME_RE.match(tenant):
+        raise WireError(
+            "'tenant' must match %s." % (NAME_RE.pattern,)
+        )
     return Request(
         data.get("id"), model, kind, payload, condition,
         bool(data.get("no_batch")), trace=bool(data.get("trace")),
+        tenant=tenant,
     )
 
 
@@ -121,6 +145,56 @@ def parse_request_line(line: bytes) -> Request:
     except ValueError as error:
         raise WireError("Request line is not valid JSON: %s" % (error,)) from error
     return parse_request(data)
+
+
+# ---------------------------------------------------------------------------
+# Condition chains and session message shapes.
+# ---------------------------------------------------------------------------
+
+def condition_key(condition) -> Optional[str]:
+    """One stable string for a condition (text or chain) — the routing
+    and cache-labeling form.  Chains join their steps with a unit
+    separator, which cannot appear in a parseable event text."""
+    if condition is None or isinstance(condition, str):
+        return condition
+    return "\x1f".join(condition)
+
+
+def normalize_condition(condition):
+    """Canonicalize a wire condition: chains become tuples (hashable batch
+    keys), one-step chains collapse to their single event text, and JSON
+    transports that decoded a chain as a list round-trip correctly."""
+    if condition is None or isinstance(condition, str):
+        return condition
+    chain = tuple(condition)
+    if not chain:
+        return None
+    if len(chain) == 1:
+        return chain[0]
+    return chain
+
+
+def parse_session_name(value, field: str = "session") -> str:
+    """Validate a tenant/session name field from a session message body."""
+    if not isinstance(value, str) or not NAME_RE.match(value):
+        raise WireError(
+            "%r must be a name matching %s." % (field, NAME_RE.pattern)
+        )
+    return value
+
+
+def session_response(session) -> Dict:
+    """The canonical wire shape describing one session (list/create/observe
+    responses all return it, so clients parse a single schema)."""
+    return {
+        "tenant": session.tenant,
+        "session": session.name,
+        "model": session.model,
+        "observes": len(session.chain),
+        "chain": list(session.chain),
+        "queries": session.queries,
+        "idle_s": round(session.idle_s, 3),
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,10 @@
 * :mod:`repro.workloads.table1_models`   -- the seven compression benchmarks (Table 1),
 * :mod:`repro.workloads.fairness`        -- decision trees + population models (Table 2),
 * :mod:`repro.workloads.psi_benchmarks`  -- the PSI comparison programs (Tables 3-4),
-* :mod:`repro.workloads.rare_events`     -- the rare-event Bayes net (Fig. 8).
+* :mod:`repro.workloads.rare_events`     -- the rare-event Bayes net (Fig. 8),
+* :mod:`repro.workloads.scenarios`       -- parameterized session scenarios
+  (layered Bayes nets, HMM sensor-fusion chains) for the streaming
+  posterior-session tier.
 """
 
 from . import fairness
@@ -14,6 +17,7 @@ from . import hmm
 from . import indian_gpa
 from . import psi_benchmarks
 from . import rare_events
+from . import scenarios
 from . import table1_models
 from . import transforms_demo
 
@@ -23,6 +27,7 @@ __all__ = [
     "indian_gpa",
     "psi_benchmarks",
     "rare_events",
+    "scenarios",
     "table1_models",
     "transforms_demo",
 ]

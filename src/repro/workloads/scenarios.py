@@ -1,0 +1,145 @@
+"""Parameterized session scenarios: streaming-observe workloads.
+
+The session tier (:mod:`repro.serve.sessions`) is exercised by *scripts*:
+a model plus an ordered list of observation events (each with positive
+probability under every prefix posterior, so a well-formed script never
+trips the zero-probability guard) and a list of read queries against the
+final posterior.  This module generates two scripted families,
+deterministic in their parameters:
+
+* :func:`layered_bayes_net` / :func:`bayes_net_session` -- random layered
+  Bayes nets over Bernoulli nodes: layer 0 roots are independent coin
+  flips, each deeper node switches its bias on one parent in the layer
+  above.  The topology and biases are drawn from a seeded PRNG, so
+  ``(layers, width, seed)`` names the network exactly; the session
+  script observes simulated node values layer by layer (discrete
+  equality evidence, always positive probability).
+* :func:`hmm_sensor_fusion` -- sensor-fusion chains on the paper's
+  hierarchical HMM (:mod:`repro.workloads.hmm`): per time step the
+  script alternates an interval observation on the Normal sensor
+  ``X[t]`` with an exact count observation on the Poisson sensor
+  ``Y[t]`` (both derived from simulated ground truth, so both have
+  positive probability), and queries the hidden-state marginals
+  ``Z[t] == 1`` — streaming exact smoothing, one evidence increment at
+  a time.
+
+Scripts are plain dicts (``model``, ``observes``, ``queries``) so tests,
+benchmarks, and the serve tier consume them without importing anything
+beyond this module.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+from typing import List
+
+from ..compiler import Command
+from ..compiler import Sample
+from ..compiler import Sequence as CommandSequence
+from ..compiler import Switch
+from ..distributions import bernoulli
+from ..engine import SpplModel
+from . import hmm
+
+
+def node(layer: int, index: int) -> str:
+    """Name of the Bayes-net node at ``(layer, index)``."""
+    return "N%d_%d" % (layer, index)
+
+
+def _biases(rng: random.Random) -> List[float]:
+    """One bias per parent value, kept away from 0/1 so every discrete
+    evidence value has comfortably positive probability."""
+    return [round(rng.uniform(0.15, 0.85), 3) for _ in range(2)]
+
+
+def layered_bayes_net(
+    layers: int = 3, width: int = 3, seed: int = 0
+) -> Command:
+    """A random layered Bayes net as a command (deterministic in params).
+
+    Layer 0 holds ``width`` independent Bernoulli roots; every node of a
+    deeper layer picks one parent in the layer directly above and
+    switches its own Bernoulli bias on the parent's value.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be positive.")
+    rng = random.Random("L%d|W%d|S%d" % (layers, width, seed))
+    commands: List[Command] = []
+    for index in range(width):
+        commands.append(
+            Sample(node(0, index), bernoulli(round(rng.uniform(0.2, 0.8), 3)))
+        )
+    for layer in range(1, layers):
+        for index in range(width):
+            parent = node(layer - 1, rng.randrange(width))
+            biases = _biases(rng)
+            commands.append(
+                Switch(
+                    parent,
+                    [0, 1],
+                    lambda value, name=node(layer, index), biases=biases: Sample(
+                        name, bernoulli(biases[value])
+                    ),
+                )
+            )
+    return CommandSequence(commands)
+
+
+def bayes_net_model(layers: int = 3, width: int = 3, seed: int = 0) -> SpplModel:
+    """The layered Bayes net as a model."""
+    return SpplModel.from_command(layered_bayes_net(layers, width, seed))
+
+
+def bayes_net_session(
+    layers: int = 3, width: int = 3, seed: int = 0
+) -> Dict[str, object]:
+    """A session script over the layered net.
+
+    Simulates one joint assignment from the generative process and turns
+    every node value except the last layer's into equality evidence
+    (observed in layer order, shallow to deep); the queries ask for the
+    posterior of each last-layer node being 1.
+    """
+    import numpy as np
+
+    program = layered_bayes_net(layers, width, seed)
+    assignment: Dict[str, object] = {}
+    program.execute(assignment, np.random.default_rng(seed))
+    observes = [
+        "%s == %d" % (node(layer, index), int(assignment[node(layer, index)]))
+        for layer in range(layers - 1)
+        for index in range(width)
+    ]
+    queries = ["%s == 1" % (node(layers - 1, index),) for index in range(width)]
+    return {
+        "name": "bayes_net_L%dW%dS%d" % (layers, width, seed),
+        "model": bayes_net_model(layers, width, seed),
+        "observes": observes,
+        "queries": queries,
+    }
+
+
+def hmm_sensor_fusion(n_step: int = 5, seed: int = 0) -> Dict[str, object]:
+    """A sensor-fusion session script on the hierarchical HMM.
+
+    Per time step: an interval observation on the Normal sensor (the
+    simulated value is interior to the interval, so the truncation has
+    positive probability) followed by an exact count observation on the
+    Poisson sensor.  Queries are the hidden-state marginal events
+    ``Z[t] == 1`` — the smoothing targets of :func:`repro.workloads.hmm.smooth`.
+    """
+    data = hmm.simulate_data(n_step, seed=seed)
+    observes: List[str] = []
+    for t in range(n_step):
+        observes.append("%s < %r" % (hmm.x(t), float(data["x"][t]) + 1.0))
+        observes.append("%s == %d" % (hmm.y(t), int(data["y"][t])))
+    queries = ["%s == 1" % (hmm.z(t),) for t in range(n_step)]
+    return {
+        "name": "hmm_fusion_T%dS%d" % (n_step, seed),
+        "model": hmm.model(n_step),
+        "catalog": "hmm%d" % (n_step,),
+        "observes": observes,
+        "queries": queries,
+    }

@@ -3,8 +3,20 @@
 Hypothesis is run in derandomized mode so that the property-based tests are
 deterministic across runs and machines (the generated examples depend only
 on the test code, not on a random seed).
+
+Chaos tests draw their randomness (which scenario to run, when to kill a
+worker) from ``REPRO_CHAOS_SEED`` instead: the default ``0`` keeps every
+ordinary run deterministic, while the nightly CI chaos lane exports a
+randomized seed so fault-injection coverage walks the input space over
+time.  The seed is echoed in the pytest header (and by the CI job summary),
+so any nightly failure is reproducible with
+``REPRO_CHAOS_SEED=<seed> python -m pytest ...``.
 """
 
+import os
+import random
+
+import pytest
 from hypothesis import HealthCheck
 from hypothesis import settings
 
@@ -15,3 +27,17 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+#: Seed of the chaos tests' PRNG (see module docstring).
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def pytest_report_header(config):
+    return "REPRO_CHAOS_SEED=%d" % (CHAOS_SEED,)
+
+
+@pytest.fixture
+def chaos_rng():
+    """A fresh PRNG seeded from ``REPRO_CHAOS_SEED`` (per-test, so test
+    order cannot change which values a given test draws)."""
+    return random.Random(CHAOS_SEED)

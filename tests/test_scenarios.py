@@ -1,0 +1,66 @@
+"""Session scenario generators: determinism and well-formedness.
+
+A scenario script must be exactly reproducible from its parameters (the
+serve tier relies on deterministic replay) and every observation it emits
+must have positive probability under the prefix posterior it extends (a
+well-formed script never trips the zero-probability observe guard).
+"""
+
+import pytest
+
+from repro.engine import PosteriorChain
+from repro.workloads import hmm
+from repro.workloads import scenarios
+
+
+class TestLayeredBayesNet:
+    def test_deterministic_in_parameters(self):
+        first = scenarios.bayes_net_session(layers=3, width=3, seed=4)
+        second = scenarios.bayes_net_session(layers=3, width=3, seed=4)
+        assert first["observes"] == second["observes"]
+        assert first["queries"] == second["queries"]
+        assert (
+            scenarios.bayes_net_model(3, 3, 4).to_json()
+            == scenarios.bayes_net_model(3, 3, 4).to_json()
+        )
+
+    def test_seed_changes_the_network(self):
+        a = scenarios.bayes_net_model(4, 3, 0).to_json()
+        b = scenarios.bayes_net_model(4, 3, 1).to_json()
+        assert a != b
+
+    def test_script_chain_is_well_formed(self):
+        script = scenarios.bayes_net_session(layers=4, width=2, seed=9)
+        assert len(script["observes"]) == 3 * 2  # all but the last layer
+        with PosteriorChain(script["model"], script["observes"]) as chain:
+            for query in script["queries"]:
+                probability = chain.current.prob(query)
+                assert 0.0 < probability < 1.0
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            scenarios.layered_bayes_net(layers=0, width=3)
+        with pytest.raises(ValueError):
+            scenarios.layered_bayes_net(layers=3, width=0)
+
+
+class TestHmmSensorFusion:
+    def test_deterministic_and_well_formed(self):
+        first = scenarios.hmm_sensor_fusion(3, seed=2)
+        second = scenarios.hmm_sensor_fusion(3, seed=2)
+        assert first["observes"] == second["observes"]
+        assert len(first["observes"]) == 2 * 3  # interval + count per step
+        assert first["catalog"] == "hmm3"
+        with PosteriorChain(hmm.model(3), first["observes"]) as chain:
+            for query in first["queries"]:
+                probability = chain.current.prob(query)
+                assert 0.0 <= probability <= 1.0
+
+    def test_streaming_equals_batch_conditioning(self):
+        script = scenarios.hmm_sensor_fusion(2, seed=6)
+        streamed = hmm.model(2)
+        with PosteriorChain(hmm.model(2), script["observes"]) as chain:
+            for event in script["observes"]:
+                streamed = streamed.condition(event)
+            for query in script["queries"]:
+                assert chain.current.logprob(query) == streamed.logprob(query)

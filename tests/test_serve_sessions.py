@@ -1,0 +1,248 @@
+"""Streaming posterior sessions over the real wire.
+
+The acceptance scenario: a >= 5-observe session driven through the HTTP
+endpoints is **bit-identical** to the in-process library condition chain
+(:class:`repro.engine.PosteriorChain`), including commit-on-success
+semantics (a rejected observation leaves the chain untouched), tenant
+namespacing, per-tenant session quotas, TTL expiry, and LRU eviction.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import ChainBoundError
+from repro.engine import PosteriorChain
+from repro.engine import ZeroProbabilityError
+from repro.serve import AsyncServeClient
+from repro.serve import InferenceService
+from repro.serve import ModelRegistry
+from repro.serve import ServeClientError
+from repro.serve import SessionExists
+from repro.serve import SessionNotFound
+from repro.serve import SessionQuotaError
+from repro.serve import SessionStore
+from repro.serve import value_of
+from repro.workloads import hmm
+from repro.workloads import scenarios
+
+
+def run_service(test, models=("hmm5",), **service_kwargs):
+    """Start an in-process service, run ``await test(client, service)``."""
+
+    async def main():
+        registry = ModelRegistry()
+        for name in models:
+            registry.register_catalog(name)
+        service = InferenceService(registry, **service_kwargs)
+        host, port = await service.start()
+        try:
+            return await test(AsyncServeClient(host, port), service)
+        finally:
+            await service.close()
+
+    return asyncio.run(main())
+
+
+class TestWireSessions:
+    def test_five_observe_session_bit_identical_to_library_chain(self):
+        script = scenarios.hmm_sensor_fusion(3, seed=0)
+        assert len(script["observes"]) >= 5
+
+        async def test(client, service):
+            await client.create_session("fusion", "hmm3", tenant="acme")
+            for event in script["observes"]:
+                response = await client.observe("fusion", event, tenant="acme")
+                assert response["ok"]
+            wire_values = [
+                await client.session_logprob("fusion", query, tenant="acme")
+                for query in script["queries"]
+            ]
+            described = await client.describe_session("fusion", tenant="acme")
+            assert described["chain"] == script["observes"]
+            assert described["queries"] == len(script["queries"])
+            return wire_values
+
+        wire_values = run_service(test, models=("hmm3",))
+        with PosteriorChain(hmm.model(3), script["observes"]) as chain:
+            library_values = [
+                chain.current.logprob(query) for query in script["queries"]
+            ]
+        assert wire_values == library_values
+
+    def test_rejected_observe_leaves_chain_unchanged(self):
+        async def test(client, service):
+            await client.create_session("s", "hmm3")
+            assert (await client.observe("s", "X[0] < 0.5"))["ok"]
+            # Zero-probability evidence: the posterior does not exist, so
+            # the observe fails and the chain must not move.
+            with pytest.raises(ServeClientError):
+                await client.observe("s", "X[0] > 0.5")
+            # Unparseable evidence fails the same way.
+            with pytest.raises(ServeClientError):
+                await client.observe("s", "NOT_A_VARIABLE < 1")
+            described = await client.describe_session("s")
+            assert described["chain"] == ["X[0] < 0.5"]
+            # The session still answers queries against the 1-step chain.
+            value = await client.session_logprob("s", "Z[0] == 1")
+            assert value == hmm.model(3).condition("X[0] < 0.5").logprob("Z[0] == 1")
+
+        run_service(test, models=("hmm3",))
+
+    def test_tenant_namespaces_are_isolated(self):
+        async def test(client, service):
+            await client.create_session("shared-name", "hmm3", tenant="alice")
+            await client.create_session("shared-name", "hmm3", tenant="bob")
+            assert (await client.observe(
+                "shared-name", "X[0] < 0.0", tenant="alice"
+            ))["ok"]
+            alice = await client.describe_session("shared-name", tenant="alice")
+            bob = await client.describe_session("shared-name", tenant="bob")
+            assert alice["chain"] == ["X[0] < 0.0"]
+            assert bob["chain"] == []
+            listed = await client.list_sessions(tenant="alice")
+            assert [s["session"] for s in listed["sessions"]] == ["shared-name"]
+            assert all(s["tenant"] == "alice" for s in listed["sessions"])
+
+        run_service(test, models=("hmm3",))
+
+    def test_create_conflict_delete_and_unknown_session(self):
+        async def test(client, service):
+            await client.create_session("s", "hmm3")
+            with pytest.raises(ServeClientError):  # 409
+                await client.create_session("s", "hmm3")
+            deleted = await client.delete_session("s")
+            assert deleted["deleted"]
+            with pytest.raises(ServeClientError):  # 404
+                await client.describe_session("s")
+            with pytest.raises(ServeClientError):  # 404
+                await client.observe("s", "X[0] < 0.5")
+            # The name is free again after the delete.
+            await client.create_session("s", "hmm3")
+
+        run_service(test, models=("hmm3",))
+
+    def test_per_tenant_session_quota(self):
+        async def test(client, service):
+            await client.create_session("a", "hmm3", tenant="greedy")
+            await client.create_session("b", "hmm3", tenant="greedy")
+            with pytest.raises(ServeClientError) as excinfo:  # 429
+                await client.create_session("c", "hmm3", tenant="greedy")
+            assert "quota" in str(excinfo.value)
+            # Another tenant is unaffected by the shed.
+            await client.create_session("c", "hmm3", tenant="modest")
+
+        run_service(test, models=("hmm3",), max_sessions_per_tenant=2)
+
+    def test_lru_eviction_under_max_sessions(self):
+        async def test(client, service):
+            await client.create_session("oldest", "hmm3")
+            await client.create_session("middle", "hmm3")
+            # Touch "oldest" so "middle" becomes the LRU victim.
+            await client.describe_session("oldest")
+            await client.create_session("newest", "hmm3")
+            with pytest.raises(ServeClientError):  # 404: evicted
+                await client.describe_session("middle")
+            await client.describe_session("oldest")
+            await client.describe_session("newest")
+            stats = await client.stats()
+            assert stats["sessions"]["evicted_lru"] == 1
+            assert stats["sessions"]["open"] == 2
+
+        run_service(test, models=("hmm3",), max_sessions=2)
+
+    def test_bayes_net_scenario_registered_by_payload(self):
+        script = scenarios.bayes_net_session(layers=3, width=2, seed=5)
+
+        async def test(client, service):
+            await client.register_model(
+                "bnet", payload=script["model"].to_json()
+            )
+            await client.create_session("bn", "bnet")
+            for event in script["observes"]:
+                assert (await client.observe("bn", event))["ok"]
+            responses = [
+                await client.session_query("bn", "query", {"event": query})
+                for query in script["queries"]
+            ]
+            return [value_of(response) for response in responses]
+
+        wire_values = run_service(test, models=("hmm3",))
+        with PosteriorChain(script["model"], script["observes"]) as chain:
+            library_values = [
+                chain.current.prob(query) for query in script["queries"]
+            ]
+        assert wire_values == library_values
+
+
+class TestSessionStoreUnit:
+    def test_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        store = SessionStore(ttl_s=10.0, clock=lambda: now[0])
+        store.create("t", "a", "m")
+        store.create("t", "b", "m")
+        now[0] = 5.0
+        store.get("t", "a")  # touch: refreshes a's idle clock
+        now[0] = 12.0
+        with pytest.raises(SessionNotFound):
+            store.get("t", "b")  # idle 12s > ttl
+        assert store.get("t", "a").name == "a"  # idle 7s, still live
+        assert store.stats()["evicted_ttl"] == 1
+        assert store.stats()["open"] == 1
+
+    def test_quota_exists_and_lru_accounting(self):
+        store = SessionStore(max_sessions=2, max_sessions_per_tenant=2)
+        store.create("t", "a", "m")
+        with pytest.raises(SessionExists):
+            store.create("t", "a", "m")
+        store.create("t", "b", "m")
+        with pytest.raises(SessionQuotaError):
+            store.create("t", "c", "m")
+        # Another tenant's create is admitted and LRU-evicts t/a.
+        store.create("u", "c", "m")
+        with pytest.raises(SessionNotFound):
+            store.get("t", "a")
+        assert store.stats()["by_tenant"] == {"t": 1, "u": 1}
+        store.delete("u", "c")
+        assert store.stats()["by_tenant"] == {"t": 1}
+
+    def test_commit_on_success_discipline(self):
+        store = SessionStore()
+        session = store.create("t", "s", "m")
+        chain = session.candidate_chain("e1")
+        assert session.chain == ()  # not committed yet
+        store.commit_observe(session, chain)
+        assert session.chain == ("e1",)
+
+
+class TestPosteriorChain:
+    def test_chain_matches_scratch_conditioning(self):
+        model = hmm.model(3)
+        events = ["X[0] < 0.5", "Y[0] == 1", "X[1] < 0.0"]
+        scratch = model
+        for event in events:
+            scratch = scratch.condition(event)
+        with PosteriorChain(model, events) as chain:
+            assert chain.current.logprob("Z[2] == 1") == scratch.logprob(
+                "Z[2] == 1"
+            )
+            assert len(chain) == 3
+
+    def test_failed_observe_leaves_chain_unchanged(self):
+        with PosteriorChain(hmm.model(3)) as chain:
+            chain.observe("X[0] < 0.5")
+            with pytest.raises(ZeroProbabilityError):
+                chain.observe("X[0] > 0.5")
+            assert chain.events == ["X[0] < 0.5"]
+            assert chain.current.logprob("Z[0] == 1") == hmm.model(3).condition(
+                "X[0] < 0.5"
+            ).logprob("Z[0] == 1")
+
+    def test_step_bound_and_close(self):
+        chain = PosteriorChain(hmm.model(3), max_steps=1)
+        chain.observe("X[0] < 0.5")
+        with pytest.raises(ChainBoundError):
+            chain.observe("X[1] < 0.5")
+        chain.close()
+        with pytest.raises(ChainBoundError):
+            chain.observe("X[1] < 0.5")
